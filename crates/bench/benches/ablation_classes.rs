@@ -1,0 +1,70 @@
+//! Ablation: the Class I / Class II node distinction.
+//!
+//! ROD's assignment step first looks for *Class I* nodes (candidate
+//! hyperplane above the ideal hyperplane — the MMAD-following move) and
+//! only falls back to the MMPD pick among Class II nodes. This ablation
+//! compares full ROD against the pure-MMPD greedy (always max candidate
+//! plane distance) in feasible-set quality, and times both.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rod_core::allocation::PlanEvaluator;
+use rod_core::cluster::Cluster;
+use rod_core::load_model::LoadModel;
+use rod_core::metrics::{feasible_ratio, make_estimator};
+use rod_core::rod::{RodOptions, RodPlanner};
+use rod_workloads::RandomTreeGenerator;
+
+fn quality_report() {
+    println!("\n--- class-structure ablation: mean feasible-set ratio over 6 graphs ---");
+    let cluster = Cluster::homogeneous(6, 1.0);
+    for use_class_one in [true, false] {
+        let mut sum = 0.0;
+        let graphs = 6;
+        for g in 0..graphs {
+            let graph = RandomTreeGenerator::paper_default(4, 24).generate(100 + g);
+            let model = LoadModel::derive(&graph).unwrap();
+            let ev = PlanEvaluator::new(&model, &cluster);
+            let estimator = make_estimator(&model, &cluster, 20_000, g);
+            let plan = RodPlanner::with_options(RodOptions {
+                use_class_one,
+                ..RodOptions::default()
+            })
+            .place(&model, &cluster)
+            .unwrap();
+            sum += feasible_ratio(&ev, &estimator, &plan.allocation);
+        }
+        let label = if use_class_one {
+            "with Class I (full ROD)"
+        } else {
+            "pure MMPD"
+        };
+        println!("{label}: {:.4}", sum / graphs as f64);
+    }
+}
+
+fn bench_classes(c: &mut Criterion) {
+    quality_report();
+    let graph = RandomTreeGenerator::paper_default(5, 40).generate(11);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(6, 1.0);
+    let mut group = c.benchmark_group("ablation_classes");
+    for use_class_one in [true, false] {
+        let name = if use_class_one {
+            "with_class_one"
+        } else {
+            "pure_mmpd"
+        };
+        group.bench_function(name, |b| {
+            let planner = RodPlanner::with_options(RodOptions {
+                use_class_one,
+                ..RodOptions::default()
+            });
+            b.iter(|| planner.place(&model, &cluster).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classes);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation: Phase-1 operator ordering.
+//!
+//! The paper sorts operators by descending load-vector norm "to enable
+//! the second phase to place high impact operators early". This bench
+//! (a) prints the feasible-set quality achieved by descending vs
+//! ascending vs no ordering, and (b) times the three variants (the sort
+//! is cheap; the point of the timing is to show the quality difference
+//! is free).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rod_core::allocation::PlanEvaluator;
+use rod_core::cluster::Cluster;
+use rod_core::load_model::LoadModel;
+use rod_core::metrics::{feasible_ratio, make_estimator};
+use rod_core::rod::{OperatorOrdering, RodOptions, RodPlanner};
+use rod_workloads::RandomTreeGenerator;
+
+fn quality_report() {
+    println!("\n--- ordering ablation: mean feasible-set ratio over 5 graphs ---");
+    let cluster = Cluster::homogeneous(5, 1.0);
+    for ordering in [
+        OperatorOrdering::NormDescending,
+        OperatorOrdering::NormAscending,
+        OperatorOrdering::ByIndex,
+    ] {
+        let mut sum = 0.0;
+        let graphs = 5;
+        for g in 0..graphs {
+            let graph = RandomTreeGenerator::paper_default(5, 16).generate(g);
+            let model = LoadModel::derive(&graph).unwrap();
+            let ev = PlanEvaluator::new(&model, &cluster);
+            let estimator = make_estimator(&model, &cluster, 20_000, g);
+            let plan = RodPlanner::with_options(RodOptions {
+                ordering,
+                ..RodOptions::default()
+            })
+            .place(&model, &cluster)
+            .unwrap();
+            sum += feasible_ratio(&ev, &estimator, &plan.allocation);
+        }
+        println!("{ordering:?}: {:.4}", sum / graphs as f64);
+    }
+}
+
+fn bench_orderings(c: &mut Criterion) {
+    quality_report();
+    let graph = RandomTreeGenerator::paper_default(5, 40).generate(9);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(5, 1.0);
+    let mut group = c.benchmark_group("ablation_ordering");
+    for ordering in [
+        OperatorOrdering::NormDescending,
+        OperatorOrdering::NormAscending,
+        OperatorOrdering::ByIndex,
+    ] {
+        group.bench_function(format!("{ordering:?}"), |b| {
+            let planner = RodPlanner::with_options(RodOptions {
+                ordering,
+                ..RodOptions::default()
+            });
+            b.iter(|| planner.place(&model, &cluster).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings);
+criterion_main!(benches);

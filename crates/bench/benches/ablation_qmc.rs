@@ -1,0 +1,101 @@
+//! Ablation: quasi-Monte-Carlo (Halton) vs plain Monte-Carlo volume
+//! estimation.
+//!
+//! §7.1 uses QMC integration because plain MC needs O(2^d) points. This
+//! ablation measures the actual accuracy gap against the *exact* d = 2
+//! polygon area (the only dimension with closed-form truth), and times
+//! the two estimators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::Rng as _;
+
+use rod_core::allocation::PlanEvaluator;
+use rod_core::cluster::Cluster;
+use rod_core::examples_paper::{example2_plans, figure4_graph};
+use rod_core::load_model::LoadModel;
+use rod_geom::polygon::feasible_area;
+use rod_geom::{seeded_rng, SimplexSampler, VolumeEstimator};
+
+fn accuracy_report() {
+    println!("\n--- QMC vs MC accuracy on Example 2 plan (a), exact area known ---");
+    let model = LoadModel::derive(&figure4_graph()).unwrap();
+    let cluster = Cluster::homogeneous(2, 1.0);
+    let ev = PlanEvaluator::new(&model, &cluster);
+    let [plan_a, _, _] = example2_plans();
+    let region = ev.feasible_region(&plan_a);
+    let exact = feasible_area(&region.hyperplanes()).unwrap();
+    let totals = model.total_coeffs();
+    let ct = cluster.total_capacity();
+
+    for &samples in &[1_000usize, 10_000, 100_000] {
+        // Halton and Sobol (shifted): average |error| over seeds.
+        let mut qmc_err = 0.0;
+        let mut sobol_err = 0.0;
+        let runs = 10;
+        for s in 0..runs {
+            let est = VolumeEstimator::new(totals.as_slice(), ct, samples, s).estimate(&region);
+            qmc_err += (est.absolute - exact).abs() / exact;
+            let est =
+                VolumeEstimator::with_sobol(totals.as_slice(), ct, samples, s).estimate(&region);
+            sobol_err += (est.absolute - exact).abs() / exact;
+        }
+        // Plain MC with the same budget.
+        let sampler = SimplexSampler::new(totals.as_slice(), ct);
+        let ideal = rod_geom::simplex_volume(totals.as_slice(), ct);
+        let mut mc_err = 0.0;
+        for s in 0..runs {
+            let mut rng = seeded_rng(1000 + s);
+            let mut hits = 0usize;
+            for _ in 0..samples {
+                let u = rod_geom::Vector::new(vec![rng.gen::<f64>(), rng.gen::<f64>()]);
+                let p = sampler.map_cube_point(&u);
+                if region.contains(&p) {
+                    hits += 1;
+                }
+            }
+            let mc = hits as f64 / samples as f64 * ideal;
+            mc_err += (mc - exact).abs() / exact;
+        }
+        println!(
+            "n = {samples:>7}: Halton rel. err {:.5}, Sobol rel. err {:.5}, \
+             plain MC rel. err {:.5}",
+            qmc_err / runs as f64,
+            sobol_err / runs as f64,
+            mc_err / runs as f64
+        );
+    }
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    accuracy_report();
+    let model = LoadModel::derive(&figure4_graph()).unwrap();
+    let cluster = Cluster::homogeneous(2, 1.0);
+    let ev = PlanEvaluator::new(&model, &cluster);
+    let [plan_a, _, _] = example2_plans();
+    let region = ev.feasible_region(&plan_a);
+    let totals = model.total_coeffs();
+
+    let mut group = c.benchmark_group("ablation_qmc");
+    let estimator = VolumeEstimator::new(totals.as_slice(), 2.0, 20_000, 1);
+    group.bench_function("halton_20k", |b| {
+        b.iter(|| estimator.estimate(&region));
+    });
+    group.bench_function("plain_mc_20k", |b| {
+        let sampler = SimplexSampler::new(totals.as_slice(), 2.0);
+        b.iter(|| {
+            let mut rng = seeded_rng(2);
+            let mut hits = 0usize;
+            for _ in 0..20_000 {
+                let u = rod_geom::Vector::new(vec![rng.gen::<f64>(), rng.gen::<f64>()]);
+                if region.contains(&sampler.map_cube_point(&u)) {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Ablation: node scheduling discipline.
+//!
+//! The load model is scheduling-agnostic (feasibility only depends on
+//! total CPU demand), but *latency* under bursts is not. This ablation
+//! compares FIFO, round-robin and longest-queue-first dispatching on the
+//! same placement and arrivals — FIFO minimises mean sojourn for
+//! deterministic service, LQF trades mean for backlog control — and
+//! times the simulator under each (the pick-next scan is the only cost
+//! difference).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rod_core::cluster::Cluster;
+use rod_core::load_model::LoadModel;
+use rod_core::rod::RodPlanner;
+use rod_sim::{SchedulingPolicy, Simulation, SimulationConfig, SourceSpec};
+use rod_traces::selfsimilar::BModel;
+use rod_workloads::RandomTreeGenerator;
+
+fn quality_report() {
+    println!("\n--- scheduling ablation: latency under a bursty trace ---");
+    let inputs = 2;
+    let graph = RandomTreeGenerator::paper_default(inputs, 10).generate(17);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(2, 1.0);
+    let alloc = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    let unit = model.total_load(&model.variable_point(&[1.0, 1.0]));
+    let q = 0.6 * cluster.total_capacity() / unit;
+    let traces: Vec<_> = (0..inputs)
+        .map(|k| {
+            rod_sim::SourceSpec::TraceDriven(
+                BModel::new(0.7, 7, 1.0, 1.0)
+                    .generate(40 + k as u64)
+                    .normalised()
+                    .with_cov(0.35)
+                    .with_mean(q),
+            )
+        })
+        .collect();
+    for policy in [
+        SchedulingPolicy::Fifo,
+        SchedulingPolicy::RoundRobin,
+        SchedulingPolicy::LongestQueueFirst,
+    ] {
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            traces.clone(),
+            SimulationConfig {
+                horizon: 128.0,
+                warmup: 10.0,
+                seed: 3,
+                scheduling: policy,
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        println!(
+            "{policy:?}: mean {:.2} ms, p99 {:.2} ms, peak queue {}",
+            report.mean_latency().unwrap_or(f64::NAN) * 1e3,
+            report.latencies.quantile(0.99).unwrap_or(f64::NAN) * 1e3,
+            report.peak_queue
+        );
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    quality_report();
+    let graph = RandomTreeGenerator::paper_default(2, 10).generate(17);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(2, 1.0);
+    let alloc = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    let mut group = c.benchmark_group("ablation_scheduling");
+    group.sample_size(10);
+    for policy in [
+        SchedulingPolicy::Fifo,
+        SchedulingPolicy::RoundRobin,
+        SchedulingPolicy::LongestQueueFirst,
+    ] {
+        group.bench_function(format!("{policy:?}"), |b| {
+            b.iter(|| {
+                Simulation::new(
+                    &graph,
+                    &alloc,
+                    &cluster,
+                    vec![SourceSpec::ConstantRate(80.0); 2],
+                    SimulationConfig {
+                        horizon: 10.0,
+                        warmup: 1.0,
+                        seed: 1,
+                        scheduling: policy,
+                        ..SimulationConfig::default()
+                    },
+                )
+                .run()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: ROD planning time vs problem size.
+//!
+//! ROD is meant as a deploy-time (or even design-time) algorithm, but it
+//! must stay fast enough to re-run whenever the query network changes.
+//! This bench tracks its wall-clock scaling in the number of operators
+//! and nodes (the inner loop is O(m·n·d) plus the O(m log m) sort).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rod_core::cluster::Cluster;
+use rod_core::load_model::LoadModel;
+use rod_core::rod::RodPlanner;
+use rod_workloads::RandomTreeGenerator;
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rod_vs_operators");
+    for &m in &[50usize, 100, 200, 400] {
+        let graph = RandomTreeGenerator::paper_default(5, m / 5).generate(1);
+        let model = LoadModel::derive(&graph).unwrap();
+        let cluster = Cluster::homogeneous(8, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| RodPlanner::new().place(&model, &cluster).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_nodes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rod_vs_nodes");
+    let graph = RandomTreeGenerator::paper_default(5, 40).generate(2);
+    let model = LoadModel::derive(&graph).unwrap();
+    for &n in &[2usize, 8, 32, 128] {
+        let cluster = Cluster::homogeneous(n, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| RodPlanner::new().place(&model, &cluster).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_derivation(c: &mut Criterion) {
+    let graph = RandomTreeGenerator::paper_default(5, 40).generate(3);
+    c.bench_function("load_model_derive_200ops", |b| {
+        b.iter(|| LoadModel::derive(&graph).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_operators,
+    bench_nodes,
+    bench_model_derivation
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion bench: discrete-event simulator throughput.
+//!
+//! The latency and probing experiments run thousands of simulated
+//! seconds; this bench tracks events-per-second-ish cost on a fixed
+//! workload so regressions in the engine's hot path (event heap, node
+//! dispatch) are visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rod_core::cluster::Cluster;
+use rod_core::load_model::LoadModel;
+use rod_core::rod::RodPlanner;
+use rod_sim::{Simulation, SimulationConfig, SourceSpec};
+use rod_workloads::RandomTreeGenerator;
+
+fn bench_simulation(c: &mut Criterion) {
+    let inputs = 3;
+    let graph = RandomTreeGenerator::paper_default(inputs, 10).generate(7);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(3, 1.0);
+    let alloc = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+
+    let mut group = c.benchmark_group("simulator_horizon");
+    group.sample_size(10);
+    for &horizon in &[5.0f64, 20.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(horizon as u64),
+            &horizon,
+            |b, &h| {
+                b.iter(|| {
+                    Simulation::new(
+                        &graph,
+                        &alloc,
+                        &cluster,
+                        vec![SourceSpec::ConstantRate(100.0); inputs],
+                        SimulationConfig {
+                            horizon: h,
+                            warmup: h * 0.2,
+                            seed: 1,
+                            ..SimulationConfig::default()
+                        },
+                    )
+                    .run()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_join_simulation(c: &mut Criterion) {
+    use rod_workloads::joins::{join_pairs, JoinConfig};
+    let graph = join_pairs(&JoinConfig::default(), 3);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(2, 1.0);
+    let alloc = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    let mut group = c.benchmark_group("simulator_joins");
+    group.sample_size(10);
+    group.bench_function("join_workload_10s", |b| {
+        b.iter(|| {
+            Simulation::new(
+                &graph,
+                &alloc,
+                &cluster,
+                vec![SourceSpec::ConstantRate(30.0); 4],
+                SimulationConfig {
+                    horizon: 10.0,
+                    warmup: 2.0,
+                    seed: 2,
+                    ..SimulationConfig::default()
+                },
+            )
+            .run()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_join_simulation);
+criterion_main!(benches);

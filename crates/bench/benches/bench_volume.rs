@@ -1,0 +1,72 @@
+//! Criterion bench: quasi-Monte-Carlo feasible-set volume estimation.
+//!
+//! Volume estimation dominates the experiment harness (every plan of
+//! every sweep is scored against tens of thousands of points), so its
+//! throughput matters. Tracks cost vs sample count and vs dimension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rod_core::allocation::PlanEvaluator;
+use rod_core::cluster::Cluster;
+use rod_core::load_model::LoadModel;
+use rod_core::metrics::make_estimator;
+use rod_core::rod::RodPlanner;
+use rod_workloads::RandomTreeGenerator;
+
+fn bench_samples(c: &mut Criterion) {
+    let graph = RandomTreeGenerator::paper_default(5, 20).generate(4);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(5, 1.0);
+    let ev = PlanEvaluator::new(&model, &cluster);
+    let alloc = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    let region = ev.feasible_region(&alloc);
+
+    let mut group = c.benchmark_group("volume_vs_samples");
+    for &samples in &[5_000usize, 20_000, 80_000] {
+        let estimator = make_estimator(&model, &cluster, samples, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, _| {
+            b.iter(|| estimator.estimate(&region));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dimensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("volume_vs_dimension");
+    for &d in &[2usize, 5, 8] {
+        let graph = RandomTreeGenerator::paper_default(d, 16).generate(5);
+        let model = LoadModel::derive(&graph).unwrap();
+        let cluster = Cluster::homogeneous(5, 1.0);
+        let ev = PlanEvaluator::new(&model, &cluster);
+        let alloc = RodPlanner::new()
+            .place(&model, &cluster)
+            .unwrap()
+            .allocation;
+        let region = ev.feasible_region(&alloc);
+        let estimator = make_estimator(&model, &cluster, 20_000, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| estimator.estimate(&region));
+        });
+    }
+    group.finish();
+}
+
+fn bench_point_generation(c: &mut Criterion) {
+    c.bench_function("estimator_build_20k_d5", |b| {
+        let graph = RandomTreeGenerator::paper_default(5, 20).generate(6);
+        let model = LoadModel::derive(&graph).unwrap();
+        let cluster = Cluster::homogeneous(5, 1.0);
+        b.iter(|| make_estimator(&model, &cluster, 20_000, 3));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_samples,
+    bench_dimensions,
+    bench_point_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! **Dynamic vs static — the paper's motivating premise \[reconstructed\]**.
+//!
+//! §1: dynamic load distribution "is suitable for medium-to-long term
+//! variations … Neither of these properties holds in the presence of
+//! short-term load variations. … reactive load distribution requires
+//! costly operator state migration … the base overhead of run-time
+//! operator migration is on the order of a few hundred milliseconds. …
+//! dealing with short-term load fluctuations by frequent operator
+//! re-distribution is typically prohibitive."
+//!
+//! This binary demonstrates the premise with the migration-capable
+//! simulator. Two scenarios over the same two-input workload:
+//!
+//! 1. **Short bursts** — alternating 2-second 3× spikes on either input.
+//!    The reactive balancer (dynamic migration on top of an LLF plan)
+//!    detects each burst only after its control period, pays a ~300 ms
+//!    migration freeze, and often lands the operator after the burst has
+//!    passed; static ROD simply absorbs the spikes.
+//! 2. **Sustained shift** — the rate mix changes permanently mid-run.
+//!    Here migration earns its keep against the stale static Connected plan,
+//!    while ROD again needs no reaction at all.
+
+use serde::Serialize;
+
+use rod_bench::output::{fmt, print_table, write_json};
+use rod_core::allocation::Allocation;
+use rod_core::baselines::{connected::ConnectedPlanner, Planner};
+use rod_core::cluster::Cluster;
+use rod_core::load_model::LoadModel;
+use rod_core::rod::RodPlanner;
+use rod_sim::{MigrationConfig, Simulation, SimulationConfig, SourceSpec};
+use rod_traces::Trace;
+use rod_workloads::RandomTreeGenerator;
+
+#[derive(Serialize)]
+struct Row {
+    scenario: String,
+    plan: String,
+    mean_latency_ms: Option<f64>,
+    p99_latency_ms: Option<f64>,
+    max_utilisation: f64,
+    migrations: u64,
+    migration_downtime_s: f64,
+    saturated: bool,
+}
+
+/// Alternating short bursts: every `period` seconds the spike flips
+/// between the two inputs; each burst lasts `burst_len` seconds.
+fn bursty_pair(q: f64, bins: usize, period: usize, burst_len: usize, amp: f64) -> [Trace; 2] {
+    let mut a = vec![q; bins];
+    let mut b = vec![q; bins];
+    let mut on_a = true;
+    let mut t = period;
+    while t + burst_len <= bins {
+        let target = if on_a { &mut a } else { &mut b };
+        for x in target[t..t + burst_len].iter_mut() {
+            *x *= amp;
+        }
+        on_a = !on_a;
+        t += period;
+    }
+    [Trace::new(a, 1.0), Trace::new(b, 1.0)]
+}
+
+/// Sustained shift: input 0 steps up and input 1 steps down at mid-run.
+fn shifted_pair(q: f64, bins: usize) -> [Trace; 2] {
+    let half = bins / 2;
+    let mut a = vec![q; bins];
+    let mut b = vec![q; bins];
+    for x in a[half..].iter_mut() {
+        *x *= 2.4;
+    }
+    for x in b[half..].iter_mut() {
+        *x *= 0.2;
+    }
+    [Trace::new(a, 1.0), Trace::new(b, 1.0)]
+}
+
+fn main() {
+    let graph = RandomTreeGenerator::paper_default(2, 14).generate(55);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(2, 1.0);
+
+    // Mean rates such that the steady total load is 38% of capacity: a
+    // 3x burst on one input (that stream then carrying ~0.57 CPU) fits
+    // easily when the stream is spread over both nodes (ROD) but
+    // overloads the node hosting the whole stream under the Connected
+    // plan — the paper's "a spike in an input rate cannot be shared"
+    // failure, which the reactive balancer must then fix mid-burst.
+    let unit = model.total_load(&model.variable_point(&[1.0, 1.0]));
+    let q = 0.38 * cluster.total_capacity() / unit;
+
+    let rod = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    let connected = ConnectedPlanner::new(vec![q, q])
+        .plan(&model, &cluster)
+        .unwrap();
+
+    let bins = 120usize;
+    let scenarios: Vec<(&str, [Trace; 2])> = vec![
+        ("short bursts", bursty_pair(q, bins, 10, 3, 3.0)),
+        ("sustained shift", shifted_pair(q, bins)),
+    ];
+
+    let mut rows = Vec::new();
+    let mut payload: Vec<Row> = Vec::new();
+    for (scenario, traces) in &scenarios {
+        let run = |plan: &Allocation, migration: Option<MigrationConfig>, seed: u64| {
+            Simulation::new(
+                &graph,
+                plan,
+                &cluster,
+                traces
+                    .iter()
+                    .cloned()
+                    .map(SourceSpec::TraceDriven)
+                    .collect(),
+                SimulationConfig {
+                    horizon: bins as f64,
+                    warmup: 5.0,
+                    seed,
+                    migration,
+                    max_queue: 500_000,
+                    ..SimulationConfig::default()
+                },
+            )
+            .run()
+        };
+        let runs = [
+            ("ROD (static)", run(&rod, None, 1)),
+            ("Connected (static)", run(&connected, None, 1)),
+            (
+                "Connected + dynamic migration",
+                run(
+                    &connected,
+                    Some(MigrationConfig {
+                        check_interval: 1.0,
+                        utilisation_trigger: 0.8,
+                        imbalance_trigger: 0.15,
+                        base_downtime: 0.3,
+                        per_item_downtime: 1e-4,
+                        pinned: Vec::new(),
+                    }),
+                    1,
+                ),
+            ),
+        ];
+        for (name, report) in runs {
+            rows.push(vec![
+                scenario.to_string(),
+                name.to_string(),
+                report.mean_latency().map_or("-".into(), |l| fmt(l * 1e3)),
+                report
+                    .latencies
+                    .quantile(0.99)
+                    .map_or("-".into(), |l| fmt(l * 1e3)),
+                fmt(report.max_utilisation()),
+                report.migrations.to_string(),
+                fmt(report.migration_downtime),
+                report.saturated.to_string(),
+            ]);
+            payload.push(Row {
+                scenario: scenario.to_string(),
+                plan: name.to_string(),
+                mean_latency_ms: report.mean_latency().map(|l| l * 1e3),
+                p99_latency_ms: report.latencies.quantile(0.99).map(|l| l * 1e3),
+                max_utilisation: report.max_utilisation(),
+                migrations: report.migrations,
+                migration_downtime_s: report.migration_downtime,
+                saturated: report.saturated,
+            });
+        }
+    }
+
+    print_table(
+        "Static ROD vs static Connected vs reactive migration",
+        &[
+            "scenario",
+            "plan",
+            "mean lat (ms)",
+            "p99 (ms)",
+            "max util",
+            "migrations",
+            "downtime (s)",
+            "saturated",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: under short bursts, migration reacts too late and \
+         pays freeze\ntime — static ROD has the best latency with zero moves. \
+         Under a sustained shift,\nmigration recovers most of the gap for the \
+         stale Connected plan; ROD still needs no moves."
+    );
+    write_json("exp_dynamic_vs_static", &payload);
+}

@@ -1,0 +1,198 @@
+//! **Hybrid static/dynamic placement \[reconstructed\]**.
+//!
+//! §1: "static, resilient operator distribution is not in conflict with
+//! dynamic operator distribution. For a system that supports dynamic
+//! operator migration, the techniques presented here can be used to
+//! place operators with large state size. Lighter-weight operators can
+//! be moved more frequently using a dynamic algorithm … Moreover,
+//! resilient operator distribution can be used to provide a good
+//! initial plan."
+//!
+//! Three regimes on the same drifting workload (slow diurnal swing plus
+//! self-similar burstiness — the mix of §1's medium-term and short-term
+//! variation):
+//!
+//! * **ROD static** — no moves at all;
+//! * **ROD initial + hybrid dynamic** — ROD plan, heavy operators
+//!   (the top half of the total load-norm mass, standing in for
+//!   "large state") pinned, light operators free to migrate;
+//! * **Connected initial + full dynamic** — a poor initial plan with
+//!   unrestricted migration (the purely reactive regime).
+
+use serde::Serialize;
+
+use rod_bench::output::{fmt, print_table, write_json};
+use rod_core::allocation::Allocation;
+use rod_core::baselines::{connected::ConnectedPlanner, Planner};
+use rod_core::cluster::Cluster;
+use rod_core::ids::OperatorId;
+use rod_core::load_model::LoadModel;
+use rod_core::rod::RodPlanner;
+use rod_geom::rng::derive_seed;
+use rod_sim::{MigrationConfig, Simulation, SimulationConfig, SourceSpec};
+use rod_traces::modulate::diurnal;
+use rod_traces::selfsimilar::BModel;
+use rod_traces::Trace;
+use rod_workloads::RandomTreeGenerator;
+
+#[derive(Serialize)]
+struct Row {
+    regime: String,
+    mean_latency_ms: Option<f64>,
+    p99_latency_ms: Option<f64>,
+    max_utilisation: f64,
+    migrations: u64,
+    downtime_s: f64,
+}
+
+/// Operators whose cumulative load-vector norm covers the top `share` of
+/// the total — the "large state" set to pin.
+fn heavy_operators(model: &LoadModel, share: f64) -> Vec<OperatorId> {
+    let mut ops: Vec<(OperatorId, f64)> = (0..model.num_operators())
+        .map(|j| (OperatorId(j), model.operator_norm(OperatorId(j))))
+        .collect();
+    ops.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let total: f64 = ops.iter().map(|(_, n)| n).sum();
+    let mut acc = 0.0;
+    let mut pinned = Vec::new();
+    for (op, norm) in ops {
+        if acc >= share * total {
+            break;
+        }
+        acc += norm;
+        pinned.push(op);
+    }
+    pinned
+}
+
+fn main() {
+    let inputs = 3;
+    let graph = RandomTreeGenerator::paper_default(inputs, 12).generate(99);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(3, 1.0);
+
+    let unit = model.total_load(&model.variable_point(&vec![1.0; inputs]));
+    let q = 0.5 * cluster.total_capacity() / unit;
+
+    // Drifting + bursty sources: diurnal envelope with staggered phases
+    // (so the load mix shifts over the run) times a self-similar carrier.
+    let bins_log2 = 7u32; // 128 bins
+    let bins = 1usize << bins_log2;
+    let traces: Vec<Trace> = (0..inputs)
+        .map(|k| {
+            let carrier = BModel::new(0.68, bins_log2, 1.0, 1.0)
+                .generate(derive_seed(300, k as u64))
+                .normalised()
+                .with_cov(0.25);
+            let phase = k as f64 * 2.0 * std::f64::consts::PI / inputs as f64;
+            carrier
+                .modulated(&diurnal(bins, bins as f64 / 1.5, 0.5, phase))
+                .with_mean(q)
+        })
+        .collect();
+
+    let rod = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    let connected = ConnectedPlanner::new(vec![q; inputs])
+        .plan(&model, &cluster)
+        .unwrap();
+    let pinned = heavy_operators(&model, 0.5);
+
+    let run = |plan: &Allocation, migration: Option<MigrationConfig>| {
+        Simulation::new(
+            &graph,
+            plan,
+            &cluster,
+            traces
+                .iter()
+                .cloned()
+                .map(SourceSpec::TraceDriven)
+                .collect(),
+            SimulationConfig {
+                horizon: bins as f64,
+                warmup: 8.0,
+                seed: 5,
+                migration,
+                max_queue: 500_000,
+                ..SimulationConfig::default()
+            },
+        )
+        .run()
+    };
+    let manager = MigrationConfig {
+        check_interval: 2.0,
+        utilisation_trigger: 0.75,
+        imbalance_trigger: 0.2,
+        base_downtime: 0.3,
+        per_item_downtime: 1e-4,
+        pinned: Vec::new(),
+    };
+
+    let regimes = [
+        ("ROD static", run(&rod, None)),
+        (
+            "ROD + hybrid dynamic (heavy pinned)",
+            run(
+                &rod,
+                Some(MigrationConfig {
+                    pinned: pinned.clone(),
+                    ..manager.clone()
+                }),
+            ),
+        ),
+        ("Connected + full dynamic", run(&connected, Some(manager))),
+    ];
+
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for (name, report) in regimes {
+        rows.push(vec![
+            name.to_string(),
+            report.mean_latency().map_or("-".into(), |l| fmt(l * 1e3)),
+            report
+                .latencies
+                .quantile(0.99)
+                .map_or("-".into(), |l| fmt(l * 1e3)),
+            fmt(report.max_utilisation()),
+            report.migrations.to_string(),
+            fmt(report.migration_downtime),
+        ]);
+        payload.push(Row {
+            regime: name.to_string(),
+            mean_latency_ms: report.mean_latency().map(|l| l * 1e3),
+            p99_latency_ms: report.latencies.quantile(0.99).map(|l| l * 1e3),
+            max_utilisation: report.max_utilisation(),
+            migrations: report.migrations,
+            downtime_s: report.migration_downtime,
+        });
+    }
+
+    println!(
+        "pinned {} of {} operators ({}% of load-norm mass)",
+        pinned.len(),
+        model.num_operators(),
+        50
+    );
+    print_table(
+        "Hybrid placement regimes under drifting bursty load",
+        &[
+            "regime",
+            "mean lat (ms)",
+            "p99 (ms)",
+            "max util",
+            "migrations",
+            "downtime (s)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: the ROD initial plan already needs few or no \
+         moves (the paper's\n\"good initial plan\" claim); hybrid dynamic \
+         may shave the drift tail while moving\nonly light operators; the \
+         reactive regime on a poor initial plan migrates far\nmore and \
+         still trails."
+    );
+    write_json("exp_hybrid", &payload);
+}

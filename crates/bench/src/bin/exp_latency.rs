@@ -1,0 +1,160 @@
+//! **§7.3 latency experiment \[reconstructed\]** — processing latency under
+//! bursty real-trace-like workloads.
+//!
+//! §7 promises "results on feasible set size as well as processing
+//! latencies" (the latency subsection falls in the truncated part of the
+//! source text). Reconstruction: place one random-tree workload with
+//! each algorithm, then drive all placements with the *same* bursty
+//! trace-driven sources whose mean load is a fixed fraction of total
+//! capacity, and compare end-to-end latency. A placement with a larger
+//! feasible set keeps more of the burst trajectory inside its feasible
+//! region, so its queues — and latencies — stay bounded where the
+//! single-point balancers saturate.
+
+use serde::Serialize;
+
+use rod_bench::output::{fmt, print_table, write_json};
+use rod_core::allocation::{Allocation, PlanEvaluator};
+use rod_core::baselines::{
+    connected::ConnectedPlanner, correlation::CorrelationPlanner, llf::LlfPlanner,
+    random::RandomPlanner, Planner,
+};
+use rod_core::cluster::Cluster;
+use rod_core::load_model::LoadModel;
+use rod_core::rod::RodPlanner;
+use rod_geom::rng::derive_seed;
+use rod_sim::{Simulation, SimulationConfig, SourceSpec};
+use rod_traces::{paper_traces, Trace};
+use rod_workloads::RandomTreeGenerator;
+
+#[derive(Serialize)]
+struct LatencyRow {
+    algorithm: String,
+    mean_latency_ms: Option<f64>,
+    p99_latency_ms: Option<f64>,
+    max_utilisation: f64,
+    saturated: bool,
+}
+
+fn main() {
+    let inputs = 3;
+    let graph = RandomTreeGenerator::paper_default(inputs, 12).generate(77);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(3, 1.0);
+    let ev = PlanEvaluator::new(&model, &cluster);
+
+    // Mean operating point: every input at the same rate q chosen so the
+    // total mean load is 65% of cluster capacity — feasible on average,
+    // but bursts (sigma ~0.3, peaks ~2x) push past weak placements.
+    let unit_load = model.total_load(&model.variable_point(&vec![1.0; inputs]));
+    let q = 0.65 * cluster.total_capacity() / unit_load;
+
+    // Bursty sources: the three calibrated paper traces, scaled to mean q.
+    let traces: Vec<Trace> = paper_traces(9, 2024) // 512 bins
+        .into_iter()
+        .map(|(_, t)| t.with_mean(q))
+        .collect();
+    let horizon = traces[0].duration().min(120.0);
+
+    // Plans: ROD plus each baseline optimised for the true mean point
+    // (the friendliest setting for the single-point balancers).
+    let mean_rates = vec![q; inputs];
+    let history: Vec<Vec<f64>> = traces[0]
+        .rates()
+        .iter()
+        .zip(traces[1].rates())
+        .zip(traces[2].rates())
+        .take(64)
+        .map(|((a, b), c)| vec![*a, *b, *c])
+        .collect();
+    let plans: Vec<(&str, Allocation)> = vec![
+        (
+            "ROD",
+            RodPlanner::new()
+                .place(&model, &cluster)
+                .unwrap()
+                .allocation,
+        ),
+        (
+            "Correlation",
+            CorrelationPlanner::new(history)
+                .plan(&model, &cluster)
+                .unwrap(),
+        ),
+        (
+            "LLF",
+            LlfPlanner::new(mean_rates.clone())
+                .plan(&model, &cluster)
+                .unwrap(),
+        ),
+        (
+            "Random",
+            RandomPlanner::new(3).plan(&model, &cluster).unwrap(),
+        ),
+        (
+            "Connected",
+            ConnectedPlanner::new(mean_rates)
+                .plan(&model, &cluster)
+                .unwrap(),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for (name, alloc) in &plans {
+        let sources: Vec<SourceSpec> = traces
+            .iter()
+            .map(|t| SourceSpec::TraceDriven(t.clone()))
+            .collect();
+        let report = Simulation::new(
+            &graph,
+            alloc,
+            &cluster,
+            sources,
+            SimulationConfig {
+                horizon,
+                warmup: horizon * 0.1,
+                seed: derive_seed(500, name.len() as u64),
+                max_queue: 400_000,
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        let mean_ms = report.mean_latency().map(|l| l * 1e3);
+        let p99_ms = report.latencies.quantile(0.99).map(|l| l * 1e3);
+        rows.push(vec![
+            name.to_string(),
+            mean_ms.map_or("-".into(), fmt),
+            p99_ms.map_or("-".into(), fmt),
+            fmt(report.max_utilisation()),
+            report.saturated.to_string(),
+            fmt(ev.min_plane_distance(alloc)),
+        ]);
+        payload.push(LatencyRow {
+            algorithm: name.to_string(),
+            mean_latency_ms: mean_ms,
+            p99_latency_ms: p99_ms,
+            max_utilisation: report.max_utilisation(),
+            saturated: report.saturated,
+        });
+    }
+
+    print_table(
+        "Latency under bursty traces (mean load 65% of capacity)",
+        &[
+            "algorithm",
+            "mean lat (ms)",
+            "p99 lat (ms)",
+            "max util",
+            "saturated",
+            "min plane dist",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: ROD's latency stays lowest / bounded; placements \
+         with smaller\nfeasible sets hit saturation during bursts and their \
+         tail latency explodes."
+    );
+    write_json("exp_latency", &payload);
+}

@@ -1,0 +1,137 @@
+//! **Load shedding vs resilient placement \[reconstructed\]**.
+//!
+//! Aurora/Borealis systems shed load when queues overflow — trading
+//! *result completeness* for bounded latency. Resilient placement
+//! attacks the same overload problem from the other side: a larger
+//! feasible set means the burst never overflows the queues in the first
+//! place. This experiment runs identical bursty arrivals through ROD and
+//! Connected placements with Borealis-style shedding enabled and counts
+//! what each placement had to throw away.
+
+use serde::Serialize;
+
+use rod_bench::output::{fmt, print_table, write_json};
+use rod_core::allocation::Allocation;
+use rod_core::cluster::Cluster;
+use rod_core::graph::StreamSource;
+use rod_core::ids::NodeId;
+use rod_core::load_model::LoadModel;
+use rod_core::rod::RodPlanner;
+use rod_sim::{Simulation, SimulationConfig, SourceSpec};
+use rod_traces::modulate::flash_crowd;
+use rod_traces::Trace;
+use rod_workloads::RandomTreeGenerator;
+
+#[derive(Serialize)]
+struct Row {
+    plan: String,
+    burst_amp: f64,
+    tuples_in: u64,
+    tuples_shed: u64,
+    shed_fraction: f64,
+    p99_latency_ms: Option<f64>,
+}
+
+fn main() {
+    // Four small trees on two nodes: each chain fits under Connected's
+    // fair-share cap, so Connected keeps chains whole (two streams
+    // concentrated per node) while ROD spreads every stream.
+    let inputs = 4;
+    let graph = RandomTreeGenerator::paper_default(inputs, 8).generate(321);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(2, 1.0);
+    let unit = model.total_load(&model.variable_point(&vec![1.0; inputs]));
+    let q = 0.4 * cluster.total_capacity() / unit;
+
+    let rod = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    // The stream-concentrated plan — Example 2's plan (c) generalised:
+    // whole trees per node (trees of inputs 0-1 on node 0, 2-3 on node
+    // 1). This is what communication-minimising deployments produce and
+    // what Fig. 14's Connected baseline tends toward.
+    let mut concentrated = Allocation::new(model.num_operators(), 2);
+    for op in graph.operators() {
+        // Walk to the operator's root input.
+        let mut stream = op.inputs[0];
+        let input = loop {
+            match graph.source_of(stream) {
+                StreamSource::Input(k) => break k.index(),
+                StreamSource::Operator(p) => stream = graph.operator(p).inputs[0],
+            }
+        };
+        concentrated.assign(op.id, NodeId(input / 2));
+    }
+
+    let bins = 100usize;
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for amp in [3.0f64, 5.0, 9.0] {
+        // A sustained flash crowd on input 0.
+        let burst = Trace::constant(q, bins, 1.0).modulated(&flash_crowd(bins, 30, amp, 0.97));
+        let steady = Trace::constant(q, bins, 1.0);
+        for (name, alloc) in [("ROD", &rod), ("Chain-per-node", &concentrated)] {
+            let report = Simulation::new(
+                &graph,
+                alloc,
+                &cluster,
+                {
+                    let mut sources = vec![SourceSpec::TraceDriven(burst.clone())];
+                    sources.extend((1..inputs).map(|_| SourceSpec::TraceDriven(steady.clone())));
+                    sources
+                },
+                SimulationConfig {
+                    horizon: bins as f64,
+                    warmup: 5.0,
+                    seed: 2,
+                    shed_above: Some(800),
+                    max_queue: 500_000,
+                    ..SimulationConfig::default()
+                },
+            )
+            .run();
+            let shed_fraction =
+                report.tuples_shed as f64 / (report.tuples_in + report.tuples_shed).max(1) as f64;
+            rows.push(vec![
+                name.to_string(),
+                fmt(amp),
+                report.tuples_in.to_string(),
+                report.tuples_shed.to_string(),
+                fmt(shed_fraction),
+                report
+                    .latencies
+                    .quantile(0.99)
+                    .map_or("-".into(), |l| fmt(l * 1e3)),
+            ]);
+            payload.push(Row {
+                plan: name.to_string(),
+                burst_amp: amp,
+                tuples_in: report.tuples_in,
+                tuples_shed: report.tuples_shed,
+                shed_fraction,
+                p99_latency_ms: report.latencies.quantile(0.99).map(|l| l * 1e3),
+            });
+        }
+    }
+
+    print_table(
+        "Tuples shed under a sustained flash crowd (queue cap 800/node)",
+        &[
+            "plan",
+            "burst x",
+            "tuples in",
+            "shed",
+            "shed frac",
+            "p99 (ms)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: at burst amplitudes inside ROD's feasible set \
+         but outside the\nconcentrated plan's, ROD sheds nothing while the \
+         chain-per-node plan drops\nresults; once the burst exceeds even the \
+         ideal set both must shed, ROD less."
+    );
+    write_json("exp_shedding", &payload);
+}

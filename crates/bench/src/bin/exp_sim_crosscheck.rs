@@ -1,0 +1,97 @@
+//! **Simulator/Borealis cross-check** — "We observed that the simulator
+//! results tracked the results in Borealis very closely, thus allowing us
+//! to trust the simulator."
+//!
+//! Our Borealis stand-in *is* the simulator, so the cross-check becomes:
+//! the utilisation-probing measurement procedure (run the system at a
+//! rate point, deem it feasible iff no node saturates — §7.1's Borealis
+//! protocol) must agree with the analytic linear-model feasibility on the
+//! same points, and the feasible-set ratios from both must match.
+
+use serde::Serialize;
+
+use rod_bench::output::{fmt, print_table, write_json};
+use rod_core::baselines::{llf::LlfPlanner, random::RandomPlanner, Planner};
+use rod_core::cluster::Cluster;
+use rod_core::load_model::LoadModel;
+use rod_core::rod::RodPlanner;
+use rod_sim::{FeasibilityProbe, ProbeConfig};
+use rod_workloads::RandomTreeGenerator;
+
+#[derive(Serialize)]
+struct CrossRow {
+    algorithm: String,
+    simulated_ratio: f64,
+    analytic_ratio: f64,
+    agreement: f64,
+}
+
+fn main() {
+    let inputs = 3;
+    let graph = RandomTreeGenerator::paper_default(inputs, 8).generate(31);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(3, 1.0);
+
+    let plans = vec![
+        (
+            "ROD",
+            RodPlanner::new()
+                .place(&model, &cluster)
+                .unwrap()
+                .allocation,
+        ),
+        (
+            "LLF",
+            LlfPlanner::new(vec![50.0; inputs])
+                .plan(&model, &cluster)
+                .unwrap(),
+        ),
+        (
+            "Random",
+            RandomPlanner::new(8).plan(&model, &cluster).unwrap(),
+        ),
+    ];
+
+    let probe = FeasibilityProbe::new(ProbeConfig {
+        points: 60,
+        horizon: 25.0,
+        warmup: 5.0,
+        seed: 97,
+        ..ProbeConfig::default()
+    });
+
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for (name, alloc) in &plans {
+        let outcome = probe.run(&model, &cluster, alloc);
+        rows.push(vec![
+            name.to_string(),
+            fmt(outcome.simulated_ratio()),
+            fmt(outcome.analytic_ratio()),
+            fmt(outcome.agreement()),
+        ]);
+        payload.push(CrossRow {
+            algorithm: name.to_string(),
+            simulated_ratio: outcome.simulated_ratio(),
+            analytic_ratio: outcome.analytic_ratio(),
+            agreement: outcome.agreement(),
+        });
+    }
+
+    print_table(
+        "Simulated (utilisation-probed) vs analytic feasibility, 60 points",
+        &[
+            "algorithm",
+            "sim ratio",
+            "analytic ratio",
+            "point agreement",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: agreement near 1.0 for every plan (boundary \
+         points may flip),\nand the two ratio columns nearly equal — the \
+         paper's \"simulator tracked Borealis\nvery closely\" property."
+    );
+    write_json("exp_sim_crosscheck", &payload);
+}

@@ -1,0 +1,72 @@
+//! **Figure 2** — "Stream rates exhibit significant variation over time."
+//!
+//! The paper plots the normalised rates of the PKT / TCP / HTTP traces
+//! and annotates their standard deviations, then notes that "similar
+//! behaviour is observed at other time-scales due to the self-similar
+//! nature of these workloads". This binary regenerates the figure's
+//! content from the calibrated synthetic stand-ins: the normalised
+//! series, their σ, the σ after 16× time aggregation (the "other time
+//! scales" claim), and the estimated Hurst exponents.
+
+use serde::Serialize;
+
+use rod_bench::output::{fmt, print_table, write_json};
+use rod_bench::plot::{downsample, sparkline};
+use rod_traces::stats::hurst_rs;
+use rod_traces::{paper_traces, Trace};
+
+#[derive(Serialize)]
+struct TraceRow {
+    name: String,
+    mean: f64,
+    std_dev: f64,
+    std_dev_16x: f64,
+    hurst: f64,
+    series_head: Vec<f64>,
+}
+
+fn main() {
+    let traces = paper_traces(12, 2006); // 4096 bins each
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for (kind, trace) in &traces {
+        let s = trace.summary();
+        let coarse: Trace = trace.aggregate(16);
+        let row = TraceRow {
+            name: kind.name().to_string(),
+            mean: s.mean(),
+            std_dev: s.std_dev(),
+            std_dev_16x: coarse.summary().std_dev(),
+            hurst: hurst_rs(trace.rates()),
+            series_head: trace.rates()[..256].to_vec(),
+        };
+        rows.push(vec![
+            row.name.clone(),
+            fmt(row.mean),
+            fmt(row.std_dev),
+            fmt(row.std_dev_16x),
+            fmt(row.hurst),
+        ]);
+        payload.push(row);
+    }
+    print_table(
+        "Figure 2: normalised stream rates (synthetic stand-ins)",
+        &["trace", "mean", "std dev", "std dev @16x", "Hurst"],
+        &rows,
+    );
+    println!();
+    for (kind, trace) in &traces {
+        println!(
+            "{:>5} {}",
+            kind.name(),
+            sparkline(&downsample(trace.rates(), 100))
+        );
+    }
+    println!(
+        "\nPaper: normalised traces with significant spread at all time \
+         scales (self-similar).\nCheck: std devs land near the reconstructed \
+         targets (PKT 0.29, TCP 0.33, HTTP 0.23),\nremain well above zero \
+         after 16x aggregation, and Hurst > 0.5 throughout."
+    );
+    write_json("fig02_traces", &payload);
+}

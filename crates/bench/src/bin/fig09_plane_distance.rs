@@ -1,0 +1,124 @@
+//! **Figure 9** — "Relationship between r and the feasible set size."
+//!
+//! The paper generates 1000 random node load-coefficient matrices with
+//! n = 10 nodes and d = 3 input streams, and scatter-plots their
+//! feasible-set-size / ideal-feasible-set-size ratio against `r / r*`
+//! (minimum plane distance over the ideal hyperplane's plane distance).
+//! Both the upper and lower envelope of the cloud rise with `r/r*`, and
+//! the analytic lower bound is `∝ (r/r*)^d` (the inscribed hypersphere /
+//! simplex-scaling argument) — the empirical ground for MMPD.
+
+use rand::Rng as _;
+use serde::Serialize;
+
+use rod_bench::output::{fmt, print_table, write_json};
+use rod_geom::simplex::hypersphere_ratio_bound;
+use rod_geom::{seeded_rng, FeasibleRegion, Hyperplane, Matrix, Vector, VolumeEstimator};
+
+#[derive(Serialize)]
+struct ScatterPoint {
+    r_over_rstar: f64,
+    ratio_to_ideal: f64,
+}
+
+fn main() {
+    let n = 10;
+    let d = 3;
+    let matrices = 1000;
+    let mut rng = seeded_rng(9);
+
+    // Shared point set over the normalised ideal simplex (totals = 1s,
+    // capacity C_T = 1, nodes C_i = 1/n).
+    let estimator = VolumeEstimator::new(&vec![1.0; d], 1.0, 40_000, 4);
+    let r_star = Hyperplane::ideal(d).plane_distance();
+
+    let mut points = Vec::with_capacity(matrices);
+    for _ in 0..matrices {
+        // Random column-normalised load split: each stream's total load 1
+        // distributed over the 10 nodes by normalised uniform draws.
+        let mut ln = Matrix::zeros(n, d);
+        for k in 0..d {
+            let draws: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+            let total: f64 = draws.iter().sum();
+            for i in 0..n {
+                ln[(i, k)] = draws[i] / total;
+            }
+        }
+        let caps = Vector::new(vec![1.0 / n as f64; n]);
+        let region = FeasibleRegion::new(ln.clone(), caps);
+        let ratio = estimator.estimate(&region).ratio_to_ideal;
+        // min plane distance of the normalised weight hyperplanes:
+        // w_ik = ln_ik / (1/n) = n·ln_ik; plane i: w_i x = 1.
+        let r = (0..n)
+            .map(|i| {
+                let w: Vec<f64> = ln.row(i).iter().map(|v| v * n as f64).collect();
+                Hyperplane::new(Vector::new(w), 1.0).plane_distance()
+            })
+            .fold(f64::INFINITY, f64::min);
+        points.push(ScatterPoint {
+            r_over_rstar: r / r_star,
+            ratio_to_ideal: ratio,
+        });
+    }
+
+    // Bucket the scatter into deciles of r/r* for a console-friendly view.
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); 10];
+    for p in &points {
+        let b = ((p.r_over_rstar * 10.0).floor() as usize).min(9);
+        buckets[b].push(p.ratio_to_ideal);
+    }
+    let mut rows = Vec::new();
+    for (b, vals) in buckets.iter().enumerate() {
+        if vals.is_empty() {
+            continue;
+        }
+        let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().copied().fold(0.0f64, f64::max);
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        // The paper's curve: "the computed lower bound using the volume
+        // function of hyperspheres, which is a constant times r^d". The
+        // bucket's bound uses its left edge (valid for every point in it).
+        let r_left = (b as f64 / 10.0) * r_star;
+        let bound = hypersphere_ratio_bound(r_left, d);
+        rows.push(vec![
+            format!("{:.1}-{:.1}", b as f64 / 10.0, (b + 1) as f64 / 10.0),
+            vals.len().to_string(),
+            fmt(lo),
+            fmt(mean),
+            fmt(hi),
+            fmt(bound),
+        ]);
+    }
+    print_table(
+        "Figure 9: feasible-set ratio vs r/r* (1000 random L^n, n=10, d=3)",
+        &[
+            "r/r*",
+            "count",
+            "min ratio",
+            "mean ratio",
+            "max ratio",
+            "sphere bound",
+        ],
+        &rows,
+    );
+
+    // The figure's claim: both envelopes increase with r/r*, and every
+    // point sits above the inscribed-hypersphere lower bound c·r^d.
+    let violations = points
+        .iter()
+        .filter(|p| p.ratio_to_ideal + 0.01 < hypersphere_ratio_bound(p.r_over_rstar * r_star, d))
+        .count();
+    println!(
+        "\nPoints below the hypersphere lower bound (should be 0): {violations} / {}",
+        points.len()
+    );
+    let xy: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.r_over_rstar, p.ratio_to_ideal))
+        .collect();
+    println!(
+        "\n{}",
+        rod_bench::plot::scatter("Figure 9, rendered (x = r/r*, y = ratio):", &xy, 72, 18)
+    );
+    write_json("fig09_plane_distance", &points);
+}

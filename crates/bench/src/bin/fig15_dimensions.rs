@@ -1,0 +1,101 @@
+//! **Figure 15** — varying the number of input streams.
+//!
+//! "We now examine the relative performance of different algorithms for
+//! different numbers of dimensions using the simulator. Figure 15 shows
+//! the ratio of the feasible set size of the competing approaches to
+//! that of ROD … as additional inputs are used, the relative performance
+//! of ROD gets increasingly better. … the case with two inputs exhibits
+//! a higher ratio than that estimated by the tail, as the relatively few
+//! operators per node in this case significantly limits the possible
+//! load distribution choices."
+//!
+//! Setup: fixed operators per tree, d from 2 to 8, five nodes.
+
+use serde::Serialize;
+
+use rod_bench::comparison::{compare_algorithms, ComparisonConfig};
+use rod_bench::output::{fmt, print_table, write_json};
+use rod_core::cluster::Cluster;
+use rod_core::load_model::LoadModel;
+use rod_geom::rng::derive_seed;
+use rod_geom::OnlineStats;
+use rod_workloads::RandomTreeGenerator;
+
+#[derive(Serialize)]
+struct FigurePoint {
+    inputs: usize,
+    algorithm: String,
+    ratio_to_rod: f64,
+}
+
+fn main() {
+    let ops_per_tree = 16;
+    let nodes = 5;
+    let graphs_per_dim = 3;
+    let dims = [2usize, 3, 4, 5, 6, 7, 8];
+
+    let mut rows = Vec::new();
+    let mut payload: Vec<FigurePoint> = Vec::new();
+
+    let tasks: Vec<(usize, usize)> = dims
+        .iter()
+        .flat_map(|&d| (0..graphs_per_dim).map(move |g| (d, g)))
+        .collect();
+    let task_results = rod_bench::parallel_map(tasks, 8, |(d, g)| {
+        let graph = RandomTreeGenerator::paper_default(d, ops_per_tree)
+            .generate(derive_seed(150, (d * 10 + g) as u64));
+        let model = LoadModel::derive(&graph).unwrap();
+        let cluster = Cluster::homogeneous(nodes, 1.0);
+        let results = compare_algorithms(
+            &model,
+            &cluster,
+            &ComparisonConfig {
+                reps: 6,
+                volume_samples: 30_000,
+                seed: derive_seed(151, (d * 10 + g) as u64),
+                ..ComparisonConfig::default()
+            },
+        );
+        (d, results)
+    });
+
+    for &d in &dims {
+        let mut acc: Vec<(String, OnlineStats)> = Vec::new();
+        for (_, results) in task_results.iter().filter(|(td, _)| *td == d) {
+            let rod = results[0].mean_ratio;
+            for r in &results[1..] {
+                let rel = if rod > 0.0 { r.mean_ratio / rod } else { 0.0 };
+                match acc.iter_mut().find(|(n, _)| *n == r.name) {
+                    Some((_, s)) => s.push(rel),
+                    None => {
+                        let mut s = OnlineStats::new();
+                        s.push(rel);
+                        acc.push((r.name.clone(), s));
+                    }
+                }
+            }
+        }
+        let mut row = vec![d.to_string()];
+        for (name, stats) in &acc {
+            row.push(fmt(stats.mean()));
+            payload.push(FigurePoint {
+                inputs: d,
+                algorithm: name.clone(),
+                ratio_to_rod: stats.mean(),
+            });
+        }
+        rows.push(row);
+    }
+
+    print_table(
+        "Figure 15: feasible-set ratio A/ROD vs #input streams (16 ops/tree, n=5)",
+        &["d", "Correlation", "LLF", "Random", "Connected"],
+        &rows,
+    );
+    println!(
+        "\nPaper shape: every baseline's ratio to ROD falls as d grows \
+         (each extra dimension\nbuys ROD a roughly constant relative \
+         improvement); d=2 sits above the trend line."
+    );
+    write_json("fig15_dimensions", &payload);
+}

@@ -1,0 +1,231 @@
+//! The §7.3 comparison protocol.
+//!
+//! "We repeat each algorithm except ROD ten times. For the Random
+//! algorithm, we use different random seeds for each run. For the load
+//! balancing algorithms, we use random input stream rates, and for the
+//! Correlation-based algorithm, we generate random stream-rate time
+//! series. ROD does not need to be repeated."
+
+use serde::{Deserialize, Serialize};
+
+use rod_core::allocation::PlanEvaluator;
+use rod_core::baselines::{
+    connected::ConnectedPlanner, correlation::CorrelationPlanner, llf::LlfPlanner,
+    random::RandomPlanner, Planner,
+};
+use rod_core::cluster::Cluster;
+use rod_core::load_model::LoadModel;
+use rod_core::metrics::{feasible_ratio, make_estimator};
+use rod_core::rod::RodPlanner;
+use rod_geom::rng::derive_seed;
+use rod_geom::{seeded_rng, OnlineStats, SimplexSampler};
+
+/// How a comparison sweep is run.
+#[derive(Clone, Debug)]
+pub struct ComparisonConfig {
+    /// Repetitions per randomised algorithm (paper: 10).
+    pub reps: usize,
+    /// QMC samples for volume estimation.
+    pub volume_samples: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Length of the rate time series fed to the Correlation planner.
+    pub history_len: usize,
+}
+
+impl Default for ComparisonConfig {
+    fn default() -> Self {
+        ComparisonConfig {
+            reps: 10,
+            volume_samples: 20_000,
+            seed: 42,
+            history_len: 32,
+        }
+    }
+}
+
+/// Aggregated outcome of one algorithm over the repetitions.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AlgorithmResult {
+    /// Display name.
+    pub name: String,
+    /// Mean feasible-set ratio (plan volume / ideal volume).
+    pub mean_ratio: f64,
+    /// Standard deviation of the ratio across repetitions.
+    pub std_ratio: f64,
+    /// Mean min-plane-distance across repetitions.
+    pub mean_plane_distance: f64,
+    /// Repetitions run.
+    pub reps: usize,
+}
+
+/// Maps `f` over `items` on `threads` worker threads (scoped, so `f` can
+/// borrow), preserving order. The experiment sweeps are embarrassingly
+/// parallel across independent random graphs; this keeps the heavier
+/// figures (14, 15) fast without any shared mutable state.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(threads >= 1);
+    let items: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let chunk = items.len().div_ceil(threads);
+    let mut indexed: Vec<(usize, R)> = crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut rest = items;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let batch: Vec<(usize, T)> = rest.drain(..take).collect();
+            let f = &f;
+            handles.push(scope.spawn(move |_| {
+                batch
+                    .into_iter()
+                    .map(|(i, item)| (i, f(item)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope panicked");
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs the full §7.2 algorithm set on one model + cluster. Returns
+/// results in a fixed order: ROD, Correlation, LLF, Random, Connected.
+pub fn compare_algorithms(
+    model: &LoadModel,
+    cluster: &Cluster,
+    config: &ComparisonConfig,
+) -> Vec<AlgorithmResult> {
+    let ev = PlanEvaluator::new(model, cluster);
+    let estimator = make_estimator(model, cluster, config.volume_samples, config.seed);
+    let d_in = model.num_inputs();
+
+    // Random rate points for the single-point balancers are drawn, as in
+    // the paper's probing, uniformly from the ideal simplex restricted to
+    // the system-input axes.
+    let coeffs: Vec<f64> = (0..d_in)
+        .map(|k| model.total_coeffs()[k].max(1e-12))
+        .collect();
+    let rate_sampler = SimplexSampler::new(&coeffs, cluster.total_capacity());
+
+    let mut results = Vec::new();
+
+    // ROD: deterministic, run once.
+    {
+        let plan = RodPlanner::new()
+            .place(model, cluster)
+            .expect("ROD placement");
+        let ratio = feasible_ratio(&ev, &estimator, &plan.allocation);
+        let pd = ev.min_plane_distance(&plan.allocation);
+        results.push(AlgorithmResult {
+            name: "ROD".into(),
+            mean_ratio: ratio,
+            std_ratio: 0.0,
+            mean_plane_distance: pd,
+            reps: 1,
+        });
+    }
+
+    // The randomised baselines.
+    enum Baseline {
+        Correlation,
+        Llf,
+        Random,
+        Connected,
+    }
+    for (name, which) in [
+        ("Correlation", Baseline::Correlation),
+        ("LLF", Baseline::Llf),
+        ("Random", Baseline::Random),
+        ("Connected", Baseline::Connected),
+    ] {
+        let mut ratio_stats = OnlineStats::new();
+        let mut pd_stats = OnlineStats::new();
+        for rep in 0..config.reps {
+            let rep_seed = derive_seed(config.seed, rep as u64 * 31 + name.len() as u64);
+            let mut rng = seeded_rng(rep_seed);
+            let alloc = match which {
+                Baseline::Random => RandomPlanner::new(rep_seed).plan(model, cluster),
+                Baseline::Llf => {
+                    let rates = rate_sampler.sample(&mut rng).as_slice().to_vec();
+                    LlfPlanner::new(rates).plan(model, cluster)
+                }
+                Baseline::Connected => {
+                    let rates = rate_sampler.sample(&mut rng).as_slice().to_vec();
+                    ConnectedPlanner::new(rates).plan(model, cluster)
+                }
+                Baseline::Correlation => {
+                    let history: Vec<Vec<f64>> = (0..config.history_len)
+                        .map(|_| rate_sampler.sample(&mut rng).as_slice().to_vec())
+                        .collect();
+                    CorrelationPlanner::new(history).plan(model, cluster)
+                }
+            }
+            .expect("baseline placement");
+            ratio_stats.push(feasible_ratio(&ev, &estimator, &alloc));
+            pd_stats.push(ev.min_plane_distance(&alloc));
+        }
+        results.push(AlgorithmResult {
+            name: name.into(),
+            mean_ratio: ratio_stats.mean(),
+            std_ratio: ratio_stats.std_dev(),
+            mean_plane_distance: pd_stats.mean(),
+            reps: config.reps,
+        });
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rod_workloads::RandomTreeGenerator;
+
+    #[test]
+    fn parallel_map_preserves_order_and_results() {
+        let items: Vec<u64> = (0..37).collect();
+        let sequential: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 3, 8] {
+            let parallel = parallel_map(items.clone(), threads, |x| x * x);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn rod_wins_on_paper_workload() {
+        let graph = RandomTreeGenerator::paper_default(3, 12).generate(5);
+        let model = LoadModel::derive(&graph).unwrap();
+        let cluster = Cluster::homogeneous(3, 1.0);
+        let results = compare_algorithms(
+            &model,
+            &cluster,
+            &ComparisonConfig {
+                reps: 3,
+                volume_samples: 8_000,
+                ..ComparisonConfig::default()
+            },
+        );
+        assert_eq!(results.len(), 5);
+        let rod = &results[0];
+        assert_eq!(rod.name, "ROD");
+        for other in &results[1..] {
+            assert!(
+                rod.mean_ratio >= other.mean_ratio * 0.98,
+                "ROD {} should not lose to {} {}",
+                rod.mean_ratio,
+                other.name,
+                other.mean_ratio
+            );
+        }
+        // Connected is the canonical loser on tree workloads.
+        let connected = results.iter().find(|r| r.name == "Connected").unwrap();
+        assert!(rod.mean_ratio > connected.mean_ratio);
+    }
+}

@@ -1,0 +1,87 @@
+//! Console tables and JSON result files.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// Prints a fixed-width table: a header row then data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (cell, w) in cells.iter().zip(&widths) {
+            out.push_str(&format!("{cell:>w$}  ", w = w));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Directory where experiment binaries drop machine-readable results.
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Serialises a result payload to `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, payload: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(payload).expect("serialisable payload");
+    fs::write(&path, json).expect("write results file");
+    println!("[results written to {}]", path.display());
+}
+
+/// Formats a float with 4 significant decimals for tables.
+pub fn fmt(x: f64) -> String {
+    if x.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_table(
+            "test",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    fn fmt_handles_infinity() {
+        assert_eq!(fmt(f64::INFINITY), "inf");
+        assert_eq!(fmt(0.12344), "0.1234");
+        assert_eq!(fmt(0.12346), "0.1235");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        write_json("selftest", &vec![1, 2, 3]);
+        let path = results_dir().join("selftest.json");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains('1'));
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,198 @@
+//! Minimal ASCII charts for the figure binaries.
+//!
+//! The experiment binaries regenerate the paper's figures; beyond the
+//! numeric tables (and the JSON files for external plotting), these
+//! helpers render the *shape* directly in the terminal: sparklines for
+//! rate traces (Figure 2), multi-series line charts for the resiliency
+//! curves (Figures 14/15), and scatter plots (Figure 9).
+
+/// Unicode sparkline of a series (one character per sample), scaled to
+/// the series' own min..max.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|&v| {
+            let idx = (((v - min) / span) * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[idx.min(LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `width` points by block averaging.
+pub fn downsample(values: &[f64], width: usize) -> Vec<f64> {
+    if values.len() <= width || width == 0 {
+        return values.to_vec();
+    }
+    let chunk = values.len().div_ceil(width);
+    values
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// An ASCII line chart of one or more named series over a shared x grid.
+/// Each series is drawn with its own glyph; overlapping cells show the
+/// later series.
+pub fn line_chart(
+    title: &str,
+    x_labels: &[String],
+    series: &[(&str, Vec<f64>)],
+    height: usize,
+) -> String {
+    assert!(height >= 2);
+    let glyphs = ['o', 'x', '+', '*', '#', '@'];
+    let width = x_labels.len();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (_, ys) in series {
+        assert_eq!(ys.len(), width, "series length must match x grid");
+        for &y in ys {
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return format!("{title}: no data\n");
+    }
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+
+    let col_width = 7usize;
+    let mut grid = vec![vec![' '; width * col_width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for (xi, &y) in ys.iter().enumerate() {
+            let row = ((y - lo) / span * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][xi * col_width + col_width / 2] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    for (r, row) in grid.iter().enumerate() {
+        let y_val = hi - span * r as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y_val:8.3} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:8} +", ""));
+    out.push_str(&"-".repeat(width * col_width));
+    out.push('\n');
+    out.push_str(&format!("{:9}", ""));
+    for label in x_labels {
+        out.push_str(&format!("{label:^col_width$}"));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:9}legend: ", ""));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("{}={}  ", glyphs[si % glyphs.len()], name));
+    }
+    out.push('\n');
+    out
+}
+
+/// An ASCII scatter plot of (x, y) points in a fixed frame.
+pub fn scatter(title: &str, points: &[(f64, f64)], width: usize, height: usize) -> String {
+    if points.is_empty() {
+        return format!("{title}: no data\n");
+    }
+    let (mut xlo, mut xhi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ylo, mut yhi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        xlo = xlo.min(x);
+        xhi = xhi.max(x);
+        ylo = ylo.min(y);
+        yhi = yhi.max(y);
+    }
+    let xspan = (xhi - xlo).max(f64::MIN_POSITIVE);
+    let yspan = (yhi - ylo).max(f64::MIN_POSITIVE);
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y) in points {
+        let c = (((x - xlo) / xspan) * (width - 1) as f64).round() as usize;
+        let r = (((y - ylo) / yspan) * (height - 1) as f64).round() as usize;
+        let cell = &mut grid[height - 1 - r.min(height - 1)][c.min(width - 1)];
+        *cell = match *cell {
+            ' ' => '·',
+            '·' => ':',
+            ':' => '*',
+            _ => '#',
+        };
+    }
+    let mut out = format!("{title}  (x: {xlo:.2}..{xhi:.2}, y: {ylo:.3}..{yhi:.3})\n");
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn sparkline_constant_series() {
+        let s = sparkline(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.chars().count(), 3);
+    }
+
+    #[test]
+    fn downsample_averages() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = downsample(&values, 10);
+        assert_eq!(d.len(), 10);
+        assert!((d[0] - 4.5).abs() < 1e-9);
+        // Short series pass through untouched.
+        assert_eq!(downsample(&[1.0, 2.0], 10), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn line_chart_renders_all_series() {
+        let labels: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let chart = line_chart(
+            "test",
+            &labels,
+            &[("up", vec![0.0, 0.5, 1.0]), ("down", vec![1.0, 0.5, 0.0])],
+            6,
+        );
+        assert!(chart.contains("o=up"));
+        assert!(chart.contains("x=down"));
+        assert!(chart.contains('o'));
+        assert!(chart.contains('x'));
+    }
+
+    #[test]
+    fn scatter_marks_density() {
+        let pts = vec![(0.0, 0.0), (0.0, 0.0), (1.0, 1.0)];
+        let plot = scatter("t", &pts, 20, 5);
+        assert!(plot.contains(':'), "repeated point should densify: {plot}");
+        assert!(plot.contains('·'));
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn line_chart_rejects_ragged_series() {
+        let labels: Vec<String> = vec!["a".into(), "b".into()];
+        let _ = line_chart("t", &labels, &[("s", vec![1.0])], 4);
+    }
+}

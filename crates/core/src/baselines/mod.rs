@@ -1,0 +1,86 @@
+//! The competing load-distribution algorithms of §7.2, plus the
+//! brute-force optimum of §7.3.1.
+//!
+//! All planners implement [`Planner`] so the experiment harness can sweep
+//! them uniformly:
+//!
+//! * [`random::RandomPlanner`] — "a random placement while maintaining an
+//!   equal number of operators on each node";
+//! * [`llf::LlfPlanner`] — Largest-Load-First load balancing at an
+//!   observed average rate point;
+//! * [`connected::ConnectedPlanner`] — prefers co-locating connected
+//!   operators to minimise data communication;
+//! * [`correlation::CorrelationPlanner`] — the correlation-based scheme of
+//!   the authors' earlier dynamic work \[23\]: separates operators whose
+//!   load time series are highly correlated;
+//! * [`optimal::OptimalPlanner`] — exhaustive search over all placements
+//!   (tractable only at the paper's "small query graphs, two nodes"
+//!   scale), scored by quasi-Monte-Carlo feasible-set volume.
+
+pub mod connected;
+pub mod correlation;
+pub mod llf;
+pub mod optimal;
+pub mod random;
+
+use crate::allocation::Allocation;
+use crate::cluster::Cluster;
+use crate::error::PlacementError;
+use crate::load_model::LoadModel;
+
+/// A static operator-placement algorithm.
+pub trait Planner {
+    /// Short display name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Produces a complete allocation of every operator in `model` onto
+    /// `cluster`.
+    fn plan(&self, model: &LoadModel, cluster: &Cluster) -> Result<Allocation, PlacementError>;
+}
+
+/// Validates the common preconditions shared by every baseline.
+pub(crate) fn check_inputs(model: &LoadModel, cluster: &Cluster) -> Result<(), PlacementError> {
+    cluster.validate()?;
+    if model.num_operators() == 0 {
+        return Err(PlacementError::EmptyModel);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use crate::graph::GraphBuilder;
+    use crate::load_model::LoadModel;
+    use crate::operator::OperatorKind;
+
+    /// A small two-input graph with three operators per input chain.
+    pub fn chain_pair_model() -> LoadModel {
+        let mut b = GraphBuilder::new();
+        let i0 = b.add_input();
+        let i1 = b.add_input();
+        let mut up = i0;
+        for j in 0..3 {
+            let (_, s) = b
+                .add_operator(
+                    format!("a{j}"),
+                    OperatorKind::filter(2.0 + j as f64, 0.9),
+                    &[up],
+                )
+                .unwrap();
+            up = s;
+        }
+        let mut up = i1;
+        for j in 0..3 {
+            let (_, s) = b
+                .add_operator(
+                    format!("b{j}"),
+                    OperatorKind::filter(3.0 - j as f64 * 0.5, 0.8),
+                    &[up],
+                )
+                .unwrap();
+            up = s;
+        }
+        let g = b.build().unwrap();
+        LoadModel::derive(&g).unwrap()
+    }
+}

@@ -1,0 +1,288 @@
+//! Brute-force optimal placement (the §7.3.1 yardstick).
+//!
+//! "In the simulator, we compared the feasible set size of ROD with the
+//! optimal solution on small query graphs (no more than 12 operators and 2
+//! to 5 input streams) on two nodes. The average feasible set size ratio
+//! of ROD to the optimal is 0.95 and the minimum ratio is 0.82."
+//!
+//! For homogeneous clusters, node labels are interchangeable, so we
+//! enumerate *set partitions with at most `n` blocks* via restricted-growth
+//! strings — an `n!` saving that makes the paper's instance sizes quick.
+//! Heterogeneous clusters fall back to full `n^m` enumeration. Every plan
+//! is scored against one shared quasi-Monte-Carlo point set, so
+//! plan-to-plan comparisons carry no sampling noise.
+
+use rod_geom::VolumeEstimator;
+
+use crate::allocation::Allocation;
+use crate::baselines::{check_inputs, Planner};
+use crate::cluster::Cluster;
+use crate::error::PlacementError;
+use crate::ids::{NodeId, OperatorId};
+use crate::load_model::LoadModel;
+
+/// Exhaustive-search planner maximising estimated feasible-set volume.
+#[derive(Clone, Debug)]
+pub struct OptimalPlanner {
+    /// QMC sample points used to score each candidate plan.
+    pub samples: usize,
+    /// Seed for the scrambled point set.
+    pub seed: u64,
+    /// Refuse instances whose plan count exceeds this bound.
+    pub max_plans: u64,
+}
+
+impl Default for OptimalPlanner {
+    fn default() -> Self {
+        OptimalPlanner {
+            samples: 20_000,
+            seed: 1,
+            max_plans: 5_000_000,
+        }
+    }
+}
+
+impl OptimalPlanner {
+    /// Planner with default budget.
+    pub fn new() -> Self {
+        OptimalPlanner::default()
+    }
+
+    /// Number of candidate plans for an instance, honouring symmetry.
+    fn plan_count(m: usize, n: usize, homogeneous: bool) -> u64 {
+        if homogeneous {
+            // Restricted growth strings: product over operators of
+            // (used blocks + 1 capped at n). Upper bound: Bell-ish; we
+            // just multiply the per-step branching worst case.
+            let mut count: u64 = 1;
+            for max_block in 1..m as u64 {
+                count = count
+                    .saturating_mul(max_block.min(n as u64) + 1)
+                    .min(u64::MAX / 2);
+            }
+            count
+        } else {
+            (n as u64).checked_pow(m as u32).unwrap_or(u64::MAX)
+        }
+    }
+
+    /// Enumerates all placements, invoking `visit` on each complete
+    /// assignment (`assignment[j]` = node of operator `j`). The search
+    /// itself uses the pruned recursion in [`Self::search`]; this
+    /// unpruned walk exists to test the symmetry-breaking counts.
+    #[cfg(test)]
+    fn enumerate(m: usize, n: usize, homogeneous: bool, visit: &mut impl FnMut(&[usize])) {
+        let mut assignment = vec![0usize; m];
+        fn recurse(
+            assignment: &mut [usize],
+            j: usize,
+            used: usize,
+            n: usize,
+            homogeneous: bool,
+            visit: &mut impl FnMut(&[usize]),
+        ) {
+            let m = assignment.len();
+            if j == m {
+                visit(assignment);
+                return;
+            }
+            // Symmetry breaking: on homogeneous clusters operator j may
+            // open at most one new node (the lowest unused index).
+            let limit = if homogeneous { (used + 1).min(n) } else { n };
+            for node in 0..limit {
+                assignment[j] = node;
+                let new_used = used.max(node + 1);
+                recurse(assignment, j + 1, new_used, n, homogeneous, visit);
+            }
+        }
+        recurse(&mut assignment, 0, 0, n, homogeneous, visit);
+    }
+
+    /// Runs the search, returning the best allocation and its estimated
+    /// ratio to the ideal feasible set.
+    pub fn search(
+        &self,
+        model: &LoadModel,
+        cluster: &Cluster,
+    ) -> Result<(Allocation, f64), PlacementError> {
+        check_inputs(model, cluster)?;
+        let m = model.num_operators();
+        let n = cluster.num_nodes();
+        let caps = cluster.capacities();
+        let homogeneous = caps.as_slice().iter().all(|&c| (c - caps[0]).abs() < 1e-12);
+        if Self::plan_count(m, n, homogeneous) > self.max_plans {
+            return Err(PlacementError::TooLargeForExhaustive {
+                operators: m,
+                nodes: n,
+            });
+        }
+
+        let estimator = VolumeEstimator::new(
+            model.total_coeffs().as_slice(),
+            cluster.total_capacity(),
+            self.samples,
+            self.seed,
+        );
+
+        let d = model.num_vars();
+        let lo = model.lo();
+
+        // Branch-and-bound: assigning more operators only adds load, so
+        // the feasible-point count of a partial plan is an upper bound on
+        // every completion — prune whole subtrees once it drops to (or
+        // below) the incumbent.
+        struct Search<'s> {
+            lo: &'s rod_geom::Matrix,
+            points: &'s [rod_geom::Vector],
+            caps: &'s [f64],
+            n: usize,
+            d: usize,
+            homogeneous: bool,
+            best: Option<(Vec<usize>, usize)>,
+            assignment: Vec<usize>,
+        }
+        impl Search<'_> {
+            fn count_feasible(&self, ln: &[f64]) -> usize {
+                self.points
+                    .iter()
+                    .filter(|p| {
+                        (0..self.n).all(|i| {
+                            let load: f64 = ln[i * self.d..(i + 1) * self.d]
+                                .iter()
+                                .zip(p.as_slice())
+                                .map(|(l, x)| l * x)
+                                .sum();
+                            load <= self.caps[i] + 1e-12
+                        })
+                    })
+                    .count()
+            }
+
+            fn recurse(&mut self, j: usize, used: usize, ln: &mut Vec<f64>) {
+                let m = self.assignment.len();
+                // Bound: the partial plan already excludes everything a
+                // completion could add back.
+                let upper = self.count_feasible(ln);
+                if let Some((_, best_hits)) = &self.best {
+                    if upper <= *best_hits {
+                        return;
+                    }
+                }
+                if j == m {
+                    // `upper` is the exact count of the complete plan.
+                    self.best = Some((self.assignment.clone(), upper));
+                    return;
+                }
+                let limit = if self.homogeneous {
+                    (used + 1).min(self.n)
+                } else {
+                    self.n
+                };
+                for node in 0..limit {
+                    self.assignment[j] = node;
+                    for (k, &v) in self.lo.row(j).iter().enumerate() {
+                        ln[node * self.d + k] += v;
+                    }
+                    self.recurse(j + 1, used.max(node + 1), ln);
+                    for (k, &v) in self.lo.row(j).iter().enumerate() {
+                        ln[node * self.d + k] -= v;
+                    }
+                }
+            }
+        }
+        let mut search = Search {
+            lo,
+            points: estimator.points(),
+            caps: caps.as_slice(),
+            n,
+            d,
+            homogeneous,
+            best: None,
+            assignment: vec![0; m],
+        };
+        let mut ln = vec![0.0; n * d];
+        search.recurse(0, 0, &mut ln);
+        let (assignment, hits) = search.best.expect("at least one plan enumerated");
+        let ratio = hits as f64 / estimator.samples() as f64;
+        let mut alloc = Allocation::new(m, n);
+        for (j, node) in assignment.into_iter().enumerate() {
+            alloc.assign(OperatorId(j), NodeId(node));
+        }
+        Ok((alloc, ratio))
+    }
+}
+
+impl Planner for OptimalPlanner {
+    fn name(&self) -> &'static str {
+        "Optimal"
+    }
+
+    fn plan(&self, model: &LoadModel, cluster: &Cluster) -> Result<Allocation, PlacementError> {
+        self.search(model, cluster).map(|(a, _)| a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::PlanEvaluator;
+    use crate::examples_paper::figure4_graph;
+    use crate::rod::RodPlanner;
+
+    #[test]
+    fn finds_a_plan_at_least_as_good_as_rod() {
+        let model = LoadModel::derive(&figure4_graph()).unwrap();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let (opt, opt_ratio) = OptimalPlanner::new().search(&model, &cluster).unwrap();
+        assert!(opt.is_complete());
+
+        let rod = RodPlanner::new()
+            .place(&model, &cluster)
+            .unwrap()
+            .allocation;
+        let estimator = VolumeEstimator::new(
+            model.total_coeffs().as_slice(),
+            cluster.total_capacity(),
+            20_000,
+            1,
+        );
+        let ev = PlanEvaluator::new(&model, &cluster);
+        let rod_ratio = estimator.estimate(&ev.feasible_region(&rod)).ratio_to_ideal;
+        assert!(
+            opt_ratio >= rod_ratio - 1e-12,
+            "optimal {opt_ratio} < ROD {rod_ratio}"
+        );
+        // On Example 2, ROD should in fact be near-optimal.
+        assert!(
+            rod_ratio / opt_ratio > 0.8,
+            "ROD/OPT = {}",
+            rod_ratio / opt_ratio
+        );
+    }
+
+    #[test]
+    fn symmetry_breaking_counts() {
+        // 3 operators, 2 homogeneous nodes: partitions into <=2 blocks of
+        // a 3-set = 4 (vs 8 labelled assignments).
+        let mut seen = 0;
+        OptimalPlanner::enumerate(3, 2, true, &mut |_| seen += 1);
+        assert_eq!(seen, 4);
+        let mut labelled = 0;
+        OptimalPlanner::enumerate(3, 2, false, &mut |_| labelled += 1);
+        assert_eq!(labelled, 8);
+    }
+
+    #[test]
+    fn refuses_oversized_instances() {
+        let model = LoadModel::derive(&figure4_graph()).unwrap();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let tiny = OptimalPlanner {
+            max_plans: 1,
+            ..OptimalPlanner::new()
+        };
+        assert!(matches!(
+            tiny.search(&model, &cluster),
+            Err(PlacementError::TooLargeForExhaustive { .. })
+        ));
+    }
+}

@@ -1,0 +1,86 @@
+//! The Random baseline: shuffle, then deal out evenly.
+//!
+//! §7.2: "the fourth produces a random placement while maintaining an
+//! equal number of operators on each node."
+
+use rand::seq::SliceRandom;
+
+use rod_geom::seeded_rng;
+
+use crate::allocation::Allocation;
+use crate::baselines::{check_inputs, Planner};
+use crate::cluster::Cluster;
+use crate::error::PlacementError;
+use crate::ids::{NodeId, OperatorId};
+use crate::load_model::LoadModel;
+
+/// Uniformly random placement with equal (±1) operator counts per node.
+#[derive(Clone, Debug)]
+pub struct RandomPlanner {
+    seed: u64,
+}
+
+impl RandomPlanner {
+    /// A planner that shuffles with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RandomPlanner { seed }
+    }
+}
+
+impl Planner for RandomPlanner {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn plan(&self, model: &LoadModel, cluster: &Cluster) -> Result<Allocation, PlacementError> {
+        check_inputs(model, cluster)?;
+        let m = model.num_operators();
+        let n = cluster.num_nodes();
+        let mut ops: Vec<OperatorId> = (0..m).map(OperatorId).collect();
+        ops.shuffle(&mut seeded_rng(self.seed));
+        let mut alloc = Allocation::new(m, n);
+        for (slot, op) in ops.into_iter().enumerate() {
+            alloc.assign(op, NodeId(slot % n));
+        }
+        Ok(alloc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::test_support::chain_pair_model;
+
+    #[test]
+    fn counts_are_balanced() {
+        let model = chain_pair_model();
+        let cluster = Cluster::homogeneous(4, 1.0);
+        let alloc = RandomPlanner::new(3).plan(&model, &cluster).unwrap();
+        assert!(alloc.is_complete());
+        let counts = alloc.node_counts();
+        // 6 operators over 4 nodes: counts in {1, 2}.
+        assert!(counts.iter().all(|&c| c == 1 || c == 2), "{counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_varied_across_seeds() {
+        let model = chain_pair_model();
+        let cluster = Cluster::homogeneous(3, 1.0);
+        let a = RandomPlanner::new(1).plan(&model, &cluster).unwrap();
+        let b = RandomPlanner::new(1).plan(&model, &cluster).unwrap();
+        assert_eq!(a, b);
+        let differs = (2..30).any(|s| RandomPlanner::new(s).plan(&model, &cluster).unwrap() != a);
+        assert!(differs, "30 seeds produced identical placements");
+    }
+
+    #[test]
+    fn empty_model_rejected() {
+        let mut b = crate::graph::GraphBuilder::new();
+        b.add_input();
+        let model = LoadModel::derive(&b.build().unwrap()).unwrap();
+        assert!(RandomPlanner::new(0)
+            .plan(&model, &Cluster::homogeneous(2, 1.0))
+            .is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Capacity planning: how many machines buy how much resilience?
+//!
+//! The paper optimises resilience for a *given* cluster; deployments ask
+//! the inverse question — "what is the smallest cluster on which some
+//! placement survives every workload in my target set?" With the
+//! headroom machinery this is answerable exactly for finitely many
+//! target points: search over the node count, place with a
+//! [`crate::baselines::Planner`], and verify each target point against
+//! the plan's hyperplanes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::allocation::{Allocation, PlanEvaluator};
+use crate::baselines::Planner;
+use crate::cluster::Cluster;
+use crate::error::PlacementError;
+use crate::load_model::LoadModel;
+
+/// The workload set to survive: a list of system-input rate points (for
+/// example, the mean point plus every single-stream burst scenario).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TargetWorkloads {
+    /// Rate points that must all be feasible.
+    pub points: Vec<Vec<f64>>,
+}
+
+impl TargetWorkloads {
+    /// The classic burst envelope: the mean point, plus, for each input,
+    /// the point where that input alone spikes to `burst × mean` —
+    /// exactly the short-term variations of the paper's introduction.
+    pub fn burst_envelope(mean_rates: &[f64], burst: f64) -> Self {
+        assert!(burst >= 1.0);
+        let mut points = vec![mean_rates.to_vec()];
+        for k in 0..mean_rates.len() {
+            let mut p = mean_rates.to_vec();
+            p[k] *= burst;
+            points.push(p);
+        }
+        TargetWorkloads { points }
+    }
+
+    /// True when every target point is feasible under `alloc`.
+    pub fn all_feasible(&self, ev: &PlanEvaluator<'_>, alloc: &Allocation) -> bool {
+        self.points.iter().all(|p| ev.is_feasible_at(alloc, p))
+    }
+}
+
+/// Result of a capacity-planning search.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CapacityPlan {
+    /// Smallest node count that worked.
+    pub nodes: usize,
+    /// The placement found at that size.
+    pub allocation: Allocation,
+}
+
+/// Finds the smallest homogeneous cluster (per-node capacity
+/// `node_capacity`, at most `max_nodes` nodes) on which `planner`'s
+/// placement makes every target point feasible. Linear scan from the
+/// load-based lower bound `⌈max load / capacity⌉` — placements are not
+/// monotone in `n` in pathological cases, so the first success is the
+/// honest answer for *this* planner.
+///
+/// Returns `Err(TooLargeForExhaustive)` when even `max_nodes` fails.
+pub fn min_nodes_for(
+    planner: &dyn Planner,
+    model: &LoadModel,
+    targets: &TargetWorkloads,
+    node_capacity: f64,
+    max_nodes: usize,
+) -> Result<CapacityPlan, PlacementError> {
+    assert!(node_capacity > 0.0);
+    assert!(max_nodes >= 1);
+    // Lower bound: total load of the heaviest target point.
+    let peak_load = targets
+        .points
+        .iter()
+        .map(|p| model.total_load(&model.variable_point(p)))
+        .fold(0.0f64, f64::max);
+    let start = ((peak_load / node_capacity).ceil() as usize).max(1);
+
+    for n in start..=max_nodes {
+        let cluster = Cluster::homogeneous(n, node_capacity);
+        let Ok(alloc) = planner.plan(model, &cluster) else {
+            continue;
+        };
+        let ev = PlanEvaluator::new(model, &cluster);
+        if targets.all_feasible(&ev, &alloc) {
+            return Ok(CapacityPlan {
+                nodes: n,
+                allocation: alloc,
+            });
+        }
+    }
+    Err(PlacementError::TooLargeForExhaustive {
+        operators: model.num_operators(),
+        nodes: max_nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::connected::ConnectedPlanner;
+    use crate::examples_paper::figure4_graph;
+    use crate::rod::RodPlanner;
+
+    fn model() -> LoadModel {
+        LoadModel::derive(&figure4_graph()).unwrap()
+    }
+
+    #[test]
+    fn burst_envelope_shape() {
+        let t = TargetWorkloads::burst_envelope(&[2.0, 3.0], 4.0);
+        assert_eq!(t.points.len(), 3);
+        assert_eq!(t.points[0], vec![2.0, 3.0]);
+        assert_eq!(t.points[1], vec![8.0, 3.0]);
+        assert_eq!(t.points[2], vec![2.0, 12.0]);
+    }
+
+    #[test]
+    fn min_nodes_respects_load_lower_bound() {
+        // Mean (0.03, 0.03): total load = 0.03·21 = 0.63 CPU. A 3x burst
+        // envelope peaks at load 0.03·(10·3) + 0.03·11 = 1.23 → at least
+        // 2 unit nodes.
+        let m = model();
+        let targets = TargetWorkloads::burst_envelope(&[0.03, 0.03], 3.0);
+        let plan = min_nodes_for(&RodPlanner::new(), &m, &targets, 1.0, 16).unwrap();
+        assert!(plan.nodes >= 2, "{}", plan.nodes);
+        // And the result really covers every point.
+        let cluster = Cluster::homogeneous(plan.nodes, 1.0);
+        let ev = PlanEvaluator::new(&m, &cluster);
+        assert!(targets.all_feasible(&ev, &plan.allocation));
+    }
+
+    #[test]
+    fn rod_needs_no_more_nodes_than_connected() {
+        let m = model();
+        let targets = TargetWorkloads::burst_envelope(&[0.04, 0.04], 2.5);
+        let rod = min_nodes_for(&RodPlanner::new(), &m, &targets, 1.0, 16).unwrap();
+        let conn = min_nodes_for(
+            &ConnectedPlanner::new(vec![0.04, 0.04]),
+            &m,
+            &targets,
+            1.0,
+            16,
+        )
+        .unwrap();
+        assert!(
+            rod.nodes <= conn.nodes,
+            "ROD {} vs Connected {}",
+            rod.nodes,
+            conn.nodes
+        );
+    }
+
+    #[test]
+    fn impossible_targets_error_out() {
+        let m = model();
+        // Rates far beyond what 4 nodes can carry.
+        let targets = TargetWorkloads {
+            points: vec![vec![10.0, 10.0]],
+        };
+        assert!(matches!(
+            min_nodes_for(&RodPlanner::new(), &m, &targets, 1.0, 4),
+            Err(PlacementError::TooLargeForExhaustive { .. })
+        ));
+    }
+}

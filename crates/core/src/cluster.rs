@@ -1,0 +1,116 @@
+//! The computing cluster model.
+//!
+//! Per §2.1: loosely-coupled shared-nothing machines, a high-bandwidth LAN
+//! (bandwidth is not the bottleneck), and a *fixed, known* number of CPU
+//! cycles available for stream processing on each machine.
+
+use serde::{Deserialize, Serialize};
+
+use rod_geom::Vector;
+
+use crate::error::PlacementError;
+use crate::ids::NodeId;
+
+/// A cluster of `n` nodes with per-node CPU capacities `C_i`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    capacities: Vec<f64>,
+}
+
+impl Cluster {
+    /// A cluster of `n` identical nodes of capacity `capacity` — the
+    /// default configuration of the paper's experiments ("unless otherwise
+    /// stated, we assume the system has homogeneous nodes").
+    pub fn homogeneous(n: usize, capacity: f64) -> Cluster {
+        Cluster {
+            capacities: vec![capacity; n],
+        }
+    }
+
+    /// A cluster with explicit per-node capacities.
+    pub fn heterogeneous(capacities: Vec<f64>) -> Cluster {
+        Cluster { capacities }
+    }
+
+    /// Number of nodes `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Capacity of one node.
+    pub fn capacity(&self, node: NodeId) -> f64 {
+        self.capacities[node.index()]
+    }
+
+    /// The capacity vector `C`.
+    pub fn capacities(&self) -> Vector {
+        Vector::new(self.capacities.clone())
+    }
+
+    /// Total capacity `C_T = Σ C_i`.
+    pub fn total_capacity(&self) -> f64 {
+        self.capacities.iter().sum()
+    }
+
+    /// Relative capacity `C_i / C_T` of one node.
+    pub fn relative_capacity(&self, node: NodeId) -> f64 {
+        self.capacity(node) / self.total_capacity()
+    }
+
+    /// Node ids `N_0 … N_{n-1}`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.capacities.len()).map(NodeId)
+    }
+
+    /// Validates that the cluster is non-empty with positive capacities.
+    pub fn validate(&self) -> Result<(), PlacementError> {
+        if self.capacities.is_empty() {
+            return Err(PlacementError::EmptyCluster);
+        }
+        for (i, &c) in self.capacities.iter().enumerate() {
+            if !c.is_finite() || c <= 0.0 {
+                return Err(PlacementError::InvalidCapacity {
+                    node: i,
+                    capacity: c,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_cluster() {
+        let c = Cluster::homogeneous(4, 2.5);
+        assert_eq!(c.num_nodes(), 4);
+        assert_eq!(c.total_capacity(), 10.0);
+        assert_eq!(c.capacity(NodeId(3)), 2.5);
+        assert_eq!(c.relative_capacity(NodeId(0)), 0.25);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn heterogeneous_cluster() {
+        let c = Cluster::heterogeneous(vec![1.0, 3.0]);
+        assert_eq!(c.relative_capacity(NodeId(1)), 0.75);
+    }
+
+    #[test]
+    fn invalid_clusters_rejected() {
+        assert!(Cluster::heterogeneous(vec![]).validate().is_err());
+        assert!(Cluster::heterogeneous(vec![1.0, 0.0]).validate().is_err());
+        assert!(Cluster::heterogeneous(vec![1.0, -2.0]).validate().is_err());
+        assert!(Cluster::heterogeneous(vec![f64::NAN]).validate().is_err());
+    }
+
+    #[test]
+    fn nodes_iterator() {
+        let c = Cluster::homogeneous(3, 1.0);
+        let ids: Vec<_> = c.nodes().collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Error types.
+
+use std::fmt;
+
+use crate::ids::{OperatorId, StreamId};
+
+/// Errors raised while building or validating a [`crate::QueryGraph`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphError {
+    /// An operator references a stream that does not exist.
+    UnknownStream(StreamId),
+    /// Two operators claim the same output stream.
+    DuplicateProducer {
+        /// The contested stream.
+        stream: StreamId,
+        /// The operator registered first.
+        first: OperatorId,
+        /// The operator that collided with it.
+        second: OperatorId,
+    },
+    /// The graph contains a directed cycle (query graphs must be acyclic).
+    Cyclic,
+    /// An operator has the wrong number of inputs for its kind (e.g. a
+    /// join with one input).
+    ArityMismatch {
+        /// The offending operator.
+        operator: OperatorId,
+        /// How many inputs its kind requires.
+        expected: &'static str,
+        /// How many it was given.
+        actual: usize,
+    },
+    /// A cost or selectivity is negative, NaN, or otherwise out of range.
+    InvalidParameter {
+        /// The offending operator.
+        operator: OperatorId,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The graph has no system input streams.
+    NoInputs,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownStream(s) => write!(f, "operator consumes unknown stream {s}"),
+            GraphError::DuplicateProducer {
+                stream,
+                first,
+                second,
+            } => write!(
+                f,
+                "stream {stream} is produced by both {first} and {second}"
+            ),
+            GraphError::Cyclic => write!(f, "query graph contains a cycle"),
+            GraphError::ArityMismatch {
+                operator,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "operator {operator} expects {expected} inputs but has {actual}"
+            ),
+            GraphError::InvalidParameter { operator, message } => {
+                write!(f, "operator {operator}: {message}")
+            }
+            GraphError::NoInputs => write!(f, "query graph has no system input streams"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Errors raised by placement algorithms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlacementError {
+    /// The cluster has no nodes.
+    EmptyCluster,
+    /// The load model has no operators to place.
+    EmptyModel,
+    /// A capacity is non-positive.
+    InvalidCapacity {
+        /// Index of the offending node.
+        node: usize,
+        /// Its declared capacity.
+        capacity: f64,
+    },
+    /// Exhaustive search was asked for an instance too large to enumerate.
+    TooLargeForExhaustive {
+        /// Operators in the instance.
+        operators: usize,
+        /// Nodes in the instance.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::EmptyCluster => write!(f, "cluster has no nodes"),
+            PlacementError::EmptyModel => write!(f, "no operators to place"),
+            PlacementError::InvalidCapacity { node, capacity } => {
+                write!(f, "node {node} has invalid capacity {capacity}")
+            }
+            PlacementError::TooLargeForExhaustive { operators, nodes } => write!(
+                f,
+                "exhaustive search over {operators} operators x {nodes} nodes is intractable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::UnknownStream(StreamId(4));
+        assert!(e.to_string().contains("s4"));
+        let e = PlacementError::TooLargeForExhaustive {
+            operators: 30,
+            nodes: 4,
+        };
+        assert!(e.to_string().contains("30"));
+    }
+}

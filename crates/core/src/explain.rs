@@ -1,0 +1,142 @@
+//! Human-readable plan explanations.
+//!
+//! Renders a placement the way an operator of the system would want to
+//! read it: which operators sit where, each node's hyperplane and
+//! distances, which node and stream bind the feasible set, and how far
+//! the plan sits from Theorem 1's ideal. Used by `rodctl explain` and
+//! handy in tests and examples.
+
+use std::fmt::Write as _;
+
+use crate::allocation::{Allocation, PlanEvaluator};
+use crate::ids::NodeId;
+
+/// Renders a multi-line explanation of `alloc` under `ev`.
+pub fn explain_plan(ev: &PlanEvaluator<'_>, alloc: &Allocation) -> String {
+    let model = ev.model();
+    let cluster = ev.cluster();
+    let graph = model.graph();
+    let w = ev.weight_matrix(alloc);
+    let d = model.num_vars();
+    let mut out = String::new();
+
+    let _ = writeln!(
+        out,
+        "placement of {} operators over {} nodes ({} rate variables)",
+        model.num_operators(),
+        cluster.num_nodes(),
+        d
+    );
+
+    // Per-node section.
+    let mut binding_node = NodeId(0);
+    let mut binding_distance = f64::INFINITY;
+    for node in cluster.nodes() {
+        let ops = alloc.operators_on(node);
+        let names: Vec<&str> = ops
+            .iter()
+            .map(|&op| graph.operator(op).name.as_str())
+            .collect();
+        let distance = w.plane_distance(node);
+        if distance < binding_distance {
+            binding_distance = distance;
+            binding_node = node;
+        }
+        let weights: Vec<String> = (0..d)
+            .map(|k| format!("{:.3}", w.matrix()[(node.index(), k)]))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  {node} (capacity {:.2}): {} operators {:?}",
+            cluster.capacity(node),
+            ops.len(),
+            names
+        );
+        let _ = writeln!(
+            out,
+            "      weights [{}]  plane distance {:.4}",
+            weights.join(", "),
+            distance
+        );
+    }
+
+    // Binding analysis.
+    let _ = writeln!(
+        out,
+        "binding node: {binding_node} (min plane distance {binding_distance:.4})"
+    );
+    let axis = w.min_axis_distances();
+    let (worst_axis, worst_val) = axis
+        .as_slice()
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("at least one axis");
+    let _ = writeln!(
+        out,
+        "tightest stream: x{worst_axis} (axis distance {worst_val:.4}; 1.0 would be ideal)"
+    );
+    let ideal_note = if w.max_weight() <= 1.0 + 1e-9 {
+        "every weight <= 1: the plan achieves the ideal hyperplane bound"
+    } else {
+        "some weight exceeds 1: the feasible set is strictly inside the ideal simplex"
+    };
+    let _ = writeln!(out, "{ideal_note}");
+    let _ = writeln!(
+        out,
+        "inter-node arcs: {} of {}",
+        ev.internode_arcs(alloc),
+        graph.operator_arcs().len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::examples_paper::{example2_plans, figure4_graph};
+    use crate::load_model::LoadModel;
+
+    #[test]
+    fn explanation_mentions_every_node_and_operator() {
+        let model = LoadModel::derive(&figure4_graph()).unwrap();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let ev = PlanEvaluator::new(&model, &cluster);
+        let [a, _, _] = example2_plans();
+        let text = explain_plan(&ev, &a);
+        for needle in [
+            "N0",
+            "N1",
+            "o1",
+            "o2",
+            "o3",
+            "o4",
+            "binding node",
+            "tightest stream",
+        ] {
+            assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn binding_node_is_the_min_distance_one() {
+        // Plan (a): N1 (index 1) carries (6,9) and binds.
+        let model = LoadModel::derive(&figure4_graph()).unwrap();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let ev = PlanEvaluator::new(&model, &cluster);
+        let [a, _, _] = example2_plans();
+        let text = explain_plan(&ev, &a);
+        assert!(text.contains("binding node: N1"), "{text}");
+    }
+
+    #[test]
+    fn ideal_note_reflects_weights() {
+        let model = LoadModel::derive(&figure4_graph()).unwrap();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let ev = PlanEvaluator::new(&model, &cluster);
+        let [a, _, _] = example2_plans();
+        // Plan (a) has w21 = 1.2 > 1.
+        assert!(explain_plan(&ev, &a).contains("strictly inside"));
+    }
+}

@@ -1,0 +1,478 @@
+//! The dataflow query graph.
+//!
+//! A [`QueryGraph`] is a directed acyclic graph whose sources are *system
+//! input streams* `I_k` (data pushed from outside, §2.1) and whose internal
+//! vertices are operators. The [`GraphBuilder`] makes graphs
+//! correct-by-construction: an operator may only consume streams that
+//! already exist, so cycles are unrepresentable, and operator insertion
+//! order is automatically a topological order.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::ids::{InputId, OperatorId, StreamId};
+use crate::operator::{OperatorKind, OperatorSpec};
+
+/// Who produces a stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamSource {
+    /// A system input stream `I_k`.
+    Input(InputId),
+    /// The output of an operator.
+    Operator(OperatorId),
+}
+
+/// An immutable, validated dataflow graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QueryGraph {
+    inputs: Vec<StreamId>,
+    operators: Vec<OperatorSpec>,
+    sources: Vec<StreamSource>, // indexed by StreamId
+}
+
+impl QueryGraph {
+    /// Number of system input streams `d`.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of operators `m`.
+    pub fn num_operators(&self) -> usize {
+        self.operators.len()
+    }
+
+    /// Total number of streams (inputs + operator outputs).
+    pub fn num_streams(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// The system input streams, in `I_0 … I_{d-1}` order.
+    pub fn inputs(&self) -> &[StreamId] {
+        &self.inputs
+    }
+
+    /// The operators in topological (insertion) order.
+    pub fn operators(&self) -> &[OperatorSpec] {
+        &self.operators
+    }
+
+    /// A single operator.
+    pub fn operator(&self, id: OperatorId) -> &OperatorSpec {
+        &self.operators[id.index()]
+    }
+
+    /// The producer of a stream.
+    pub fn source_of(&self, s: StreamId) -> StreamSource {
+        self.sources[s.index()]
+    }
+
+    /// Operators that consume stream `s` (with the consuming port).
+    pub fn consumers_of(&self, s: StreamId) -> Vec<(OperatorId, usize)> {
+        let mut out = Vec::new();
+        for op in &self.operators {
+            for (port, &input) in op.inputs.iter().enumerate() {
+                if input == s {
+                    out.push((op.id, port));
+                }
+            }
+        }
+        out
+    }
+
+    /// All operator-to-operator arcs `(producer, consumer, stream)` — the
+    /// arcs that §6.3 clustering may decide to keep off the network.
+    /// Input-to-operator arcs are excluded (sources are external).
+    pub fn operator_arcs(&self) -> Vec<(OperatorId, OperatorId, StreamId)> {
+        let mut arcs = Vec::new();
+        for op in &self.operators {
+            for &input in &op.inputs {
+                if let StreamSource::Operator(producer) = self.source_of(input) {
+                    arcs.push((producer, op.id, input));
+                }
+            }
+        }
+        arcs
+    }
+
+    /// True when two operators share an arc in either direction.
+    ///
+    /// One-off convenience; algorithms that test connectivity in a loop
+    /// should precompute [`Self::adjacency`] instead.
+    pub fn are_connected(&self, a: OperatorId, b: OperatorId) -> bool {
+        self.operator_arcs()
+            .iter()
+            .any(|&(p, c, _)| (p == a && c == b) || (p == b && c == a))
+    }
+
+    /// Undirected operator adjacency lists (each neighbour listed once).
+    pub fn adjacency(&self) -> Vec<Vec<OperatorId>> {
+        let mut adj = vec![Vec::new(); self.operators.len()];
+        for (p, c, _) in self.operator_arcs() {
+            adj[p.index()].push(c);
+            adj[c.index()].push(p);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        adj
+    }
+
+    /// Operators that consume at least one system input stream directly.
+    pub fn roots(&self) -> Vec<OperatorId> {
+        self.operators
+            .iter()
+            .filter(|op| {
+                op.inputs
+                    .iter()
+                    .any(|&s| matches!(self.source_of(s), StreamSource::Input(_)))
+            })
+            .map(|op| op.id)
+            .collect()
+    }
+
+    /// Streams nothing consumes — where results leave the query network.
+    pub fn sinks(&self) -> Vec<StreamId> {
+        (0..self.sources.len())
+            .map(StreamId)
+            .filter(|&s| self.consumers_of(s).is_empty())
+            .collect()
+    }
+
+    /// Longest operator chain from any input to any sink (1 for a single
+    /// operator). The paper's financial motivation contrasts *wide* vs
+    /// *deep* graphs; this is the depth metric.
+    pub fn depth(&self) -> usize {
+        // Streams' depths in one topological pass (operator order is
+        // topological by construction/validation).
+        let mut stream_depth = vec![0usize; self.sources.len()];
+        let mut max_depth = 0;
+        for op in &self.operators {
+            let in_depth = op
+                .inputs
+                .iter()
+                .map(|s| stream_depth[s.index()])
+                .max()
+                .unwrap_or(0);
+            stream_depth[op.output.index()] = in_depth + 1;
+            max_depth = max_depth.max(in_depth + 1);
+        }
+        max_depth
+    }
+
+    /// Propagates concrete system-input rates through the graph, returning
+    /// the rate of every stream. Nonlinear operators use their true
+    /// (bilinear) rate law; variable-selectivity operators use nominal
+    /// selectivities. This is the ground truth against which the
+    /// linearised model is checked, and the rate law the simulator
+    /// reproduces stochastically.
+    pub fn propagate_rates(&self, input_rates: &[f64]) -> Vec<f64> {
+        assert_eq!(input_rates.len(), self.inputs.len(), "one rate per input");
+        let mut rates = vec![0.0; self.sources.len()];
+        for (k, &s) in self.inputs.iter().enumerate() {
+            rates[s.index()] = input_rates[k];
+        }
+        // Operator insertion order is topological.
+        for op in &self.operators {
+            let in_rates: Vec<f64> = op.inputs.iter().map(|s| rates[s.index()]).collect();
+            rates[op.output.index()] = op.output_rate_at(&in_rates);
+        }
+        rates
+    }
+
+    /// The true CPU load of every operator at concrete input rates.
+    pub fn operator_loads(&self, input_rates: &[f64]) -> Vec<f64> {
+        let rates = self.propagate_rates(input_rates);
+        self.operators
+            .iter()
+            .map(|op| {
+                let in_rates: Vec<f64> = op.inputs.iter().map(|s| rates[s.index()]).collect();
+                op.load_at(&in_rates)
+            })
+            .collect()
+    }
+
+    /// Validates every operator's parameters and the structural
+    /// invariants the builder guarantees by construction but a
+    /// deserialized graph might violate: stream references in range, a
+    /// consistent producer table, and topological operator order (every
+    /// operator only consumes streams created before its own output —
+    /// which also makes cycles unrepresentable and is what
+    /// [`Self::propagate_rates`]'s single forward pass relies on).
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.inputs.is_empty() {
+            return Err(GraphError::NoInputs);
+        }
+        // Producer table consistent with the operator list.
+        for (j, op) in self.operators.iter().enumerate() {
+            if op.id.index() != j
+                || op.output.index() >= self.sources.len()
+                || self.sources[op.output.index()] != StreamSource::Operator(op.id)
+            {
+                return Err(GraphError::DuplicateProducer {
+                    stream: op.output,
+                    first: op.id,
+                    second: OperatorId(j),
+                });
+            }
+        }
+        for op in &self.operators {
+            op.validate()?;
+            for &s in &op.inputs {
+                if s.index() >= self.sources.len() {
+                    return Err(GraphError::UnknownStream(s));
+                }
+                // Topological order: inputs must precede the output.
+                if s.index() >= op.output.index() {
+                    return Err(GraphError::Cyclic);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`QueryGraph`]. Streams are handed out as they are created,
+/// and operators may only consume existing streams — so the result is
+/// acyclic by construction.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    inputs: Vec<StreamId>,
+    operators: Vec<OperatorSpec>,
+    sources: Vec<StreamSource>,
+    names: HashMap<String, OperatorId>,
+}
+
+impl GraphBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Adds a system input stream `I_k`, returning its stream id.
+    pub fn add_input(&mut self) -> StreamId {
+        let sid = StreamId(self.sources.len());
+        let iid = InputId(self.inputs.len());
+        self.sources.push(StreamSource::Input(iid));
+        self.inputs.push(sid);
+        sid
+    }
+
+    /// Adds an operator consuming `inputs`, returning `(operator id,
+    /// output stream id)`. Fails fast on invalid parameters or arity so
+    /// that errors point at the offending call site.
+    pub fn add_operator(
+        &mut self,
+        name: impl Into<String>,
+        kind: OperatorKind,
+        inputs: &[StreamId],
+    ) -> Result<(OperatorId, StreamId), GraphError> {
+        for &s in inputs {
+            if s.index() >= self.sources.len() {
+                return Err(GraphError::UnknownStream(s));
+            }
+        }
+        let id = OperatorId(self.operators.len());
+        let output = StreamId(self.sources.len());
+        let spec = OperatorSpec {
+            id,
+            name: name.into(),
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        };
+        spec.validate()?;
+        if let Some(&prev) = self.names.get(&spec.name) {
+            // Names are labels, not keys — but duplicate labels in one
+            // graph are almost always a generator bug, so surface them.
+            return Err(GraphError::DuplicateProducer {
+                stream: output,
+                first: prev,
+                second: id,
+            });
+        }
+        self.names.insert(spec.name.clone(), id);
+        self.sources.push(StreamSource::Operator(id));
+        self.operators.push(spec);
+        Ok((id, output))
+    }
+
+    /// Finalises the graph.
+    pub fn build(self) -> Result<QueryGraph, GraphError> {
+        let graph = QueryGraph {
+            inputs: self.inputs,
+            operators: self.operators,
+            sources: self.sources,
+        };
+        graph.validate()?;
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// I0 → o0(filter .5) → o1(map); I1 → o2(agg .2); o1,o2 → o3(union).
+    fn diamond() -> QueryGraph {
+        let mut b = GraphBuilder::new();
+        let i0 = b.add_input();
+        let i1 = b.add_input();
+        let (_, s0) = b
+            .add_operator("f", OperatorKind::filter(2.0, 0.5), &[i0])
+            .unwrap();
+        let (_, s1) = b.add_operator("m", OperatorKind::map(1.0), &[s0]).unwrap();
+        let (_, s2) = b
+            .add_operator("a", OperatorKind::aggregate(3.0, 0.2), &[i1])
+            .unwrap();
+        let (_, _s3) = b
+            .add_operator("u", OperatorKind::union(0.5, 2), &[s1, s2])
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let g = diamond();
+        assert_eq!(g.num_inputs(), 2);
+        assert_eq!(g.num_operators(), 4);
+        assert_eq!(g.num_streams(), 6);
+    }
+
+    #[test]
+    fn rate_propagation() {
+        let g = diamond();
+        let rates = g.propagate_rates(&[10.0, 20.0]);
+        // filter: 10*0.5=5; map: 5; agg: 20*0.2=4; union: 5+4=9.
+        assert_eq!(rates[2], 5.0);
+        assert_eq!(rates[3], 5.0);
+        assert_eq!(rates[4], 4.0);
+        assert_eq!(rates[5], 9.0);
+    }
+
+    #[test]
+    fn operator_loads_match_example1_structure() {
+        // Paper Example 1: load(o1)=c1 r1, load(o2)=c2 s1 r1, etc.
+        let mut b = GraphBuilder::new();
+        let i0 = b.add_input();
+        let i1 = b.add_input();
+        let (_, s1) = b
+            .add_operator("o1", OperatorKind::filter(4.0, 1.0), &[i0])
+            .unwrap();
+        let (_, _s2) = b
+            .add_operator("o2", OperatorKind::filter(6.0, 1.0), &[s1])
+            .unwrap();
+        let (_, s3) = b
+            .add_operator("o3", OperatorKind::filter(9.0, 0.5), &[i1])
+            .unwrap();
+        let (_, _s4) = b
+            .add_operator("o4", OperatorKind::filter(4.0, 1.0), &[s3])
+            .unwrap();
+        let g = b.build().unwrap();
+        let loads = g.operator_loads(&[1.0, 1.0]);
+        assert_eq!(loads, vec![4.0, 6.0, 9.0, 2.0]);
+    }
+
+    #[test]
+    fn arcs_and_connectivity() {
+        let g = diamond();
+        let arcs = g.operator_arcs();
+        // f→m, m→u, a→u.
+        assert_eq!(arcs.len(), 3);
+        assert!(g.are_connected(OperatorId(0), OperatorId(1)));
+        assert!(g.are_connected(OperatorId(1), OperatorId(3)));
+        assert!(!g.are_connected(OperatorId(0), OperatorId(2)));
+    }
+
+    #[test]
+    fn consumers_report_ports() {
+        let g = diamond();
+        // Stream of "a" (index 4) feeds union port 1.
+        let consumers = g.consumers_of(StreamId(4));
+        assert_eq!(consumers, vec![(OperatorId(3), 1)]);
+    }
+
+    #[test]
+    fn unknown_stream_rejected() {
+        let mut b = GraphBuilder::new();
+        let _ = b.add_input();
+        let err = b
+            .add_operator("f", OperatorKind::map(1.0), &[StreamId(42)])
+            .unwrap_err();
+        assert!(matches!(err, GraphError::UnknownStream(_)));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert!(matches!(
+            GraphBuilder::new().build(),
+            Err(GraphError::NoInputs)
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = GraphBuilder::new();
+        let i0 = b.add_input();
+        b.add_operator("x", OperatorKind::map(1.0), &[i0]).unwrap();
+        assert!(b.add_operator("x", OperatorKind::map(1.0), &[i0]).is_err());
+    }
+
+    #[test]
+    fn graph_shape_utilities() {
+        let g = diamond();
+        // Roots: f (on I0) and a (on I1).
+        assert_eq!(g.roots(), vec![OperatorId(0), OperatorId(2)]);
+        // Only the union's output is unconsumed.
+        assert_eq!(g.sinks(), vec![StreamId(5)]);
+        // Longest chain: f → m → u = 3.
+        assert_eq!(g.depth(), 3);
+    }
+
+    #[test]
+    fn validate_rejects_tampered_serialized_graphs() {
+        // A forward-referencing (cyclic-equivalent) graph must be caught
+        // when loaded from JSON rather than built via the builder.
+        let g = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        // Rewire the first operator's input (stream 0) to its own output
+        // (stream 2) — a self-loop the builder can never produce.
+        let needle = "\"inputs\":[0],\"output\":2";
+        assert!(json.contains(needle), "serde layout changed: {json}");
+        let tampered = json.replace(needle, "\"inputs\":[2],\"output\":2");
+        let g2: QueryGraph = serde_json::from_str(&tampered).unwrap();
+        assert!(matches!(g2.validate(), Err(GraphError::Cyclic)));
+
+        // And a producer-table lie is caught too.
+        let tampered = json.replace("{\"Operator\":0}", "{\"Operator\":1}");
+        let g3: QueryGraph = serde_json::from_str(&tampered).unwrap();
+        assert!(matches!(
+            g3.validate(),
+            Err(GraphError::DuplicateProducer { .. })
+        ));
+    }
+
+    #[test]
+    fn join_rates_propagate_bilinearly() {
+        let mut b = GraphBuilder::new();
+        let i0 = b.add_input();
+        let i1 = b.add_input();
+        let (_, _out) = b
+            .add_operator(
+                "j",
+                OperatorKind::WindowJoin {
+                    window: 1.0,
+                    cost_per_pair: 2.0,
+                    selectivity_per_pair: 0.5,
+                },
+                &[i0, i1],
+            )
+            .unwrap();
+        let g = b.build().unwrap();
+        let rates = g.propagate_rates(&[3.0, 4.0]);
+        assert_eq!(rates[2], 6.0); // 0.5 * 1 * 3 * 4
+        assert_eq!(g.operator_loads(&[3.0, 4.0]), vec![24.0]);
+    }
+}

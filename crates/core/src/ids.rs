@@ -1,0 +1,95 @@
+//! Strongly-typed identifiers.
+//!
+//! The paper indexes nodes `N_i`, operators `o_j`, system input streams
+//! `I_k` and (after linearisation) rate variables `x_v`; we mirror those
+//! four index families with newtypes so they can never be confused, plus a
+//! [`StreamId`] for arcs of the dataflow graph.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The raw index.
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(i: usize) -> Self {
+                $name(i)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A cluster node `N_i`.
+    NodeId,
+    "N"
+);
+define_id!(
+    /// A continuous-query operator `o_j` — the minimum allocation unit.
+    OperatorId,
+    "o"
+);
+define_id!(
+    /// A *system input stream* `I_k` (a source arriving from outside).
+    InputId,
+    "I"
+);
+define_id!(
+    /// Any stream (arc) of the query graph, whether a system input or an
+    /// operator output.
+    StreamId,
+    "s"
+);
+define_id!(
+    /// A rate variable of the (linearised) load model. The first `d`
+    /// variables are the system input rates; the rest are the §6.2
+    /// introduced variables (outputs of nonlinear or variable-selectivity
+    /// operators).
+    VarId,
+    "x"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(NodeId(3).to_string(), "N3");
+        assert_eq!(OperatorId(0).to_string(), "o0");
+        assert_eq!(InputId(1).to_string(), "I1");
+        assert_eq!(StreamId(7).to_string(), "s7");
+        assert_eq!(VarId(2).to_string(), "x2");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(OperatorId(1) < OperatorId(2));
+        assert_eq!(NodeId::from(5).index(), 5);
+    }
+}

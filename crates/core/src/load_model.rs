@@ -1,0 +1,189 @@
+//! The linear load model `L^o` derived from a query graph.
+//!
+//! This is the planner's view of the system (paper §2.2–2.3): an
+//! `m × d'` operator load-coefficient matrix over the `d'` rate variables
+//! produced by [`crate::linearize`] (for purely linear graphs,
+//! `d' = d` and the variables *are* the system input rates).
+
+use serde::{Deserialize, Serialize};
+
+use rod_geom::{Matrix, Vector};
+
+use crate::error::GraphError;
+use crate::graph::QueryGraph;
+use crate::ids::{OperatorId, VarId};
+use crate::linearize::{Linearization, VarInfo};
+
+pub use crate::linearize::RateExpr;
+
+/// A query graph together with its derived linear load model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LoadModel {
+    graph: QueryGraph,
+    linearization: Linearization,
+    /// `L^o`: one row per operator, one column per rate variable.
+    lo: Matrix,
+    /// Column sums `l_k = Σ_j l^o_{jk}` (paper Table 1).
+    total_coeffs: Vector,
+}
+
+impl LoadModel {
+    /// Derives the load model from a graph (validates it first).
+    pub fn derive(graph: &QueryGraph) -> Result<LoadModel, GraphError> {
+        graph.validate()?;
+        let linearization = Linearization::run(graph);
+        let d = linearization.num_vars();
+        let m = graph.num_operators();
+        let mut lo = Matrix::zeros(m, d);
+        for (j, expr) in linearization.op_load_exprs.iter().enumerate() {
+            let row = expr.to_dense(d);
+            lo.row_mut(j).copy_from_slice(&row);
+        }
+        let total_coeffs = lo.col_sums();
+        Ok(LoadModel {
+            graph: graph.clone(),
+            linearization,
+            lo,
+            total_coeffs,
+        })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &QueryGraph {
+        &self.graph
+    }
+
+    /// The linearisation (variable catalogue and stream expressions).
+    pub fn linearization(&self) -> &Linearization {
+        &self.linearization
+    }
+
+    /// Number of operators `m`.
+    pub fn num_operators(&self) -> usize {
+        self.lo.rows()
+    }
+
+    /// Number of rate variables `d'`.
+    pub fn num_vars(&self) -> usize {
+        self.lo.cols()
+    }
+
+    /// Number of *system* input streams `d` (≤ [`Self::num_vars`]).
+    pub fn num_inputs(&self) -> usize {
+        self.graph.num_inputs()
+    }
+
+    /// The full `L^o` matrix.
+    pub fn lo(&self) -> &Matrix {
+        &self.lo
+    }
+
+    /// Load-coefficient row of one operator.
+    pub fn operator_row(&self, j: OperatorId) -> &[f64] {
+        self.lo.row(j.index())
+    }
+
+    /// The operator's load-vector L2 norm — the Phase-1 ordering key of
+    /// the ROD algorithm.
+    pub fn operator_norm(&self, j: OperatorId) -> f64 {
+        self.lo.row_vector(j.index()).norm()
+    }
+
+    /// Total load coefficients `l_k` per variable.
+    pub fn total_coeffs(&self) -> &Vector {
+        &self.total_coeffs
+    }
+
+    /// Variables with zero total coefficient load no operator at all;
+    /// they are degenerate axes (infinite ideal intercept). True linear
+    /// models from non-trivial graphs never have them, but defensive
+    /// callers can check.
+    pub fn has_degenerate_vars(&self) -> bool {
+        self.total_coeffs.as_slice().iter().any(|&l| l <= 0.0)
+    }
+
+    /// Concrete values of all `d'` variables at a system-input rate point
+    /// (introduced variables take their propagated true rates).
+    pub fn variable_point(&self, input_rates: &[f64]) -> Vector {
+        Vector::new(self.linearization.variable_point(&self.graph, input_rates))
+    }
+
+    /// Total CPU load of the whole query graph at a variable point.
+    pub fn total_load(&self, var_point: &Vector) -> f64 {
+        self.total_coeffs.dot(var_point)
+    }
+
+    /// Which variable, if any, is an operator's introduced output
+    /// variable.
+    pub fn introduced_var_of(&self, op: OperatorId) -> Option<VarId> {
+        self.linearization
+            .vars
+            .iter()
+            .enumerate()
+            .find_map(|(i, v)| match v {
+                VarInfo::Introduced { operator, .. } if *operator == op => Some(VarId(i)),
+                _ => None,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples_paper::{example3_graph, figure4_graph};
+
+    #[test]
+    fn table2_lo_matrix() {
+        // Paper Table 2: L^o = [[4,0],[6,0],[0,9],[0,2]].
+        let model = LoadModel::derive(&figure4_graph()).unwrap();
+        assert_eq!(model.num_operators(), 4);
+        assert_eq!(model.num_vars(), 2);
+        assert_eq!(model.lo().row(0), &[4.0, 0.0]);
+        assert_eq!(model.lo().row(1), &[6.0, 0.0]);
+        assert_eq!(model.lo().row(2), &[0.0, 9.0]);
+        assert_eq!(model.lo().row(3), &[0.0, 2.0]);
+        // l_1 = 10, l_2 = 11 — the ideal hyperplane of Figure 6.
+        assert_eq!(model.total_coeffs().as_slice(), &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn operator_norms() {
+        let model = LoadModel::derive(&figure4_graph()).unwrap();
+        assert_eq!(model.operator_norm(OperatorId(2)), 9.0);
+        assert_eq!(model.operator_norm(OperatorId(0)), 4.0);
+    }
+
+    #[test]
+    fn total_load_matches_sum_of_operator_loads() {
+        let g = example3_graph();
+        let model = LoadModel::derive(&g).unwrap();
+        let rates = [3.0, 2.0];
+        let x = model.variable_point(&rates);
+        let direct: f64 = g.operator_loads(&rates).iter().sum();
+        assert!((model.total_load(&x) - direct).abs() < 1e-9 * (1.0 + direct));
+    }
+
+    #[test]
+    fn no_degenerate_vars_in_examples() {
+        assert!(!LoadModel::derive(&figure4_graph())
+            .unwrap()
+            .has_degenerate_vars());
+        assert!(!LoadModel::derive(&example3_graph())
+            .unwrap()
+            .has_degenerate_vars());
+    }
+
+    #[test]
+    fn introduced_vars_are_discoverable() {
+        let g = example3_graph();
+        let model = LoadModel::derive(&g).unwrap();
+        let joins: Vec<_> = g
+            .operators()
+            .iter()
+            .filter(|o| matches!(o.kind, crate::operator::OperatorKind::WindowJoin { .. }))
+            .collect();
+        assert_eq!(joins.len(), 1);
+        assert!(model.introduced_var_of(joins[0].id).is_some());
+        assert!(model.introduced_var_of(OperatorId(0)).is_some()); // o1 variable-selectivity
+    }
+}

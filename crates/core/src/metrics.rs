@@ -1,0 +1,111 @@
+//! Uniform plan-quality reporting for the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+use rod_geom::{Vector, VolumeEstimator};
+
+use crate::allocation::{Allocation, PlanEvaluator};
+use crate::cluster::Cluster;
+use crate::load_model::LoadModel;
+
+/// Everything the experiment tables report about one plan.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PlanReport {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Estimated |F(A)| / |F*| — the headline metric of Figures 14/15.
+    pub feasible_ratio: f64,
+    /// MMPD score `min_i 1/‖W_i‖₂`.
+    pub min_plane_distance: f64,
+    /// Per-axis MMAD scores `min_i 1/w_ik`.
+    pub min_axis_distances: Vec<f64>,
+    /// Largest normalised weight in the plan.
+    pub max_weight: f64,
+    /// Operator-to-operator arcs crossing nodes.
+    pub internode_arcs: usize,
+    /// Operators per node.
+    pub node_counts: Vec<usize>,
+}
+
+/// Builds a [`VolumeEstimator`] matched to a model + cluster (shared point
+/// set ⇒ noise-free plan comparisons).
+pub fn make_estimator(
+    model: &LoadModel,
+    cluster: &Cluster,
+    samples: usize,
+    seed: u64,
+) -> VolumeEstimator {
+    VolumeEstimator::new(
+        model.total_coeffs().as_slice(),
+        cluster.total_capacity(),
+        samples,
+        seed,
+    )
+}
+
+/// Estimated feasible-set ratio of one plan.
+pub fn feasible_ratio(
+    ev: &PlanEvaluator<'_>,
+    estimator: &VolumeEstimator,
+    alloc: &Allocation,
+) -> f64 {
+    estimator
+        .estimate(&ev.feasible_region(alloc))
+        .ratio_to_ideal
+}
+
+/// Full report for one plan.
+pub fn report(
+    algorithm: impl Into<String>,
+    ev: &PlanEvaluator<'_>,
+    estimator: &VolumeEstimator,
+    alloc: &Allocation,
+) -> PlanReport {
+    let w = ev.weight_matrix(alloc);
+    let axis: Vector = w.min_axis_distances();
+    PlanReport {
+        algorithm: algorithm.into(),
+        feasible_ratio: feasible_ratio(ev, estimator, alloc),
+        min_plane_distance: w.min_plane_distance(),
+        min_axis_distances: axis.as_slice().to_vec(),
+        max_weight: w.max_weight(),
+        internode_arcs: ev.internode_arcs(alloc),
+        node_counts: alloc.node_counts(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples_paper::{example2_plans, figure4_graph};
+    use crate::rod::RodPlanner;
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let model = LoadModel::derive(&figure4_graph()).unwrap();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let ev = PlanEvaluator::new(&model, &cluster);
+        let est = make_estimator(&model, &cluster, 20_000, 5);
+        let plan = RodPlanner::new().place(&model, &cluster).unwrap();
+        let rep = report("ROD", &ev, &est, &plan.allocation);
+        assert_eq!(rep.algorithm, "ROD");
+        assert!(rep.feasible_ratio > 0.0 && rep.feasible_ratio <= 1.0);
+        assert!(rep.min_plane_distance > 0.0);
+        assert_eq!(rep.min_axis_distances.len(), 2);
+        assert_eq!(rep.node_counts.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn better_plans_get_better_ratios() {
+        // Figure 5: plan (a) has a visibly larger feasible set than plan
+        // (c) (the all-on-one-chain plan).
+        let model = LoadModel::derive(&figure4_graph()).unwrap();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let ev = PlanEvaluator::new(&model, &cluster);
+        let est = make_estimator(&model, &cluster, 30_000, 2);
+        let [a, _, c] = example2_plans();
+        let ra = feasible_ratio(&ev, &est, &a);
+        let rc = feasible_ratio(&ev, &est, &c);
+        assert!(ra > rc, "plan(a)={ra} should beat plan(c)={rc}");
+    }
+}

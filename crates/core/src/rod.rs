@@ -1,0 +1,667 @@
+//! The Resilient Operator Distribution algorithm (paper §5, Figure 10).
+//!
+//! Phase 1 sorts operators by the L2 norm of their load-coefficient
+//! vectors, descending, so high-impact operators are placed while the most
+//! freedom remains (the usual greedy/bin-packing device).
+//!
+//! Phase 2 places each operator in turn. For every node the *candidate*
+//! weight row — the node's normalised weights if it received the operator —
+//! is computed:
+//!
+//! ```text
+//! w_ik = ((l^n_ik + l^o_jk) / l_k) / (C_i / C_T)
+//! ```
+//!
+//! Nodes whose candidate hyperplane still lies entirely above the ideal
+//! hyperplane (`w_ik ≤ 1` for all `k`) form **Class I**: assigning there
+//! cannot shrink the final feasible set below the ideal bound, and pushes
+//! axis intercepts toward the ideal ones (the MMAD heuristic). If Class I
+//! is empty the operator goes to the **Class II** node with the largest
+//! candidate plane distance `1/‖W_i‖` (the MMPD heuristic) — or, under the
+//! §6.1 extension, the largest distance measured from the known
+//! lower-bound point.
+
+use serde::{Deserialize, Serialize};
+
+use rand::seq::SliceRandom;
+use rod_geom::{seeded_rng, Vector};
+
+use crate::allocation::Allocation;
+use crate::baselines::Planner;
+use crate::cluster::Cluster;
+use crate::error::PlacementError;
+use crate::ids::{NodeId, OperatorId};
+use crate::load_model::LoadModel;
+
+/// How to break ties among Class I nodes (paper §5.2: "choosing any node
+/// from Class I does not affect the final feasible set size in this step.
+/// Therefore, a random node can be selected or we can choose the
+/// destination node using some other criteria").
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ClassOnePolicy {
+    /// Pick the Class I node whose candidate plane distance is largest —
+    /// deterministic and locally consistent with the MMPD heuristic. The
+    /// default.
+    MaxPlaneDistance,
+    /// Pick the lowest-numbered Class I node.
+    FirstFit,
+    /// Pick a Class I node uniformly at random (seeded).
+    Random {
+        /// RNG seed for the random picks.
+        seed: u64,
+    },
+    /// Prefer the Class I node already hosting the most graph neighbours
+    /// of the operator, to reduce inter-node streams (the paper's example
+    /// criterion for communication-conscious deployments); plane distance
+    /// breaks remaining ties.
+    MinCommunication,
+}
+
+/// Phase-1 operator ordering (the paper uses descending norm; the other
+/// orders exist for the ablation benches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperatorOrdering {
+    /// Largest load-vector norm first (the paper's choice: "dealing with
+    /// such operators late may cause the system to significantly deviate
+    /// from the optimal results").
+    NormDescending,
+    /// Smallest norm first (ablation: the classic greedy mistake).
+    NormAscending,
+    /// Graph insertion order (ablation: no ordering at all).
+    ByIndex,
+}
+
+/// Configuration of the ROD planner.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RodOptions {
+    /// Class I tie-breaking.
+    pub class_one_policy: ClassOnePolicy,
+    /// Optional §6.1 lower bound `B` on the *system input* rates. Lower
+    /// bounds for introduced variables are derived by propagating `B`
+    /// through the graph (all operators are rate-monotone, so propagated
+    /// rates are valid lower bounds for the introduced variables too).
+    pub input_lower_bound: Option<Vec<f64>>,
+    /// Phase-1 ordering (ablation hook; default NormDescending).
+    pub ordering: OperatorOrdering,
+    /// When false, skip the Class I / Class II distinction and always
+    /// pick the node with maximum candidate plane distance — the
+    /// pure-MMPD greedy the Class-I rule is layered on (ablation hook).
+    pub use_class_one: bool,
+}
+
+impl Default for RodOptions {
+    fn default() -> Self {
+        RodOptions {
+            class_one_policy: ClassOnePolicy::MaxPlaneDistance,
+            input_lower_bound: None,
+            ordering: OperatorOrdering::NormDescending,
+            use_class_one: true,
+        }
+    }
+}
+
+/// Which class the chosen node belonged to at one assignment step —
+/// diagnostic output useful for ablations and tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepClass {
+    /// The node's candidate hyperplane stayed above the ideal hyperplane.
+    ClassOne,
+    /// Every candidate crossed the ideal hyperplane; MMPD picked.
+    ClassTwo,
+}
+
+/// The result of a ROD run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RodPlan {
+    /// The produced placement.
+    pub allocation: Allocation,
+    /// Operators in the order they were assigned (Phase 1 order).
+    pub order: Vec<OperatorId>,
+    /// Class used at each step, parallel to `order`.
+    pub step_classes: Vec<StepClass>,
+}
+
+impl RodPlan {
+    /// Fraction of assignment steps that found a Class I node.
+    pub fn class_one_fraction(&self) -> f64 {
+        if self.step_classes.is_empty() {
+            return 0.0;
+        }
+        self.step_classes
+            .iter()
+            .filter(|c| **c == StepClass::ClassOne)
+            .count() as f64
+            / self.step_classes.len() as f64
+    }
+}
+
+/// The ROD planner.
+#[derive(Clone, Debug, Default)]
+pub struct RodPlanner {
+    options: RodOptions,
+}
+
+impl RodPlanner {
+    /// Planner with default options.
+    pub fn new() -> Self {
+        RodPlanner::default()
+    }
+
+    /// Planner with explicit options.
+    pub fn with_options(options: RodOptions) -> Self {
+        RodPlanner { options }
+    }
+
+    /// Runs ROD and returns the plan with diagnostics.
+    pub fn place(&self, model: &LoadModel, cluster: &Cluster) -> Result<RodPlan, PlacementError> {
+        cluster.validate()?;
+        let m = model.num_operators();
+        let d = model.num_vars();
+        if m == 0 {
+            return Err(PlacementError::EmptyModel);
+        }
+        let n = cluster.num_nodes();
+        let ct = cluster.total_capacity();
+        let totals = model.total_coeffs();
+
+        // Normalised lower-bound point B̃ (§6.1): b̃_k = b_k l_k / C_T,
+        // where b is the lower bound propagated into variable space.
+        let lower_bound: Option<Vector> = self.options.input_lower_bound.as_ref().map(|b| {
+            let var_b = model.variable_point(b);
+            Vector::new((0..d).map(|k| var_b[k] * totals[k] / ct).collect())
+        });
+
+        // ---- Phase 1: order the operators. ----
+        let mut order: Vec<OperatorId> = (0..m).map(OperatorId).collect();
+        match self.options.ordering {
+            OperatorOrdering::NormDescending => order.sort_by(|&a, &b| {
+                model
+                    .operator_norm(b)
+                    .partial_cmp(&model.operator_norm(a))
+                    .expect("finite norms")
+                    .then(a.cmp(&b))
+            }),
+            OperatorOrdering::NormAscending => order.sort_by(|&a, &b| {
+                model
+                    .operator_norm(a)
+                    .partial_cmp(&model.operator_norm(b))
+                    .expect("finite norms")
+                    .then(a.cmp(&b))
+            }),
+            OperatorOrdering::ByIndex => {}
+        }
+
+        // ---- Phase 2: greedy assignment. ----
+        // Current node load coefficients l^n_ik, flat n×d.
+        let adjacency = match self.options.class_one_policy {
+            ClassOnePolicy::MinCommunication => model.graph().adjacency(),
+            _ => Vec::new(),
+        };
+        let mut ln = vec![0.0; n * d];
+        let mut allocation = Allocation::new(m, n);
+        let mut step_classes = Vec::with_capacity(m);
+        let mut rng = match self.options.class_one_policy {
+            ClassOnePolicy::Random { seed } => Some(seeded_rng(seed)),
+            _ => None,
+        };
+
+        // Scratch: candidate weight rows per node.
+        let mut candidate_w = vec![0.0; n * d];
+        let mut class_one: Vec<usize> = Vec::with_capacity(n);
+
+        for &op in &order {
+            let lo_row = model.operator_row(op);
+
+            // Classify nodes by their candidate hyperplane.
+            class_one.clear();
+            for i in 0..n {
+                let rel = cluster.capacity(NodeId(i)) / ct;
+                let mut all_below_one = true;
+                for k in 0..d {
+                    let lk = totals[k];
+                    let w = if lk > 0.0 {
+                        ((ln[i * d + k] + lo_row[k]) / lk) / rel
+                    } else {
+                        0.0
+                    };
+                    candidate_w[i * d + k] = w;
+                    if w > 1.0 + 1e-12 {
+                        all_below_one = false;
+                    }
+                }
+                if all_below_one {
+                    class_one.push(i);
+                }
+            }
+
+            let candidate_distance = |i: usize| -> f64 {
+                let row = &candidate_w[i * d..(i + 1) * d];
+                let norm = row.iter().map(|w| w * w).sum::<f64>().sqrt();
+                if norm == 0.0 {
+                    return f64::INFINITY;
+                }
+                match &lower_bound {
+                    None => 1.0 / norm,
+                    Some(b) => {
+                        let wb: f64 = row.iter().zip(b.as_slice()).map(|(w, b)| w * b).sum();
+                        (1.0 - wb) / norm
+                    }
+                }
+            };
+
+            let (dest, class) = if self.options.use_class_one && !class_one.is_empty() {
+                let dest = match self.options.class_one_policy {
+                    ClassOnePolicy::FirstFit => class_one[0],
+                    ClassOnePolicy::Random { .. } => *class_one
+                        .choose(rng.as_mut().expect("rng for Random policy"))
+                        .expect("non-empty class one"),
+                    ClassOnePolicy::MaxPlaneDistance => best_by(&class_one, candidate_distance),
+                    ClassOnePolicy::MinCommunication => {
+                        let neighbours = |i: usize| -> usize {
+                            adjacency[op.index()]
+                                .iter()
+                                .filter(|nb| allocation.node_of(**nb) == Some(NodeId(i)))
+                                .count()
+                        };
+                        // Most already-placed neighbours first; plane
+                        // distance breaks ties.
+                        let max_nb = class_one.iter().map(|&i| neighbours(i)).max().unwrap_or(0);
+                        let tied: Vec<usize> = class_one
+                            .iter()
+                            .copied()
+                            .filter(|&i| neighbours(i) == max_nb)
+                            .collect();
+                        best_by(&tied, candidate_distance)
+                    }
+                };
+                (dest, StepClass::ClassOne)
+            } else {
+                let all: Vec<usize> = (0..n).collect();
+                (best_by(&all, candidate_distance), StepClass::ClassTwo)
+            };
+
+            allocation.assign(op, NodeId(dest));
+            for k in 0..d {
+                ln[dest * d + k] += lo_row[k];
+            }
+            step_classes.push(class);
+        }
+
+        Ok(RodPlan {
+            allocation,
+            order,
+            step_classes,
+        })
+    }
+}
+
+impl RodPlanner {
+    /// Extends an existing (possibly partial) allocation: operators
+    /// already placed stay where they are — stream processing systems
+    /// add continuous queries over time, and moving live operators is
+    /// exactly what ROD exists to avoid — while the unplaced remainder
+    /// is assigned by the usual Phase 1 + Phase 2 greedy, starting from
+    /// the node load the fixed operators already impose.
+    ///
+    /// `model` must describe the *whole* graph (old + new operators);
+    /// `existing.node_of(op)` is `None` exactly for the operators to
+    /// place. With an entirely empty `existing` this is identical to
+    /// [`RodPlanner::place`].
+    pub fn extend(
+        &self,
+        model: &LoadModel,
+        cluster: &Cluster,
+        existing: &Allocation,
+    ) -> Result<RodPlan, PlacementError> {
+        cluster.validate()?;
+        assert_eq!(
+            existing.num_operators(),
+            model.num_operators(),
+            "existing allocation must cover the full model"
+        );
+        assert_eq!(existing.num_nodes(), cluster.num_nodes());
+        let m = model.num_operators();
+        if m == 0 {
+            return Err(PlacementError::EmptyModel);
+        }
+        let n = cluster.num_nodes();
+        let d = model.num_vars();
+        let ct = cluster.total_capacity();
+        let totals = model.total_coeffs();
+
+        // Start from the load the fixed operators impose.
+        let mut ln = vec![0.0; n * d];
+        let mut allocation = existing.clone();
+        let mut pending: Vec<OperatorId> = Vec::new();
+        for j in 0..m {
+            let op = OperatorId(j);
+            match existing.node_of(op) {
+                Some(node) => {
+                    for (k, &v) in model.operator_row(op).iter().enumerate() {
+                        ln[node.index() * d + k] += v;
+                    }
+                }
+                None => pending.push(op),
+            }
+        }
+        pending.sort_by(|&a, &b| {
+            model
+                .operator_norm(b)
+                .partial_cmp(&model.operator_norm(a))
+                .expect("finite norms")
+                .then(a.cmp(&b))
+        });
+
+        let mut step_classes = Vec::with_capacity(pending.len());
+        let mut candidate_w = vec![0.0; n * d];
+        for &op in &pending {
+            let lo_row = model.operator_row(op);
+            let mut class_one: Vec<usize> = Vec::new();
+            for i in 0..n {
+                let rel = cluster.capacity(NodeId(i)) / ct;
+                let mut ok = true;
+                for k in 0..d {
+                    let lk = totals[k];
+                    let w = if lk > 0.0 {
+                        ((ln[i * d + k] + lo_row[k]) / lk) / rel
+                    } else {
+                        0.0
+                    };
+                    candidate_w[i * d + k] = w;
+                    if w > 1.0 + 1e-12 {
+                        ok = false;
+                    }
+                }
+                if ok {
+                    class_one.push(i);
+                }
+            }
+            let distance = |i: usize| -> f64 {
+                let norm = candidate_w[i * d..(i + 1) * d]
+                    .iter()
+                    .map(|w| w * w)
+                    .sum::<f64>()
+                    .sqrt();
+                if norm == 0.0 {
+                    f64::INFINITY
+                } else {
+                    1.0 / norm
+                }
+            };
+            let (dest, class) = if !class_one.is_empty() {
+                (best_by(&class_one, distance), StepClass::ClassOne)
+            } else {
+                let all: Vec<usize> = (0..n).collect();
+                (best_by(&all, distance), StepClass::ClassTwo)
+            };
+            allocation.assign(op, NodeId(dest));
+            for k in 0..d {
+                ln[dest * d + k] += lo_row[k];
+            }
+            step_classes.push(class);
+        }
+
+        Ok(RodPlan {
+            allocation,
+            order: pending,
+            step_classes,
+        })
+    }
+}
+
+impl Planner for RodPlanner {
+    fn name(&self) -> &'static str {
+        "ROD"
+    }
+
+    fn plan(&self, model: &LoadModel, cluster: &Cluster) -> Result<Allocation, PlacementError> {
+        self.place(model, cluster).map(|p| p.allocation)
+    }
+}
+
+/// Index in `candidates` maximising `score`, breaking ties by the lowest
+/// index for determinism.
+fn best_by(candidates: &[usize], score: impl Fn(usize) -> f64) -> usize {
+    assert!(!candidates.is_empty());
+    let mut best = candidates[0];
+    let mut best_score = score(best);
+    for &c in &candidates[1..] {
+        let s = score(c);
+        if s > best_score + 1e-15 {
+            best = c;
+            best_score = s;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::PlanEvaluator;
+    use crate::examples_paper::figure4_graph;
+    use crate::graph::GraphBuilder;
+    use crate::operator::OperatorKind;
+
+    fn model() -> LoadModel {
+        LoadModel::derive(&figure4_graph()).unwrap()
+    }
+
+    #[test]
+    fn phase1_orders_by_norm_descending() {
+        let m = model();
+        let plan = RodPlanner::new()
+            .place(&m, &Cluster::homogeneous(2, 1.0))
+            .unwrap();
+        // Norms: o0=4, o1=6, o2=9, o3=2 → order o2, o1, o0, o3.
+        assert_eq!(
+            plan.order,
+            vec![OperatorId(2), OperatorId(1), OperatorId(0), OperatorId(3)]
+        );
+    }
+
+    #[test]
+    fn rod_separates_streams_on_figure4() {
+        // The best two-node plan for Example 2 must NOT put both heavy
+        // operators (o2: 9r2, o1: 6r1) on the same node.
+        let m = model();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let plan = RodPlanner::new().place(&m, &cluster).unwrap();
+        let a = &plan.allocation;
+        assert!(a.is_complete());
+        assert_ne!(a.node_of(OperatorId(1)), a.node_of(OperatorId(2)));
+    }
+
+    #[test]
+    fn rod_beats_connected_chains_plan() {
+        // Against plan (c) (chains kept whole: L^n = [[10,0],[0,11]]),
+        // ROD must achieve a strictly larger min plane distance.
+        let m = model();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let ev = PlanEvaluator::new(&m, &cluster);
+        let rod = RodPlanner::new().place(&m, &cluster).unwrap();
+        let [_, _, plan_c] = crate::examples_paper::example2_plans();
+        assert!(ev.min_plane_distance(&rod.allocation) > ev.min_plane_distance(&plan_c) + 1e-9);
+    }
+
+    #[test]
+    fn single_node_cluster_gets_everything() {
+        let m = model();
+        let plan = RodPlanner::new()
+            .place(&m, &Cluster::homogeneous(1, 1.0))
+            .unwrap();
+        assert_eq!(plan.allocation.node_counts(), vec![4]);
+    }
+
+    #[test]
+    fn empty_model_is_an_error() {
+        let mut b = GraphBuilder::new();
+        b.add_input();
+        let g = b.build().unwrap();
+        let m = LoadModel::derive(&g).unwrap();
+        assert!(matches!(
+            RodPlanner::new().place(&m, &Cluster::homogeneous(2, 1.0)),
+            Err(PlacementError::EmptyModel)
+        ));
+    }
+
+    #[test]
+    fn invalid_cluster_is_an_error() {
+        let m = model();
+        assert!(RodPlanner::new()
+            .place(&m, &Cluster::heterogeneous(vec![]))
+            .is_err());
+    }
+
+    #[test]
+    fn heterogeneous_capacity_respected() {
+        // One node with 10x capacity should carry (nearly) all load.
+        let mut b = GraphBuilder::new();
+        let i = b.add_input();
+        for j in 0..8 {
+            b.add_operator(format!("f{j}"), OperatorKind::filter(1.0, 1.0), &[i])
+                .unwrap();
+        }
+        let g = b.build().unwrap();
+        let m = LoadModel::derive(&g).unwrap();
+        let cluster = Cluster::heterogeneous(vec![9.0, 1.0]);
+        let plan = RodPlanner::new().place(&m, &cluster).unwrap();
+        let ev = PlanEvaluator::new(&m, &cluster);
+        let ln = ev.node_load_matrix(&plan.allocation);
+        // Ideal split is (7.2, 0.8); greedy integral placement should land
+        // within one operator of it.
+        assert!(ln[(0, 0)] >= 6.0, "big node got {}", ln[(0, 0)]);
+    }
+
+    #[test]
+    fn all_class_one_policies_produce_complete_plans() {
+        let m = model();
+        let cluster = Cluster::homogeneous(3, 1.0);
+        for policy in [
+            ClassOnePolicy::MaxPlaneDistance,
+            ClassOnePolicy::FirstFit,
+            ClassOnePolicy::Random { seed: 7 },
+            ClassOnePolicy::MinCommunication,
+        ] {
+            let plan = RodPlanner::with_options(RodOptions {
+                class_one_policy: policy,
+                ..RodOptions::default()
+            })
+            .place(&m, &cluster)
+            .unwrap();
+            assert!(plan.allocation.is_complete(), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let m = model();
+        let cluster = Cluster::homogeneous(4, 1.0);
+        let a = RodPlanner::new().place(&m, &cluster).unwrap();
+        let b = RodPlanner::new().place(&m, &cluster).unwrap();
+        assert_eq!(a.allocation, b.allocation);
+    }
+
+    #[test]
+    fn step_classes_recorded() {
+        let m = model();
+        let plan = RodPlanner::new()
+            .place(&m, &Cluster::homogeneous(2, 1.0))
+            .unwrap();
+        assert_eq!(plan.step_classes.len(), 4);
+        // With only 2 nodes, o2 alone carries 9/11 of stream 2 — more
+        // than the 1/2 node share — so every step here is Class II.
+        assert_eq!(plan.step_classes[0], StepClass::ClassTwo);
+        assert_eq!(plan.class_one_fraction(), 0.0);
+
+        // Spread the same graph over 8 nodes and Class I steps appear:
+        // each node's fair share shrinks but so does nothing about the
+        // operators — wait, shares *tighten*; instead check a wide graph
+        // where each operator is small relative to a node's share.
+        let mut b = GraphBuilder::new();
+        let i = b.add_input();
+        for j in 0..12 {
+            b.add_operator(format!("f{j}"), OperatorKind::filter(1.0, 1.0), &[i])
+                .unwrap();
+        }
+        let wide = LoadModel::derive(&b.build().unwrap()).unwrap();
+        let plan = RodPlanner::new()
+            .place(&wide, &Cluster::homogeneous(3, 1.0))
+            .unwrap();
+        // 12 equal operators on 3 nodes: the first 3 per node stay under
+        // the 1/3 share; most steps are Class I.
+        assert!(plan.class_one_fraction() > 0.5, "{:?}", plan.step_classes);
+    }
+
+    #[test]
+    fn extend_keeps_placed_operators_fixed() {
+        let m = model();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        // Pre-place o2 (the heavy one) on node 1 and let extend finish.
+        let mut partial = Allocation::new(4, 2);
+        partial.assign(OperatorId(2), NodeId(1));
+        let plan = RodPlanner::new().extend(&m, &cluster, &partial).unwrap();
+        assert!(plan.allocation.is_complete());
+        assert_eq!(plan.allocation.node_of(OperatorId(2)), Some(NodeId(1)));
+        assert_eq!(plan.order.len(), 3, "only the unplaced operators");
+    }
+
+    #[test]
+    fn extend_of_empty_matches_place() {
+        let m = model();
+        let cluster = Cluster::homogeneous(3, 1.0);
+        let fresh = RodPlanner::new().place(&m, &cluster).unwrap();
+        let extended = RodPlanner::new()
+            .extend(&m, &cluster, &Allocation::new(4, 3))
+            .unwrap();
+        assert_eq!(fresh.allocation, extended.allocation);
+    }
+
+    #[test]
+    fn extend_accounts_for_existing_load() {
+        // Pre-load node 0 with everything from stream 1; the new stream-2
+        // operators must then prefer node 1.
+        let mut b = GraphBuilder::new();
+        let i0 = b.add_input();
+        let i1 = b.add_input();
+        for j in 0..3 {
+            b.add_operator(format!("a{j}"), OperatorKind::filter(2.0, 1.0), &[i0])
+                .unwrap();
+        }
+        for j in 0..3 {
+            b.add_operator(format!("b{j}"), OperatorKind::filter(2.0, 1.0), &[i1])
+                .unwrap();
+        }
+        let m = LoadModel::derive(&b.build().unwrap()).unwrap();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let mut partial = Allocation::new(6, 2);
+        for j in 0..3 {
+            partial.assign(OperatorId(j), NodeId(0));
+        }
+        let plan = RodPlanner::new().extend(&m, &cluster, &partial).unwrap();
+        // All three stream-1 ops on node 0 → node 0 already carries the
+        // whole of stream 1; the b-ops should mostly land on node 1.
+        let on_node1 = (3..6)
+            .filter(|&j| plan.allocation.node_of(OperatorId(j)) == Some(NodeId(1)))
+            .count();
+        assert!(
+            on_node1 >= 2,
+            "only {on_node1} new ops moved off the hot node"
+        );
+    }
+
+    #[test]
+    fn lower_bound_changes_class_two_choice_only() {
+        // Lower bounds only alter the MMPD distance, so plans may differ
+        // but must stay complete and valid.
+        let m = model();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let plan = RodPlanner::with_options(RodOptions {
+            input_lower_bound: Some(vec![0.02, 0.02]),
+            ..RodOptions::default()
+        })
+        .place(&m, &cluster)
+        .unwrap();
+        assert!(plan.allocation.is_complete());
+    }
+}

@@ -1,0 +1,188 @@
+//! Hyperplanes and the two distance metrics of the ROD heuristics.
+//!
+//! A node hyperplane (paper §3.1) is the set of rate points at which node
+//! `N_i` is exactly fully loaded: `l^n_{i1} r_1 + … + l^n_{id} r_d = C_i`.
+//! In the normalised coordinate system (§3.3) every node hyperplane has the
+//! form `w_{i1} x_1 + … + w_{id} x_d = 1` and the ideal hyperplane is
+//! `x_1 + … + x_d = 1`.
+//!
+//! Two distances drive the heuristics:
+//!
+//! * **axis distance** on axis `k` (MMAD, §4.1): `offset / normal_k` — the
+//!   intercept of the hyperplane with coordinate axis `k`;
+//! * **plane distance** (MMPD, §4.2): `offset / ‖normal‖₂` — the Euclidean
+//!   distance from the origin (or, for the §6.1 lower-bound extension, from
+//!   an arbitrary base point `B`) to the hyperplane.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vector::Vector;
+
+/// A hyperplane `normal · x = offset` in `d` dimensions.
+///
+/// For node hyperplanes the normal has non-negative components (load
+/// coefficients) and the offset is positive (CPU capacity), so all
+/// distances below are well defined and non-negative on the workloads the
+/// ROD algorithms produce.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Hyperplane {
+    /// The coefficient vector (`W_i` row in normalised space, `L^n_i` row in
+    /// raw rate space).
+    pub normal: Vector,
+    /// Right-hand side (1 in normalised space, `C_i` in raw rate space).
+    pub offset: f64,
+}
+
+impl Hyperplane {
+    /// Creates a hyperplane `normal · x = offset`.
+    pub fn new(normal: Vector, offset: f64) -> Self {
+        Hyperplane { normal, offset }
+    }
+
+    /// The ideal hyperplane `x_1 + … + x_d = 1` of the normalised space.
+    pub fn ideal(dim: usize) -> Self {
+        Hyperplane::new(Vector::ones(dim), 1.0)
+    }
+
+    /// Dimension of the ambient space.
+    pub fn dim(&self) -> usize {
+        self.normal.dim()
+    }
+
+    /// Evaluates `normal · x - offset`; negative ⇒ strictly below the
+    /// hyperplane (node not fully loaded), zero ⇒ on it, positive ⇒ above
+    /// (node overloaded).
+    pub fn signed_excess(&self, x: &Vector) -> f64 {
+        self.normal.dot(x) - self.offset
+    }
+
+    /// True when point `x` is on or below the hyperplane (feasible side).
+    pub fn contains_below(&self, x: &Vector) -> bool {
+        self.signed_excess(x) <= 0.0
+    }
+
+    /// Axis distance on axis `k`: the intercept `offset / normal_k`
+    /// (paper §4.1). Returns `f64::INFINITY` when the hyperplane is
+    /// parallel to the axis (`normal_k = 0`), which models an empty node
+    /// hyperplane "at infinity".
+    pub fn axis_distance(&self, k: usize) -> f64 {
+        let nk = self.normal[k];
+        if nk == 0.0 {
+            f64::INFINITY
+        } else {
+            self.offset / nk
+        }
+    }
+
+    /// Euclidean distance from the origin to the hyperplane:
+    /// `offset / ‖normal‖₂` (paper §4.2). `INFINITY` for a zero normal
+    /// (an empty node).
+    pub fn plane_distance(&self) -> f64 {
+        let n = self.normal.norm();
+        if n == 0.0 {
+            f64::INFINITY
+        } else {
+            self.offset / n
+        }
+    }
+
+    /// Euclidean distance from base point `b` to the hyperplane:
+    /// `(offset - normal·b) / ‖normal‖₂` — the radius of the largest
+    /// hypersphere centred at `b` that fits below this hyperplane. This is
+    /// the `(1 - W_i B̃)/‖W_i‖` quantity of the §6.1 lower-bound
+    /// extension. Negative when `b` is already above the hyperplane.
+    pub fn distance_from(&self, b: &Vector) -> f64 {
+        let n = self.normal.norm();
+        if n == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.offset - self.normal.dot(b)) / n
+        }
+    }
+
+    /// True when this hyperplane lies entirely on or above the ideal
+    /// hyperplane within the non-negative orthant — the *Class I*
+    /// membership test of the ROD assignment phase (§5.2): a normalised
+    /// node hyperplane is above the ideal one iff every weight
+    /// `w_{ik} ≤ 1` (equivalently every axis intercept ≥ 1).
+    ///
+    /// Only meaningful for normalised hyperplanes (`offset == 1`).
+    pub fn is_above_ideal(&self) -> bool {
+        debug_assert!(
+            (self.offset - 1.0).abs() < 1e-12,
+            "Class I test is defined on normalised hyperplanes"
+        );
+        self.normal.as_slice().iter().all(|&w| w <= 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn axis_distance_intercepts() {
+        // 2x + 4y = 8 → intercepts at x=4, y=2.
+        let h = Hyperplane::new(Vector::from([2.0, 4.0]), 8.0);
+        assert!(approx_eq(h.axis_distance(0), 4.0));
+        assert!(approx_eq(h.axis_distance(1), 2.0));
+    }
+
+    #[test]
+    fn axis_distance_parallel_axis_is_infinite() {
+        let h = Hyperplane::new(Vector::from([0.0, 1.0]), 1.0);
+        assert_eq!(h.axis_distance(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn plane_distance_matches_formula() {
+        // 3x + 4y = 10 → distance 10/5 = 2.
+        let h = Hyperplane::new(Vector::from([3.0, 4.0]), 10.0);
+        assert!(approx_eq(h.plane_distance(), 2.0));
+    }
+
+    #[test]
+    fn distance_from_base_point() {
+        let h = Hyperplane::new(Vector::from([3.0, 4.0]), 10.0);
+        let b = Vector::from([1.0, 1.0]); // normal·b = 7
+        assert!(approx_eq(h.distance_from(&b), 3.0 / 5.0));
+        // From the origin it matches plane_distance.
+        assert!(approx_eq(
+            h.distance_from(&Vector::zeros(2)),
+            h.plane_distance()
+        ));
+    }
+
+    #[test]
+    fn ideal_hyperplane() {
+        let h = Hyperplane::ideal(3);
+        assert!(approx_eq(h.plane_distance(), 1.0 / 3.0f64.sqrt()));
+        assert!(h.is_above_ideal()); // the ideal plane is (weakly) above itself
+        for k in 0..3 {
+            assert!(approx_eq(h.axis_distance(k), 1.0));
+        }
+    }
+
+    #[test]
+    fn class_one_test() {
+        let above = Hyperplane::new(Vector::from([0.5, 0.9]), 1.0);
+        assert!(above.is_above_ideal());
+        let crossing = Hyperplane::new(Vector::from([0.5, 1.2]), 1.0);
+        assert!(!crossing.is_above_ideal());
+    }
+
+    #[test]
+    fn containment() {
+        let h = Hyperplane::new(Vector::from([1.0, 1.0]), 1.0);
+        assert!(h.contains_below(&Vector::from([0.3, 0.3])));
+        assert!(h.contains_below(&Vector::from([0.5, 0.5])));
+        assert!(!h.contains_below(&Vector::from([0.8, 0.3])));
+    }
+
+    #[test]
+    fn empty_node_is_at_infinity() {
+        let h = Hyperplane::new(Vector::zeros(2), 1.0);
+        assert_eq!(h.plane_distance(), f64::INFINITY);
+    }
+}

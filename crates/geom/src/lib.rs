@@ -1,0 +1,73 @@
+//! Small, dependency-light geometry and numerics for the ROD reproduction.
+//!
+//! The ROD paper ("Providing Resiliency to Load Variations in Distributed
+//! Stream Processing", VLDB 2006) reasons about operator placement through a
+//! small amount of linear algebra and convex geometry:
+//!
+//! * node load coefficient matrices `L^n = A · L^o` ([`Matrix`]),
+//! * node hyperplanes `L^n_i · R = C_i` and their axis / plane distances
+//!   ([`Hyperplane`]),
+//! * the *feasible set* `{R ≥ 0 : L^n R ≤ C}` whose volume is the
+//!   optimisation objective — measured exactly in two dimensions
+//!   ([`polygon`]) and by quasi-Monte-Carlo integration in higher
+//!   dimensions ([`qmc`], [`volume`]), exactly as §7.1 of the paper
+//!   prescribes ("the feasible set sizes of the load distribution plans are
+//!   computed using Quasi Monte Carlo integration").
+//!
+//! Everything here is written from scratch on top of `std` (plus `rand` for
+//! scrambling and sampling); the matrices involved are tiny (tens of rows,
+//! single-digit columns), so a simple row-major `Vec<f64>` representation is
+//! both clear and fast.
+
+#![warn(missing_docs)]
+pub mod hyperplane;
+pub mod matrix;
+pub mod polygon;
+pub mod qmc;
+pub mod rng;
+pub mod simplex;
+pub mod sobol;
+pub mod stats;
+pub mod vector;
+pub mod volume;
+
+pub use hyperplane::Hyperplane;
+pub use matrix::Matrix;
+pub use polygon::Polygon;
+pub use qmc::HaltonSeq;
+pub use rng::seeded_rng;
+pub use simplex::{simplex_volume, SimplexSampler};
+pub use sobol::SobolSeq;
+pub use stats::{OnlineStats, Percentiles};
+pub use vector::Vector;
+pub use volume::{exact_volume_3d, FeasibleRegion, VolumeEstimate, VolumeEstimator};
+
+/// Comparison tolerance used across the crate for geometric predicates.
+///
+/// The quantities involved (normalised weights, distances) are all O(1), so
+/// a fixed absolute epsilon is appropriate.
+pub const EPS: f64 = 1e-9;
+
+/// Returns true when `a` and `b` are equal within [`EPS`] absolutely or
+/// within `1e-9` relatively (for larger magnitudes).
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= EPS || diff <= 1e-9 * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute() {
+        assert!(approx_eq(0.0, 1e-12));
+        assert!(!approx_eq(0.0, 1e-3));
+    }
+
+    #[test]
+    fn approx_eq_relative() {
+        assert!(approx_eq(1e12, 1e12 + 1.0));
+        assert!(!approx_eq(1e12, 1.1e12));
+    }
+}

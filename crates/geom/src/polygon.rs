@@ -1,0 +1,236 @@
+//! Exact two-dimensional feasible-set geometry.
+//!
+//! For `d = 2` input streams the feasible set
+//! `{(r₁,r₂) ≥ 0 : L^n R ≤ C}` is a convex polygon: the non-negative
+//! quadrant clipped by one half-plane per node. The paper draws these
+//! polygons in Figures 5 and 6 for the three plans of Example 2; we compute
+//! their areas in closed form with Sutherland–Hodgman clipping plus the
+//! shoelace formula. This also serves as the ground truth against which the
+//! quasi-Monte-Carlo estimator of [`crate::volume`] is validated.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hyperplane::Hyperplane;
+use crate::EPS;
+
+/// A point in the plane.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Point2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+}
+
+/// A convex polygon given by its vertices in counter-clockwise order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point2>,
+}
+
+impl Polygon {
+    /// Creates a polygon from CCW vertices. An empty vertex list models the
+    /// empty set (area zero).
+    pub fn new(vertices: Vec<Point2>) -> Self {
+        Polygon { vertices }
+    }
+
+    /// Axis-aligned box `[0,w] × [0,h]` — the starting region before
+    /// clipping by node hyperplanes.
+    pub fn quadrant_box(w: f64, h: f64) -> Self {
+        Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(w, 0.0),
+            Point2::new(w, h),
+            Point2::new(0.0, h),
+        ])
+    }
+
+    /// The vertices (CCW).
+    pub fn vertices(&self) -> &[Point2] {
+        &self.vertices
+    }
+
+    /// True when the polygon is empty (or degenerate with fewer than three
+    /// vertices).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.len() < 3
+    }
+
+    /// Area by the shoelace formula. Zero for degenerate polygons.
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let n = self.vertices.len();
+        let mut twice = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            twice += a.x * b.y - b.x * a.y;
+        }
+        twice.abs() / 2.0
+    }
+
+    /// Clips the polygon to the half-plane `a·x + b·y ≤ c`
+    /// (Sutherland–Hodgman). Returns the clipped polygon, possibly empty.
+    pub fn clip_halfplane(&self, a: f64, b: f64, c: f64) -> Polygon {
+        if self.vertices.is_empty() {
+            return self.clone();
+        }
+        let inside = |p: &Point2| a * p.x + b * p.y <= c + EPS;
+        let n = self.vertices.len();
+        let mut out = Vec::with_capacity(n + 1);
+        for i in 0..n {
+            let cur = self.vertices[i];
+            let nxt = self.vertices[(i + 1) % n];
+            let cur_in = inside(&cur);
+            let nxt_in = inside(&nxt);
+            if cur_in {
+                out.push(cur);
+            }
+            if cur_in != nxt_in {
+                // Edge crosses the boundary line a·x + b·y = c; find t so
+                // that cur + t (nxt - cur) lies on it.
+                let denom = a * (nxt.x - cur.x) + b * (nxt.y - cur.y);
+                if denom.abs() > EPS {
+                    let t = (c - a * cur.x - b * cur.y) / denom;
+                    let t = t.clamp(0.0, 1.0);
+                    out.push(Point2::new(
+                        cur.x + t * (nxt.x - cur.x),
+                        cur.y + t * (nxt.y - cur.y),
+                    ));
+                }
+            }
+        }
+        Polygon::new(out)
+    }
+
+    /// Clips by a 2-D [`Hyperplane`] interpreted as `normal·x ≤ offset`.
+    pub fn clip_hyperplane(&self, h: &Hyperplane) -> Polygon {
+        assert_eq!(h.dim(), 2, "polygon clipping is two-dimensional");
+        self.clip_halfplane(h.normal[0], h.normal[1], h.offset)
+    }
+}
+
+/// Exact area of the 2-D feasible set `{R ≥ 0 : L^n R ≤ C}` where row `i`
+/// of `constraints` is the pair `(normal, capacity)` of node `i`.
+///
+/// The region is unbounded when some stream loads no node; callers pass a
+/// `bound` box large enough to contain every axis intercept (the
+/// [`feasible_area`] helper derives one automatically).
+pub fn clipped_area(constraints: &[Hyperplane], bound: f64) -> f64 {
+    let mut poly = Polygon::quadrant_box(bound, bound);
+    for h in constraints {
+        poly = poly.clip_hyperplane(h);
+        if poly.is_empty() {
+            return 0.0;
+        }
+    }
+    poly.area()
+}
+
+/// Exact area of a 2-D feasible set with an automatically derived bounding
+/// box: 1 + the largest finite axis intercept of any constraint. Returns
+/// `None` when the feasible set is unbounded (some axis is unconstrained by
+/// every hyperplane), because its area is infinite.
+pub fn feasible_area(constraints: &[Hyperplane]) -> Option<f64> {
+    for k in 0..2 {
+        let bounded = constraints.iter().any(|h| h.normal[k] > 0.0);
+        if !bounded {
+            return None;
+        }
+    }
+    let mut max_intercept: f64 = 0.0;
+    for h in constraints {
+        for k in 0..2 {
+            let d = h.axis_distance(k);
+            if d.is_finite() {
+                max_intercept = max_intercept.max(d);
+            }
+        }
+    }
+    Some(clipped_area(constraints, max_intercept + 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::vector::Vector;
+
+    fn h(a: f64, b: f64, c: f64) -> Hyperplane {
+        Hyperplane::new(Vector::from([a, b]), c)
+    }
+
+    #[test]
+    fn unit_box_area() {
+        assert!(approx_eq(Polygon::quadrant_box(1.0, 1.0).area(), 1.0));
+        assert!(approx_eq(Polygon::quadrant_box(3.0, 2.0).area(), 6.0));
+    }
+
+    #[test]
+    fn clip_to_triangle() {
+        // Unit box clipped by x + y <= 1 → right triangle of area 1/2.
+        let poly = Polygon::quadrant_box(1.0, 1.0).clip_halfplane(1.0, 1.0, 1.0);
+        assert!(approx_eq(poly.area(), 0.5));
+    }
+
+    #[test]
+    fn clip_away_everything() {
+        let poly = Polygon::quadrant_box(1.0, 1.0).clip_halfplane(1.0, 0.0, -1.0);
+        assert!(poly.is_empty());
+        assert!(approx_eq(poly.area(), 0.0));
+    }
+
+    #[test]
+    fn clip_is_monotone() {
+        let base = Polygon::quadrant_box(2.0, 2.0);
+        let once = base.clip_halfplane(1.0, 1.0, 2.0);
+        let twice = once.clip_halfplane(1.0, 0.0, 1.0);
+        assert!(twice.area() <= once.area() + EPS);
+        assert!(once.area() <= base.area() + EPS);
+    }
+
+    #[test]
+    fn example2_plan_areas() {
+        // Paper Example 2 / Figure 5 with C1 = C2 = C. Take C = 1.
+        // Plan (a): N1 has (4,2), N2 has (6,9).
+        //   Feasible: 4r1+2r2<=1, 6r1+9r2<=1.
+        // Plan (b): N1 has (4,9), N2 has (6,2).
+        // Plan (c): N1 has (10,0), N2 has (0,11).
+        let area_a = feasible_area(&[h(4.0, 2.0, 1.0), h(6.0, 9.0, 1.0)]).unwrap();
+        let area_b = feasible_area(&[h(4.0, 9.0, 1.0), h(6.0, 2.0, 1.0)]).unwrap();
+        let area_c = feasible_area(&[h(10.0, 0.0, 1.0), h(0.0, 11.0, 1.0)]).unwrap();
+        // Plan (c) is a rectangle: (1/10)·(1/11).
+        assert!(approx_eq(area_c, 1.0 / 110.0));
+        // All three are below the ideal triangle area 1/2 · (2/10) · (2/11)
+        // with C_T = 2 (ideal: 10 r1 + 11 r2 <= 2).
+        let ideal = 0.5 * (2.0 / 10.0) * (2.0 / 11.0);
+        for a in [area_a, area_b, area_c] {
+            assert!(a <= ideal + EPS, "plan area {a} exceeds ideal {ideal}");
+            assert!(a > 0.0);
+        }
+    }
+
+    #[test]
+    fn unbounded_region_detected() {
+        // Only r1 is constrained → infinite area.
+        assert_eq!(feasible_area(&[h(1.0, 0.0, 1.0)]), None);
+    }
+
+    #[test]
+    fn intersection_area_two_triangles() {
+        // x+2y<=2 and 2x+y<=2 over the quadrant: symmetric kite with
+        // vertices (0,0),(1,0),(2/3,2/3),(0,1); area = 2/3.
+        let area = feasible_area(&[h(1.0, 2.0, 2.0), h(2.0, 1.0, 2.0)]).unwrap();
+        assert!(approx_eq(area, 2.0 / 3.0));
+    }
+}

@@ -1,0 +1,180 @@
+//! Low-discrepancy (quasi-Monte-Carlo) point sequences.
+//!
+//! Section 7.1 of the ROD paper computes feasible-set sizes "using Quasi
+//! Monte Carlo integration" because plain Monte-Carlo needs `O(2^d)` samples
+//! for acceptable error in `d` dimensions. We implement the classic Halton
+//! sequence with optional random digit scrambling (Owen-style per-digit
+//! permutation is overkill at d ≤ 10; a random-shift Cranley–Patterson
+//! rotation suffices and keeps the estimator unbiased across seeds).
+
+use rand::Rng as _;
+
+use crate::rng::{seeded_rng, Rng};
+use crate::vector::Vector;
+
+/// The first 16 primes — enough bases for 16-dimensional Halton points,
+/// comfortably above the ≤ 8 input streams used in the paper's experiments.
+const PRIMES: [u64; 16] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53];
+
+/// Radical inverse of `index` in base `base`: reflects the base-`base`
+/// digits of `index` about the radix point. The Halton sequence in
+/// dimension `k` is the radical inverse in the `k`-th prime base.
+pub fn radical_inverse(mut index: u64, base: u64) -> f64 {
+    let mut result = 0.0;
+    let mut digit_weight = 1.0 / base as f64;
+    while index > 0 {
+        result += (index % base) as f64 * digit_weight;
+        index /= base;
+        digit_weight /= base as f64;
+    }
+    result
+}
+
+/// A Halton low-discrepancy sequence in the unit cube `[0,1)^d`, optionally
+/// rotated by a random Cranley–Patterson shift so that independent seeds
+/// give independent (but still low-discrepancy) estimators.
+#[derive(Clone, Debug)]
+pub struct HaltonSeq {
+    dim: usize,
+    index: u64,
+    shift: Vec<f64>,
+}
+
+impl HaltonSeq {
+    /// Unshifted Halton sequence. Panics if `dim` exceeds the available
+    /// prime bases (16).
+    pub fn new(dim: usize) -> Self {
+        assert!(
+            dim <= PRIMES.len(),
+            "HaltonSeq supports up to {} dimensions, got {dim}",
+            PRIMES.len()
+        );
+        HaltonSeq {
+            dim,
+            // Skip index 0 (the all-zeros point) — standard practice.
+            index: 1,
+            shift: vec![0.0; dim],
+        }
+    }
+
+    /// Randomly shifted Halton sequence (Cranley–Patterson rotation).
+    pub fn shifted(dim: usize, seed: u64) -> Self {
+        let mut seq = HaltonSeq::new(dim);
+        let mut rng: Rng = seeded_rng(seed);
+        for s in &mut seq.shift {
+            *s = rng.gen::<f64>();
+        }
+        seq
+    }
+
+    /// Dimension of the generated points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Next point of the sequence.
+    pub fn next_point(&mut self) -> Vector {
+        let idx = self.index;
+        self.index += 1;
+        Vector::new(
+            (0..self.dim)
+                .map(|k| {
+                    let v = radical_inverse(idx, PRIMES[k]) + self.shift[k];
+                    v - v.floor() // wrap into [0,1)
+                })
+                .collect(),
+        )
+    }
+
+    /// Collects the next `n` points.
+    pub fn take_points(&mut self, n: usize) -> Vec<Vector> {
+        (0..n).map(|_| self.next_point()).collect()
+    }
+}
+
+impl Iterator for HaltonSeq {
+    type Item = Vector;
+    fn next(&mut self) -> Option<Vector> {
+        Some(self.next_point())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn radical_inverse_base2_prefix() {
+        // Van der Corput: 1 → 0.5, 2 → 0.25, 3 → 0.75, 4 → 0.125.
+        assert!(approx_eq(radical_inverse(1, 2), 0.5));
+        assert!(approx_eq(radical_inverse(2, 2), 0.25));
+        assert!(approx_eq(radical_inverse(3, 2), 0.75));
+        assert!(approx_eq(radical_inverse(4, 2), 0.125));
+    }
+
+    #[test]
+    fn radical_inverse_base3() {
+        assert!(approx_eq(radical_inverse(1, 3), 1.0 / 3.0));
+        assert!(approx_eq(radical_inverse(2, 3), 2.0 / 3.0));
+        assert!(approx_eq(radical_inverse(3, 3), 1.0 / 9.0));
+    }
+
+    #[test]
+    fn points_in_unit_cube() {
+        let mut seq = HaltonSeq::shifted(5, 9);
+        for _ in 0..200 {
+            let p = seq.next_point();
+            assert_eq!(p.dim(), 5);
+            for &x in p.as_slice() {
+                assert!((0.0..1.0).contains(&x), "coordinate {x} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_cube_mean() {
+        // The mean of each coordinate over many Halton points ≈ 1/2.
+        let mut seq = HaltonSeq::new(3);
+        let n = 4096;
+        let mut sums = [0.0; 3];
+        for _ in 0..n {
+            let p = seq.next_point();
+            for (s, &x) in sums.iter_mut().zip(p.as_slice()) {
+                *s += x;
+            }
+        }
+        for s in sums {
+            assert!((s / n as f64 - 0.5).abs() < 1e-3, "mean {}", s / n as f64);
+        }
+    }
+
+    #[test]
+    fn estimates_simplex_fraction() {
+        // Fraction of the unit square below x + y <= 1 is 1/2; Halton
+        // should nail it to ~1e-3 with a few thousand points.
+        let mut seq = HaltonSeq::new(2);
+        let n = 8192;
+        let hits = seq
+            .take_points(n)
+            .iter()
+            .filter(|p| p[0] + p[1] <= 1.0)
+            .count();
+        assert!((hits as f64 / n as f64 - 0.5).abs() < 2e-3);
+    }
+
+    #[test]
+    fn shift_changes_points_not_distribution() {
+        let mut a = HaltonSeq::shifted(2, 1);
+        let mut b = HaltonSeq::shifted(2, 2);
+        let pa = a.next_point();
+        let pb = b.next_point();
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    #[should_panic(expected = "up to 16 dimensions")]
+    fn too_many_dimensions_panics() {
+        let _ = HaltonSeq::new(17);
+    }
+}

@@ -1,0 +1,273 @@
+//! Streaming statistics used by the experiment harness and the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford online mean/variance accumulator.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation σ/μ — the "normalized rate" spread the
+    /// paper annotates on Figure 2. Zero when the mean is zero.
+    pub fn coeff_of_variation(&self) -> f64 {
+        if self.mean().abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.std_dev() / self.mean()
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Standard error of the mean, `σ/√n` (0 with fewer than 2 samples).
+    pub fn std_error(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            // Sample (n−1) variance for the error of the mean.
+            (self.m2 / (self.count - 1) as f64 / self.count as f64).sqrt()
+        }
+    }
+
+    /// A normal-approximation 95% confidence interval for the mean.
+    pub fn confidence95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_error();
+        (self.mean() - half, self.mean() + half)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Percentile summary over a collected sample (used for latency
+/// distributions reported by the simulator).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Percentiles {
+    sorted: Vec<f64>,
+}
+
+impl Percentiles {
+    /// Builds the summary from raw observations (takes ownership, sorts).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+        Percentiles { sorted: samples }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// The `q`-quantile for `q ∈ [0,1]` by linear interpolation between
+    /// closest ranks. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac)
+    }
+
+    /// Median (p50).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn welford_matches_direct() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert!(approx_eq(s.mean(), 5.0));
+        assert!(approx_eq(s.std_dev(), 2.0));
+        assert!(approx_eq(s.min(), 2.0));
+        assert!(approx_eq(s.max(), 9.0));
+        assert!(approx_eq(s.coeff_of_variation(), 0.4));
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.coeff_of_variation(), 0.0);
+    }
+
+    #[test]
+    fn std_error_shrinks_with_samples() {
+        let mut small = OnlineStats::new();
+        let mut large = OnlineStats::new();
+        for i in 0..10 {
+            small.push((i % 3) as f64);
+        }
+        for i in 0..1000 {
+            large.push((i % 3) as f64);
+        }
+        assert!(large.std_error() < small.std_error());
+        let (lo, hi) = large.confidence95();
+        assert!(lo < large.mean() && large.mean() < hi);
+        assert_eq!(OnlineStats::new().std_error(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert!(approx_eq(left.mean(), whole.mean()));
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.count(), whole.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a.clone();
+        a.merge(&OnlineStats::new());
+        assert!(approx_eq(a.mean(), before.mean()));
+
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert!(approx_eq(e.mean(), before.mean()));
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let p = Percentiles::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(approx_eq(p.quantile(0.0).unwrap(), 1.0));
+        assert!(approx_eq(p.quantile(1.0).unwrap(), 4.0));
+        assert!(approx_eq(p.median().unwrap(), 2.5));
+        assert!(approx_eq(p.quantile(1.0 / 3.0).unwrap(), 2.0));
+        assert!(approx_eq(p.mean().unwrap(), 2.5));
+    }
+
+    #[test]
+    fn percentiles_empty() {
+        let p = Percentiles::from_samples(vec![]);
+        assert_eq!(p.quantile(0.5), None);
+        assert_eq!(p.mean(), None);
+        assert_eq!(p.max(), None);
+    }
+}

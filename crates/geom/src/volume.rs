@@ -1,0 +1,436 @@
+//! Feasible-set volume estimation.
+//!
+//! The ROD objective is the volume of `F(A) = {R ≥ 0 : L^n R ≤ C}`. By
+//! Theorem 1 this set is always contained in the *ideal* simplex
+//! `{R ≥ 0 : Σ l_k r_k ≤ C_T}`, so we estimate the ratio
+//! `|F(A)| / |F*|` by drawing (quasi-)uniform points from the ideal simplex
+//! and counting how many satisfy every node constraint — precisely the
+//! procedure §7.1 describes for both the Borealis prototype ("randomly
+//! generating workload points, all within the ideal feasible set") and the
+//! simulator ("Quasi Monte Carlo integration"). Multiplying the ratio by
+//! the closed-form `V(F*) = C_T^d/(d! ∏ l_k)` recovers an absolute volume.
+//!
+//! For `d = 2` the exact polygon area from [`crate::polygon`] is available
+//! and is used in tests to validate the estimator.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hyperplane::Hyperplane;
+use crate::matrix::Matrix;
+use crate::qmc::HaltonSeq;
+use crate::simplex::{simplex_volume, SimplexSampler};
+use crate::vector::Vector;
+
+/// A feasible region `{R ≥ B : L^n R ≤ C}` with optional lower bound `B`
+/// (zero by default; non-zero for the §6.1 extension).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FeasibleRegion {
+    /// Node load-coefficient matrix `L^n` (n × d).
+    pub coefficients: Matrix,
+    /// Node capacity vector `C` (length n).
+    pub capacities: Vector,
+    /// Workload lower bound `B` (length d, component-wise).
+    pub lower_bound: Vector,
+}
+
+impl FeasibleRegion {
+    /// Region with zero lower bound.
+    pub fn new(coefficients: Matrix, capacities: Vector) -> Self {
+        let d = coefficients.cols();
+        assert_eq!(
+            coefficients.rows(),
+            capacities.dim(),
+            "one capacity per node required"
+        );
+        FeasibleRegion {
+            coefficients,
+            capacities,
+            lower_bound: Vector::zeros(d),
+        }
+    }
+
+    /// Region with an explicit lower bound `B` on the workload set.
+    pub fn with_lower_bound(coefficients: Matrix, capacities: Vector, lower_bound: Vector) -> Self {
+        assert_eq!(coefficients.cols(), lower_bound.dim());
+        let mut r = FeasibleRegion::new(coefficients, capacities);
+        r.lower_bound = lower_bound;
+        r
+    }
+
+    /// Number of input-rate dimensions `d`.
+    pub fn dim(&self) -> usize {
+        self.coefficients.cols()
+    }
+
+    /// Number of node constraints `n`.
+    pub fn constraints(&self) -> usize {
+        self.coefficients.rows()
+    }
+
+    /// True when rate point `r` satisfies every node constraint and the
+    /// lower bound.
+    pub fn contains(&self, r: &Vector) -> bool {
+        if !self.lower_bound.le(r) {
+            return false;
+        }
+        for i in 0..self.coefficients.rows() {
+            let load: f64 = self
+                .coefficients
+                .row(i)
+                .iter()
+                .zip(r.as_slice())
+                .map(|(l, x)| l * x)
+                .sum();
+            if load > self.capacities[i] + 1e-12 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Largest `α ≥ 0` such that `base + α·direction` stays feasible —
+    /// exact ray casting against the node hyperplanes:
+    /// `α* = min_i (C_i − L_i·base) / (L_i·direction)` over constraints
+    /// with positive directional load. `f64::INFINITY` when the ray never
+    /// leaves the region, `0.0` when `base` is already infeasible.
+    /// (The lower bound is ignored: headroom asks about growth.)
+    pub fn max_scale_along(&self, base: &Vector, direction: &Vector) -> f64 {
+        assert_eq!(base.dim(), self.dim());
+        assert_eq!(direction.dim(), self.dim());
+        let mut alpha = f64::INFINITY;
+        for i in 0..self.coefficients.rows() {
+            let row = self.coefficients.row(i);
+            let load: f64 = row.iter().zip(base.as_slice()).map(|(l, x)| l * x).sum();
+            let slack = self.capacities[i] - load;
+            if slack < 0.0 {
+                return 0.0;
+            }
+            let dir_load: f64 = row
+                .iter()
+                .zip(direction.as_slice())
+                .map(|(l, x)| l * x)
+                .sum();
+            if dir_load > 0.0 {
+                alpha = alpha.min(slack / dir_load);
+            }
+        }
+        alpha
+    }
+
+    /// The node hyperplanes `L^n_i · R = C_i`.
+    pub fn hyperplanes(&self) -> Vec<Hyperplane> {
+        (0..self.coefficients.rows())
+            .map(|i| Hyperplane::new(self.coefficients.row_vector(i), self.capacities[i]))
+            .collect()
+    }
+}
+
+/// High-accuracy volume of a three-dimensional feasible region by
+/// sweeping the third coordinate and integrating the *exact* clipped
+/// polygon area of each slice (composite Simpson). The slice-area
+/// function of a convex polytope is piecewise smooth, so a few thousand
+/// panels give ~1e-6 relative accuracy — an independent check of the
+/// quasi-Monte-Carlo estimator one dimension beyond the closed-form
+/// d = 2 case.
+///
+/// Returns `None` when the region is not 3-dimensional or is unbounded.
+pub fn exact_volume_3d(region: &FeasibleRegion) -> Option<f64> {
+    use crate::polygon::feasible_area;
+    if region.dim() != 3 {
+        return None;
+    }
+    if !region.lower_bound.as_slice().iter().all(|&b| b == 0.0) {
+        return None; // sweep assumes the full orthant
+    }
+    // Bound on x3: the tightest axis-2 intercept over all constraints.
+    let ln = &region.coefficients;
+    let x3_max = (0..ln.rows())
+        .filter(|&i| ln[(i, 2)] > 0.0)
+        .map(|i| region.capacities[i] / ln[(i, 2)])
+        .fold(f64::INFINITY, f64::min);
+    if !x3_max.is_finite() {
+        return None;
+    }
+    // Exact area of the slice at fixed x3.
+    let slice_area = |x3: f64| -> Option<f64> {
+        let constraints: Vec<Hyperplane> = (0..ln.rows())
+            .map(|i| {
+                Hyperplane::new(
+                    Vector::from([ln[(i, 0)], ln[(i, 1)]]),
+                    region.capacities[i] - ln[(i, 2)] * x3,
+                )
+            })
+            .collect();
+        // A negative remaining capacity makes the slice empty.
+        if constraints.iter().any(|h| h.offset < 0.0) {
+            return Some(0.0);
+        }
+        feasible_area(&constraints)
+    };
+    // Composite Simpson over [0, x3_max].
+    let panels = 4096usize; // even
+    let h = x3_max / panels as f64;
+    let mut sum = slice_area(0.0)? + slice_area(x3_max)?;
+    for j in 1..panels {
+        let weight = if j % 2 == 1 { 4.0 } else { 2.0 };
+        sum += weight * slice_area(j as f64 * h)?;
+    }
+    Some(sum * h / 3.0)
+}
+
+/// Result of a volume estimation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct VolumeEstimate {
+    /// Fraction of ideal-simplex sample points that were feasible.
+    pub ratio_to_ideal: f64,
+    /// `ratio_to_ideal × V(F*)`.
+    pub absolute: f64,
+    /// Exact volume of the enclosing ideal simplex.
+    pub ideal_volume: f64,
+    /// Number of sample points used.
+    pub samples: usize,
+}
+
+/// Quasi-Monte-Carlo estimator of feasible-set volume ratios.
+///
+/// The estimator is configured once with the total load coefficients
+/// `l = colsums(L^o)` and total capacity `C_T` (which define the ideal
+/// simplex) and can then score any number of candidate regions — all plans
+/// for the same query graph share the same ideal simplex, so they are
+/// scored against the *same* point set, making plan-to-plan comparisons
+/// noise-free.
+#[derive(Clone, Debug)]
+pub struct VolumeEstimator {
+    points: Vec<Vector>,
+    ideal_volume: f64,
+}
+
+impl VolumeEstimator {
+    /// Builds an estimator with `samples` scrambled-Halton points uniform
+    /// in the ideal simplex `{R ≥ 0 : Σ total_coeffs_k R_k ≤ total_cap}`.
+    pub fn new(total_coeffs: &[f64], total_cap: f64, samples: usize, seed: u64) -> Self {
+        let sampler = SimplexSampler::new(total_coeffs, total_cap);
+        let mut seq = HaltonSeq::shifted(total_coeffs.len(), seed);
+        let points = (0..samples)
+            .map(|_| sampler.map_cube_point(&seq.next_point()))
+            .collect();
+        VolumeEstimator {
+            points,
+            ideal_volume: simplex_volume(total_coeffs, total_cap),
+        }
+    }
+
+    /// Like [`VolumeEstimator::new`] but with a shifted Sobol' point set
+    /// — preferable at the higher dimensions (d ≥ ~6) where Halton's
+    /// correlation artefacts start to show.
+    pub fn with_sobol(total_coeffs: &[f64], total_cap: f64, samples: usize, seed: u64) -> Self {
+        let sampler = SimplexSampler::new(total_coeffs, total_cap);
+        let mut seq = crate::sobol::SobolSeq::shifted(total_coeffs.len(), seed);
+        let points = (0..samples)
+            .map(|_| sampler.map_cube_point(&seq.next_point()))
+            .collect();
+        VolumeEstimator {
+            points,
+            ideal_volume: simplex_volume(total_coeffs, total_cap),
+        }
+    }
+
+    /// Number of sample points held.
+    pub fn samples(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Exact ideal-simplex volume.
+    pub fn ideal_volume(&self) -> f64 {
+        self.ideal_volume
+    }
+
+    /// The shared sample points (for callers that need to score many plans
+    /// in a custom loop).
+    pub fn points(&self) -> &[Vector] {
+        &self.points
+    }
+
+    /// Estimates the volume of `region` (which must live in the same rate
+    /// space — same `d`, and be contained in the ideal simplex, which holds
+    /// for every region generated from an allocation of the same graph).
+    pub fn estimate(&self, region: &FeasibleRegion) -> VolumeEstimate {
+        assert_eq!(region.dim(), self.points.first().map_or(0, Vector::dim));
+        let hits = self.points.iter().filter(|p| region.contains(p)).count();
+        let ratio = hits as f64 / self.points.len() as f64;
+        VolumeEstimate {
+            ratio_to_ideal: ratio,
+            absolute: ratio * self.ideal_volume,
+            ideal_volume: self.ideal_volume,
+            samples: self.points.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::feasible_area;
+
+    fn region(rows: &[&[f64]], caps: &[f64]) -> FeasibleRegion {
+        FeasibleRegion::new(Matrix::from_rows(rows), Vector::from(caps))
+    }
+
+    #[test]
+    fn contains_respects_constraints() {
+        let r = region(&[&[1.0, 0.0], &[0.0, 1.0]], &[1.0, 2.0]);
+        assert!(r.contains(&Vector::from([0.5, 1.5])));
+        assert!(!r.contains(&Vector::from([1.5, 0.5])));
+        assert!(!r.contains(&Vector::from([0.5, 2.5])));
+    }
+
+    #[test]
+    fn contains_respects_lower_bound() {
+        let r = FeasibleRegion::with_lower_bound(
+            Matrix::from_rows(&[&[1.0, 1.0]]),
+            Vector::from([2.0]),
+            Vector::from([0.5, 0.0]),
+        );
+        assert!(r.contains(&Vector::from([0.6, 0.4])));
+        assert!(!r.contains(&Vector::from([0.4, 0.4])), "below lower bound");
+    }
+
+    #[test]
+    fn estimate_matches_exact_2d_area() {
+        // Example 2 plan (a): L^n = [[4,2],[6,9]], C = (1,1);
+        // ideal simplex: 10 r1 + 11 r2 <= 2.
+        let reg = region(&[&[4.0, 2.0], &[6.0, 9.0]], &[1.0, 1.0]);
+        let exact = feasible_area(&reg.hyperplanes()).unwrap();
+        let est = VolumeEstimator::new(&[10.0, 11.0], 2.0, 50_000, 7).estimate(&reg);
+        let rel_err = (est.absolute - exact).abs() / exact;
+        assert!(rel_err < 0.01, "relative error {rel_err}");
+    }
+
+    #[test]
+    fn ideal_region_has_ratio_one() {
+        // A single node holding everything with the full capacity is
+        // exactly the ideal simplex.
+        let reg = region(&[&[10.0, 11.0]], &[2.0]);
+        let est = VolumeEstimator::new(&[10.0, 11.0], 2.0, 20_000, 1).estimate(&reg);
+        assert!(est.ratio_to_ideal > 0.999, "ratio {}", est.ratio_to_ideal);
+    }
+
+    #[test]
+    fn tighter_region_has_smaller_ratio() {
+        let est = VolumeEstimator::new(&[1.0, 1.0, 1.0], 1.0, 30_000, 2);
+        let loose = region(
+            &[&[0.4, 0.3, 0.3], &[0.3, 0.4, 0.3], &[0.3, 0.3, 0.4]],
+            &[1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+        );
+        let tight = region(
+            &[&[0.8, 0.1, 0.1], &[0.1, 0.8, 0.1], &[0.1, 0.1, 0.8]],
+            &[1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+        );
+        let v_loose = est.estimate(&loose).ratio_to_ideal;
+        let v_tight = est.estimate(&tight).ratio_to_ideal;
+        assert!(
+            v_loose > v_tight,
+            "balanced plan {v_loose} should beat skewed plan {v_tight}"
+        );
+    }
+
+    #[test]
+    fn three_dim_exact_simplex_ratio() {
+        // Region {x >= 0 : x1+x2+x3 <= 1/2} inside ideal {sum <= 1} has
+        // ratio (1/2)^3 = 1/8.
+        let reg = region(&[&[1.0, 1.0, 1.0]], &[0.5]);
+        let est = VolumeEstimator::new(&[1.0, 1.0, 1.0], 1.0, 60_000, 3).estimate(&reg);
+        assert!(
+            (est.ratio_to_ideal - 0.125).abs() < 0.01,
+            "ratio {}",
+            est.ratio_to_ideal
+        );
+    }
+
+    #[test]
+    fn ray_casting_headroom() {
+        // x + y <= 1, base (0.25, 0.25): along +x the boundary is at
+        // alpha = 0.5; along the diagonal (1,1) at 0.25.
+        let reg = region(&[&[1.0, 1.0]], &[1.0]);
+        let base = Vector::from([0.25, 0.25]);
+        assert!((reg.max_scale_along(&base, &Vector::from([1.0, 0.0])) - 0.5).abs() < 1e-12);
+        assert!((reg.max_scale_along(&base, &Vector::from([1.0, 1.0])) - 0.25).abs() < 1e-12);
+        // A direction that only shrinks load never exits.
+        assert_eq!(
+            reg.max_scale_along(&base, &Vector::from([-1.0, 0.0])),
+            f64::INFINITY
+        );
+        // From an infeasible base, zero.
+        assert_eq!(
+            reg.max_scale_along(&Vector::from([2.0, 0.0]), &Vector::from([1.0, 0.0])),
+            0.0
+        );
+        // Boundary point found by the ray is itself feasible.
+        let alpha = reg.max_scale_along(&base, &Vector::from([1.0, 0.0]));
+        let boundary = &base + &Vector::from([alpha, 0.0]);
+        assert!(reg.contains(&boundary));
+    }
+
+    #[test]
+    fn exact_3d_volume_of_simplex() {
+        // {x >= 0 : x1 + x2 + x3 <= 1} has volume 1/6.
+        let reg = region(&[&[1.0, 1.0, 1.0]], &[1.0]);
+        let v = exact_volume_3d(&reg).unwrap();
+        assert!((v - 1.0 / 6.0).abs() < 1e-6, "volume {v}");
+    }
+
+    #[test]
+    fn exact_3d_volume_of_box() {
+        // [0,1]x[0,2]x[0,3] via three axis constraints → volume 6.
+        let reg = region(
+            &[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0]],
+            &[1.0, 2.0, 3.0],
+        );
+        let v = exact_volume_3d(&reg).unwrap();
+        assert!((v - 6.0).abs() < 1e-5, "volume {v}");
+    }
+
+    #[test]
+    fn exact_3d_validates_qmc_on_random_region() {
+        let reg = region(
+            &[&[2.0, 1.0, 0.5], &[0.5, 2.5, 1.0], &[1.0, 0.7, 2.0]],
+            &[1.0, 1.0, 1.0],
+        );
+        let exact = exact_volume_3d(&reg).unwrap();
+        let totals = [3.5, 4.2, 3.5];
+        let est = VolumeEstimator::new(&totals, 3.0, 80_000, 3).estimate(&reg);
+        let rel = (est.absolute - exact).abs() / exact;
+        assert!(
+            rel < 0.02,
+            "exact {exact} vs QMC {} (rel {rel})",
+            est.absolute
+        );
+    }
+
+    #[test]
+    fn exact_3d_rejects_wrong_dimension_and_unbounded() {
+        let reg2 = region(&[&[1.0, 1.0]], &[1.0]);
+        assert_eq!(exact_volume_3d(&reg2), None);
+        // x3 unconstrained → unbounded.
+        let unbounded = region(&[&[1.0, 1.0, 0.0]], &[1.0]);
+        assert_eq!(exact_volume_3d(&unbounded), None);
+    }
+
+    #[test]
+    fn sobol_estimator_matches_exact_2d_area() {
+        let reg = region(&[&[4.0, 2.0], &[6.0, 9.0]], &[1.0, 1.0]);
+        let exact = feasible_area(&reg.hyperplanes()).unwrap();
+        let est = VolumeEstimator::with_sobol(&[10.0, 11.0], 2.0, 50_000, 7).estimate(&reg);
+        let rel_err = (est.absolute - exact).abs() / exact;
+        assert!(rel_err < 0.01, "relative error {rel_err}");
+    }
+
+    #[test]
+    fn shared_points_give_identical_repeat_scores() {
+        let est = VolumeEstimator::new(&[1.0, 1.0], 1.0, 5_000, 9);
+        let reg = region(&[&[0.7, 0.6]], &[0.5]);
+        let a = est.estimate(&reg).ratio_to_ideal;
+        let b = est.estimate(&reg).ratio_to_ideal;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the geometry layer.
+
+use proptest::prelude::*;
+
+use rod_geom::polygon::{feasible_area, Polygon};
+use rod_geom::qmc::radical_inverse;
+use rod_geom::simplex::{simplex_volume, unit_cube_to_simplex, SimplexSampler};
+use rod_geom::{
+    approx_eq, FeasibleRegion, Hyperplane, Matrix, OnlineStats, Vector, VolumeEstimator,
+};
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    (1u32..1000).prop_map(|x| x as f64 / 100.0)
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(a in prop::collection::vec(-100.0..100.0f64, 1..8),
+                          b_seed in 0u64..1000) {
+        let mut b = a.clone();
+        for (i, x) in b.iter_mut().enumerate() {
+            *x = (*x + b_seed as f64) * 0.37 + i as f64;
+        }
+        let va = Vector::new(a);
+        let vb = Vector::new(b);
+        prop_assert!(approx_eq(va.dot(&vb), vb.dot(&va)));
+    }
+
+    #[test]
+    fn norm_triangle_inequality(pairs in prop::collection::vec(
+        (-50.0..50.0f64, -50.0..50.0f64), 1..8)) {
+        let (a, b): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let va = Vector::new(a);
+        let vb = Vector::new(b);
+        prop_assert!((&va + &vb).norm() <= va.norm() + vb.norm() + 1e-9);
+    }
+
+    #[test]
+    fn matmul_column_sums_preserved_by_allocation(
+        rows in prop::collection::vec(
+            prop::collection::vec(0.0..10.0f64, 3), 1..10),
+        nodes in 1usize..5,
+        assign_seed in 0u64..1000,
+    ) {
+        // A 0/1 allocation matrix never changes column sums of L^o.
+        let m = rows.len();
+        let lo = Matrix::from_rows(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>());
+        let mut a = Matrix::zeros(nodes, m);
+        for j in 0..m {
+            let node = ((assign_seed as usize).wrapping_mul(31).wrapping_add(j * 7)) % nodes;
+            a[(node, j)] = 1.0;
+        }
+        let ln = a.matmul(&lo);
+        for k in 0..3 {
+            prop_assert!(approx_eq(ln.col_sum(k), lo.col_sum(k)));
+        }
+    }
+
+    #[test]
+    fn radical_inverse_in_unit_interval(index in 1u64..1_000_000, base_idx in 0usize..5) {
+        let bases = [2u64, 3, 5, 7, 11];
+        let v = radical_inverse(index, bases[base_idx]);
+        prop_assert!((0.0..1.0).contains(&v));
+    }
+
+    #[test]
+    fn cube_to_simplex_preserves_nonnegativity_and_budget(
+        u in prop::collection::vec(0.0..1.0f64, 1..8)
+    ) {
+        let x = unit_cube_to_simplex(&Vector::new(u));
+        prop_assert!(x.is_nonnegative());
+        prop_assert!(x.sum() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn simplex_volume_scales_by_dth_power(coeffs in prop::collection::vec(small_f64(), 1..6),
+                                          scale in 1u32..5) {
+        // V(c·cap) = c^d V(cap).
+        let d = coeffs.len() as i32;
+        let v1 = simplex_volume(&coeffs, 1.0);
+        let vs = simplex_volume(&coeffs, scale as f64);
+        prop_assert!((vs / v1 - (scale as f64).powi(d)).abs() < 1e-6 * (scale as f64).powi(d));
+    }
+
+    #[test]
+    fn plane_distance_scales_inversely(normal in prop::collection::vec(small_f64(), 1..6),
+                                       factor in 1u32..10) {
+        let h1 = Hyperplane::new(Vector::new(normal.clone()), 1.0);
+        let h2 = Hyperplane::new(Vector::new(normal).scaled(factor as f64), 1.0);
+        prop_assert!(approx_eq(h1.plane_distance(), h2.plane_distance() * factor as f64));
+    }
+
+    #[test]
+    fn polygon_clipping_never_grows_area(w in small_f64(), h in small_f64(),
+                                         a in small_f64(), b in small_f64(),
+                                         c in small_f64()) {
+        let base = Polygon::quadrant_box(w, h);
+        let clipped = base.clip_halfplane(a, b, c);
+        prop_assert!(clipped.area() <= base.area() + 1e-9);
+    }
+
+    #[test]
+    fn feasibility_is_monotone(
+        rows in prop::collection::vec(prop::collection::vec(0.0..5.0f64, 2), 1..5),
+        point in prop::collection::vec(0.0..2.0f64, 2),
+        shrink in 0.0..1.0f64,
+    ) {
+        let lo = Matrix::from_rows(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>());
+        let caps = Vector::new(vec![3.0; rows.len()]);
+        let region = FeasibleRegion::new(lo, caps);
+        let p = Vector::new(point);
+        if region.contains(&p) {
+            prop_assert!(region.contains(&p.scaled(shrink)));
+        }
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential(
+        xs in prop::collection::vec(-100.0..100.0f64, 2..50),
+        split in 1usize..49,
+    ) {
+        prop_assume!(split < xs.len());
+        let mut whole = OnlineStats::new();
+        for &x in &xs { whole.push(x); }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..split] { left.push(x); }
+        for &x in &xs[split..] { right.push(x); }
+        left.merge(&right);
+        prop_assert!(approx_eq(left.mean(), whole.mean()));
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-6);
+    }
+}
+
+// Slower whole-pipeline property: QMC estimate matches exact polygon area
+// in 2-D for random two-node regions. Kept at few cases for speed.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn qmc_matches_exact_area_2d(
+        l11 in 1.0..10.0f64, l12 in 1.0..10.0f64,
+        l21 in 1.0..10.0f64, l22 in 1.0..10.0f64,
+    ) {
+        let ln = Matrix::from_rows(&[&[l11, l12], &[l21, l22]]);
+        let caps = Vector::from([1.0, 1.0]);
+        let region = FeasibleRegion::new(ln, caps);
+        let exact = feasible_area(&region.hyperplanes()).unwrap();
+        let totals = [l11 + l21, l12 + l22];
+        let est = VolumeEstimator::new(&totals, 2.0, 40_000, 1).estimate(&region);
+        let rel = (est.absolute - exact).abs() / exact.max(1e-12);
+        prop_assert!(rel < 0.03, "exact {exact} vs QMC {} (rel {rel})", est.absolute);
+    }
+
+    #[test]
+    fn sampler_points_satisfy_constraint(
+        coeffs in prop::collection::vec(0.5..8.0f64, 2..6),
+        cap in 0.5..5.0f64,
+        seed in 0u64..100,
+    ) {
+        let sampler = SimplexSampler::new(&coeffs, cap);
+        let mut rng = rod_geom::seeded_rng(seed);
+        for _ in 0..50 {
+            let p = sampler.sample(&mut rng);
+            let lhs: f64 = p.as_slice().iter().zip(&coeffs).map(|(x, c)| x * c).sum();
+            prop_assert!(lhs <= cap + 1e-9);
+            prop_assert!(p.is_nonnegative());
+        }
+    }
+}

@@ -1,0 +1,706 @@
+//! `rodctl` — command-line front end for the ROD library.
+//!
+//! ```text
+//! rodctl generate --kind tree --inputs 3 --ops-per-tree 12 --seed 7 > graph.json
+//! rodctl plan     --graph graph.json --nodes 4 [--algorithm rod|llf|connected|correlation|random] > plan.json
+//! rodctl evaluate --graph graph.json --plan plan.json --nodes 4 [--samples 20000]
+//! rodctl simulate --graph graph.json --plan plan.json --nodes 4 --rates 100,80,60 --horizon 30
+//! rodctl trace    --kind pkt --bins-log2 10 --mean 200 --out trace.csv
+//! ```
+//!
+//! Graphs and plans travel as JSON (the library types' serde form), so
+//! the pieces compose with shell pipelines and other tooling.
+
+use std::fs;
+use std::process::ExitCode;
+
+use rod::core::baselines::{
+    connected::ConnectedPlanner, correlation::CorrelationPlanner, llf::LlfPlanner,
+    random::RandomPlanner, Planner,
+};
+use rod::core::metrics::{make_estimator, report};
+use rod::prelude::*;
+use rod::workloads::financial::{compliance_rules, FinancialConfig};
+use rod::workloads::joins::{join_pairs, JoinConfig};
+use rod::workloads::traffic::{traffic_monitoring, TrafficConfig};
+
+/// Parsed command-line flags: `--name value` pairs after the subcommand.
+#[derive(Debug, Default)]
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got '{flag}'"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.get(name).unwrap_or(default)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad value '{v}'")),
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: rodctl <generate|plan|evaluate|explain|simulate> [--flag value]...\n\
+     \n\
+     generate --kind tree|traffic|financial|joins [--inputs N] [--ops-per-tree N] [--seed N]\n\
+     plan     --graph FILE --nodes N [--capacity C] [--algorithm rod|llf|connected|correlation|random]\n\
+     \u{20}        [--rates r1,r2,...] [--seed N] [--out FILE]\n\
+     evaluate --graph FILE --plan FILE --nodes N [--capacity C] [--samples N]\n\
+     explain  --graph FILE --plan FILE --nodes N [--capacity C]\n\
+     headroom --graph FILE --plan FILE --nodes N [--capacity C] --rates r1,r2,...\n\
+     compare  --graph FILE --nodes N [--capacity C] [--samples N] [--seed N]\n\
+     simulate --graph FILE --plan FILE --nodes N [--capacity C] [--horizon S] [--seed N]\n\
+     \u{20}        (--rates r1,r2,... | --traces a.csv,b.csv,...)\n\
+     trace    --kind pkt|tcp|http|poisson [--bins-log2 N] [--mean R] [--seed N] [--out FILE]"
+        .to_string()
+}
+
+fn parse_rates(spec: &str, expected: usize) -> Result<Vec<f64>, String> {
+    let rates: Result<Vec<f64>, _> = spec.split(',').map(str::parse).collect();
+    let rates = rates.map_err(|_| format!("--rates: bad list '{spec}'"))?;
+    if rates.len() != expected {
+        return Err(format!(
+            "--rates: expected {expected} values, got {}",
+            rates.len()
+        ));
+    }
+    Ok(rates)
+}
+
+fn load_graph(flags: &Flags) -> Result<rod::core::QueryGraph, String> {
+    let path = flags.require("graph")?;
+    let json = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let graph: rod::core::QueryGraph =
+        serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
+    // Deserialized graphs bypass the builder's correct-by-construction
+    // guarantees — validate structure before trusting them.
+    graph.validate().map_err(|e| format!("{path}: {e}"))?;
+    Ok(graph)
+}
+
+fn load_cluster(flags: &Flags) -> Result<Cluster, String> {
+    let nodes: usize = flags
+        .require("nodes")?
+        .parse()
+        .map_err(|_| "--nodes: bad value".to_string())?;
+    let capacity: f64 = flags.parse_num("capacity", 1.0)?;
+    Ok(Cluster::homogeneous(nodes, capacity))
+}
+
+fn load_plan(flags: &Flags) -> Result<Allocation, String> {
+    let path = flags.require("plan")?;
+    let json = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn cmd_generate(flags: &Flags) -> Result<String, String> {
+    let seed: u64 = flags.parse_num("seed", 0)?;
+    let inputs: usize = flags.parse_num("inputs", 3)?;
+    let graph = match flags.get_or("kind", "tree") {
+        "tree" => {
+            let ops: usize = flags.parse_num("ops-per-tree", 12)?;
+            RandomTreeGenerator::paper_default(inputs, ops).generate(seed)
+        }
+        "traffic" => traffic_monitoring(&TrafficConfig {
+            links: inputs,
+            ..TrafficConfig::default()
+        }),
+        "financial" => compliance_rules(
+            &FinancialConfig {
+                feeds: inputs,
+                ..FinancialConfig::default()
+            },
+            seed,
+        ),
+        "joins" => join_pairs(
+            &JoinConfig {
+                pairs: inputs.div_ceil(2),
+                ..JoinConfig::default()
+            },
+            seed,
+        ),
+        other => return Err(format!("--kind: unknown workload '{other}'")),
+    };
+    serde_json::to_string_pretty(&graph).map_err(|e| e.to_string())
+}
+
+fn cmd_plan(flags: &Flags) -> Result<String, String> {
+    let graph = load_graph(flags)?;
+    let cluster = load_cluster(flags)?;
+    let model = LoadModel::derive(&graph).map_err(|e| e.to_string())?;
+    let seed: u64 = flags.parse_num("seed", 0)?;
+    let rates = match flags.get("rates") {
+        Some(spec) => parse_rates(spec, graph.num_inputs())?,
+        None => vec![1.0; graph.num_inputs()],
+    };
+    let allocation = match flags.get_or("algorithm", "rod") {
+        "rod" => RodPlanner::new()
+            .place(&model, &cluster)
+            .map(|p| p.allocation),
+        "llf" => LlfPlanner::new(rates).plan(&model, &cluster),
+        "connected" => ConnectedPlanner::new(rates).plan(&model, &cluster),
+        "correlation" => {
+            // Synthesise a jittered history around the given rates.
+            let history: Vec<Vec<f64>> = (0..32)
+                .map(|t| {
+                    rates
+                        .iter()
+                        .enumerate()
+                        .map(|(k, r)| r * (1.0 + 0.3 * (((t * (k + 1)) % 7) as f64 - 3.0) / 3.0))
+                        .collect()
+                })
+                .collect();
+            CorrelationPlanner::new(history).plan(&model, &cluster)
+        }
+        "random" => RandomPlanner::new(seed).plan(&model, &cluster),
+        other => return Err(format!("--algorithm: unknown '{other}'")),
+    }
+    .map_err(|e| e.to_string())?;
+    let json = serde_json::to_string_pretty(&allocation).map_err(|e| e.to_string())?;
+    if let Some(path) = flags.get("out") {
+        fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+        Ok(format!("plan written to {path}"))
+    } else {
+        Ok(json)
+    }
+}
+
+fn cmd_evaluate(flags: &Flags) -> Result<String, String> {
+    let graph = load_graph(flags)?;
+    let cluster = load_cluster(flags)?;
+    let plan = load_plan(flags)?;
+    let model = LoadModel::derive(&graph).map_err(|e| e.to_string())?;
+    let samples: usize = flags.parse_num("samples", 20_000)?;
+    let ev = PlanEvaluator::new(&model, &cluster);
+    let estimator = make_estimator(&model, &cluster, samples, 1);
+    let rep = report("plan", &ev, &estimator, &plan);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "operators: {}   rate variables: {}   nodes: {}\n",
+        model.num_operators(),
+        model.num_vars(),
+        cluster.num_nodes()
+    ));
+    out.push_str(&format!(
+        "feasible-set ratio (vs ideal): {:.4}\n",
+        rep.feasible_ratio
+    ));
+    out.push_str(&format!(
+        "min plane distance: {:.4}\n",
+        rep.min_plane_distance
+    ));
+    out.push_str(&format!(
+        "min axis distances: {:?}\n",
+        rep.min_axis_distances
+            .iter()
+            .map(|d| format!("{d:.3}"))
+            .collect::<Vec<_>>()
+    ));
+    out.push_str(&format!("max weight: {:.4}\n", rep.max_weight));
+    out.push_str(&format!("inter-node arcs: {}\n", rep.internode_arcs));
+    out.push_str(&format!("operators per node: {:?}", rep.node_counts));
+    Ok(out)
+}
+
+fn cmd_explain(flags: &Flags) -> Result<String, String> {
+    let graph = load_graph(flags)?;
+    let cluster = load_cluster(flags)?;
+    let plan = load_plan(flags)?;
+    let model = LoadModel::derive(&graph).map_err(|e| e.to_string())?;
+    let ev = PlanEvaluator::new(&model, &cluster);
+    Ok(rod::core::explain::explain_plan(&ev, &plan))
+}
+
+fn cmd_trace(flags: &Flags) -> Result<String, String> {
+    use rod::traces::PaperTrace;
+    let bins_log2: u32 = flags.parse_num("bins-log2", 10)?;
+    let mean: f64 = flags.parse_num("mean", 1.0)?;
+    let seed: u64 = flags.parse_num("seed", 0)?;
+    let trace = match flags.get_or("kind", "pkt") {
+        "pkt" => PaperTrace::Pkt.generate(bins_log2, seed).with_mean(mean),
+        "tcp" => PaperTrace::Tcp.generate(bins_log2, seed).with_mean(mean),
+        "http" => PaperTrace::Http.generate(bins_log2, seed).with_mean(mean),
+        "poisson" => rod::traces::poisson::PoissonTrace {
+            rate: mean,
+            bins: 1 << bins_log2,
+            dt: 1.0,
+        }
+        .generate(seed),
+        other => return Err(format!("--kind: unknown trace '{other}'")),
+    };
+    let csv = rod::traces::to_csv(&trace);
+    if let Some(path) = flags.get("out") {
+        fs::write(path, &csv).map_err(|e| format!("write {path}: {e}"))?;
+        Ok(format!(
+            "{} bins written to {path} (mean {:.2}, cov {:.3})",
+            trace.len(),
+            trace.mean(),
+            trace.summary().coeff_of_variation()
+        ))
+    } else {
+        Ok(csv)
+    }
+}
+
+fn cmd_compare(flags: &Flags) -> Result<String, String> {
+    use rod::core::metrics::feasible_ratio;
+    let graph = load_graph(flags)?;
+    let cluster = load_cluster(flags)?;
+    let model = LoadModel::derive(&graph).map_err(|e| e.to_string())?;
+    let samples: usize = flags.parse_num("samples", 20_000)?;
+    let seed: u64 = flags.parse_num("seed", 0)?;
+    let ev = PlanEvaluator::new(&model, &cluster);
+    let estimator = make_estimator(&model, &cluster, samples, seed);
+    let rates = vec![1.0; graph.num_inputs()];
+    let history: Vec<Vec<f64>> = (0..32)
+        .map(|t| {
+            rates
+                .iter()
+                .enumerate()
+                .map(|(k, r)| r * (1.0 + 0.3 * (((t * (k + 1)) % 7) as f64 - 3.0) / 3.0))
+                .collect()
+        })
+        .collect();
+    let plans: Vec<(&str, Allocation)> = vec![
+        (
+            "ROD",
+            RodPlanner::new()
+                .place(&model, &cluster)
+                .map_err(|e| e.to_string())?
+                .allocation,
+        ),
+        (
+            "Correlation",
+            CorrelationPlanner::new(history)
+                .plan(&model, &cluster)
+                .map_err(|e| e.to_string())?,
+        ),
+        (
+            "LLF",
+            LlfPlanner::new(rates.clone())
+                .plan(&model, &cluster)
+                .map_err(|e| e.to_string())?,
+        ),
+        (
+            "Random",
+            RandomPlanner::new(seed)
+                .plan(&model, &cluster)
+                .map_err(|e| e.to_string())?,
+        ),
+        (
+            "Connected",
+            ConnectedPlanner::new(rates)
+                .plan(&model, &cluster)
+                .map_err(|e| e.to_string())?,
+        ),
+    ];
+    let mut out = format!(
+        "{:>12}  {:>12}  {:>15}\n",
+        "algorithm", "ratio/ideal", "min plane dist"
+    );
+    for (name, alloc) in &plans {
+        out.push_str(&format!(
+            "{:>12}  {:>12.4}  {:>15.4}\n",
+            name,
+            feasible_ratio(&ev, &estimator, alloc),
+            ev.min_plane_distance(alloc)
+        ));
+    }
+    Ok(out.trim_end().to_string())
+}
+
+fn cmd_headroom(flags: &Flags) -> Result<String, String> {
+    let graph = load_graph(flags)?;
+    let cluster = load_cluster(flags)?;
+    let plan = load_plan(flags)?;
+    let model = LoadModel::derive(&graph).map_err(|e| e.to_string())?;
+    let rates = parse_rates(flags.require("rates")?, graph.num_inputs())?;
+    let ev = PlanEvaluator::new(&model, &cluster);
+    let report = rod::core::headroom::headroom(&ev, &plan, &rates);
+    let mut out = format!("headroom at rates {rates:?}:\n");
+    for (k, m) in report.per_stream.iter().enumerate() {
+        out.push_str(&format!("  stream {k} alone can grow to {m:.2}x\n"));
+    }
+    out.push_str(&format!(
+        "  the whole mix can grow to {:.2}x (node {} saturates first)",
+        report.uniform, report.binding_node
+    ));
+    Ok(out)
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<String, String> {
+    let graph = load_graph(flags)?;
+    let cluster = load_cluster(flags)?;
+    let plan = load_plan(flags)?;
+    let horizon: f64 = flags.parse_num("horizon", 30.0)?;
+    let seed: u64 = flags.parse_num("seed", 0)?;
+    let (sources, description) = match (flags.get("rates"), flags.get("traces")) {
+        (Some(spec), None) => {
+            let rates = parse_rates(spec, graph.num_inputs())?;
+            let sources = rates.iter().map(|&r| SourceSpec::ConstantRate(r)).collect();
+            (sources, format!("rates {rates:?}"))
+        }
+        (None, Some(paths)) => {
+            let paths: Vec<&str> = paths.split(',').collect();
+            if paths.len() != graph.num_inputs() {
+                return Err(format!(
+                    "--traces: expected {} files, got {}",
+                    graph.num_inputs(),
+                    paths.len()
+                ));
+            }
+            let mut sources = Vec::new();
+            for path in &paths {
+                let trace = rod::traces::read_csv_file(path).map_err(|e| format!("{path}: {e}"))?;
+                sources.push(SourceSpec::TraceDriven(trace));
+            }
+            (sources, format!("traces {paths:?}"))
+        }
+        _ => return Err("simulate needs exactly one of --rates or --traces".into()),
+    };
+    let report = Simulation::new(
+        &graph,
+        &plan,
+        &cluster,
+        sources,
+        SimulationConfig {
+            horizon,
+            warmup: horizon * 0.15,
+            seed,
+            ..SimulationConfig::default()
+        },
+    )
+    .run();
+    let mut out = String::new();
+    out.push_str(&format!("simulated {horizon} s with {description}\n"));
+    out.push_str(&format!(
+        "node utilisations: {:?}\n",
+        report
+            .utilisations
+            .iter()
+            .map(|u| format!("{u:.3}"))
+            .collect::<Vec<_>>()
+    ));
+    out.push_str(&format!(
+        "tuples: in {}, out {}, processed {}\n",
+        report.tuples_in, report.tuples_out, report.tuples_processed
+    ));
+    match report.mean_latency() {
+        Some(l) => out.push_str(&format!(
+            "latency: mean {:.2} ms, p99 {:.2} ms\n",
+            l * 1e3,
+            report.latencies.quantile(0.99).unwrap_or(f64::NAN) * 1e3
+        )),
+        None => out.push_str("latency: no sink tuples observed\n"),
+    }
+    out.push_str(&format!(
+        "feasible (util < 97%): {}",
+        report.is_feasible(0.97)
+    ));
+    Ok(out)
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let command = args.first().ok_or_else(usage)?;
+    let flags = Flags::parse(&args[1..])?;
+    match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "plan" => cmd_plan(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        "explain" => cmd_explain(&flags),
+        "headroom" => cmd_headroom(&flags),
+        "compare" => cmd_compare(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "trace" => cmd_trace(&flags),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("rodctl: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_pairs() {
+        let f = Flags::parse(&strings(&["--a", "1", "--b", "x"])).unwrap();
+        assert_eq!(f.get("a"), Some("1"));
+        assert_eq!(f.get("b"), Some("x"));
+        assert_eq!(f.get("c"), None);
+        assert_eq!(f.get_or("c", "z"), "z");
+    }
+
+    #[test]
+    fn flags_reject_bad_shapes() {
+        assert!(Flags::parse(&strings(&["positional"])).is_err());
+        assert!(Flags::parse(&strings(&["--dangling"])).is_err());
+    }
+
+    #[test]
+    fn parse_rates_validates_arity() {
+        assert_eq!(parse_rates("1,2,3", 3).unwrap(), vec![1.0, 2.0, 3.0]);
+        assert!(parse_rates("1,2", 3).is_err());
+        assert!(parse_rates("1,x", 2).is_err());
+    }
+
+    #[test]
+    fn generate_emits_valid_graph_json() {
+        let f = Flags::parse(&strings(&[
+            "--kind", "tree", "--inputs", "2", "--seed", "3",
+        ]))
+        .unwrap();
+        let json = cmd_generate(&f).unwrap();
+        let graph: rod::core::QueryGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(graph.num_inputs(), 2);
+    }
+
+    #[test]
+    fn generate_rejects_unknown_kind() {
+        let f = Flags::parse(&strings(&["--kind", "nonsense"])).unwrap();
+        assert!(cmd_generate(&f).is_err());
+    }
+
+    #[test]
+    fn full_pipeline_via_tempfiles() {
+        let dir = std::env::temp_dir().join(format!("rodctl-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("graph.json");
+        let plan_path = dir.join("plan.json");
+
+        // generate
+        let f = Flags::parse(&strings(&[
+            "--kind", "tree", "--inputs", "2", "--seed", "1",
+        ]))
+        .unwrap();
+        fs::write(&graph_path, cmd_generate(&f).unwrap()).unwrap();
+
+        // plan
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            graph_path.to_str().unwrap(),
+            "--nodes",
+            "2",
+            "--out",
+            plan_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = cmd_plan(&f).unwrap();
+        assert!(msg.contains("written"));
+
+        // evaluate
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            graph_path.to_str().unwrap(),
+            "--plan",
+            plan_path.to_str().unwrap(),
+            "--nodes",
+            "2",
+            "--samples",
+            "2000",
+        ]))
+        .unwrap();
+        let out = cmd_evaluate(&f).unwrap();
+        assert!(out.contains("feasible-set ratio"));
+
+        // explain
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            graph_path.to_str().unwrap(),
+            "--plan",
+            plan_path.to_str().unwrap(),
+            "--nodes",
+            "2",
+        ]))
+        .unwrap();
+        let out = cmd_explain(&f).unwrap();
+        assert!(out.contains("binding node"));
+
+        // simulate
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            graph_path.to_str().unwrap(),
+            "--plan",
+            plan_path.to_str().unwrap(),
+            "--nodes",
+            "2",
+            "--rates",
+            "20,20",
+            "--horizon",
+            "5",
+        ]))
+        .unwrap();
+        let out = cmd_simulate(&f).unwrap();
+        assert!(out.contains("node utilisations"));
+
+        // trace generation + trace-driven simulate
+        let trace_path = dir.join("trace.csv");
+        let f = Flags::parse(&strings(&[
+            "--kind",
+            "poisson",
+            "--bins-log2",
+            "6",
+            "--mean",
+            "20",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = cmd_trace(&f).unwrap();
+        assert!(msg.contains("bins written"));
+        let traces_arg = format!("{0},{0}", trace_path.to_str().unwrap());
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            graph_path.to_str().unwrap(),
+            "--plan",
+            plan_path.to_str().unwrap(),
+            "--nodes",
+            "2",
+            "--traces",
+            &traces_arg,
+            "--horizon",
+            "5",
+        ]))
+        .unwrap();
+        let out = cmd_simulate(&f).unwrap();
+        assert!(out.contains("traces"));
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_requires_exactly_one_source_kind() {
+        let f = Flags::parse(&strings(&["--graph", "x", "--plan", "y", "--nodes", "1"])).unwrap();
+        // Fails before touching files because neither --rates nor
+        // --traces was given? No — graph loads first; use a bad path to
+        // verify the error chain is file-first, then source-kind.
+        assert!(cmd_simulate(&f).is_err());
+    }
+
+    #[test]
+    fn trace_kinds_generate() {
+        for kind in ["pkt", "tcp", "http", "poisson"] {
+            let f = Flags::parse(&strings(&["--kind", kind, "--bins-log2", "5"])).unwrap();
+            let csv = cmd_trace(&f).unwrap();
+            assert!(csv.lines().count() > 30, "{kind}: {}", csv.lines().count());
+        }
+        let f = Flags::parse(&strings(&["--kind", "nope"])).unwrap();
+        assert!(cmd_trace(&f).is_err());
+    }
+
+    #[test]
+    fn unknown_command_reports_usage() {
+        let err = run(&strings(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("usage"));
+    }
+
+    #[test]
+    fn compare_ranks_rod_first_on_tree_workloads() {
+        let dir = std::env::temp_dir().join(format!("rodctl-cmp-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("graph.json");
+        let f = Flags::parse(&strings(&[
+            "--kind",
+            "tree",
+            "--inputs",
+            "3",
+            "--ops-per-tree",
+            "10",
+        ]))
+        .unwrap();
+        fs::write(&graph_path, cmd_generate(&f).unwrap()).unwrap();
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            graph_path.to_str().unwrap(),
+            "--nodes",
+            "3",
+            "--samples",
+            "5000",
+        ]))
+        .unwrap();
+        let out = cmd_compare(&f).unwrap();
+        assert!(out.contains("ROD"));
+        assert!(out.contains("Connected"));
+        // ROD's row is the first data row; parse its ratio and check it
+        // is the maximum of all rows.
+        let ratios: Vec<f64> = out
+            .lines()
+            .skip(1)
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse::<f64>().unwrap())
+            .collect();
+        let rod = ratios[0];
+        assert!(ratios.iter().all(|&r| rod >= r - 1e-9), "{ratios:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_algorithm_plans() {
+        let dir = std::env::temp_dir().join(format!("rodctl-algos-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("graph.json");
+        let f = Flags::parse(&strings(&["--kind", "tree", "--inputs", "2"])).unwrap();
+        fs::write(&graph_path, cmd_generate(&f).unwrap()).unwrap();
+        for algo in ["rod", "llf", "connected", "correlation", "random"] {
+            let f = Flags::parse(&strings(&[
+                "--graph",
+                graph_path.to_str().unwrap(),
+                "--nodes",
+                "2",
+                "--algorithm",
+                algo,
+            ]))
+            .unwrap();
+            let json = cmd_plan(&f).unwrap();
+            let plan: Allocation = serde_json::from_str(&json).unwrap();
+            assert!(plan.is_complete(), "{algo} produced incomplete plan");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,1454 @@
+//! The discrete-event simulation engine.
+//!
+//! Each node is a single-server queue: tuples queued at its hosted
+//! operators are served FIFO, each occupying the CPU for
+//! `per-tuple cost / node capacity` seconds. Emission (selectivity) is
+//! decided when service starts; windowed joins maintain real tuple
+//! windows and pay per pair examined, so join load is bilinear in the
+//! input rates by construction, matching §6.2's analytical model.
+//!
+//! With [`SimulationConfig::migration`] set, a dynamic load manager runs
+//! alongside: every control period it samples window utilisations and
+//! migrates one operator from the hottest to the coolest node, paying
+//! the paper's "few hundred milliseconds" downtime (plus a state-size
+//! term) during which the operator's input is buffered. This is the
+//! reactive regime the paper's introduction argues cannot keep up with
+//! short-term bursts — now demonstrable against static ROD placements.
+
+use std::collections::VecDeque;
+
+use rand::Rng as _;
+
+use rod_core::allocation::Allocation;
+use rod_core::cluster::Cluster;
+use rod_core::graph::QueryGraph;
+use rod_core::ids::{NodeId, OperatorId, StreamId};
+use rod_core::operator::OperatorKind;
+use rod_geom::rng::{seeded_rng, Rng};
+use rod_geom::Percentiles;
+
+use crate::events::{EventKind, EventQueue, Tuple};
+use crate::report::{SimReport, TimelineSample};
+use crate::source::SourceSpec;
+
+/// Network cost model (the §6.3 relaxation of "communication is free").
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkConfig {
+    /// One-way latency added to tuples crossing nodes (seconds).
+    pub latency: f64,
+    /// CPU seconds charged to the *sending* node per remote tuple.
+    pub send_cpu_cost: f64,
+    /// CPU seconds charged to the *receiving* node per remote tuple.
+    pub recv_cpu_cost: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        // §2.1's initial assumption: high-bandwidth LAN, negligible CPU
+        // overhead — a small latency only.
+        NetworkConfig {
+            latency: 1e-3,
+            send_cpu_cost: 0.0,
+            recv_cpu_cost: 0.0,
+        }
+    }
+}
+
+/// Configuration of the optional *dynamic* load manager — the
+/// operator-migration machinery the paper's introduction argues is too
+/// slow for short-term bursts ("the base overhead of run-time operator
+/// migration is on the order of a few hundred milliseconds. Operators
+/// with large states will have longer migration times"). Enabling it
+/// turns the simulator into the reactive system ROD is compared against.
+#[derive(Clone, Debug)]
+pub struct MigrationConfig {
+    /// Control period: utilisation is sampled and a migration considered
+    /// every this many seconds.
+    pub check_interval: f64,
+    /// Act only when some node's window utilisation exceeds this.
+    pub utilisation_trigger: f64,
+    /// ... and the hottest−coolest utilisation gap exceeds this.
+    pub imbalance_trigger: f64,
+    /// Fixed migration downtime (seconds) — the paper's "few hundred
+    /// milliseconds" base overhead.
+    pub base_downtime: f64,
+    /// Additional downtime per buffered work item, modelling state size.
+    pub per_item_downtime: f64,
+    /// Operators the manager must never move — the paper's hybrid regime
+    /// (§1: "the techniques presented here can be used to place operators
+    /// with large state size. Lighter-weight operators can be moved more
+    /// frequently using a dynamic algorithm").
+    pub pinned: Vec<OperatorId>,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            check_interval: 1.0,
+            utilisation_trigger: 0.85,
+            imbalance_trigger: 0.2,
+            base_downtime: 0.25,
+            per_item_downtime: 1e-4,
+            pinned: Vec::new(),
+        }
+    }
+}
+
+/// How a node picks the next queued work item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedulingPolicy {
+    /// Strict arrival order across all hosted operators (the default and
+    /// the discipline the load model's FIFO latency assumptions match).
+    #[default]
+    Fifo,
+    /// Rotate among hosted operators that have queued work — fair CPU
+    /// sharing regardless of input rates.
+    RoundRobin,
+    /// Serve the operator with the most queued items first — drains the
+    /// deepest backlog, at the cost of starving light operators during
+    /// overload.
+    LongestQueueFirst,
+}
+
+/// A scheduled node outage: the node performs no work in `[start, end)`
+/// while its queues keep growing — fail-stop failure injection for
+/// testing how placements degrade when capacity disappears.
+#[derive(Clone, Copy, Debug)]
+pub struct Outage {
+    /// The failed node.
+    pub node: NodeId,
+    /// Outage start time.
+    pub start: f64,
+    /// Outage end (recovery) time.
+    pub end: f64,
+}
+
+/// Run parameters.
+#[derive(Clone, Debug)]
+pub struct SimulationConfig {
+    /// Total simulated time.
+    pub horizon: f64,
+    /// Prefix excluded from utilisation / latency measurement.
+    pub warmup: f64,
+    /// RNG seed (sources and selectivity draws).
+    pub seed: u64,
+    /// Network cost model.
+    pub network: NetworkConfig,
+    /// Optional dynamic operator migration (None = static placement, the
+    /// ROD regime).
+    pub migration: Option<MigrationConfig>,
+    /// Take a runtime snapshot ([`crate::report::TimelineSample`]) every
+    /// this many seconds (None = no timeline).
+    pub sample_interval: Option<f64>,
+    /// Node scheduling discipline.
+    pub scheduling: SchedulingPolicy,
+    /// Fail-stop outages to inject.
+    pub outages: Vec<Outage>,
+    /// Borealis-style load shedding: when a node's queue already holds
+    /// this many items, further arrivals for that node are dropped (and
+    /// counted) instead of queued. None = never shed (queues grow until
+    /// `max_queue` aborts the run).
+    pub shed_above: Option<usize>,
+    /// Abort the run (marking it saturated) when this many work items are
+    /// queued — the memory-safe signature of an overloaded point.
+    pub max_queue: usize,
+    /// Keep at most this many latency samples (uniform thinning beyond).
+    pub max_latency_samples: usize,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            horizon: 30.0,
+            warmup: 5.0,
+            seed: 0,
+            network: NetworkConfig::default(),
+            migration: None,
+            sample_interval: None,
+            scheduling: SchedulingPolicy::default(),
+            outages: Vec::new(),
+            shed_above: None,
+            max_queue: 200_000,
+            max_latency_samples: 100_000,
+        }
+    }
+}
+
+/// A queued unit of work: one tuple at one operator input port.
+#[derive(Clone, Copy, Debug)]
+struct WorkItem {
+    op: OperatorId,
+    port: usize,
+    tuple: Tuple,
+    /// Extra CPU charged on this node (network receive overhead).
+    recv_overhead: f64,
+}
+
+/// Join window entry.
+#[derive(Clone, Copy, Debug)]
+struct WindowEntry {
+    time: f64,
+    #[allow(dead_code)] // carried for future join-output lineage options
+    tuple: Tuple,
+}
+
+/// Per-node runtime state.
+#[derive(Debug)]
+struct NodeState {
+    queue: VecDeque<WorkItem>,
+    busy: bool,
+    /// Busy time accumulated within the measurement window.
+    measured_busy: f64,
+    /// Busy time accumulated since the last control tick.
+    window_busy: f64,
+    /// Busy time accumulated since the last timeline sample.
+    sample_busy: f64,
+    /// Emissions scheduled to fire when the current service completes:
+    /// (stream, tuple).
+    pending_emissions: Vec<(StreamId, Tuple)>,
+}
+
+/// Per-join runtime state: tuple windows for both inputs.
+#[derive(Debug, Default)]
+struct JoinState {
+    windows: [VecDeque<WindowEntry>; 2],
+}
+
+/// Mutable engine state, shared by the event handlers.
+struct Runtime<'a> {
+    graph: &'a QueryGraph,
+    network: NetworkConfig,
+    horizon: f64,
+    warmup: f64,
+    consumers: Vec<Vec<(OperatorId, usize)>>,
+    capacity: Vec<f64>,
+    /// Current host of every operator — mutable under migration.
+    host: Vec<NodeId>,
+    nodes: Vec<NodeState>,
+    joins: Vec<JoinState>,
+    /// In-flight migrations: destination and buffered input per operator.
+    migrating: Vec<Option<(NodeId, Vec<WorkItem>)>>,
+    /// Busy time attributed to each operator since the last control tick.
+    op_window_busy: Vec<f64>,
+    scheduling: SchedulingPolicy,
+    /// Per-node shedding threshold (usize::MAX = disabled).
+    shed_above: usize,
+    /// Tuples dropped by load shedding.
+    tuples_shed: u64,
+    /// Nodes currently failed (no dispatching).
+    down: Vec<bool>,
+    /// Round-robin cursor per node (last served operator index).
+    rr_cursor: Vec<usize>,
+    /// Total busy time attributed to each operator (whole run).
+    op_total_busy: Vec<f64>,
+    /// Tuples served per operator (whole run).
+    op_served: Vec<u64>,
+    queue: EventQueue,
+    rng: Rng,
+    queued_total: usize,
+    peak_queue: usize,
+    tuples_processed: u64,
+    migrations: u64,
+    migration_downtime: f64,
+    timeline: Vec<TimelineSample>,
+}
+
+impl Runtime<'_> {
+    /// Routes a work item either to its operator's node queue or, if the
+    /// operator is mid-migration, into its transfer buffer.
+    fn enqueue(&mut self, item: WorkItem, now: f64) {
+        if let Some((_, buffer)) = &mut self.migrating[item.op.index()] {
+            if buffer.len() >= self.shed_above {
+                self.tuples_shed += 1;
+                return;
+            }
+            self.queued_total += 1;
+            self.peak_queue = self.peak_queue.max(self.queued_total);
+            buffer.push(item);
+            return;
+        }
+        let node = self.host[item.op.index()].index();
+        if self.nodes[node].queue.len() >= self.shed_above {
+            self.tuples_shed += 1;
+            return;
+        }
+        self.queued_total += 1;
+        self.peak_queue = self.peak_queue.max(self.queued_total);
+        self.nodes[node].queue.push_back(item);
+        if !self.nodes[node].busy && !self.down[node] {
+            self.dispatch(node, now);
+        }
+    }
+
+    /// Picks the index (within the node's queue) of the next item to
+    /// serve, per the configured scheduling discipline.
+    fn pick_next(&mut self, node: usize) -> usize {
+        let queue = &self.nodes[node].queue;
+        debug_assert!(!queue.is_empty());
+        match self.scheduling {
+            SchedulingPolicy::Fifo => 0,
+            SchedulingPolicy::LongestQueueFirst => {
+                // Count queued items per operator, serve the head item of
+                // the deepest backlog.
+                let mut counts: std::collections::HashMap<usize, usize> =
+                    std::collections::HashMap::new();
+                for item in queue {
+                    *counts.entry(item.op.index()).or_default() += 1;
+                }
+                let (&busiest, _) = counts
+                    .iter()
+                    .max_by_key(|(op, count)| (**count, usize::MAX - **op))
+                    .expect("non-empty queue");
+                queue
+                    .iter()
+                    .position(|item| item.op.index() == busiest)
+                    .expect("busiest operator has an item")
+            }
+            SchedulingPolicy::RoundRobin => {
+                // The first queued item of the lowest operator index
+                // strictly greater than the cursor, wrapping.
+                let cursor = self.rr_cursor[node];
+                let key = |op: usize| {
+                    if op > cursor {
+                        op - cursor
+                    } else {
+                        op + self.graph.num_operators() - cursor
+                    }
+                };
+                let (pos, _) = queue
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, item)| key(item.op.index()))
+                    .expect("non-empty queue");
+                pos
+            }
+        }
+    }
+
+    /// Starts service of the next queued item on `node` at time `now`.
+    fn dispatch(&mut self, node: usize, now: f64) {
+        let pick = self.pick_next(node);
+        let item = self.nodes[node]
+            .queue
+            .remove(pick)
+            .expect("dispatch on empty queue");
+        if self.scheduling == SchedulingPolicy::RoundRobin {
+            self.rr_cursor[node] = item.op.index();
+        }
+        self.queued_total -= 1;
+        let op = self.graph.operator(item.op);
+
+        // Raw CPU cost and emission count for this tuple.
+        let (raw_cost, emit_count) = match &op.kind {
+            OperatorKind::Linear {
+                costs,
+                selectivities,
+            } => (
+                costs[item.port],
+                bernoulli_emissions(selectivities[item.port], &mut self.rng),
+            ),
+            OperatorKind::VariableSelectivity {
+                costs,
+                nominal_selectivities,
+            } => (
+                costs[item.port],
+                bernoulli_emissions(nominal_selectivities[item.port], &mut self.rng),
+            ),
+            OperatorKind::WindowJoin {
+                window,
+                cost_per_pair,
+                selectivity_per_pair,
+            } => {
+                let state = &mut self.joins[item.op.index()];
+                let other = 1 - item.port;
+                // Prune the partner window, then match against it.
+                while let Some(front) = state.windows[other].front() {
+                    if front.time < now - window {
+                        state.windows[other].pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                let pairs = state.windows[other].len();
+                // Insert this tuple into its own window.
+                state.windows[item.port].push_back(WindowEntry {
+                    time: now,
+                    tuple: item.tuple,
+                });
+                let mut emitted = 0u64;
+                for _ in 0..pairs {
+                    emitted += bernoulli_emissions(*selectivity_per_pair, &mut self.rng);
+                }
+                (pairs as f64 * cost_per_pair, emitted)
+            }
+        };
+
+        // Decide emissions now; fire them at completion.
+        let mut emissions = Vec::with_capacity(emit_count as usize);
+        for _ in 0..emit_count {
+            emissions.push((
+                op.output,
+                Tuple {
+                    birth: item.tuple.birth,
+                },
+            ));
+        }
+
+        // Network CPU overheads: receive side carried on the item, send
+        // side charged per emission that will cross the network.
+        let remote_emissions = emissions
+            .iter()
+            .flat_map(|(s, _)| self.consumers[s.index()].iter())
+            .filter(|(c, _)| self.host[c.index()] != NodeId(node))
+            .count();
+        let overhead = item.recv_overhead + remote_emissions as f64 * self.network.send_cpu_cost;
+
+        let service = (raw_cost + overhead) / self.capacity[node];
+        let end = now + service;
+        // Busy-time accounting clipped to the measurement window.
+        let busy_start = now.max(self.warmup);
+        let busy_end = end.max(self.warmup).min(self.horizon);
+        if busy_end > busy_start {
+            self.nodes[node].measured_busy += busy_end - busy_start;
+        }
+        self.nodes[node].window_busy += service;
+        self.nodes[node].sample_busy += service;
+        self.op_window_busy[item.op.index()] += service;
+        self.op_total_busy[item.op.index()] += service;
+        self.op_served[item.op.index()] += 1;
+        self.nodes[node].busy = true;
+        self.nodes[node].pending_emissions = emissions;
+        self.queue
+            .push(end, EventKind::ServiceComplete { node: NodeId(node) });
+    }
+
+    /// Handles a service completion: deliver emissions, continue work.
+    fn complete(&mut self, node: NodeId, now: f64) {
+        let node_idx = node.index();
+        self.tuples_processed += 1;
+        let emissions = std::mem::take(&mut self.nodes[node_idx].pending_emissions);
+        for (stream, tuple) in emissions {
+            if self.consumers[stream.index()].is_empty() {
+                // Sink: record via a StreamArrival (latency bookkeeping
+                // happens in the main loop).
+                self.queue
+                    .push(now, EventKind::StreamArrival { stream, tuple });
+                continue;
+            }
+            for ci in 0..self.consumers[stream.index()].len() {
+                let (op, port) = self.consumers[stream.index()][ci];
+                let remote = self.host[op.index()] != node;
+                let delay = if remote { self.network.latency } else { 0.0 };
+                let recv_overhead = if remote {
+                    self.network.recv_cpu_cost
+                } else {
+                    0.0
+                };
+                self.queue.push(
+                    now + delay,
+                    EventKind::ConsumerArrival {
+                        op,
+                        port,
+                        tuple,
+                        recv_overhead,
+                    },
+                );
+            }
+        }
+        self.nodes[node_idx].busy = false;
+        if !self.nodes[node_idx].queue.is_empty() && !self.down[node_idx] {
+            self.dispatch(node_idx, now);
+        }
+    }
+
+    /// The dynamic load manager's control tick: sample window
+    /// utilisations, possibly start one migration, reset the window.
+    fn control_tick(&mut self, now: f64, config: &MigrationConfig) {
+        let n = self.nodes.len();
+        let utils: Vec<f64> = (0..n)
+            .map(|i| (self.nodes[i].window_busy / config.check_interval).min(1.0))
+            .collect();
+        let hot = (0..n)
+            .max_by(|&a, &b| utils[a].partial_cmp(&utils[b]).expect("finite"))
+            .expect("nodes");
+        let cold = (0..n)
+            .min_by(|&a, &b| utils[a].partial_cmp(&utils[b]).expect("finite"))
+            .expect("nodes");
+
+        if utils[hot] >= config.utilisation_trigger
+            && utils[hot] - utils[cold] >= config.imbalance_trigger
+            && hot != cold
+        {
+            // Pick the operator on the hot node whose recent busy time is
+            // closest to half the gap (move enough, not too much), among
+            // operators not already migrating.
+            let target = (utils[hot] - utils[cold]) / 2.0 * config.check_interval;
+            let candidate = (0..self.graph.num_operators())
+                .filter(|&j| {
+                    self.host[j] == NodeId(hot)
+                        && self.migrating[j].is_none()
+                        && self.op_window_busy[j] > 0.0
+                        && !config.pinned.contains(&OperatorId(j))
+                })
+                .min_by(|&a, &b| {
+                    let da = (self.op_window_busy[a] - target).abs();
+                    let db = (self.op_window_busy[b] - target).abs();
+                    da.partial_cmp(&db).expect("finite")
+                });
+            if let Some(op) = candidate {
+                self.start_migration(OperatorId(op), NodeId(cold), now, config);
+            }
+        }
+
+        for node in &mut self.nodes {
+            node.window_busy = 0.0;
+        }
+        self.op_window_busy.fill(0.0);
+    }
+
+    /// Freezes an operator, buffers its queued input, and schedules its
+    /// resumption on the destination node after the transfer downtime.
+    fn start_migration(
+        &mut self,
+        op: OperatorId,
+        dest: NodeId,
+        now: f64,
+        config: &MigrationConfig,
+    ) {
+        let src = self.host[op.index()].index();
+        // Divert items already queued for this operator into the buffer.
+        let mut buffer = Vec::new();
+        self.nodes[src].queue.retain(|item| {
+            if item.op == op {
+                buffer.push(*item);
+                false
+            } else {
+                true
+            }
+        });
+        let downtime = config.base_downtime + buffer.len() as f64 * config.per_item_downtime;
+        self.migrating[op.index()] = Some((dest, buffer));
+        self.migrations += 1;
+        self.migration_downtime += downtime;
+        self.queue
+            .push(now + downtime, EventKind::MigrationComplete { op, dest });
+    }
+
+    /// Finishes a migration: rebind the host and replay the buffer.
+    fn finish_migration(&mut self, op: OperatorId, dest: NodeId, now: f64) {
+        let (_, buffer) = self.migrating[op.index()]
+            .take()
+            .expect("migration completion without start");
+        self.host[op.index()] = dest;
+        let node = dest.index();
+        for item in buffer {
+            self.nodes[node].queue.push_back(item);
+        }
+        if !self.nodes[node].busy && !self.nodes[node].queue.is_empty() && !self.down[node] {
+            self.dispatch(node, now);
+        }
+    }
+}
+
+/// A configured simulation, ready to run.
+pub struct Simulation<'a> {
+    graph: &'a QueryGraph,
+    allocation: &'a Allocation,
+    cluster: &'a Cluster,
+    sources: Vec<SourceSpec>,
+    config: SimulationConfig,
+}
+
+impl<'a> Simulation<'a> {
+    /// Builds a simulation. `sources` must provide one spec per system
+    /// input stream, and `allocation` must be complete.
+    pub fn new(
+        graph: &'a QueryGraph,
+        allocation: &'a Allocation,
+        cluster: &'a Cluster,
+        sources: Vec<SourceSpec>,
+        config: SimulationConfig,
+    ) -> Self {
+        assert_eq!(
+            sources.len(),
+            graph.num_inputs(),
+            "one source per system input"
+        );
+        assert!(allocation.is_complete(), "allocation must be complete");
+        assert_eq!(allocation.num_operators(), graph.num_operators());
+        assert!(config.warmup < config.horizon);
+        cluster.validate().expect("valid cluster");
+        Simulation {
+            graph,
+            allocation,
+            cluster,
+            sources,
+            config,
+        }
+    }
+
+    /// Runs the simulation to completion and reports.
+    pub fn run(&self) -> SimReport {
+        let mut rng = seeded_rng(self.config.seed);
+        let graph = self.graph;
+        let horizon = self.config.horizon;
+        let warmup = self.config.warmup;
+        let m = graph.num_operators();
+        let n = self.cluster.num_nodes();
+
+        let mut queue = EventQueue::new();
+        let mut tuples_in = 0u64;
+        for (k, spec) in self.sources.iter().enumerate() {
+            let stream = graph.inputs()[k];
+            for t in spec.arrivals(horizon, &mut rng) {
+                queue.push(
+                    t,
+                    EventKind::StreamArrival {
+                        stream,
+                        tuple: Tuple { birth: t },
+                    },
+                );
+                tuples_in += 1;
+            }
+        }
+        if let Some(mig) = &self.config.migration {
+            queue.push(mig.check_interval, EventKind::ControlTick);
+        }
+        if let Some(interval) = self.config.sample_interval {
+            queue.push(interval, EventKind::SampleTick);
+        }
+        for outage in &self.config.outages {
+            assert!(
+                outage.start < outage.end,
+                "outage must have positive length"
+            );
+            queue.push(outage.start, EventKind::OutageStart { node: outage.node });
+            queue.push(outage.end, EventKind::OutageEnd { node: outage.node });
+        }
+
+        let mut rt = Runtime {
+            graph,
+            network: self.config.network,
+            horizon,
+            warmup,
+            consumers: (0..graph.num_streams())
+                .map(|s| graph.consumers_of(StreamId(s)))
+                .collect(),
+            capacity: self
+                .cluster
+                .nodes()
+                .map(|nd| self.cluster.capacity(nd))
+                .collect(),
+            host: (0..m)
+                .map(|j| self.allocation.node_of(OperatorId(j)).expect("complete"))
+                .collect(),
+            nodes: (0..n)
+                .map(|_| NodeState {
+                    queue: VecDeque::new(),
+                    busy: false,
+                    measured_busy: 0.0,
+                    window_busy: 0.0,
+                    sample_busy: 0.0,
+                    pending_emissions: Vec::new(),
+                })
+                .collect(),
+            joins: (0..m).map(|_| JoinState::default()).collect(),
+            migrating: vec![None; m],
+            op_window_busy: vec![0.0; m],
+            scheduling: self.config.scheduling,
+            shed_above: self.config.shed_above.unwrap_or(usize::MAX),
+            tuples_shed: 0,
+            down: vec![false; n],
+            rr_cursor: vec![0; n],
+            op_total_busy: vec![0.0; m],
+            op_served: vec![0; m],
+            queue,
+            rng,
+            queued_total: 0,
+            peak_queue: 0,
+            tuples_processed: 0,
+            migrations: 0,
+            migration_downtime: 0.0,
+            timeline: Vec::new(),
+        };
+
+        let mut tuples_out = 0u64;
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut latency_seen = 0u64; // for reservoir thinning
+        let mut saturated = false;
+
+        while let Some(event) = rt.queue.pop() {
+            if event.time > horizon {
+                break;
+            }
+            match event.kind {
+                EventKind::StreamArrival { stream, tuple } => {
+                    if rt.consumers[stream.index()].is_empty() {
+                        // Sink stream: record end-to-end latency.
+                        tuples_out += 1;
+                        if event.time >= warmup {
+                            latency_seen += 1;
+                            record_latency(
+                                &mut latencies,
+                                &mut rt.rng,
+                                latency_seen,
+                                self.config.max_latency_samples,
+                                event.time - tuple.birth,
+                            );
+                        }
+                        continue;
+                    }
+                    // Source fan-out: deliver locally (sources are
+                    // external; the paper's communication model concerns
+                    // inter-operator arcs).
+                    for ci in 0..rt.consumers[stream.index()].len() {
+                        let (op, port) = rt.consumers[stream.index()][ci];
+                        rt.enqueue(
+                            WorkItem {
+                                op,
+                                port,
+                                tuple,
+                                recv_overhead: 0.0,
+                            },
+                            event.time,
+                        );
+                    }
+                }
+                EventKind::ConsumerArrival {
+                    op,
+                    port,
+                    tuple,
+                    recv_overhead,
+                } => {
+                    rt.enqueue(
+                        WorkItem {
+                            op,
+                            port,
+                            tuple,
+                            recv_overhead,
+                        },
+                        event.time,
+                    );
+                }
+                EventKind::ServiceComplete { node } => {
+                    rt.complete(node, event.time);
+                }
+                EventKind::ControlTick => {
+                    let mig = self
+                        .config
+                        .migration
+                        .clone()
+                        .expect("ControlTick only scheduled with migration enabled");
+                    rt.control_tick(event.time, &mig);
+                    if event.time + mig.check_interval < horizon {
+                        rt.queue
+                            .push(event.time + mig.check_interval, EventKind::ControlTick);
+                    }
+                }
+                EventKind::SampleTick => {
+                    let interval = self
+                        .config
+                        .sample_interval
+                        .expect("SampleTick only scheduled with sampling enabled");
+                    let utilisations = rt
+                        .nodes
+                        .iter_mut()
+                        .map(|s| {
+                            let u = (s.sample_busy / interval).min(1.0);
+                            s.sample_busy = 0.0;
+                            u
+                        })
+                        .collect();
+                    rt.timeline.push(TimelineSample {
+                        time: event.time,
+                        utilisations,
+                        queued: rt.queued_total,
+                        migrations: rt.migrations,
+                    });
+                    if event.time + interval < horizon {
+                        rt.queue.push(event.time + interval, EventKind::SampleTick);
+                    }
+                }
+                EventKind::MigrationComplete { op, dest } => {
+                    rt.finish_migration(op, dest, event.time);
+                }
+                EventKind::OutageStart { node } => {
+                    rt.down[node.index()] = true;
+                    // The in-flight service (if any) completes; no new
+                    // dispatches happen until recovery.
+                }
+                EventKind::OutageEnd { node } => {
+                    let idx = node.index();
+                    rt.down[idx] = false;
+                    if !rt.nodes[idx].busy && !rt.nodes[idx].queue.is_empty() {
+                        rt.dispatch(idx, event.time);
+                    }
+                }
+            }
+            if rt.queued_total > self.config.max_queue {
+                saturated = true;
+                break;
+            }
+        }
+
+        let measured_duration = horizon - warmup;
+        let utilisations = rt
+            .nodes
+            .iter()
+            .map(|s| (s.measured_busy / measured_duration).min(1.0))
+            .collect();
+        let final_queue = rt.nodes.iter().map(|s| s.queue.len()).sum::<usize>()
+            + rt.migrating
+                .iter()
+                .flatten()
+                .map(|(_, b)| b.len())
+                .sum::<usize>();
+
+        SimReport {
+            measured_duration,
+            utilisations,
+            tuples_in,
+            tuples_out,
+            tuples_processed: rt.tuples_processed,
+            latencies: Percentiles::from_samples(latencies),
+            peak_queue: rt.peak_queue,
+            final_queue,
+            saturated,
+            migrations: rt.migrations,
+            migration_downtime: rt.migration_downtime,
+            timeline: rt.timeline,
+            operator_busy: rt.op_total_busy,
+            operator_served: rt.op_served,
+            tuples_shed: rt.tuples_shed,
+        }
+    }
+}
+
+/// Number of output tuples for one input tuple with (possibly > 1)
+/// selectivity `s`: `floor(s)` sure emissions plus a Bernoulli on the
+/// fractional part.
+fn bernoulli_emissions(selectivity: f64, rng: &mut Rng) -> u64 {
+    let whole = selectivity.floor();
+    let frac = selectivity - whole;
+    whole as u64 + u64::from(rng.gen::<f64>() < frac)
+}
+
+/// Reservoir-style thinning: keep the sample bounded while staying
+/// (approximately) uniform over the run.
+fn record_latency(samples: &mut Vec<f64>, rng: &mut Rng, seen: u64, cap: usize, value: f64) {
+    if samples.len() < cap {
+        samples.push(value);
+    } else {
+        let idx = rng.gen_range(0..seen);
+        if (idx as usize) < cap {
+            samples[idx as usize] = value;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rod_core::graph::GraphBuilder;
+    use rod_core::load_model::LoadModel;
+    use rod_core::rod::RodPlanner;
+
+    fn simple_chain() -> QueryGraph {
+        let mut b = GraphBuilder::new();
+        let i = b.add_input();
+        let (_, s) = b
+            .add_operator("f", OperatorKind::filter(0.001, 0.5), &[i])
+            .unwrap();
+        b.add_operator("g", OperatorKind::filter(0.002, 1.0), &[s])
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    fn place(graph: &QueryGraph, cluster: &Cluster) -> Allocation {
+        let model = LoadModel::derive(graph).unwrap();
+        RodPlanner::new().place(&model, cluster).unwrap().allocation
+    }
+
+    #[test]
+    fn utilisation_matches_analytic_load() {
+        // Rate 100/s through f (cost 1 ms) then 50/s through g (2 ms):
+        // total load = 0.1 + 0.1 = 0.2 CPU. On one node: ~20% utilisation.
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let alloc = place(&graph, &cluster);
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(100.0)],
+            SimulationConfig {
+                horizon: 60.0,
+                warmup: 10.0,
+                seed: 3,
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        assert!(
+            (report.utilisations[0] - 0.2).abs() < 0.03,
+            "utilisation {}",
+            report.utilisations[0]
+        );
+        assert!(report.is_feasible(0.95));
+        assert!(report.tuples_out > 0);
+        assert_eq!(report.migrations, 0, "static run must not migrate");
+    }
+
+    #[test]
+    fn overload_is_detected() {
+        // Rate 1500/s × 1 ms + 750/s × 2 ms = 3.0 CPU on one node.
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let alloc = place(&graph, &cluster);
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(1500.0)],
+            SimulationConfig {
+                horizon: 30.0,
+                warmup: 5.0,
+                seed: 1,
+                max_queue: 20_000,
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        assert!(!report.is_feasible(0.95));
+    }
+
+    #[test]
+    fn latency_grows_near_saturation() {
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let alloc = place(&graph, &cluster);
+        let run = |rate: f64| {
+            Simulation::new(
+                &graph,
+                &alloc,
+                &cluster,
+                vec![SourceSpec::ConstantRate(rate)],
+                SimulationConfig {
+                    horizon: 60.0,
+                    warmup: 10.0,
+                    seed: 5,
+                    ..SimulationConfig::default()
+                },
+            )
+            .run()
+        };
+        let light = run(50.0).mean_latency().unwrap();
+        let heavy = run(420.0).mean_latency().unwrap(); // ~84% load
+        assert!(
+            heavy > 2.0 * light,
+            "queueing delay should grow: light {light}, heavy {heavy}"
+        );
+    }
+
+    #[test]
+    fn selectivity_thins_output() {
+        let graph = simple_chain(); // f has selectivity 0.5
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let alloc = place(&graph, &cluster);
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(200.0)],
+            SimulationConfig {
+                horizon: 30.0,
+                warmup: 0.0,
+                seed: 9,
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        let ratio = report.tuples_out as f64 / report.tuples_in as f64;
+        assert!((ratio - 0.5).abs() < 0.05, "sink/source ratio {ratio}");
+    }
+
+    #[test]
+    fn join_load_is_bilinear() {
+        // join window 0.1 s, cost 1 ms/pair, rates r1 = r2 = 50:
+        // each arrival on either side examines the partner window:
+        // r1·(w·r2) + r2·(w·r1) = 2·w·r1·r2 = 500 pairs/s → 0.5 CPU.
+        let mut b = GraphBuilder::new();
+        let i0 = b.add_input();
+        let i1 = b.add_input();
+        b.add_operator(
+            "j",
+            OperatorKind::WindowJoin {
+                window: 0.1,
+                cost_per_pair: 0.001,
+                selectivity_per_pair: 0.01,
+            },
+            &[i0, i1],
+        )
+        .unwrap();
+        let graph = b.build().unwrap();
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let alloc = place(&graph, &cluster);
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![
+                SourceSpec::ConstantRate(50.0),
+                SourceSpec::ConstantRate(50.0),
+            ],
+            SimulationConfig {
+                horizon: 60.0,
+                warmup: 10.0,
+                seed: 2,
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        assert!(
+            (report.utilisations[0] - 0.5).abs() < 0.08,
+            "join utilisation {}",
+            report.utilisations[0]
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let alloc = place(&graph, &cluster);
+        let run = |seed: u64| {
+            Simulation::new(
+                &graph,
+                &alloc,
+                &cluster,
+                vec![SourceSpec::ConstantRate(100.0)],
+                SimulationConfig {
+                    horizon: 10.0,
+                    warmup: 1.0,
+                    seed,
+                    ..SimulationConfig::default()
+                },
+            )
+            .run()
+        };
+        let (a, b, c) = (run(7), run(7), run(8));
+        assert_eq!(a.tuples_in, b.tuples_in);
+        assert_eq!(a.tuples_out, b.tuples_out);
+        assert_ne!(a.tuples_in, c.tuples_in);
+    }
+
+    #[test]
+    fn network_cpu_overhead_raises_utilisation() {
+        // Two operators forced onto different nodes; nonzero send/recv
+        // CPU must cost more than the free-network run.
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let mut alloc = Allocation::new(2, 2);
+        alloc.assign(OperatorId(0), NodeId(0));
+        alloc.assign(OperatorId(1), NodeId(1));
+        let run = |net: NetworkConfig| {
+            Simulation::new(
+                &graph,
+                &alloc,
+                &cluster,
+                vec![SourceSpec::ConstantRate(200.0)],
+                SimulationConfig {
+                    horizon: 40.0,
+                    warmup: 5.0,
+                    seed: 4,
+                    network: net,
+                    ..SimulationConfig::default()
+                },
+            )
+            .run()
+        };
+        let free = run(NetworkConfig::default());
+        let costly = run(NetworkConfig {
+            latency: 1e-3,
+            send_cpu_cost: 0.002,
+            recv_cpu_cost: 0.0,
+        });
+        assert!(
+            costly.utilisations[0] > free.utilisations[0] + 0.1,
+            "send overhead invisible: {} vs {}",
+            costly.utilisations[0],
+            free.utilisations[0]
+        );
+    }
+
+    #[test]
+    fn migration_rebalances_a_skewed_start() {
+        // All operators start on node 0 of a two-node cluster at ~90%
+        // load; the dynamic manager must move work to node 1 and end up
+        // with node 1 doing real work.
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let mut alloc = Allocation::new(2, 2);
+        alloc.assign(OperatorId(0), NodeId(0));
+        alloc.assign(OperatorId(1), NodeId(0));
+        let run = |migration: Option<MigrationConfig>| {
+            Simulation::new(
+                &graph,
+                &alloc,
+                &cluster,
+                vec![SourceSpec::ConstantRate(450.0)], // 0.45 + 0.45 CPU
+                SimulationConfig {
+                    horizon: 40.0,
+                    warmup: 5.0,
+                    seed: 11,
+                    migration,
+                    ..SimulationConfig::default()
+                },
+            )
+            .run()
+        };
+        let static_run = run(None);
+        assert!(
+            static_run.utilisations[1] < 0.01,
+            "node 1 unused statically"
+        );
+        let dynamic_run = run(Some(MigrationConfig {
+            utilisation_trigger: 0.7,
+            imbalance_trigger: 0.3,
+            ..MigrationConfig::default()
+        }));
+        assert!(dynamic_run.migrations >= 1, "no migration happened");
+        assert!(
+            dynamic_run.utilisations[1] > 0.2,
+            "node 1 still idle: {:?}",
+            dynamic_run.utilisations
+        );
+        // No tuples lost to the migration machinery.
+        assert!(dynamic_run.tuples_out > 0);
+    }
+
+    #[test]
+    fn migration_downtime_is_accounted() {
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let mut alloc = Allocation::new(2, 2);
+        alloc.assign(OperatorId(0), NodeId(0));
+        alloc.assign(OperatorId(1), NodeId(0));
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(500.0)],
+            SimulationConfig {
+                horizon: 30.0,
+                warmup: 5.0,
+                seed: 2,
+                migration: Some(MigrationConfig {
+                    utilisation_trigger: 0.7,
+                    imbalance_trigger: 0.2,
+                    base_downtime: 0.3,
+                    ..MigrationConfig::default()
+                }),
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        if report.migrations > 0 {
+            assert!(report.migration_downtime >= 0.3 * report.migrations as f64);
+        }
+    }
+
+    #[test]
+    fn timeline_sampling_records_snapshots() {
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let alloc = place(&graph, &cluster);
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(100.0)],
+            SimulationConfig {
+                horizon: 20.0,
+                warmup: 2.0,
+                seed: 6,
+                sample_interval: Some(2.0),
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        // Samples at 2, 4, ..., 18 → 9 snapshots.
+        assert_eq!(report.timeline.len(), 9, "{:?}", report.timeline.len());
+        for w in report.timeline.windows(2) {
+            assert!(w[1].time > w[0].time);
+        }
+        // Sampled utilisation tracks the ~20% analytic load.
+        let mean_u: f64 = report
+            .timeline
+            .iter()
+            .map(|s| s.utilisations[0])
+            .sum::<f64>()
+            / report.timeline.len() as f64;
+        assert!((mean_u - 0.2).abs() < 0.05, "sampled mean {mean_u}");
+    }
+
+    #[test]
+    fn pinned_operators_never_move() {
+        // Same skewed start as the rebalancing test, but everything is
+        // pinned: the manager must do nothing.
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let mut alloc = Allocation::new(2, 2);
+        alloc.assign(OperatorId(0), NodeId(0));
+        alloc.assign(OperatorId(1), NodeId(0));
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(450.0)],
+            SimulationConfig {
+                horizon: 40.0,
+                warmup: 5.0,
+                seed: 11,
+                migration: Some(MigrationConfig {
+                    utilisation_trigger: 0.7,
+                    imbalance_trigger: 0.3,
+                    pinned: vec![OperatorId(0), OperatorId(1)],
+                    ..MigrationConfig::default()
+                }),
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        assert_eq!(report.migrations, 0, "pinned operators moved");
+    }
+
+    #[test]
+    fn scheduling_policies_all_complete_work() {
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let alloc = place(&graph, &cluster);
+        let mut outcomes = Vec::new();
+        for policy in [
+            SchedulingPolicy::Fifo,
+            SchedulingPolicy::RoundRobin,
+            SchedulingPolicy::LongestQueueFirst,
+        ] {
+            let report = Simulation::new(
+                &graph,
+                &alloc,
+                &cluster,
+                vec![SourceSpec::ConstantRate(150.0)],
+                SimulationConfig {
+                    horizon: 20.0,
+                    warmup: 2.0,
+                    seed: 3,
+                    scheduling: policy,
+                    ..SimulationConfig::default()
+                },
+            )
+            .run();
+            assert!(report.tuples_out > 0, "{policy:?} produced nothing");
+            assert!(!report.saturated, "{policy:?} saturated a feasible point");
+            outcomes.push(report.tuples_processed);
+        }
+        // The same arrivals (same seed) must be fully processed under
+        // every discipline — scheduling changes order, not totals.
+        assert!(
+            outcomes
+                .iter()
+                .all(|&c| (c as i64 - outcomes[0] as i64).abs() < 50),
+            "{outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn outage_starves_then_recovers() {
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let alloc = place(&graph, &cluster);
+        let run = |outages: Vec<Outage>| {
+            Simulation::new(
+                &graph,
+                &alloc,
+                &cluster,
+                vec![SourceSpec::ConstantRate(100.0)],
+                SimulationConfig {
+                    horizon: 40.0,
+                    warmup: 2.0,
+                    seed: 8,
+                    outages,
+                    ..SimulationConfig::default()
+                },
+            )
+            .run()
+        };
+        let healthy = run(vec![]);
+        let failed = run(vec![Outage {
+            node: NodeId(0),
+            start: 10.0,
+            end: 18.0,
+        }]);
+        // The outage freezes 8 of 38 measured seconds: utilisation may
+        // rise afterwards (draining) but latency must suffer and the
+        // backlog peak must be much larger.
+        assert!(
+            failed.peak_queue > 4 * healthy.peak_queue.max(1),
+            "peak {} vs healthy {}",
+            failed.peak_queue,
+            healthy.peak_queue
+        );
+        assert!(
+            failed.latencies.quantile(0.99).unwrap()
+                > 4.0 * healthy.latencies.quantile(0.99).unwrap(),
+            "outage left no latency mark"
+        );
+        // Recovery: the queue drains by the end (20% steady load).
+        assert!(
+            failed.final_queue < 50,
+            "queue never drained: {}",
+            failed.final_queue
+        );
+        assert!(!failed.saturated);
+    }
+
+    #[test]
+    fn per_operator_stats_account_for_all_work() {
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let alloc = place(&graph, &cluster);
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(100.0)],
+            SimulationConfig {
+                horizon: 30.0,
+                warmup: 0.0,
+                seed: 5,
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        assert_eq!(report.operator_served.len(), 2);
+        // Operator f sees every source tuple; g sees ~half (sel 0.5).
+        assert_eq!(
+            report.operator_served[0] + report.operator_served[1],
+            report.tuples_processed
+        );
+        let ratio = report.operator_served[1] as f64 / report.operator_served[0] as f64;
+        assert!((ratio - 0.5).abs() < 0.06, "served ratio {ratio}");
+        // Busy time per op: f = n·1ms, g = n/2·2ms → roughly equal.
+        let busy_ratio = report.operator_busy[1] / report.operator_busy[0];
+        assert!((busy_ratio - 1.0).abs() < 0.15, "busy ratio {busy_ratio}");
+    }
+
+    #[test]
+    fn mm1_latency_matches_queueing_theory() {
+        // Single operator, Poisson arrivals, deterministic service
+        // (M/D/1): mean wait Wq = ρ·s / (2(1−ρ)), sojourn = Wq + s.
+        let mut b = GraphBuilder::new();
+        let i = b.add_input();
+        b.add_operator("m", OperatorKind::map(0.002), &[i]).unwrap();
+        let graph = b.build().unwrap();
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let alloc = place(&graph, &cluster);
+        for (rate, label) in [(250.0, "rho=0.5"), (400.0, "rho=0.8")] {
+            let report = Simulation::new(
+                &graph,
+                &alloc,
+                &cluster,
+                vec![SourceSpec::ConstantRate(rate)],
+                SimulationConfig {
+                    horizon: 400.0,
+                    warmup: 50.0,
+                    seed: 13,
+                    ..SimulationConfig::default()
+                },
+            )
+            .run();
+            let s = 0.002;
+            let rho = rate * s;
+            let predicted = rho * s / (2.0 * (1.0 - rho)) + s;
+            let measured = report.mean_latency().unwrap();
+            assert!(
+                (measured - predicted).abs() < 0.25 * predicted,
+                "{label}: measured {measured:.5} vs M/D/1 {predicted:.5}"
+            );
+        }
+    }
+
+    #[test]
+    fn load_shedding_bounds_queues_under_overload() {
+        // 3x overload on one node: without shedding the run saturates;
+        // with shedding the queue stays bounded, throughput tops out at
+        // capacity, and drops are counted.
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let alloc = place(&graph, &cluster);
+        let run = |shed: Option<usize>| {
+            Simulation::new(
+                &graph,
+                &alloc,
+                &cluster,
+                vec![SourceSpec::ConstantRate(1500.0)],
+                SimulationConfig {
+                    horizon: 30.0,
+                    warmup: 5.0,
+                    seed: 4,
+                    shed_above: shed,
+                    max_queue: 20_000,
+                    ..SimulationConfig::default()
+                },
+            )
+            .run()
+        };
+        let unshed = run(None);
+        assert!(unshed.saturated);
+        let shed = run(Some(500));
+        assert!(!shed.saturated, "shedding must prevent saturation");
+        assert!(shed.tuples_shed > 1000, "only {} shed", shed.tuples_shed);
+        assert!(shed.peak_queue <= 2 * 500 + 10, "peak {}", shed.peak_queue);
+        // Latency stays bounded by roughly queue/service-rate.
+        assert!(shed.latencies.quantile(0.99).unwrap() < 5.0);
+    }
+
+    #[test]
+    fn shedding_is_inert_when_not_overloaded() {
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let alloc = place(&graph, &cluster);
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(100.0)],
+            SimulationConfig {
+                horizon: 20.0,
+                warmup: 2.0,
+                seed: 7,
+                shed_above: Some(1000),
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        assert_eq!(report.tuples_shed, 0);
+    }
+
+    #[test]
+    fn static_runs_report_zero_migrations() {
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let alloc = place(&graph, &cluster);
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(50.0)],
+            SimulationConfig::default(),
+        )
+        .run();
+        assert_eq!(report.migrations, 0);
+        assert_eq!(report.migration_downtime, 0.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Feasibility probing — the paper's measurement procedure on Borealis.
+//!
+//! §7.1: "we compute the feasible set size by randomly generating
+//! workload points, all within the ideal feasible set. … For each
+//! workload point, we run the system for a sufficiently long period and
+//! monitor the CPU utilization of all the nodes. The system is deemed
+//! feasible if none of the nodes experience 100% utilization. The ratio
+//! of the number of feasible points to the number of runs is the ratio of
+//! the achievable feasible set size to the ideal one."
+//!
+//! [`FeasibilityProbe`] reproduces this end-to-end: sample rate points in
+//! the ideal simplex, run the simulator at each with constant-rate
+//! sources, and classify by measured utilisation. Comparing its output
+//! with the analytic [`rod_core::PlanEvaluator`] volume is the
+//! "simulator tracked Borealis closely" cross-check experiment.
+
+use rod_core::allocation::{Allocation, PlanEvaluator};
+use rod_core::cluster::Cluster;
+use rod_core::load_model::LoadModel;
+use rod_geom::{seeded_rng, SimplexSampler, Vector};
+
+use crate::engine::{Simulation, SimulationConfig};
+use crate::source::SourceSpec;
+
+/// Probe parameters.
+#[derive(Clone, Debug)]
+pub struct ProbeConfig {
+    /// Rate points to test.
+    pub points: usize,
+    /// Simulated seconds per point.
+    pub horizon: f64,
+    /// Warm-up excluded from measurement.
+    pub warmup: f64,
+    /// Utilisation above which a node counts as saturated.
+    pub utilisation_threshold: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Scale factor applied to sampled rate points. 1.0 probes the whole
+    /// ideal simplex; the paper's setup implicitly scales rates so that
+    /// the simulation horizon yields stable statistics.
+    pub rate_scale: f64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            points: 40,
+            horizon: 20.0,
+            warmup: 4.0,
+            utilisation_threshold: 0.97,
+            seed: 0,
+            rate_scale: 1.0,
+        }
+    }
+}
+
+/// Outcome of probing one plan.
+#[derive(Clone, Debug)]
+pub struct ProbeOutcome {
+    /// Rate points tested (system-input space).
+    pub points: Vec<Vector>,
+    /// Per-point verdict from the simulator.
+    pub simulated_feasible: Vec<bool>,
+    /// Per-point verdict from the analytic linear model.
+    pub analytic_feasible: Vec<bool>,
+}
+
+impl ProbeOutcome {
+    /// Simulated feasible-set ratio (the Borealis-style measurement).
+    pub fn simulated_ratio(&self) -> f64 {
+        count_true(&self.simulated_feasible) as f64 / self.points.len() as f64
+    }
+
+    /// Analytic feasible-set ratio on the same points.
+    pub fn analytic_ratio(&self) -> f64 {
+        count_true(&self.analytic_feasible) as f64 / self.points.len() as f64
+    }
+
+    /// Fraction of points where simulator and model agree — the
+    /// cross-check headline number.
+    pub fn agreement(&self) -> f64 {
+        let agree = self
+            .simulated_feasible
+            .iter()
+            .zip(&self.analytic_feasible)
+            .filter(|(s, a)| s == a)
+            .count();
+        agree as f64 / self.points.len() as f64
+    }
+}
+
+fn count_true(v: &[bool]) -> usize {
+    v.iter().filter(|b| **b).count()
+}
+
+/// Probes a placement by running the simulator at sampled rate points.
+#[derive(Clone, Debug)]
+pub struct FeasibilityProbe {
+    config: ProbeConfig,
+}
+
+impl FeasibilityProbe {
+    /// A probe with the given configuration.
+    pub fn new(config: ProbeConfig) -> Self {
+        assert!(config.points > 0);
+        FeasibilityProbe { config }
+    }
+
+    /// Runs the probe. Points are sampled uniformly from the ideal
+    /// simplex *restricted to the system-input axes* (introduced
+    /// variables take their propagated values, as in the real system).
+    pub fn run(
+        &self,
+        model: &LoadModel,
+        cluster: &Cluster,
+        allocation: &Allocation,
+    ) -> ProbeOutcome {
+        let ev = PlanEvaluator::new(model, cluster);
+        let d_in = model.num_inputs();
+        // Ideal-simplex geometry on the system-input axes only.
+        let coeffs: Vec<f64> = (0..d_in)
+            .map(|k| model.total_coeffs()[k].max(1e-12))
+            .collect();
+        let sampler = SimplexSampler::new(&coeffs, cluster.total_capacity());
+        let mut rng = seeded_rng(self.config.seed);
+
+        let mut points = Vec::with_capacity(self.config.points);
+        let mut simulated = Vec::with_capacity(self.config.points);
+        let mut analytic = Vec::with_capacity(self.config.points);
+        for i in 0..self.config.points {
+            let point = sampler.sample(&mut rng).scaled(self.config.rate_scale);
+            let rates: Vec<f64> = point.as_slice().to_vec();
+
+            analytic.push(ev.is_feasible_at(allocation, &rates));
+
+            let sources = rates.iter().map(|&r| SourceSpec::ConstantRate(r)).collect();
+            let report = Simulation::new(
+                model.graph(),
+                allocation,
+                cluster,
+                sources,
+                SimulationConfig {
+                    horizon: self.config.horizon,
+                    warmup: self.config.warmup,
+                    seed: rod_geom::rng::derive_seed(self.config.seed, i as u64),
+                    ..SimulationConfig::default()
+                },
+            )
+            .run();
+            simulated.push(report.is_feasible(self.config.utilisation_threshold));
+            points.push(point);
+        }
+        ProbeOutcome {
+            points,
+            simulated_feasible: simulated,
+            analytic_feasible: analytic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rod_core::graph::GraphBuilder;
+    use rod_core::operator::OperatorKind;
+    use rod_core::rod::RodPlanner;
+
+    fn small_setup() -> (LoadModel, Cluster, Allocation) {
+        let mut b = GraphBuilder::new();
+        let i0 = b.add_input();
+        let i1 = b.add_input();
+        for (name, input) in [("a", i0), ("b", i1)] {
+            let (_, s) = b
+                .add_operator(
+                    format!("{name}0"),
+                    OperatorKind::filter(0.002, 0.8),
+                    &[input],
+                )
+                .unwrap();
+            b.add_operator(format!("{name}1"), OperatorKind::filter(0.003, 1.0), &[s])
+                .unwrap();
+        }
+        let graph = b.build().unwrap();
+        let model = LoadModel::derive(&graph).unwrap();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let alloc = RodPlanner::new()
+            .place(&model, &cluster)
+            .unwrap()
+            .allocation;
+        (model, cluster, alloc)
+    }
+
+    #[test]
+    fn simulator_agrees_with_analytic_model() {
+        let (model, cluster, alloc) = small_setup();
+        let probe = FeasibilityProbe::new(ProbeConfig {
+            points: 24,
+            horizon: 25.0,
+            warmup: 5.0,
+            seed: 3,
+            ..ProbeConfig::default()
+        });
+        let outcome = probe.run(&model, &cluster, &alloc);
+        // The paper: "the simulator results tracked the results in
+        // Borealis very closely". Boundary points can flip either way;
+        // demand at least 75% agreement on a small sample.
+        assert!(
+            outcome.agreement() >= 0.75,
+            "agreement {} (sim {:?} vs analytic {:?})",
+            outcome.agreement(),
+            outcome.simulated_feasible,
+            outcome.analytic_feasible,
+        );
+        // And both verdicts must be non-trivial (some feasible points).
+        assert!(outcome.analytic_ratio() > 0.0);
+        assert!(outcome.simulated_ratio() > 0.0);
+    }
+
+    #[test]
+    fn scaling_rates_down_makes_everything_feasible() {
+        let (model, cluster, alloc) = small_setup();
+        let probe = FeasibilityProbe::new(ProbeConfig {
+            points: 10,
+            horizon: 15.0,
+            warmup: 3.0,
+            rate_scale: 0.3,
+            seed: 9,
+            ..ProbeConfig::default()
+        });
+        let outcome = probe.run(&model, &cluster, &alloc);
+        assert_eq!(outcome.analytic_ratio(), 1.0);
+        assert_eq!(outcome.simulated_ratio(), 1.0);
+    }
+}

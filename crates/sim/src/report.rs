@@ -1,0 +1,117 @@
+//! Simulation results.
+
+use serde::{Deserialize, Serialize};
+
+use rod_geom::Percentiles;
+
+/// One periodic snapshot of runtime state (taken when
+/// [`crate::SimulationConfig::sample_interval`] is set).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimelineSample {
+    /// Simulation time of the snapshot.
+    pub time: f64,
+    /// Per-node utilisation over the elapsed sampling window.
+    pub utilisations: Vec<f64>,
+    /// Work items queued across the system at the instant.
+    pub queued: usize,
+    /// Cumulative migrations so far.
+    pub migrations: u64,
+}
+
+/// Everything one simulation run reports.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Measurement window (after warm-up).
+    pub measured_duration: f64,
+    /// Per-node CPU utilisation over the measurement window (0..1).
+    pub utilisations: Vec<f64>,
+    /// Tuples injected by sources (whole run).
+    pub tuples_in: u64,
+    /// Tuples that left the query network at sink streams (whole run).
+    pub tuples_out: u64,
+    /// Tuples processed by operators (service completions, whole run).
+    pub tuples_processed: u64,
+    /// End-to-end latencies of sink tuples completed after warm-up.
+    pub latencies: Percentiles,
+    /// Largest total queued work-item count observed.
+    pub peak_queue: usize,
+    /// Work items still queued at the end of the run.
+    pub final_queue: usize,
+    /// True when the run was cut short because queues exceeded the safety
+    /// cap — the unambiguous signature of an overloaded (infeasible)
+    /// operating point.
+    pub saturated: bool,
+    /// Operator migrations performed by the dynamic load manager (0 for
+    /// static runs).
+    pub migrations: u64,
+    /// Total downtime paid for those migrations (seconds of frozen
+    /// operator time).
+    pub migration_downtime: f64,
+    /// Periodic runtime snapshots (empty unless sampling was enabled).
+    pub timeline: Vec<TimelineSample>,
+    /// Total CPU-busy seconds attributed to each operator.
+    pub operator_busy: Vec<f64>,
+    /// Tuples served by each operator.
+    pub operator_served: Vec<u64>,
+    /// Tuples dropped by load shedding (0 unless shedding was enabled).
+    pub tuples_shed: u64,
+}
+
+impl SimReport {
+    /// The busiest node's utilisation.
+    pub fn max_utilisation(&self) -> f64 {
+        self.utilisations.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The paper's feasibility criterion (§7.1): "the system is deemed
+    /// feasible if none of the nodes experience 100% utilization". We use
+    /// a threshold slightly below 1 because a finite-horizon measurement
+    /// of a saturated queue reads just under 1.
+    pub fn is_feasible(&self, utilisation_threshold: f64) -> bool {
+        !self.saturated && self.max_utilisation() < utilisation_threshold
+    }
+
+    /// Mean end-to-end latency, if any sink tuples were observed.
+    pub fn mean_latency(&self) -> Option<f64> {
+        self.latencies.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(utils: Vec<f64>, saturated: bool) -> SimReport {
+        SimReport {
+            measured_duration: 10.0,
+            utilisations: utils,
+            tuples_in: 100,
+            tuples_out: 90,
+            tuples_processed: 300,
+            latencies: Percentiles::from_samples(vec![0.1, 0.2, 0.3]),
+            peak_queue: 5,
+            final_queue: 0,
+            saturated,
+            migrations: 0,
+            migration_downtime: 0.0,
+            timeline: Vec::new(),
+            operator_busy: Vec::new(),
+            operator_served: Vec::new(),
+            tuples_shed: 0,
+        }
+    }
+
+    #[test]
+    fn feasibility_threshold() {
+        assert!(report(vec![0.5, 0.8], false).is_feasible(0.95));
+        assert!(!report(vec![0.5, 0.97], false).is_feasible(0.95));
+        assert!(!report(vec![0.1, 0.1], true).is_feasible(0.95));
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report(vec![0.3, 0.6], false);
+        assert_eq!(r.max_utilisation(), 0.6);
+        assert!((r.mean_latency().unwrap() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Input-stream sources.
+
+use rand::Rng as _;
+
+use rod_geom::rng::Rng;
+use rod_traces::Trace;
+
+/// How one system input stream produces tuples.
+#[derive(Clone, Debug)]
+pub enum SourceSpec {
+    /// Poisson arrivals at a constant mean rate — the §7.1 feasibility-
+    /// probing workload ("we run the system for a sufficiently long
+    /// period" at one rate point).
+    ConstantRate(f64),
+    /// Arrivals following a rate trace (piecewise-constant intensity,
+    /// Poisson within each bin) — the bursty-latency workload.
+    TraceDriven(Trace),
+}
+
+impl SourceSpec {
+    /// Mean rate over the simulated horizon.
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            SourceSpec::ConstantRate(r) => *r,
+            SourceSpec::TraceDriven(t) => t.mean(),
+        }
+    }
+
+    /// Generates all arrival timestamps within `[0, horizon)`, sorted.
+    pub fn arrivals(&self, horizon: f64, rng: &mut Rng) -> Vec<f64> {
+        match self {
+            SourceSpec::ConstantRate(rate) => {
+                let mut times = Vec::new();
+                if *rate <= 0.0 {
+                    return times;
+                }
+                let mut t = 0.0;
+                loop {
+                    // Exponential inter-arrival.
+                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    t -= u.ln() / rate;
+                    if t >= horizon {
+                        break;
+                    }
+                    times.push(t);
+                }
+                times
+            }
+            SourceSpec::TraceDriven(trace) => {
+                let times = trace.to_arrival_times(rng);
+                times.into_iter().filter(|&t| t < horizon).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rod_geom::seeded_rng;
+
+    #[test]
+    fn constant_rate_counts() {
+        let mut rng = seeded_rng(1);
+        let arr = SourceSpec::ConstantRate(50.0).arrivals(100.0, &mut rng);
+        assert!((arr.len() as f64 - 5000.0).abs() < 300.0, "{}", arr.len());
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arr.iter().all(|&t| t < 100.0));
+    }
+
+    #[test]
+    fn zero_rate_is_silent() {
+        let mut rng = seeded_rng(2);
+        assert!(SourceSpec::ConstantRate(0.0)
+            .arrivals(10.0, &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn trace_driven_respects_horizon() {
+        let mut rng = seeded_rng(3);
+        let trace = Trace::constant(10.0, 100, 1.0); // 100 time units long
+        let arr = SourceSpec::TraceDriven(trace).arrivals(20.0, &mut rng);
+        assert!(arr.iter().all(|&t| t < 20.0));
+        assert!((arr.len() as f64 - 200.0).abs() < 60.0, "{}", arr.len());
+    }
+
+    #[test]
+    fn mean_rates() {
+        assert_eq!(SourceSpec::ConstantRate(7.0).mean_rate(), 7.0);
+        let t = Trace::new(vec![1.0, 3.0], 1.0);
+        assert_eq!(SourceSpec::TraceDriven(t).mean_rate(), 2.0);
+    }
+}

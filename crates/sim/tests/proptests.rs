@@ -1,0 +1,125 @@
+//! Property-based tests for the simulator: conservation, determinism and
+//! model agreement over randomly parameterised chains.
+
+use proptest::prelude::*;
+
+use rod_core::allocation::Allocation;
+use rod_core::cluster::Cluster;
+use rod_core::graph::GraphBuilder;
+use rod_core::ids::{NodeId, OperatorId};
+use rod_core::operator::OperatorKind;
+use rod_sim::{Simulation, SimulationConfig, SourceSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn utilisation_never_exceeds_one(costs in prop::collection::vec(1u16..50, 1..5),
+                                     rate in 1.0..800.0f64,
+                                     nodes in 1usize..3,
+                                     seed in 0u64..50) {
+        // A chain of unit-selectivity maps with millisecond-scale costs,
+        // possibly overloaded: measured utilisation is clamped physical
+        // busy time and can never exceed 1.
+        let mut b = GraphBuilder::new();
+        let mut up = b.add_input();
+        for (j, &c) in costs.iter().enumerate() {
+            let (_, s) = b
+                .add_operator(format!("m{j}"), OperatorKind::map(c as f64 * 1e-4), &[up])
+                .unwrap();
+            up = s;
+        }
+        let graph = b.build().unwrap();
+        let cluster = Cluster::homogeneous(nodes, 1.0);
+        let mut alloc = Allocation::new(graph.num_operators(), nodes);
+        for j in 0..graph.num_operators() {
+            alloc.assign(OperatorId(j), NodeId(j % nodes));
+        }
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(rate)],
+            SimulationConfig {
+                horizon: 10.0,
+                warmup: 1.0,
+                seed,
+                max_queue: 100_000,
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        for &u in &report.utilisations {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilisation {u}");
+        }
+        prop_assert!(report.tuples_out <= report.tuples_in);
+    }
+
+    #[test]
+    fn work_is_conserved(sel_permille in 100u16..1000, rate in 10.0..200.0f64,
+                         seed in 0u64..50) {
+        // tuples_in == tuples that exited + tuples still queued/windowed
+        // for a single filter (selectivity thins the *output*, but every
+        // input tuple is processed exactly once).
+        let sel = sel_permille as f64 / 1000.0;
+        let mut b = GraphBuilder::new();
+        let i = b.add_input();
+        b.add_operator("f", OperatorKind::filter(1e-4, sel), &[i]).unwrap();
+        let graph = b.build().unwrap();
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let mut alloc = Allocation::new(1, 1);
+        alloc.assign(OperatorId(0), NodeId(0));
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(rate)],
+            SimulationConfig {
+                horizon: 20.0,
+                warmup: 0.0,
+                seed,
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        // Processed = arrivals minus what is still queued at the end.
+        prop_assert!(report.tuples_processed + report.final_queue as u64
+                     >= report.tuples_in.saturating_sub(2));
+        // Output ratio tracks the selectivity.
+        if report.tuples_in > 500 {
+            let ratio = report.tuples_out as f64 / report.tuples_in as f64;
+            prop_assert!((ratio - sel).abs() < 0.12, "ratio {ratio} vs sel {sel}");
+        }
+    }
+
+    #[test]
+    fn identical_seeds_identical_reports(rate in 10.0..100.0f64, seed in 0u64..30) {
+        let mut b = GraphBuilder::new();
+        let i = b.add_input();
+        b.add_operator("f", OperatorKind::filter(5e-4, 0.7), &[i]).unwrap();
+        let graph = b.build().unwrap();
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let mut alloc = Allocation::new(1, 1);
+        alloc.assign(OperatorId(0), NodeId(0));
+        let run = || {
+            Simulation::new(
+                &graph,
+                &alloc,
+                &cluster,
+                vec![SourceSpec::ConstantRate(rate)],
+                SimulationConfig {
+                    horizon: 8.0,
+                    warmup: 1.0,
+                    seed,
+                    ..SimulationConfig::default()
+                },
+            )
+            .run()
+        };
+        let (a, b2) = (run(), run());
+        prop_assert_eq!(a.tuples_in, b2.tuples_in);
+        prop_assert_eq!(a.tuples_out, b2.tuples_out);
+        prop_assert_eq!(a.tuples_processed, b2.tuples_processed);
+        prop_assert!((a.utilisations[0] - b2.utilisations[0]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,220 @@
+//! Loading and saving traces.
+//!
+//! Real deployments have real rate logs; this module reads and writes a
+//! minimal CSV form (`time,rate` with a fixed step, or a bare rate
+//! column) so users can feed measured traces through the same pipeline
+//! as the synthetic generators — e.g. the Internet Traffic Archive
+//! traces the paper used, if a user holds a copy.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use crate::trace::Trace;
+
+/// Errors raised while parsing a trace file.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceIoError {
+    /// Underlying file read/write problem (message only — `io::Error`
+    /// does not implement `Clone`/`PartialEq`).
+    Io(String),
+    /// A data line failed to parse.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        content: String,
+    },
+    /// Negative or non-finite rate.
+    BadRate {
+        /// 1-based line number.
+        line: usize,
+        /// The offending rate value.
+        value: f64,
+    },
+    /// Timestamps are not on a uniform, increasing grid.
+    NonUniformGrid {
+        /// 1-based line number of the first offending row.
+        line: usize,
+    },
+    /// The file contained no data rows.
+    Empty,
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceIoError::BadLine { line, content } => {
+                write!(f, "line {line}: cannot parse '{content}'")
+            }
+            TraceIoError::BadRate { line, value } => {
+                write!(f, "line {line}: invalid rate {value}")
+            }
+            TraceIoError::NonUniformGrid { line } => {
+                write!(
+                    f,
+                    "line {line}: timestamps must be a uniform increasing grid"
+                )
+            }
+            TraceIoError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+/// Parses CSV text into a trace.
+///
+/// Accepted shapes (header line optional, `#` comments skipped):
+/// * one column — rates on an implicit unit grid;
+/// * two columns — `time,rate` with uniform, increasing timestamps; the
+///   step is inferred from the first two rows.
+pub fn parse_csv(text: &str) -> Result<Trace, TraceIoError> {
+    let mut rates: Vec<f64> = Vec::new();
+    let mut times: Vec<f64> = Vec::new();
+    let mut two_column = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let parsed: Result<Vec<f64>, _> = fields.iter().map(|f| f.parse::<f64>()).collect();
+        let values = match parsed {
+            Ok(v) => v,
+            Err(_) if rates.is_empty() && times.is_empty() => continue, // header
+            Err(_) => {
+                return Err(TraceIoError::BadLine {
+                    line: line_no,
+                    content: line.to_string(),
+                })
+            }
+        };
+        match (values.len(), two_column) {
+            (1, None) => two_column = Some(false),
+            (2, None) => two_column = Some(true),
+            (1, Some(false)) | (2, Some(true)) => {}
+            _ => {
+                return Err(TraceIoError::BadLine {
+                    line: line_no,
+                    content: line.to_string(),
+                })
+            }
+        }
+        let rate = *values.last().expect("non-empty");
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(TraceIoError::BadRate {
+                line: line_no,
+                value: rate,
+            });
+        }
+        if values.len() == 2 {
+            times.push(values[0]);
+        }
+        rates.push(rate);
+    }
+    if rates.is_empty() {
+        return Err(TraceIoError::Empty);
+    }
+    let dt = if times.len() >= 2 {
+        let step = times[1] - times[0];
+        if step <= 0.0 {
+            return Err(TraceIoError::NonUniformGrid { line: 2 });
+        }
+        for (i, w) in times.windows(2).enumerate() {
+            if ((w[1] - w[0]) - step).abs() > 1e-9 * step.max(1.0) {
+                return Err(TraceIoError::NonUniformGrid { line: i + 2 });
+            }
+        }
+        step
+    } else {
+        1.0
+    };
+    Ok(Trace::new(rates, dt))
+}
+
+/// Serialises a trace as `time,rate` CSV.
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::from("time,rate\n");
+    for (i, &r) in trace.rates().iter().enumerate() {
+        out.push_str(&format!("{},{}\n", i as f64 * trace.dt(), r));
+    }
+    out
+}
+
+/// Reads a trace from a CSV file.
+pub fn read_csv_file(path: impl AsRef<Path>) -> Result<Trace, TraceIoError> {
+    let text = fs::read_to_string(path).map_err(|e| TraceIoError::Io(e.to_string()))?;
+    parse_csv(&text)
+}
+
+/// Writes a trace to a CSV file.
+pub fn write_csv_file(path: impl AsRef<Path>, trace: &Trace) -> Result<(), TraceIoError> {
+    fs::write(path, to_csv(trace)).map_err(|e| TraceIoError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_column_parses() {
+        let t = parse_csv("1.0\n2.5\n0.0\n").unwrap();
+        assert_eq!(t.rates(), &[1.0, 2.5, 0.0]);
+        assert_eq!(t.dt(), 1.0);
+    }
+
+    #[test]
+    fn two_column_infers_step() {
+        let t = parse_csv("0.0,5.0\n0.5,6.0\n1.0,7.0\n").unwrap();
+        assert_eq!(t.rates(), &[5.0, 6.0, 7.0]);
+        assert_eq!(t.dt(), 0.5);
+    }
+
+    #[test]
+    fn header_and_comments_skipped() {
+        let t = parse_csv("# generated\ntime,rate\n0,1\n1,2\n").unwrap();
+        assert_eq!(t.rates(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = Trace::new(vec![1.5, 0.0, 3.25], 0.25);
+        let back = parse_csv(&to_csv(&t)).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert_eq!(parse_csv(""), Err(TraceIoError::Empty));
+        assert!(matches!(
+            parse_csv("1.0\nbogus\n"),
+            Err(TraceIoError::BadLine { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_csv("0,-1\n"),
+            Err(TraceIoError::BadRate { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_csv("0,1\n1,1\n3,1\n"),
+            Err(TraceIoError::NonUniformGrid { .. })
+        ));
+        assert!(matches!(
+            parse_csv("1\n2,3\n"),
+            Err(TraceIoError::BadLine { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("rod-traces-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        let t = Trace::new(vec![10.0, 20.0], 2.0);
+        write_csv_file(&path, &t).unwrap();
+        assert_eq!(read_csv_file(&path).unwrap(), t);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,41 @@
+//! # rod-traces — synthetic bursty input-rate traces
+//!
+//! The ROD paper drives its experiments with three real traces from the
+//! Internet Traffic Archive — a wide-area packet trace (PKT), a TCP
+//! connection trace (TCP) and an HTTP request trace (HTTP) — and notes
+//! (citing Leland et al.) that "similar behaviour is observed at other
+//! time-scales due to the self-similar nature of these workloads".
+//!
+//! The archive traces are not redistributable here, so this crate
+//! synthesises rate series with the same load-relevant properties:
+//!
+//! * **self-similarity / long-range dependence** — the conservative
+//!   multiplicative cascade ("b-model", [`selfsimilar::BModel`]) and
+//!   fractional Gaussian noise via random midpoint displacement
+//!   ([`selfsimilar::FgnMidpoint`]);
+//! * **heavy-tailed burstiness** — aggregated Pareto ON/OFF sources
+//!   ([`onoff::OnOffAggregate`]), the classical generative explanation of
+//!   traffic self-similarity;
+//! * **medium/long-term variation** — diurnal cycles and flash crowds
+//!   ([`modulate`]), the paper's §1 examples of application-driven
+//!   variation;
+//! * plus memoryless baselines ([`poisson`]) for control experiments.
+//!
+//! [`paper::paper_traces`] packages three calibrated series whose
+//! normalised standard deviations match the spreads printed on the
+//! paper's Figure 2, and [`stats`] provides the estimators (coefficient
+//! of variation, R/S Hurst exponent) used to verify the calibration.
+
+#![warn(missing_docs)]
+pub mod io;
+pub mod modulate;
+pub mod onoff;
+pub mod paper;
+pub mod poisson;
+pub mod selfsimilar;
+pub mod stats;
+pub mod trace;
+
+pub use io::{parse_csv, read_csv_file, to_csv, write_csv_file, TraceIoError};
+pub use paper::{paper_traces, PaperTrace};
+pub use trace::Trace;

@@ -1,0 +1,92 @@
+//! Medium/long-term rate modulation.
+//!
+//! §1 of the paper: "Medium and long term variations arise typically due
+//! to application-specific behaviour; e.g., flash-crowds reacting to
+//! breaking news, closing of a stock market at the end of a business day,
+//! temperature dropping during night time." These envelopes multiply a
+//! (bursty) carrier trace to add exactly those effects.
+
+/// A sinusoidal diurnal envelope: `1 + depth·sin(2π t / period + phase)`,
+/// clipped at zero. `depth = 0.5` halves/1.5×es the rate over a cycle.
+pub fn diurnal(bins: usize, period_bins: f64, depth: f64, phase: f64) -> Vec<f64> {
+    assert!(period_bins > 0.0);
+    assert!((0.0..=1.0).contains(&depth), "depth in [0, 1]");
+    (0..bins)
+        .map(|i| {
+            let t = i as f64 / period_bins;
+            (1.0 + depth * (2.0 * std::f64::consts::PI * t + phase).sin()).max(0.0)
+        })
+        .collect()
+}
+
+/// A flash-crowd envelope: baseline 1, then at `start` the rate jumps to
+/// `peak` and decays geometrically back toward 1 with per-bin factor
+/// `decay` (0 < decay < 1) — the canonical breaking-news response shape.
+pub fn flash_crowd(bins: usize, start: usize, peak: f64, decay: f64) -> Vec<f64> {
+    assert!(peak >= 1.0, "a flash crowd raises the rate");
+    assert!((0.0..1.0).contains(&decay));
+    (0..bins)
+        .map(|i| {
+            if i < start {
+                1.0
+            } else {
+                1.0 + (peak - 1.0) * decay.powi((i - start) as i32)
+            }
+        })
+        .collect()
+}
+
+/// A step envelope — `1` before `at`, `level` after: market open/close,
+/// sensor-network day/night switches.
+pub fn step(bins: usize, at: usize, level: f64) -> Vec<f64> {
+    assert!(level >= 0.0);
+    (0..bins)
+        .map(|i| if i < at { 1.0 } else { level })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    #[test]
+    fn diurnal_cycles() {
+        let env = diurnal(100, 50.0, 0.5, 0.0);
+        assert_eq!(env.len(), 100);
+        assert!(env.iter().all(|&e| (0.0..=1.5 + 1e-9).contains(&e)));
+        // Mean of a full number of cycles ≈ 1.
+        let mean = env.iter().sum::<f64>() / 100.0;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn flash_crowd_shape() {
+        let env = flash_crowd(10, 3, 5.0, 0.5);
+        assert_eq!(env[2], 1.0);
+        assert_eq!(env[3], 5.0);
+        assert_eq!(env[4], 3.0); // 1 + 4*0.5
+        assert!(env[9] < env[4]);
+        assert!(env.iter().all(|&e| e >= 1.0));
+    }
+
+    #[test]
+    fn step_shape() {
+        let env = step(4, 2, 0.25);
+        assert_eq!(env, vec![1.0, 1.0, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn modulation_composes_with_traces() {
+        let t = Trace::constant(10.0, 10, 1.0);
+        let spiked = t.modulated(&flash_crowd(10, 5, 3.0, 0.5));
+        assert_eq!(spiked.rate_at(0.0), 10.0);
+        assert_eq!(spiked.rate_at(5.0), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "raises the rate")]
+    fn flash_crowd_peak_below_one_rejected() {
+        let _ = flash_crowd(10, 0, 0.5, 0.5);
+    }
+}

@@ -1,0 +1,124 @@
+//! Aggregated heavy-tailed ON/OFF sources.
+//!
+//! Superposing many sources whose ON (and/or OFF) period lengths are
+//! Pareto-distributed with tail index `1 < α < 2` yields asymptotically
+//! self-similar aggregate traffic — the standard generative account of
+//! the burstiness in the traces the paper uses.
+
+use rand::Rng as _;
+
+use rod_geom::rng::{seeded_rng, Rng};
+
+use crate::trace::Trace;
+
+/// A population of identical Pareto ON/OFF sources.
+#[derive(Clone, Debug)]
+pub struct OnOffAggregate {
+    /// Number of independent sources.
+    pub sources: usize,
+    /// Pareto tail index `α` for both period distributions (1 < α < 2
+    /// for long-range dependence).
+    pub alpha: f64,
+    /// Minimum period length (Pareto scale), in bins.
+    pub min_period: f64,
+    /// Rate contributed by one source while ON.
+    pub on_rate: f64,
+    /// Number of bins to generate.
+    pub bins: usize,
+    /// Bin width.
+    pub dt: f64,
+}
+
+impl OnOffAggregate {
+    /// Pareto sample with the configured scale and tail.
+    fn pareto(&self, rng: &mut Rng) -> f64 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        self.min_period * u.powf(-1.0 / self.alpha)
+    }
+
+    /// Generates the aggregated trace.
+    pub fn generate(&self, seed: u64) -> Trace {
+        assert!(self.alpha > 1.0, "alpha must exceed 1 for finite means");
+        let mut rates = vec![0.0f64; self.bins];
+        let mut rng = seeded_rng(seed);
+        for _ in 0..self.sources {
+            // Random initial phase: start ON or OFF with equal chance.
+            let mut on = rng.gen::<bool>();
+            let mut t = 0.0f64;
+            // Draw an initial partial period.
+            let mut remaining = self.pareto(&mut rng) * rng.gen::<f64>();
+            while t < self.bins as f64 {
+                let end = (t + remaining).min(self.bins as f64);
+                if on {
+                    // Spread the ON contribution over the covered bins.
+                    let mut b = t;
+                    while b < end {
+                        let bin = b as usize;
+                        let cover = (end.min((bin + 1) as f64) - b).max(0.0);
+                        rates[bin] += self.on_rate * cover;
+                        b = (bin + 1) as f64;
+                    }
+                }
+                t = end;
+                on = !on;
+                remaining = self.pareto(&mut rng);
+            }
+        }
+        Trace::new(rates, self.dt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::hurst_rs;
+
+    fn config(sources: usize, bins: usize) -> OnOffAggregate {
+        OnOffAggregate {
+            sources,
+            alpha: 1.4,
+            min_period: 2.0,
+            on_rate: 1.0,
+            bins,
+            dt: 1.0,
+        }
+    }
+
+    #[test]
+    fn mean_rate_scales_with_population() {
+        // Each source is ON about half the time → mean ≈ sources/2.
+        let t = config(100, 4096).generate(7);
+        let mean = t.mean();
+        assert!(
+            (mean - 50.0).abs() < 12.0,
+            "mean {mean} far from the ~50 expected"
+        );
+    }
+
+    #[test]
+    fn aggregate_is_long_range_dependent() {
+        let t = config(60, 8192).generate(3);
+        let h = hurst_rs(t.rates());
+        assert!(h > 0.6, "estimated H = {h}; expected LRD (> 0.6)");
+    }
+
+    #[test]
+    fn rates_are_bounded_by_population() {
+        let t = config(20, 1024).generate(1);
+        assert!(t.rates().iter().all(|&r| r <= 20.0 + 1e-9));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(config(10, 256).generate(5), config(10, 256).generate(5));
+        assert_ne!(config(10, 256).generate(5), config(10, 256).generate(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_below_one_rejected() {
+        let mut c = config(1, 16);
+        c.alpha = 0.9;
+        let _ = c.generate(0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Memoryless and Markov-modulated baseline traces.
+//!
+//! A Poisson trace is the "no burstiness" control: under aggregation its
+//! coefficient of variation decays like `1/√k`, unlike the self-similar
+//! generators. The Markov-modulated variant (MMPP) adds short-term
+//! burstiness *without* long-range dependence — useful for separating the
+//! effect of burst amplitude from burst persistence in experiments.
+
+use rand::Rng as _;
+
+use rod_geom::rng::seeded_rng;
+
+use crate::trace::{sample_poisson, Trace};
+
+/// Homogeneous Poisson arrivals binned into a rate trace.
+#[derive(Clone, Debug)]
+pub struct PoissonTrace {
+    /// Mean arrival rate.
+    pub rate: f64,
+    /// Number of bins.
+    pub bins: usize,
+    /// Bin width.
+    pub dt: f64,
+}
+
+impl PoissonTrace {
+    /// Generates the binned empirical rates.
+    pub fn generate(&self, seed: u64) -> Trace {
+        let mut rng = seeded_rng(seed);
+        let lam = self.rate * self.dt;
+        let rates = (0..self.bins)
+            .map(|_| sample_poisson(lam, &mut rng) as f64 / self.dt)
+            .collect();
+        Trace::new(rates, self.dt)
+    }
+}
+
+/// A two-state Markov-modulated Poisson process: a quiet state and a
+/// bursty state with geometric sojourn times.
+#[derive(Clone, Debug)]
+pub struct MmppTrace {
+    /// Rate in the quiet state.
+    pub low_rate: f64,
+    /// Rate in the bursty state.
+    pub high_rate: f64,
+    /// Per-bin probability of leaving the quiet state.
+    pub p_up: f64,
+    /// Per-bin probability of leaving the bursty state.
+    pub p_down: f64,
+    /// Number of bins.
+    pub bins: usize,
+    /// Bin width.
+    pub dt: f64,
+}
+
+impl MmppTrace {
+    /// Generates the binned empirical rates.
+    pub fn generate(&self, seed: u64) -> Trace {
+        assert!((0.0..=1.0).contains(&self.p_up) && (0.0..=1.0).contains(&self.p_down));
+        let mut rng = seeded_rng(seed);
+        let mut high = false;
+        let rates = (0..self.bins)
+            .map(|_| {
+                let flip: f64 = rng.gen();
+                if high {
+                    if flip < self.p_down {
+                        high = false;
+                    }
+                } else if flip < self.p_up {
+                    high = true;
+                }
+                let rate = if high { self.high_rate } else { self.low_rate };
+                sample_poisson(rate * self.dt, &mut rng) as f64 / self.dt
+            })
+            .collect();
+        Trace::new(rates, self.dt)
+    }
+
+    /// Long-run mean rate implied by the chain's stationary distribution.
+    pub fn stationary_mean(&self) -> f64 {
+        let pi_high = self.p_up / (self.p_up + self.p_down);
+        self.high_rate * pi_high + self.low_rate * (1.0 - pi_high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_matches() {
+        let t = PoissonTrace {
+            rate: 40.0,
+            bins: 4096,
+            dt: 1.0,
+        }
+        .generate(2);
+        assert!((t.mean() - 40.0).abs() < 1.0, "mean {}", t.mean());
+    }
+
+    #[test]
+    fn poisson_cov_decays_under_aggregation() {
+        let t = PoissonTrace {
+            rate: 10.0,
+            bins: 8192,
+            dt: 1.0,
+        }
+        .generate(4);
+        let cov1 = t.summary().coeff_of_variation();
+        let cov16 = t.aggregate(16).summary().coeff_of_variation();
+        // i.i.d.: cov16 ≈ cov1 / 4.
+        assert!(
+            cov16 < cov1 / 2.5,
+            "cov1={cov1}, cov16={cov16}: Poisson should smooth out"
+        );
+    }
+
+    #[test]
+    fn mmpp_mean_matches_stationary() {
+        let m = MmppTrace {
+            low_rate: 5.0,
+            high_rate: 50.0,
+            p_up: 0.05,
+            p_down: 0.2,
+            bins: 20_000,
+            dt: 1.0,
+        };
+        let t = m.generate(9);
+        assert!(
+            (t.mean() - m.stationary_mean()).abs() < 0.1 * m.stationary_mean(),
+            "mean {} vs stationary {}",
+            t.mean(),
+            m.stationary_mean()
+        );
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson_at_same_mean() {
+        let m = MmppTrace {
+            low_rate: 5.0,
+            high_rate: 50.0,
+            p_up: 0.05,
+            p_down: 0.2,
+            bins: 8192,
+            dt: 1.0,
+        };
+        let bursty = m.generate(3);
+        let calm = PoissonTrace {
+            rate: m.stationary_mean(),
+            bins: 8192,
+            dt: 1.0,
+        }
+        .generate(3);
+        assert!(bursty.summary().coeff_of_variation() > 2.0 * calm.summary().coeff_of_variation());
+    }
+}

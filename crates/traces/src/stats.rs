@@ -1,0 +1,213 @@
+//! Trace statistics: the calibration and verification instruments.
+
+/// Rescaled-range (R/S) estimate of the Hurst exponent.
+///
+/// The series is divided into blocks of several sizes; for each block the
+/// rescaled range `R/S` is computed and `log(R/S)` is regressed against
+/// `log(block size)`. Slope ≈ `H`. Values `H > 0.5` indicate long-range
+/// dependence — the self-similarity signature of the paper's traces.
+///
+/// Returns 0.5 for series too short (< 64 points) or degenerate to
+/// estimate.
+pub fn hurst_rs(series: &[f64]) -> f64 {
+    let n = series.len();
+    if n < 64 {
+        return 0.5;
+    }
+    let mut log_sizes = Vec::new();
+    let mut log_rs = Vec::new();
+    let mut size = 8usize;
+    while size <= n / 4 {
+        let mut rs_sum = 0.0;
+        let mut blocks = 0;
+        for chunk in series.chunks_exact(size) {
+            if let Some(rs) = rescaled_range(chunk) {
+                rs_sum += rs;
+                blocks += 1;
+            }
+        }
+        if blocks > 0 {
+            log_sizes.push((size as f64).ln());
+            log_rs.push((rs_sum / blocks as f64).ln());
+        }
+        size *= 2;
+    }
+    if log_sizes.len() < 2 {
+        return 0.5;
+    }
+    linear_slope(&log_sizes, &log_rs).clamp(0.0, 1.0)
+}
+
+/// R/S statistic of one block; `None` when the block is constant.
+fn rescaled_range(block: &[f64]) -> Option<f64> {
+    let n = block.len() as f64;
+    let mean = block.iter().sum::<f64>() / n;
+    let mut cum = 0.0;
+    let mut max_dev: f64 = 0.0;
+    let mut min_dev: f64 = 0.0;
+    let mut var = 0.0;
+    for &x in block {
+        cum += x - mean;
+        max_dev = max_dev.max(cum);
+        min_dev = min_dev.min(cum);
+        var += (x - mean) * (x - mean);
+    }
+    let s = (var / n).sqrt();
+    if s <= 0.0 {
+        return None;
+    }
+    Some((max_dev - min_dev) / s)
+}
+
+/// Ordinary least-squares slope of `y` on `x`.
+fn linear_slope(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+    }
+    if sxx == 0.0 {
+        0.0
+    } else {
+        sxy / sxx
+    }
+}
+
+/// Variance-time estimate of the Hurst exponent.
+///
+/// For a long-range-dependent series, the variance of the `m`-aggregated
+/// series decays like `m^(2H-2)`; ordinary noise decays like `m^(-1)`.
+/// Fitting `log Var(X^(m))` against `log m` gives `H = 1 + slope/2` —
+/// an independent check on [`hurst_rs`] (the two estimators have
+/// different biases, so agreement is meaningful).
+///
+/// Returns 0.5 for series too short (< 64 points) or degenerate.
+pub fn hurst_variance_time(series: &[f64]) -> f64 {
+    let n = series.len();
+    if n < 64 {
+        return 0.5;
+    }
+    let mut log_m = Vec::new();
+    let mut log_var = Vec::new();
+    let mut m = 1usize;
+    while n / m >= 8 {
+        let agg: Vec<f64> = series
+            .chunks_exact(m)
+            .map(|c| c.iter().sum::<f64>() / m as f64)
+            .collect();
+        let mean = agg.iter().sum::<f64>() / agg.len() as f64;
+        let var = agg.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / agg.len() as f64;
+        if var > 0.0 {
+            log_m.push((m as f64).ln());
+            log_var.push(var.ln());
+        }
+        m *= 2;
+    }
+    if log_m.len() < 3 {
+        return 0.5;
+    }
+    (1.0 + linear_slope(&log_m, &log_var) / 2.0).clamp(0.0, 1.0)
+}
+
+/// Lag-`k` autocorrelation of a series (biased estimator).
+pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
+    let n = series.len();
+    if lag >= n {
+        return 0.0;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if var == 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = series[..n - lag]
+        .iter()
+        .zip(&series[lag..])
+        .map(|(a, b)| (a - mean) * (b - mean))
+        .sum();
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng as _;
+    use rod_geom::seeded_rng;
+
+    #[test]
+    fn white_noise_hurst_near_half() {
+        let mut rng = seeded_rng(6);
+        let series: Vec<f64> = (0..8192).map(|_| rng.gen::<f64>()).collect();
+        let h = hurst_rs(&series);
+        assert!((h - 0.5).abs() < 0.13, "H = {h} for white noise");
+    }
+
+    #[test]
+    fn trending_series_hurst_high() {
+        // A strongly persistent series: cumulative sum of positives.
+        let mut rng = seeded_rng(6);
+        let mut level = 0.0;
+        let series: Vec<f64> = (0..4096)
+            .map(|_| {
+                level += rng.gen::<f64>() - 0.3;
+                level
+            })
+            .collect();
+        assert!(hurst_rs(&series) > 0.8);
+    }
+
+    #[test]
+    fn short_or_constant_series_fall_back() {
+        assert_eq!(hurst_rs(&[1.0; 10]), 0.5);
+        assert_eq!(hurst_rs(&vec![2.0; 1000]), 0.5);
+    }
+
+    #[test]
+    fn variance_time_white_noise_near_half() {
+        let mut rng = seeded_rng(12);
+        let series: Vec<f64> = (0..8192).map(|_| rng.gen::<f64>()).collect();
+        let h = hurst_variance_time(&series);
+        assert!((h - 0.5).abs() < 0.1, "H = {h} for white noise");
+    }
+
+    #[test]
+    fn variance_time_agrees_with_rs_on_lrd_series() {
+        use crate::selfsimilar::BModel;
+        let t = BModel::new(0.75, 13, 1.0, 1.0).generate(4);
+        let h_vt = hurst_variance_time(t.rates());
+        let h_rs = hurst_rs(t.rates());
+        assert!(h_vt > 0.6, "variance-time H = {h_vt}");
+        assert!(
+            (h_vt - h_rs).abs() < 0.25,
+            "estimators disagree: {h_vt} vs {h_rs}"
+        );
+    }
+
+    #[test]
+    fn variance_time_degenerate_falls_back() {
+        assert_eq!(hurst_variance_time(&[1.0; 10]), 0.5);
+        assert_eq!(hurst_variance_time(&[3.0; 512]), 0.5);
+    }
+
+    #[test]
+    fn autocorrelation_basics() {
+        let alternating: Vec<f64> = (0..256)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!(autocorrelation(&alternating, 1) < -0.9);
+        assert!(autocorrelation(&alternating, 2) > 0.9);
+        assert_eq!(autocorrelation(&alternating, 300), 0.0);
+        assert_eq!(autocorrelation(&[5.0; 32], 1), 0.0);
+    }
+
+    #[test]
+    fn slope_recovers_line() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        assert!((linear_slope(&x, &y) - 3.0).abs() < 1e-12);
+    }
+}

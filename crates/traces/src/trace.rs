@@ -1,0 +1,302 @@
+//! The [`Trace`] type: a rate series with a fixed time step.
+
+use rand::Rng as _;
+use serde::{Deserialize, Serialize};
+
+use rod_geom::rng::Rng;
+use rod_geom::OnlineStats;
+
+/// A non-negative rate series sampled on a uniform grid.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Rate (tuples per unit time) in each bin.
+    rates: Vec<f64>,
+    /// Bin width in time units.
+    dt: f64,
+}
+
+impl Trace {
+    /// Creates a trace; panics on negative rates or a non-positive step.
+    pub fn new(rates: Vec<f64>, dt: f64) -> Self {
+        assert!(dt > 0.0, "time step must be positive");
+        assert!(
+            rates.iter().all(|r| r.is_finite() && *r >= 0.0),
+            "rates must be finite and non-negative"
+        );
+        Trace { rates, dt }
+    }
+
+    /// A constant-rate trace.
+    pub fn constant(rate: f64, bins: usize, dt: f64) -> Self {
+        Trace::new(vec![rate; bins], dt)
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// True when the trace has no bins.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Bin width.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Total covered time.
+    pub fn duration(&self) -> f64 {
+        self.len() as f64 * self.dt
+    }
+
+    /// The raw rate values.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Rate at an arbitrary time (piecewise constant, clamped to the last
+    /// bin beyond the end).
+    pub fn rate_at(&self, t: f64) -> f64 {
+        if self.rates.is_empty() {
+            return 0.0;
+        }
+        let idx = ((t / self.dt).floor().max(0.0) as usize).min(self.rates.len() - 1);
+        self.rates[idx]
+    }
+
+    /// Mean rate.
+    pub fn mean(&self) -> f64 {
+        self.summary().mean()
+    }
+
+    /// Mean/std/min/max summary.
+    pub fn summary(&self) -> OnlineStats {
+        let mut s = OnlineStats::new();
+        for &r in &self.rates {
+            s.push(r);
+        }
+        s
+    }
+
+    /// Scales every rate by a factor.
+    pub fn scaled(&self, factor: f64) -> Trace {
+        assert!(factor >= 0.0);
+        Trace::new(self.rates.iter().map(|r| r * factor).collect(), self.dt)
+    }
+
+    /// Rescales to the given mean (no-op target for an all-zero trace).
+    pub fn with_mean(&self, mean: f64) -> Trace {
+        let cur = self.mean();
+        if cur == 0.0 {
+            return self.clone();
+        }
+        self.scaled(mean / cur)
+    }
+
+    /// Normalises to mean 1 — the form Figure 2 plots ("normalized stream
+    /// rates as a function of time").
+    pub fn normalised(&self) -> Trace {
+        self.with_mean(1.0)
+    }
+
+    /// Adjusts the spread so the coefficient of variation σ/μ becomes
+    /// `target_cov` (keeping the mean). Each pass stretches deviations
+    /// affinely and clips at zero; because clipping shaves spread back
+    /// off, the transform is iterated until the measured CoV converges
+    /// on the target (or stops improving — heavily skewed series with
+    /// mass near zero cannot reach arbitrarily high spreads this way).
+    /// Used to calibrate synthetic traces against the spreads the paper
+    /// reports.
+    pub fn with_cov(&self, target_cov: f64) -> Trace {
+        let mut current = self.clone();
+        for _ in 0..16 {
+            let s = current.summary();
+            let (mean, std) = (s.mean(), s.std_dev());
+            if std == 0.0 || mean == 0.0 {
+                return current;
+            }
+            if (s.coeff_of_variation() - target_cov).abs() <= 1e-4 * target_cov.max(1e-9) {
+                break;
+            }
+            let gain = target_cov * mean / std;
+            current = Trace::new(
+                current
+                    .rates
+                    .iter()
+                    .map(|&r| (mean + (r - mean) * gain).max(0.0))
+                    .collect(),
+                self.dt,
+            )
+            // Clipping also drifts the mean; restore it so the fixed
+            // point has both the requested mean and spread.
+            .with_mean(mean);
+        }
+        current
+    }
+
+    /// Aggregates adjacent bins by summing tuple counts (rate × dt),
+    /// producing a coarser trace — self-similar traces keep their
+    /// burstiness under this operation, Poisson traces smooth out.
+    pub fn aggregate(&self, factor: usize) -> Trace {
+        assert!(factor >= 1);
+        let rates = self
+            .rates
+            .chunks(factor)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect();
+        Trace::new(rates, self.dt * factor as f64)
+    }
+
+    /// Point-wise sum of two equally-shaped traces.
+    pub fn add(&self, other: &Trace) -> Trace {
+        assert_eq!(self.len(), other.len(), "trace lengths differ");
+        assert!((self.dt - other.dt).abs() < 1e-12, "time steps differ");
+        Trace::new(
+            self.rates
+                .iter()
+                .zip(&other.rates)
+                .map(|(a, b)| a + b)
+                .collect(),
+            self.dt,
+        )
+    }
+
+    /// Point-wise product with a modulation envelope (values ≥ 0).
+    pub fn modulated(&self, envelope: &[f64]) -> Trace {
+        assert_eq!(envelope.len(), self.len(), "envelope length differs");
+        Trace::new(
+            self.rates
+                .iter()
+                .zip(envelope)
+                .map(|(r, e)| r * e.max(0.0))
+                .collect(),
+            self.dt,
+        )
+    }
+
+    /// Draws Poisson arrival timestamps consistent with the binned rates
+    /// (uniform within each bin) — how the simulator turns a rate trace
+    /// into a tuple stream.
+    pub fn to_arrival_times(&self, rng: &mut Rng) -> Vec<f64> {
+        let mut times = Vec::new();
+        for (i, &rate) in self.rates.iter().enumerate() {
+            let lam = rate * self.dt;
+            let count = sample_poisson(lam, rng);
+            let t0 = i as f64 * self.dt;
+            for _ in 0..count {
+                times.push(t0 + rng.gen::<f64>() * self.dt);
+            }
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        times
+    }
+}
+
+/// Poisson sample via inversion for small λ and normal approximation for
+/// large λ (adequate here: arrival counts, not tail statistics).
+pub(crate) fn sample_poisson(lambda: f64, rng: &mut Rng) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product = rng.gen::<f64>();
+        let mut count = 0;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        // Normal approximation with continuity correction.
+        let (u1, u2) = (rng.gen::<f64>().max(f64::MIN_POSITIVE), rng.gen::<f64>());
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (lambda + lambda.sqrt() * z + 0.5).max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rod_geom::seeded_rng;
+
+    #[test]
+    fn construction_and_lookup() {
+        let t = Trace::new(vec![1.0, 2.0, 3.0], 0.5);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.duration(), 1.5);
+        assert_eq!(t.rate_at(0.0), 1.0);
+        assert_eq!(t.rate_at(0.6), 2.0);
+        assert_eq!(t.rate_at(99.0), 3.0); // clamped
+        assert_eq!(t.mean(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rates_rejected() {
+        let _ = Trace::new(vec![1.0, -2.0], 1.0);
+    }
+
+    #[test]
+    fn scaling_and_normalisation() {
+        let t = Trace::new(vec![2.0, 4.0], 1.0);
+        assert_eq!(t.with_mean(6.0).rates(), &[4.0, 8.0]);
+        assert_eq!(t.normalised().mean(), 1.0);
+    }
+
+    #[test]
+    fn cov_calibration() {
+        let t = Trace::new(vec![1.0, 2.0, 3.0, 4.0, 5.0], 1.0);
+        let cal = t.with_cov(0.3);
+        let s = cal.summary();
+        assert!((s.coeff_of_variation() - 0.3).abs() < 1e-9);
+        assert!((s.mean() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregation_preserves_mean() {
+        let t = Trace::new(vec![1.0, 3.0, 5.0, 7.0], 1.0);
+        let agg = t.aggregate(2);
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg.rates(), &[2.0, 6.0]);
+        assert_eq!(agg.dt(), 2.0);
+        assert_eq!(agg.mean(), t.mean());
+    }
+
+    #[test]
+    fn add_and_modulate() {
+        let a = Trace::new(vec![1.0, 2.0], 1.0);
+        let b = Trace::new(vec![3.0, 4.0], 1.0);
+        assert_eq!(a.add(&b).rates(), &[4.0, 6.0]);
+        assert_eq!(a.modulated(&[2.0, 0.5]).rates(), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn arrivals_match_expected_count() {
+        let t = Trace::constant(100.0, 50, 1.0); // E[count] = 5000
+        let mut rng = seeded_rng(4);
+        let arr = t.to_arrival_times(&mut rng);
+        assert!((arr.len() as f64 - 5000.0).abs() < 300.0, "{}", arr.len());
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert!(arr.iter().all(|&x| (0.0..=50.0).contains(&x)));
+    }
+
+    #[test]
+    fn poisson_sampler_moments() {
+        let mut rng = seeded_rng(8);
+        for lambda in [0.5, 5.0, 80.0] {
+            let n = 20_000;
+            let mean = (0..n)
+                .map(|_| sample_poisson(lambda, &mut rng) as f64)
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda.max(1.0),
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+    }
+}

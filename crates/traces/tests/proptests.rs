@@ -1,0 +1,112 @@
+//! Property-based tests for the trace generators and transforms.
+
+use proptest::prelude::*;
+
+use rod_traces::modulate::{diurnal, flash_crowd, step};
+use rod_traces::onoff::OnOffAggregate;
+use rod_traces::selfsimilar::{BModel, FgnMidpoint};
+use rod_traces::Trace;
+
+proptest! {
+    #[test]
+    fn scaling_preserves_shape(rates in prop::collection::vec(0.0..100.0f64, 1..64),
+                               factor in 0.1..10.0f64) {
+        let t = Trace::new(rates, 1.0);
+        let s = t.scaled(factor);
+        prop_assert_eq!(s.len(), t.len());
+        prop_assert!((s.mean() - t.mean() * factor).abs() < 1e-9 * (1.0 + t.mean() * factor));
+        // CoV is scale-invariant.
+        let (a, b) = (t.summary().coeff_of_variation(), s.summary().coeff_of_variation());
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregation_preserves_mean(rates in prop::collection::vec(0.0..50.0f64, 4..128),
+                                  factor in 1usize..8) {
+        let t = Trace::new(rates, 0.5);
+        let a = t.aggregate(factor);
+        // Means agree up to ragged-tail effects; with exact chunking the
+        // means agree exactly when factor divides len.
+        if t.len() % factor == 0 {
+            prop_assert!((a.mean() - t.mean()).abs() < 1e-9);
+        }
+        prop_assert!(!a.is_empty());
+        prop_assert!((a.dt() - 0.5 * factor as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_cov_hits_target(rates in prop::collection::vec(0.1..50.0f64, 8..64),
+                            target in 0.01..0.5f64) {
+        let t = Trace::new(rates, 1.0);
+        prop_assume!(t.summary().std_dev() > 1e-9);
+        let c = t.with_cov(target);
+        let got = c.summary().coeff_of_variation();
+        // Clipping at zero can shave the spread; with target <= 0.5 and
+        // positive rates clipping is rare, so expect a close hit.
+        prop_assert!((got - target).abs() < 0.1 * target + 1e-6,
+                     "target {target} got {got}");
+    }
+
+    #[test]
+    fn rate_at_matches_bins(rates in prop::collection::vec(0.0..10.0f64, 1..32),
+                            q in 0.0..1.0f64) {
+        let t = Trace::new(rates.clone(), 2.0);
+        let idx = ((q * rates.len() as f64) as usize).min(rates.len() - 1);
+        let time = idx as f64 * 2.0 + 1.0; // middle of bin idx
+        prop_assert_eq!(t.rate_at(time), rates[idx]);
+    }
+
+    #[test]
+    fn bmodel_mass_conservation(bias in 0.5..0.95f64, levels in 4u32..10,
+                                mean in 0.1..100.0f64, seed in 0u64..50) {
+        let t = BModel::new(bias, levels, mean, 1.0).generate(seed);
+        prop_assert_eq!(t.len(), 1usize << levels);
+        prop_assert!((t.mean() - mean).abs() < 1e-9 * mean.max(1.0));
+        prop_assert!(t.rates().iter().all(|&r| r >= 0.0));
+    }
+
+    #[test]
+    fn fgn_nonnegative_and_sized(hurst in 0.05..0.95f64, seed in 0u64..50) {
+        let t = FgnMidpoint::new(hurst, 8, 5.0, 0.3, 1.0).generate(seed);
+        prop_assert_eq!(t.len(), 256);
+        prop_assert!(t.rates().iter().all(|&r| r >= 0.0));
+    }
+
+    #[test]
+    fn onoff_bounded_by_population(sources in 1usize..30, seed in 0u64..20) {
+        let t = OnOffAggregate {
+            sources,
+            alpha: 1.5,
+            min_period: 2.0,
+            on_rate: 1.0,
+            bins: 128,
+            dt: 1.0,
+        }
+        .generate(seed);
+        prop_assert!(t.rates().iter().all(|&r| r <= sources as f64 + 1e-9));
+    }
+
+    #[test]
+    fn envelopes_are_nonnegative(bins in 1usize..200, at in 0usize..200,
+                                 peak in 1.0..10.0f64, decay in 0.0..0.99f64,
+                                 level in 0.0..3.0f64, depth in 0.0..1.0f64) {
+        for env in [
+            flash_crowd(bins, at.min(bins), peak, decay),
+            step(bins, at.min(bins), level),
+            diurnal(bins, 25.0, depth, 0.3),
+        ] {
+            prop_assert_eq!(env.len(), bins);
+            prop_assert!(env.iter().all(|&e| e >= 0.0));
+        }
+    }
+
+    #[test]
+    fn arrivals_sorted_and_in_range(rates in prop::collection::vec(0.0..30.0f64, 1..16),
+                                    seed in 0u64..20) {
+        let t = Trace::new(rates, 1.0);
+        let mut rng = rod_geom::seeded_rng(seed);
+        let arr = t.to_arrival_times(&mut rng);
+        prop_assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(arr.iter().all(|&x| x >= 0.0 && x <= t.duration()));
+    }
+}

@@ -1,0 +1,148 @@
+//! Windowed-join workloads for the §6.2 nonlinear experiments.
+//!
+//! Each "join pair" takes two input streams through short pre-processing
+//! chains, joins them over a time window, and post-processes the result —
+//! the classic correlation query (e.g. match packets with intrusion
+//! signatures, or trades with quotes). Linearisation introduces exactly
+//! one variable per join (plus one per variable-selectivity operator if
+//! enabled), so these graphs exercise the full §6.2 pipeline.
+
+use rand::Rng as _;
+
+use rod_geom::rng::seeded_rng;
+
+use rod_core::graph::{GraphBuilder, QueryGraph};
+use rod_core::operator::OperatorKind;
+
+/// Configuration of the join workload.
+#[derive(Clone, Debug)]
+pub struct JoinConfig {
+    /// Number of join pairs; the graph has `2 × pairs` input streams.
+    pub pairs: usize,
+    /// Pre-processing operators per input chain before the join.
+    pub pre_chain: usize,
+    /// Post-processing operators after each join.
+    pub post_chain: usize,
+    /// Join window length (time units).
+    pub window: f64,
+    /// Whether the first pre-processing operator of each chain has
+    /// data-dependent selectivity (adds one introduced variable each).
+    pub variable_selectivity_heads: bool,
+}
+
+impl Default for JoinConfig {
+    fn default() -> Self {
+        JoinConfig {
+            pairs: 2,
+            pre_chain: 2,
+            post_chain: 2,
+            window: 0.5,
+            variable_selectivity_heads: false,
+        }
+    }
+}
+
+/// Builds the join workload graph.
+pub fn join_pairs(config: &JoinConfig, seed: u64) -> QueryGraph {
+    assert!(config.pairs > 0);
+    let mut rng = seeded_rng(seed);
+    let mut b = GraphBuilder::new();
+    for pair in 0..config.pairs {
+        let mut sides = Vec::with_capacity(2);
+        for side in 0..2 {
+            let mut up = b.add_input();
+            for depth in 0..config.pre_chain {
+                let name = format!("pre_p{pair}_s{side}_{depth}");
+                let cost = rng.gen_range(5e-5..3e-4);
+                let kind = if depth == 0 && config.variable_selectivity_heads {
+                    OperatorKind::VariableSelectivity {
+                        costs: vec![cost],
+                        nominal_selectivities: vec![rng.gen_range(0.5..0.9)],
+                    }
+                } else {
+                    OperatorKind::filter(cost, rng.gen_range(0.5..1.0))
+                };
+                let (_, s) = b.add_operator(name, kind, &[up]).expect("pre op");
+                up = s;
+            }
+            sides.push(up);
+        }
+        let (_, mut joined) = b
+            .add_operator(
+                format!("join_p{pair}"),
+                OperatorKind::WindowJoin {
+                    window: config.window,
+                    cost_per_pair: rng.gen_range(1e-4..5e-4),
+                    selectivity_per_pair: rng.gen_range(0.05..0.3),
+                },
+                &[sides[0], sides[1]],
+            )
+            .expect("join");
+        for depth in 0..config.post_chain {
+            let (_, s) = b
+                .add_operator(
+                    format!("post_p{pair}_{depth}"),
+                    OperatorKind::filter(rng.gen_range(5e-5..3e-4), rng.gen_range(0.5..1.0)),
+                    &[joined],
+                )
+                .expect("post op");
+            joined = s;
+        }
+    }
+    b.build().expect("join graph is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rod_core::load_model::LoadModel;
+
+    #[test]
+    fn variable_count_is_inputs_plus_joins() {
+        let cfg = JoinConfig::default(); // 2 pairs, no var-sel heads
+        let g = join_pairs(&cfg, 1);
+        assert_eq!(g.num_inputs(), 4);
+        let model = LoadModel::derive(&g).unwrap();
+        assert_eq!(model.num_vars(), 4 + 2, "one introduced var per join");
+    }
+
+    #[test]
+    fn variable_selectivity_heads_add_variables() {
+        let cfg = JoinConfig {
+            variable_selectivity_heads: true,
+            ..JoinConfig::default()
+        };
+        let g = join_pairs(&cfg, 1);
+        let model = LoadModel::derive(&g).unwrap();
+        // 4 inputs + 2 joins + 4 var-sel heads (one per chain).
+        assert_eq!(model.num_vars(), 10);
+    }
+
+    #[test]
+    fn linearised_loads_agree_with_truth() {
+        let g = join_pairs(&JoinConfig::default(), 7);
+        let model = LoadModel::derive(&g).unwrap();
+        let rates = vec![20.0, 35.0, 10.0, 50.0];
+        let x = model.variable_point(&rates);
+        let true_total: f64 = g.operator_loads(&rates).iter().sum();
+        assert!(
+            (model.total_load(&x) - true_total).abs() < 1e-9 * (1.0 + true_total),
+            "linearised {} vs true {}",
+            model.total_load(&x),
+            true_total
+        );
+    }
+
+    #[test]
+    fn operator_count_formula() {
+        let cfg = JoinConfig {
+            pairs: 3,
+            pre_chain: 2,
+            post_chain: 1,
+            ..JoinConfig::default()
+        };
+        let g = join_pairs(&cfg, 2);
+        // Per pair: 2 chains × 2 pre + 1 join + 1 post = 6.
+        assert_eq!(g.num_operators(), 3 * 6);
+    }
+}

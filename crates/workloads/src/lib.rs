@@ -1,0 +1,27 @@
+//! # rod-workloads — query-graph generators for the ROD evaluation
+//!
+//! Everything §7.1 of the paper runs on, plus the motivating domains of
+//! its introduction:
+//!
+//! * [`random_graphs`] — the paper's random operator trees: each system
+//!   input roots one tree, every tree vertex spawns one to three
+//!   downstream operators with equal probability, and every operator is a
+//!   *delay* operator with per-tuple cost uniform in 0.1–1 ms; half the
+//!   operators have selectivity one, the rest uniform in 0.5–1;
+//! * [`traffic`] — an aggregation-heavy network-traffic-monitoring query
+//!   network (the paper's prototype workload);
+//! * [`financial`] — a wide compliance-rule graph with shared
+//!   sub-expressions, modelled on the paper's "real-time proof-of-concept
+//!   compliance application … 2500 operators for 300 compliance rules";
+//! * [`joins`] — windowed-join graphs exercising the §6.2 linearisation;
+//! * [`linear_road`] — a Linear-Road-flavoured benchmark network (the
+//!   canonical stream benchmark of the Borealis era).
+
+#![warn(missing_docs)]
+pub mod financial;
+pub mod joins;
+pub mod linear_road;
+pub mod random_graphs;
+pub mod traffic;
+
+pub use random_graphs::{RandomTreeConfig, RandomTreeGenerator};

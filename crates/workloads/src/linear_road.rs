@@ -1,0 +1,174 @@
+//! A Linear-Road-flavoured workload.
+//!
+//! Linear Road (Arasu et al., VLDB 2004) is the canonical stream-
+//! processing benchmark of the Borealis era: position reports from
+//! vehicles on a set of expressways feed segment statistics, toll
+//! computation, and accident detection. This module builds a
+//! faithful-in-shape query network over `expressways` input streams:
+//!
+//! ```text
+//! expressway x ─ validate ─┬─ seg_stats(agg) ── toll(map) ──────┐
+//!                          ├─ speed_drop(filter) ─ accident(agg) ┼ union → dashboard
+//!                          └─ new_vehicle(filter) ─ account(map) ┘
+//! ```
+//!
+//! Unlike the random trees, this workload has *heterogeneous* operator
+//! costs (accident detection is cheap per tuple, segment statistics are
+//! not) and per-expressway structure, making it a good realistic fixture
+//! for placement experiments.
+
+use rod_core::graph::{GraphBuilder, QueryGraph};
+use rod_core::operator::OperatorKind;
+
+/// Configuration of the Linear-Road-style workload.
+#[derive(Clone, Debug)]
+pub struct LinearRoadConfig {
+    /// Number of expressways (system input streams).
+    pub expressways: usize,
+    /// Per-tuple cost of input validation (seconds).
+    pub validate_cost: f64,
+    /// Per-tuple cost of the segment-statistics aggregate (seconds).
+    pub seg_stats_cost: f64,
+    /// One statistics record per this many position reports.
+    pub seg_window: f64,
+    /// Fraction of reports indicating a sharp speed drop.
+    pub speed_drop_fraction: f64,
+    /// Fraction of new-vehicle reports (entering the expressway).
+    pub new_vehicle_fraction: f64,
+}
+
+impl Default for LinearRoadConfig {
+    fn default() -> Self {
+        LinearRoadConfig {
+            expressways: 4,
+            validate_cost: 4e-5,
+            seg_stats_cost: 3e-4,
+            seg_window: 30.0,
+            speed_drop_fraction: 0.05,
+            new_vehicle_fraction: 0.02,
+        }
+    }
+}
+
+/// Builds the query network: 8 operators per expressway.
+pub fn linear_road(config: &LinearRoadConfig) -> QueryGraph {
+    assert!(config.expressways > 0);
+    let mut b = GraphBuilder::new();
+    for x in 0..config.expressways {
+        let reports = b.add_input();
+        let (_, valid) = b
+            .add_operator(
+                format!("validate_x{x}"),
+                OperatorKind::filter(config.validate_cost, 0.98),
+                &[reports],
+            )
+            .expect("validate");
+        // Branch 1: segment statistics → toll notification.
+        let (_, stats) = b
+            .add_operator(
+                format!("seg_stats_x{x}"),
+                OperatorKind::aggregate(config.seg_stats_cost, 1.0 / config.seg_window),
+                &[valid],
+            )
+            .expect("seg stats");
+        let (_, tolls) = b
+            .add_operator(format!("toll_x{x}"), OperatorKind::map(8e-5), &[stats])
+            .expect("toll");
+        // Branch 2: sharp speed drops → accident detection window.
+        let (_, drops) = b
+            .add_operator(
+                format!("speed_drop_x{x}"),
+                OperatorKind::filter(3e-5, config.speed_drop_fraction),
+                &[valid],
+            )
+            .expect("speed drop");
+        let (_, accidents) = b
+            .add_operator(
+                format!("accident_x{x}"),
+                OperatorKind::aggregate(2e-4, 0.2),
+                &[drops],
+            )
+            .expect("accident");
+        // Branch 3: account updates for entering vehicles.
+        let (_, entries) = b
+            .add_operator(
+                format!("new_vehicle_x{x}"),
+                OperatorKind::filter(3e-5, config.new_vehicle_fraction),
+                &[valid],
+            )
+            .expect("new vehicle");
+        let (_, accounts) = b
+            .add_operator(
+                format!("account_x{x}"),
+                OperatorKind::map(1.5e-4),
+                &[entries],
+            )
+            .expect("account");
+        b.add_operator(
+            format!("dashboard_x{x}"),
+            OperatorKind::union(2e-5, 3),
+            &[tolls, accidents, accounts],
+        )
+        .expect("dashboard");
+    }
+    b.build().expect("linear road graph is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rod_core::cluster::Cluster;
+    use rod_core::load_model::LoadModel;
+    use rod_core::rod::RodPlanner;
+
+    #[test]
+    fn structure() {
+        let g = linear_road(&LinearRoadConfig::default());
+        assert_eq!(g.num_inputs(), 4);
+        assert_eq!(g.num_operators(), 4 * 8);
+        // Pure linear workload: d' = d.
+        let model = LoadModel::derive(&g).unwrap();
+        assert_eq!(model.num_vars(), 4);
+    }
+
+    #[test]
+    fn validation_dominates_tuple_counts_but_stats_dominate_load() {
+        let g = linear_road(&LinearRoadConfig::default());
+        let loads = g.operator_loads(&[1000.0; 4]);
+        let stats_load: f64 = g
+            .operators()
+            .iter()
+            .zip(&loads)
+            .filter(|(op, _)| op.name.starts_with("seg_stats"))
+            .map(|(_, l)| l)
+            .sum();
+        let total: f64 = loads.iter().sum();
+        assert!(
+            stats_load / total > 0.5,
+            "segment stats carry {} of the load",
+            stats_load / total
+        );
+    }
+
+    #[test]
+    fn placeable_and_resilient() {
+        let g = linear_road(&LinearRoadConfig::default());
+        let model = LoadModel::derive(&g).unwrap();
+        let cluster = Cluster::homogeneous(4, 1.0);
+        let plan = RodPlanner::new().place(&model, &cluster).unwrap();
+        assert!(plan.allocation.is_complete());
+        // Per-expressway load should spread: no node hosts all heavy
+        // seg_stats operators.
+        let stats_ops: Vec<_> = g
+            .operators()
+            .iter()
+            .filter(|op| op.name.starts_with("seg_stats"))
+            .map(|op| plan.allocation.node_of(op.id).unwrap())
+            .collect();
+        let distinct: std::collections::HashSet<_> = stats_ops.iter().collect();
+        assert!(
+            distinct.len() >= 3,
+            "heavy aggregates stacked: {stats_ops:?}"
+        );
+    }
+}

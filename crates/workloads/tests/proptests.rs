@@ -1,0 +1,94 @@
+//! Property-based tests for the workload generators: every generated
+//! graph must be valid, derivable into a load model, and placeable.
+
+use proptest::prelude::*;
+
+use rod_core::cluster::Cluster;
+use rod_core::load_model::LoadModel;
+use rod_core::rod::RodPlanner;
+use rod_workloads::financial::{compliance_rules, FinancialConfig};
+use rod_workloads::joins::{join_pairs, JoinConfig};
+use rod_workloads::traffic::{traffic_monitoring, TrafficConfig};
+use rod_workloads::RandomTreeGenerator;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_trees_always_valid_and_placeable(
+        inputs in 1usize..6, ops in 1usize..25, seed in 0u64..500, nodes in 1usize..6,
+    ) {
+        let graph = RandomTreeGenerator::paper_default(inputs, ops).generate(seed);
+        prop_assert_eq!(graph.num_inputs(), inputs);
+        prop_assert_eq!(graph.num_operators(), inputs * ops);
+        prop_assert!(graph.validate().is_ok());
+        let model = LoadModel::derive(&graph).unwrap();
+        // Pure-linear workload: no variables beyond the system inputs.
+        prop_assert_eq!(model.num_vars(), inputs);
+        // Every input stream carries load.
+        prop_assert!(model.total_coeffs().as_slice().iter().all(|&l| l > 0.0));
+        let plan = RodPlanner::new()
+            .place(&model, &Cluster::homogeneous(nodes, 1.0))
+            .unwrap();
+        prop_assert!(plan.allocation.is_complete());
+    }
+
+    #[test]
+    fn traffic_graphs_scale_with_config(links in 1usize..5, aggs in 1usize..6) {
+        let graph = traffic_monitoring(&TrafficConfig {
+            links,
+            aggregates_per_link: aggs,
+            ..TrafficConfig::default()
+        });
+        prop_assert_eq!(graph.num_inputs(), links);
+        prop_assert_eq!(graph.num_operators(), links * (2 * aggs + 2));
+        prop_assert!(graph.validate().is_ok());
+        prop_assert!(LoadModel::derive(&graph).is_ok());
+    }
+
+    #[test]
+    fn financial_graphs_have_shared_prefixes(
+        feeds in 1usize..4, rules in 1usize..20, group in 1usize..6, seed in 0u64..100,
+    ) {
+        let graph = compliance_rules(
+            &FinancialConfig {
+                feeds,
+                rules_per_feed: rules,
+                rules_per_group: group,
+            },
+            seed,
+        );
+        prop_assert!(graph.validate().is_ok());
+        // Per feed: parse + enrich + ceil(rules/group) groups + 3/rule.
+        let groups = rules.div_ceil(group);
+        prop_assert_eq!(
+            graph.num_operators(),
+            feeds * (2 + groups + 3 * rules)
+        );
+    }
+
+    #[test]
+    fn join_graphs_introduce_exactly_one_var_per_join(
+        pairs in 1usize..4, pre in 1usize..4, post in 0usize..3, seed in 0u64..100,
+    ) {
+        let graph = join_pairs(
+            &JoinConfig {
+                pairs,
+                pre_chain: pre,
+                post_chain: post,
+                window: 0.25,
+                variable_selectivity_heads: false,
+            },
+            seed,
+        );
+        let model = LoadModel::derive(&graph).unwrap();
+        prop_assert_eq!(model.num_vars(), 2 * pairs + pairs);
+        // Linearised and true loads agree at a couple of rate points.
+        for scale in [1.0, 7.5] {
+            let rates = vec![scale; graph.num_inputs()];
+            let x = model.variable_point(&rates);
+            let truth: f64 = graph.operator_loads(&rates).iter().sum();
+            prop_assert!((model.total_load(&x) - truth).abs() < 1e-9 * (1.0 + truth));
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Network traffic monitoring — the paper's own evaluation domain.
+//!
+//! Builds the aggregation-heavy monitoring query network over three
+//! links, places it with ROD and with classic load balancing (LLF), and
+//! drives both placements with the same self-similar traffic traces to
+//! show the resiliency difference where it is felt: tail latency and
+//! saturation during bursts.
+//!
+//! ```sh
+//! cargo run --release -p rod --example traffic_monitoring
+//! ```
+
+use rod::core::baselines::llf::LlfPlanner;
+use rod::prelude::*;
+use rod::workloads::traffic::{traffic_monitoring, TrafficConfig};
+
+fn main() {
+    let config = TrafficConfig::default(); // 3 links, 4 aggregates each
+    let graph = traffic_monitoring(&config);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(3, 1.0);
+    println!(
+        "monitoring network: {} operators over {} links",
+        graph.num_operators(),
+        graph.num_inputs()
+    );
+
+    // Mean operating point: ~75% of total capacity — enough headroom on
+    // average, little headroom during the traces' 2x bursts.
+    let unit_load = model.total_load(&model.variable_point(&[1.0; 3]));
+    let q = 0.75 * cluster.total_capacity() / unit_load;
+    println!("mean per-link rate: {q:.0} tuples/s");
+
+    // ROD (rate-oblivious) vs LLF balancing for exactly the mean rates.
+    let rod = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    let llf = LlfPlanner::new(vec![q; 3]).plan(&model, &cluster).unwrap();
+
+    let eval = PlanEvaluator::new(&model, &cluster);
+    println!(
+        "\nmin plane distance: ROD {:.4}, LLF {:.4}",
+        eval.min_plane_distance(&rod),
+        eval.min_plane_distance(&llf)
+    );
+
+    // Drive both with the same bursty traces (PKT/TCP/HTTP stand-ins).
+    let traces: Vec<Trace> = paper_traces(9, 7)
+        .into_iter()
+        .map(|(_, t)| t.with_mean(q))
+        .collect();
+    let horizon = traces[0].duration().min(120.0);
+    for (name, alloc) in [("ROD", &rod), ("LLF", &llf)] {
+        let report = Simulation::new(
+            &graph,
+            alloc,
+            &cluster,
+            traces
+                .iter()
+                .cloned()
+                .map(SourceSpec::TraceDriven)
+                .collect(),
+            SimulationConfig {
+                horizon,
+                warmup: horizon * 0.1,
+                seed: 3,
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        println!(
+            "\n{name}: max util {:.2}, mean latency {:.2} ms, p99 {:.2} ms, saturated: {}",
+            report.max_utilisation(),
+            report.mean_latency().unwrap_or(f64::NAN) * 1e3,
+            report.latencies.quantile(0.99).unwrap_or(f64::NAN) * 1e3,
+            report.saturated
+        );
+    }
+    println!(
+        "\nROD's larger feasible set absorbs more of the burst trajectory: \
+         same mean load,\nvisibly lighter tail latency. (This workload is \
+         fairly symmetric, so the gap is\nmodest — see the burst_resilience \
+         example for an asymmetric case where it is not.)"
+    );
+}

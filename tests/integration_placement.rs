@@ -1,0 +1,183 @@
+//! Cross-crate integration: workload generators → load model → every
+//! placement algorithm → evaluation. Checks the structural invariants
+//! that DESIGN.md promises, across many generated graphs.
+
+use rod::core::metrics::{feasible_ratio, make_estimator};
+use rod::prelude::*;
+
+fn planners_for(model: &LoadModel, seed: u64) -> Vec<(String, Box<dyn Planner>)> {
+    let d = model.num_inputs();
+    let rates = vec![10.0; d];
+    let history: Vec<Vec<f64>> = (0..16)
+        .map(|t| (0..d).map(|k| 5.0 + ((t * (k + 1)) % 7) as f64).collect())
+        .collect();
+    vec![
+        (
+            "ROD".into(),
+            Box::new(RodPlanner::new()) as Box<dyn Planner>,
+        ),
+        (
+            "LLF".into(),
+            Box::new(rod::core::baselines::llf::LlfPlanner::new(rates.clone())),
+        ),
+        (
+            "Connected".into(),
+            Box::new(rod::core::baselines::connected::ConnectedPlanner::new(
+                rates,
+            )),
+        ),
+        (
+            "Correlation".into(),
+            Box::new(rod::core::baselines::correlation::CorrelationPlanner::new(
+                history,
+            )),
+        ),
+        (
+            "Random".into(),
+            Box::new(rod::core::baselines::random::RandomPlanner::new(seed)),
+        ),
+    ]
+}
+
+#[test]
+fn every_planner_places_every_operator_exactly_once() {
+    for seed in 0..5u64 {
+        let graph = RandomTreeGenerator::paper_default(3, 10).generate(seed);
+        let model = LoadModel::derive(&graph).unwrap();
+        let cluster = Cluster::homogeneous(4, 1.0);
+        for (name, planner) in planners_for(&model, seed) {
+            let alloc = planner.plan(&model, &cluster).unwrap();
+            assert!(alloc.is_complete(), "{name} left operators unplaced");
+            assert_eq!(
+                alloc.node_counts().iter().sum::<usize>(),
+                model.num_operators(),
+                "{name} double-placed operators"
+            );
+        }
+    }
+}
+
+#[test]
+fn column_sums_are_allocation_invariant() {
+    // Σ_i l^n_ik = l_k for every plan (paper equation below L^n = A L^o).
+    let graph = RandomTreeGenerator::paper_default(4, 12).generate(9);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(3, 1.0);
+    let ev = PlanEvaluator::new(&model, &cluster);
+    for (name, planner) in planners_for(&model, 9) {
+        let alloc = planner.plan(&model, &cluster).unwrap();
+        let ln = ev.node_load_matrix(&alloc);
+        for k in 0..model.num_vars() {
+            let col: f64 = (0..cluster.num_nodes()).map(|i| ln[(i, k)]).sum();
+            assert!(
+                (col - model.total_coeffs()[k]).abs() < 1e-9,
+                "{name}: column {k} sums to {col}, expected {}",
+                model.total_coeffs()[k]
+            );
+        }
+    }
+}
+
+#[test]
+fn feasibility_is_monotone_in_rates() {
+    let graph = RandomTreeGenerator::paper_default(3, 8).generate(2);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(2, 1.0);
+    let ev = PlanEvaluator::new(&model, &cluster);
+    let alloc = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    // Find a feasible boundary-ish point by scaling up until infeasible.
+    let mut r = vec![1.0; 3];
+    while ev.is_feasible_at(&alloc, &r) {
+        for x in r.iter_mut() {
+            *x *= 1.3;
+        }
+    }
+    // Every down-scaled version of an infeasible boundary crossing that
+    // was feasible one step ago must be feasible.
+    let back: Vec<f64> = r.iter().map(|x| x / 1.3).collect();
+    assert!(ev.is_feasible_at(&alloc, &back));
+    let quarter: Vec<f64> = back.iter().map(|x| x * 0.25).collect();
+    assert!(ev.is_feasible_at(&alloc, &quarter));
+}
+
+#[test]
+fn rod_dominates_on_average_across_graphs() {
+    // The Figure 14 headline, at test scale: mean ROD ratio across graphs
+    // beats every baseline's mean.
+    let cluster = Cluster::homogeneous(4, 1.0);
+    let graphs = 4;
+    let mut totals: Vec<(String, f64)> = Vec::new();
+    for seed in 0..graphs {
+        let graph = RandomTreeGenerator::paper_default(4, 15).generate(seed);
+        let model = LoadModel::derive(&graph).unwrap();
+        let ev = PlanEvaluator::new(&model, &cluster);
+        let estimator = make_estimator(&model, &cluster, 10_000, seed);
+        for (name, planner) in planners_for(&model, seed) {
+            let alloc = planner.plan(&model, &cluster).unwrap();
+            let ratio = feasible_ratio(&ev, &estimator, &alloc);
+            match totals.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, t)) => *t += ratio,
+                None => totals.push((name, ratio)),
+            }
+        }
+    }
+    let rod = totals.iter().find(|(n, _)| n == "ROD").unwrap().1;
+    for (name, total) in &totals {
+        assert!(
+            rod >= *total - 1e-9,
+            "ROD mean {} lost to {name} mean {}",
+            rod / graphs as f64,
+            total / graphs as f64
+        );
+    }
+}
+
+#[test]
+fn plane_distance_bounds_feasible_ratio() {
+    // Figure 9's lower bound: the inscribed hypersphere of radius r gives
+    // ratio >= V_d·r^d/2^d · d! (up to sampling noise).
+    let graph = RandomTreeGenerator::paper_default(3, 12).generate(4);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(3, 1.0);
+    let ev = PlanEvaluator::new(&model, &cluster);
+    let estimator = make_estimator(&model, &cluster, 30_000, 4);
+    let d = model.num_vars();
+    for (name, planner) in planners_for(&model, 4) {
+        let alloc = planner.plan(&model, &cluster).unwrap();
+        let r = ev.weight_matrix(&alloc).min_plane_distance();
+        let ratio = feasible_ratio(&ev, &estimator, &alloc);
+        let bound = rod::geom::simplex::hypersphere_ratio_bound(r, d);
+        assert!(
+            ratio >= bound - 0.02,
+            "{name}: ratio {ratio} below hypersphere bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_clusters_balance_proportionally() {
+    let graph = RandomTreeGenerator::paper_default(3, 20).generate(6);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::heterogeneous(vec![4.0, 2.0, 1.0]);
+    let ev = PlanEvaluator::new(&model, &cluster);
+    let alloc = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    // At a mid-simplex rate point, utilisations should be within a
+    // factor ~2 of each other despite the 4x capacity spread.
+    let q =
+        0.5 * cluster.total_capacity() / model.total_load(&model.variable_point(&[1.0, 1.0, 1.0]));
+    let u = ev.utilisations_at(&alloc, &[q, q, q]);
+    let (umin, umax) = (
+        u.as_slice().iter().copied().fold(f64::INFINITY, f64::min),
+        u.as_slice().iter().copied().fold(0.0f64, f64::max),
+    );
+    assert!(
+        umax / umin.max(1e-9) < 3.0,
+        "utilisations too skewed: {u:?}"
+    );
+}

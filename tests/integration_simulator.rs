@@ -1,0 +1,193 @@
+//! Simulator ↔ analytic-model integration: the "simulator tracked
+//! Borealis very closely" property, plus conservation and latency-shape
+//! checks on real workload graphs.
+
+use rod::prelude::*;
+
+#[test]
+fn probe_agrees_with_analytic_model() {
+    let graph = RandomTreeGenerator::paper_default(2, 6).generate(3);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(2, 1.0);
+    let alloc = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    let outcome = FeasibilityProbe::new(ProbeConfig {
+        points: 30,
+        horizon: 20.0,
+        warmup: 4.0,
+        seed: 5,
+        ..ProbeConfig::default()
+    })
+    .run(&model, &cluster, &alloc);
+    assert!(
+        outcome.agreement() >= 0.8,
+        "agreement {} too low",
+        outcome.agreement()
+    );
+    assert!(
+        (outcome.simulated_ratio() - outcome.analytic_ratio()).abs() <= 0.2,
+        "ratios diverged: sim {} vs analytic {}",
+        outcome.simulated_ratio(),
+        outcome.analytic_ratio()
+    );
+}
+
+#[test]
+fn tuple_conservation_under_unit_selectivity() {
+    // All selectivities 1 ⇒ every source tuple eventually exits exactly
+    // once per sink path; with a single chain, in = out (modulo tuples
+    // still in flight at the horizon).
+    let mut b = GraphBuilder::new();
+    let i = b.add_input();
+    let (_, s1) = b.add_operator("a", OperatorKind::map(1e-3), &[i]).unwrap();
+    b.add_operator("b", OperatorKind::map(1e-3), &[s1]).unwrap();
+    let graph = b.build().unwrap();
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(1, 1.0);
+    let alloc = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    let report = Simulation::new(
+        &graph,
+        &alloc,
+        &cluster,
+        vec![SourceSpec::ConstantRate(100.0)],
+        SimulationConfig {
+            horizon: 30.0,
+            warmup: 0.0,
+            seed: 2,
+            ..SimulationConfig::default()
+        },
+    )
+    .run();
+    let missing = report.tuples_in - report.tuples_out;
+    assert!(
+        (missing as f64) < 0.01 * report.tuples_in as f64 + 20.0,
+        "lost {missing} of {} tuples",
+        report.tuples_in
+    );
+    assert!(!report.saturated);
+}
+
+#[test]
+fn utilisation_tracks_linear_model_on_tree_workload() {
+    let graph = RandomTreeGenerator::paper_default(2, 8).generate(8);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(2, 1.0);
+    let ev = PlanEvaluator::new(&model, &cluster);
+    let alloc = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    // A clearly-feasible rate point.
+    let unit = model.total_load(&model.variable_point(&[1.0, 1.0]));
+    let q = 0.5 * cluster.total_capacity() / unit;
+    let predicted = ev.utilisations_at(&alloc, &[q, q]);
+    let report = Simulation::new(
+        &graph,
+        &alloc,
+        &cluster,
+        vec![SourceSpec::ConstantRate(q); 2],
+        SimulationConfig {
+            horizon: 60.0,
+            warmup: 10.0,
+            seed: 6,
+            ..SimulationConfig::default()
+        },
+    )
+    .run();
+    for i in 0..2 {
+        assert!(
+            (report.utilisations[i] - predicted[i]).abs() < 0.06,
+            "node {i}: simulated {} vs predicted {}",
+            report.utilisations[i],
+            predicted[i]
+        );
+    }
+}
+
+#[test]
+fn bursty_traces_hurt_less_resilient_plans_more() {
+    use rod::core::baselines::{connected::ConnectedPlanner, Planner};
+    let graph = RandomTreeGenerator::paper_default(2, 12).generate(13);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(2, 1.0);
+    let ev = PlanEvaluator::new(&model, &cluster);
+
+    let unit = model.total_load(&model.variable_point(&[1.0, 1.0]));
+    let q = 0.6 * cluster.total_capacity() / unit;
+    let rod = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    let connected = ConnectedPlanner::new(vec![q, q])
+        .plan(&model, &cluster)
+        .unwrap();
+    // Only meaningful when the plans actually differ in resiliency.
+    assert!(ev.min_plane_distance(&rod) > ev.min_plane_distance(&connected));
+
+    let traces: Vec<Trace> = paper_traces(8, 4)[..2]
+        .iter()
+        .map(|(_, t)| t.with_mean(q))
+        .collect();
+    let run = |alloc: &Allocation| {
+        Simulation::new(
+            &graph,
+            alloc,
+            &cluster,
+            traces
+                .iter()
+                .cloned()
+                .map(SourceSpec::TraceDriven)
+                .collect(),
+            SimulationConfig {
+                horizon: traces[0].duration(),
+                warmup: 10.0,
+                seed: 3,
+                max_queue: 300_000,
+                ..SimulationConfig::default()
+            },
+        )
+        .run()
+    };
+    let rod_report = run(&rod);
+    let conn_report = run(&connected);
+    // The resilient plan's peak node must be no busier than the
+    // unresilient plan's.
+    assert!(
+        rod_report.max_utilisation() <= conn_report.max_utilisation() + 0.02,
+        "ROD peak {} vs Connected peak {}",
+        rod_report.max_utilisation(),
+        conn_report.max_utilisation()
+    );
+}
+
+#[test]
+fn join_graph_runs_in_simulator() {
+    use rod::workloads::joins::{join_pairs, JoinConfig};
+    let graph = join_pairs(&JoinConfig::default(), 5);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(2, 1.0);
+    let alloc = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    let report = Simulation::new(
+        &graph,
+        &alloc,
+        &cluster,
+        vec![SourceSpec::ConstantRate(20.0); 4],
+        SimulationConfig {
+            horizon: 30.0,
+            warmup: 5.0,
+            seed: 9,
+            ..SimulationConfig::default()
+        },
+    )
+    .run();
+    assert!(report.tuples_out > 0, "join emitted nothing");
+    assert!(!report.saturated);
+}
