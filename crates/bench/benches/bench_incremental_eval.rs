@@ -1,0 +1,106 @@
+//! Criterion bench: incremental plan evaluation vs full recompute.
+//!
+//! The evaluation layer's promise is that moving one operator (or
+//! scoring one candidate) touches a single node row in O(d) instead of
+//! rebuilding the whole n×d weight matrix. This bench pins that down on
+//! a 200-operator tree: `incremental` applies an unassign/assign pair
+//! through `IncrementalPlanEval`, `from_scratch` reassigns on a plain
+//! `Allocation` and rebuilds `WeightMatrix` the way callers did before
+//! the layer existed. Both read the min plane distance so neither side
+//! can skip the answer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rod_core::allocation::WeightMatrix;
+use rod_core::cluster::Cluster;
+use rod_core::eval::IncrementalPlanEval;
+use rod_core::ids::{NodeId, OperatorId};
+use rod_core::load_model::LoadModel;
+use rod_core::rod::RodPlanner;
+use rod_workloads::RandomTreeGenerator;
+
+fn bench_single_move(c: &mut Criterion) {
+    let graph = RandomTreeGenerator::paper_default(5, 40).generate(4);
+    let model = LoadModel::derive(&graph).unwrap();
+    let mut group = c.benchmark_group("single_move_rescore");
+    for &n in &[4usize, 16, 64] {
+        let cluster = Cluster::homogeneous(n, 1.0);
+        let alloc = RodPlanner::new()
+            .place(&model, &cluster)
+            .unwrap()
+            .allocation;
+        let op = OperatorId(0);
+
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            let mut eval = IncrementalPlanEval::from_allocation(&model, &cluster, &alloc);
+            b.iter(|| {
+                let home = eval.allocation().node_of(op).unwrap();
+                let next = NodeId((home.0 + 1) % n);
+                eval.unassign(op, home);
+                eval.assign(op, next);
+                eval.min_plane_distance()
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("from_scratch", n), &n, |b, _| {
+            let mut moving = alloc.clone();
+            b.iter(|| {
+                let home = moving.node_of(op).unwrap();
+                moving.assign(op, NodeId((home.0 + 1) % n));
+                let w = WeightMatrix::new(
+                    &moving.node_load_matrix(model.lo()),
+                    model.total_coeffs(),
+                    &cluster,
+                );
+                w.min_plane_distance()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_candidate_scoring(c: &mut Criterion) {
+    let graph = RandomTreeGenerator::paper_default(5, 40).generate(5);
+    let model = LoadModel::derive(&graph).unwrap();
+    let n = 16;
+    let cluster = Cluster::homogeneous(n, 1.0);
+    let alloc = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    let op = OperatorId(7);
+    let mut group = c.benchmark_group("score_one_candidate");
+
+    group.bench_function("incremental", |b| {
+        let mut eval = IncrementalPlanEval::from_allocation(&model, &cluster, &alloc);
+        let home = eval.allocation().node_of(op).unwrap();
+        eval.unassign(op, home);
+        b.iter(|| {
+            (0..n)
+                .map(|i| eval.score_candidate(op, NodeId(i)).plane_distance)
+                .fold(f64::INFINITY, f64::min)
+        });
+        eval.assign(op, home);
+    });
+
+    group.bench_function("from_scratch", |b| {
+        b.iter(|| {
+            (0..n)
+                .map(|i| {
+                    let mut probe = alloc.clone();
+                    probe.assign(op, NodeId(i));
+                    WeightMatrix::new(
+                        &probe.node_load_matrix(model.lo()),
+                        model.total_coeffs(),
+                        &cluster,
+                    )
+                    .plane_distance(NodeId(i))
+                })
+                .fold(f64::INFINITY, f64::min)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_move, bench_candidate_scoring);
+criterion_main!(benches);

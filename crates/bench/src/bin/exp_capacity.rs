@@ -11,12 +11,9 @@
 use serde::Serialize;
 
 use rod_bench::output::{print_table, write_json};
-use rod_core::baselines::{
-    connected::ConnectedPlanner, llf::LlfPlanner, random::RandomPlanner, Planner,
-};
+use rod_core::baselines::{build_planner, Planner, PlannerSpec};
 use rod_core::capacity::{min_nodes_for, TargetWorkloads};
 use rod_core::load_model::LoadModel;
-use rod_core::rod::RodPlanner;
 use rod_workloads::RandomTreeGenerator;
 
 #[derive(Serialize)]
@@ -35,12 +32,20 @@ fn main() {
         .map(|k| 0.15 / model.total_coeffs()[k])
         .collect();
 
-    let planners: Vec<(&str, Box<dyn Planner>)> = vec![
-        ("ROD", Box::new(RodPlanner::new())),
-        ("LLF", Box::new(LlfPlanner::new(mean.clone()))),
-        ("Random", Box::new(RandomPlanner::new(7))),
-        ("Connected", Box::new(ConnectedPlanner::new(mean.clone()))),
+    let specs = [
+        PlannerSpec::Rod,
+        PlannerSpec::Llf {
+            rates: mean.clone(),
+        },
+        PlannerSpec::Random { seed: 7 },
+        PlannerSpec::Connected {
+            rates: mean.clone(),
+        },
     ];
+    let planners: Vec<(&str, Box<dyn Planner>)> = specs
+        .iter()
+        .map(|spec| (spec.name(), build_planner(spec)))
+        .collect();
 
     let mut rows = Vec::new();
     let mut payload = Vec::new();

@@ -24,7 +24,7 @@ use serde::Serialize;
 
 use rod_bench::output::{fmt, print_table, write_json};
 use rod_core::allocation::Allocation;
-use rod_core::baselines::{connected::ConnectedPlanner, Planner};
+use rod_core::baselines::{build_planner, PlannerSpec};
 use rod_core::cluster::Cluster;
 use rod_core::load_model::LoadModel;
 use rod_core::rod::RodPlanner;
@@ -94,7 +94,7 @@ fn main() {
         .place(&model, &cluster)
         .unwrap()
         .allocation;
-    let connected = ConnectedPlanner::new(vec![q, q])
+    let connected = build_planner(&PlannerSpec::Connected { rates: vec![q, q] })
         .plan(&model, &cluster)
         .unwrap();
 

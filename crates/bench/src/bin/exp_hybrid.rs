@@ -23,7 +23,7 @@ use serde::Serialize;
 
 use rod_bench::output::{fmt, print_table, write_json};
 use rod_core::allocation::Allocation;
-use rod_core::baselines::{connected::ConnectedPlanner, Planner};
+use rod_core::baselines::{build_planner, PlannerSpec};
 use rod_core::cluster::Cluster;
 use rod_core::ids::OperatorId;
 use rod_core::load_model::LoadModel;
@@ -95,9 +95,11 @@ fn main() {
         .place(&model, &cluster)
         .unwrap()
         .allocation;
-    let connected = ConnectedPlanner::new(vec![q; inputs])
-        .plan(&model, &cluster)
-        .unwrap();
+    let connected = build_planner(&PlannerSpec::Connected {
+        rates: vec![q; inputs],
+    })
+    .plan(&model, &cluster)
+    .unwrap();
     let pinned = heavy_operators(&model, 0.5);
 
     let run = |plan: &Allocation, migration: Option<MigrationConfig>| {

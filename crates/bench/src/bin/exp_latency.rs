@@ -15,13 +15,9 @@ use serde::Serialize;
 
 use rod_bench::output::{fmt, print_table, write_json};
 use rod_core::allocation::{Allocation, PlanEvaluator};
-use rod_core::baselines::{
-    connected::ConnectedPlanner, correlation::CorrelationPlanner, llf::LlfPlanner,
-    random::RandomPlanner, Planner,
-};
+use rod_core::baselines::{build_planner, PlannerSpec};
 use rod_core::cluster::Cluster;
 use rod_core::load_model::LoadModel;
-use rod_core::rod::RodPlanner;
 use rod_geom::rng::derive_seed;
 use rod_sim::{Simulation, SimulationConfig, SourceSpec};
 use rod_traces::{paper_traces, Trace};
@@ -67,37 +63,22 @@ fn main() {
         .take(64)
         .map(|((a, b), c)| vec![*a, *b, *c])
         .collect();
-    let plans: Vec<(&str, Allocation)> = vec![
-        (
-            "ROD",
-            RodPlanner::new()
-                .place(&model, &cluster)
-                .unwrap()
-                .allocation,
-        ),
-        (
-            "Correlation",
-            CorrelationPlanner::new(history)
-                .plan(&model, &cluster)
-                .unwrap(),
-        ),
-        (
-            "LLF",
-            LlfPlanner::new(mean_rates.clone())
-                .plan(&model, &cluster)
-                .unwrap(),
-        ),
-        (
-            "Random",
-            RandomPlanner::new(3).plan(&model, &cluster).unwrap(),
-        ),
-        (
-            "Connected",
-            ConnectedPlanner::new(mean_rates)
-                .plan(&model, &cluster)
-                .unwrap(),
-        ),
+    let specs = [
+        PlannerSpec::Rod,
+        PlannerSpec::Correlation { history },
+        PlannerSpec::Llf {
+            rates: mean_rates.clone(),
+        },
+        PlannerSpec::Random { seed: 3 },
+        PlannerSpec::Connected { rates: mean_rates },
     ];
+    let plans: Vec<(&str, Allocation)> = specs
+        .iter()
+        .map(|spec| {
+            let alloc = build_planner(spec).plan(&model, &cluster).unwrap();
+            (spec.name(), alloc)
+        })
+        .collect();
 
     let mut rows = Vec::new();
     let mut payload = Vec::new();

@@ -10,10 +10,10 @@ use serde::Serialize;
 use rod_bench::output::{fmt, print_table, write_json};
 use rod_core::allocation::PlanEvaluator;
 use rod_core::baselines::optimal::OptimalPlanner;
+use rod_core::baselines::{build_planner, PlannerSpec};
 use rod_core::cluster::Cluster;
 use rod_core::load_model::LoadModel;
 use rod_core::metrics::{feasible_ratio, make_estimator};
-use rod_core::rod::RodPlanner;
 use rod_geom::rng::derive_seed;
 use rod_geom::OnlineStats;
 use rod_workloads::RandomTreeGenerator;
@@ -30,8 +30,11 @@ struct GapPoint {
 fn main() {
     let nodes = 2;
     let graphs_per_config = 8;
-    // (d, ops per tree): m = d * ops_per_tree <= 12 as in the paper.
-    let configs = [(2usize, 6usize), (2, 5), (3, 4), (4, 3), (5, 2)];
+    // (d, ops per tree): m = d * ops_per_tree <= 12 as in the paper. The
+    // final (2, 7) config pushes past the paper's sweep to 14 operators —
+    // affordable within the default plan budget now that the search
+    // prunes on the incremental feasible-point bound.
+    let configs = [(2usize, 6usize), (2, 5), (3, 4), (4, 3), (5, 2), (2, 7)];
 
     let mut all = OnlineStats::new();
     let mut rows = Vec::new();
@@ -48,12 +51,13 @@ fn main() {
             let estimator = make_estimator(&model, &cluster, 30_000, seed);
             let ev = PlanEvaluator::new(&model, &cluster);
 
-            let rod = RodPlanner::new()
-                .place(&model, &cluster)
-                .unwrap()
-                .allocation;
+            let rod = build_planner(&PlannerSpec::Rod)
+                .plan(&model, &cluster)
+                .unwrap();
             let rod_ratio = feasible_ratio(&ev, &estimator, &rod);
 
+            // Built directly (not via the registry) because the gap needs
+            // the search's volume ratio, which `Planner::plan` discards.
             let opt_planner = OptimalPlanner {
                 samples: 30_000,
                 seed,
@@ -91,7 +95,7 @@ fn main() {
     ]);
 
     print_table(
-        "ROD vs optimal (2 nodes, <= 12 operators)",
+        "ROD vs optimal (2 nodes, <= 14 operators)",
         &["d", "ops", "avg ROD/OPT", "min ROD/OPT"],
         &rows,
     );

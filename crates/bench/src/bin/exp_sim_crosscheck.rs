@@ -11,10 +11,9 @@
 use serde::Serialize;
 
 use rod_bench::output::{fmt, print_table, write_json};
-use rod_core::baselines::{llf::LlfPlanner, random::RandomPlanner, Planner};
+use rod_core::baselines::{build_planner, PlannerSpec};
 use rod_core::cluster::Cluster;
 use rod_core::load_model::LoadModel;
-use rod_core::rod::RodPlanner;
 use rod_sim::{FeasibilityProbe, ProbeConfig};
 use rod_workloads::RandomTreeGenerator;
 
@@ -32,25 +31,20 @@ fn main() {
     let model = LoadModel::derive(&graph).unwrap();
     let cluster = Cluster::homogeneous(3, 1.0);
 
-    let plans = vec![
-        (
-            "ROD",
-            RodPlanner::new()
-                .place(&model, &cluster)
-                .unwrap()
-                .allocation,
-        ),
-        (
-            "LLF",
-            LlfPlanner::new(vec![50.0; inputs])
-                .plan(&model, &cluster)
-                .unwrap(),
-        ),
-        (
-            "Random",
-            RandomPlanner::new(8).plan(&model, &cluster).unwrap(),
-        ),
+    let specs = [
+        PlannerSpec::Rod,
+        PlannerSpec::Llf {
+            rates: vec![50.0; inputs],
+        },
+        PlannerSpec::Random { seed: 8 },
     ];
+    let plans: Vec<_> = specs
+        .iter()
+        .map(|spec| {
+            let alloc = build_planner(spec).plan(&model, &cluster).unwrap();
+            (spec.name(), alloc)
+        })
+        .collect();
 
     let probe = FeasibilityProbe::new(ProbeConfig {
         points: 60,

@@ -9,14 +9,10 @@
 use serde::{Deserialize, Serialize};
 
 use rod_core::allocation::PlanEvaluator;
-use rod_core::baselines::{
-    connected::ConnectedPlanner, correlation::CorrelationPlanner, llf::LlfPlanner,
-    random::RandomPlanner, Planner,
-};
+use rod_core::baselines::{build_planner, PlannerSpec};
 use rod_core::cluster::Cluster;
 use rod_core::load_model::LoadModel;
 use rod_core::metrics::{feasible_ratio, make_estimator};
-use rod_core::rod::RodPlanner;
 use rod_geom::rng::derive_seed;
 use rod_geom::{seeded_rng, OnlineStats, SimplexSampler};
 
@@ -72,14 +68,14 @@ where
     assert!(threads >= 1);
     let items: Vec<(usize, T)> = items.into_iter().enumerate().collect();
     let chunk = items.len().div_ceil(threads);
-    let mut indexed: Vec<(usize, R)> = crossbeam::scope(|scope| {
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         let mut rest = items;
         while !rest.is_empty() {
             let take = chunk.min(rest.len());
             let batch: Vec<(usize, T)> = rest.drain(..take).collect();
             let f = &f;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 batch
                     .into_iter()
                     .map(|(i, item)| (i, f(item)))
@@ -90,8 +86,7 @@ where
             .into_iter()
             .flat_map(|h| h.join().expect("worker panicked"))
             .collect()
-    })
-    .expect("scope panicked");
+    });
     indexed.sort_by_key(|(i, _)| *i);
     indexed.into_iter().map(|(_, r)| r).collect()
 }
@@ -119,11 +114,11 @@ pub fn compare_algorithms(
 
     // ROD: deterministic, run once.
     {
-        let plan = RodPlanner::new()
-            .place(model, cluster)
+        let alloc = build_planner(&PlannerSpec::Rod)
+            .plan(model, cluster)
             .expect("ROD placement");
-        let ratio = feasible_ratio(&ev, &estimator, &plan.allocation);
-        let pd = ev.min_plane_distance(&plan.allocation);
+        let ratio = feasible_ratio(&ev, &estimator, &alloc);
+        let pd = ev.min_plane_distance(&alloc);
         results.push(AlgorithmResult {
             name: "ROD".into(),
             mean_ratio: ratio,
@@ -133,42 +128,30 @@ pub fn compare_algorithms(
         });
     }
 
-    // The randomised baselines.
-    enum Baseline {
-        Correlation,
-        Llf,
-        Random,
-        Connected,
-    }
-    for (name, which) in [
-        ("Correlation", Baseline::Correlation),
-        ("LLF", Baseline::Llf),
-        ("Random", Baseline::Random),
-        ("Connected", Baseline::Connected),
-    ] {
+    // The randomised baselines: each repetition builds a fresh spec from
+    // the repetition's RNG and hands it to the shared registry.
+    for name in ["Correlation", "LLF", "Random", "Connected"] {
         let mut ratio_stats = OnlineStats::new();
         let mut pd_stats = OnlineStats::new();
         for rep in 0..config.reps {
             let rep_seed = derive_seed(config.seed, rep as u64 * 31 + name.len() as u64);
             let mut rng = seeded_rng(rep_seed);
-            let alloc = match which {
-                Baseline::Random => RandomPlanner::new(rep_seed).plan(model, cluster),
-                Baseline::Llf => {
-                    let rates = rate_sampler.sample(&mut rng).as_slice().to_vec();
-                    LlfPlanner::new(rates).plan(model, cluster)
-                }
-                Baseline::Connected => {
-                    let rates = rate_sampler.sample(&mut rng).as_slice().to_vec();
-                    ConnectedPlanner::new(rates).plan(model, cluster)
-                }
-                Baseline::Correlation => {
-                    let history: Vec<Vec<f64>> = (0..config.history_len)
-                        .map(|_| rate_sampler.sample(&mut rng).as_slice().to_vec())
-                        .collect();
-                    CorrelationPlanner::new(history).plan(model, cluster)
-                }
-            }
-            .expect("baseline placement");
+            let mut sample_rates = || rate_sampler.sample(&mut rng).as_slice().to_vec();
+            let spec = match name {
+                "Random" => PlannerSpec::Random { seed: rep_seed },
+                "LLF" => PlannerSpec::Llf {
+                    rates: sample_rates(),
+                },
+                "Connected" => PlannerSpec::Connected {
+                    rates: sample_rates(),
+                },
+                _ => PlannerSpec::Correlation {
+                    history: (0..config.history_len).map(|_| sample_rates()).collect(),
+                },
+            };
+            let alloc = build_planner(&spec)
+                .plan(model, cluster)
+                .expect("baseline placement");
             ratio_stats.push(feasible_ratio(&ev, &estimator, &alloc));
             pd_stats.push(ev.min_plane_distance(&alloc));
         }

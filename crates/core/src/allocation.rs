@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use rod_geom::{FeasibleRegion, Hyperplane, Matrix, Vector};
 
 use crate::cluster::Cluster;
+use crate::eval::IncrementalPlanEval;
 use crate::ids::{NodeId, OperatorId};
 use crate::load_model::LoadModel;
 
@@ -65,6 +66,12 @@ impl Allocation {
     /// The node hosting an operator, if assigned.
     pub fn node_of(&self, op: OperatorId) -> Option<NodeId> {
         self.assignment[op.index()]
+    }
+
+    /// Removes an operator's assignment, returning the node it sat on
+    /// (search rollback; a no-op `None` when the operator was unplaced).
+    pub fn unassign(&mut self, op: OperatorId) -> Option<NodeId> {
+        self.assignment[op.index()].take()
     }
 
     /// True when every operator is placed.
@@ -249,23 +256,27 @@ impl<'a> PlanEvaluator<'a> {
         self.cluster
     }
 
+    /// Builds the incremental evaluation state for a plan — the layer
+    /// every accessor below is a snapshot of. Callers probing many
+    /// single-operator variations should hold onto this instead of
+    /// re-deriving matrices per variation.
+    pub fn incremental(&self, alloc: &Allocation) -> IncrementalPlanEval<'_> {
+        IncrementalPlanEval::from_allocation(self.model, self.cluster, alloc)
+    }
+
     /// Node load-coefficient matrix of a plan.
     pub fn node_load_matrix(&self, alloc: &Allocation) -> Matrix {
-        alloc.node_load_matrix(self.model.lo())
+        self.incremental(alloc).node_load_matrix()
     }
 
     /// Normalised weight matrix of a plan.
     pub fn weight_matrix(&self, alloc: &Allocation) -> WeightMatrix {
-        WeightMatrix::new(
-            &self.node_load_matrix(alloc),
-            self.model.total_coeffs(),
-            self.cluster,
-        )
+        self.incremental(alloc).snapshot().weights
     }
 
     /// Exact feasible region `{x ≥ 0 : L^n x ≤ C}` in variable space.
     pub fn feasible_region(&self, alloc: &Allocation) -> FeasibleRegion {
-        FeasibleRegion::new(self.node_load_matrix(alloc), self.cluster.capacities())
+        self.incremental(alloc).snapshot().region
     }
 
     /// The MMPD score of a plan (`min_i 1/‖W_i‖`).

@@ -22,6 +22,9 @@ pub mod correlation;
 pub mod llf;
 pub mod optimal;
 pub mod random;
+pub mod registry;
+
+pub use registry::{build_planner, PlannerSpec};
 
 use crate::allocation::Allocation;
 use crate::cluster::Cluster;

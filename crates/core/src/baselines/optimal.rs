@@ -18,6 +18,7 @@ use crate::allocation::Allocation;
 use crate::baselines::{check_inputs, Planner};
 use crate::cluster::Cluster;
 use crate::error::PlacementError;
+use crate::eval::SampledFeasibility;
 use crate::ids::{NodeId, OperatorId};
 use crate::load_model::LoadModel;
 
@@ -124,45 +125,28 @@ impl OptimalPlanner {
             self.seed,
         );
 
-        let d = model.num_vars();
-        let lo = model.lo();
-
-        // Branch-and-bound: assigning more operators only adds load, so
-        // the feasible-point count of a partial plan is an upper bound on
-        // every completion — prune whole subtrees once it drops to (or
-        // below) the incumbent.
-        struct Search<'s> {
-            lo: &'s rod_geom::Matrix,
-            points: &'s [rod_geom::Vector],
-            caps: &'s [f64],
+        // Branch-and-bound over the incremental evaluation state:
+        // assigning more operators only adds load, so the count of QMC
+        // points still feasible under a partial plan — maintained
+        // incrementally by `SampledFeasibility` and read in O(1) — is an
+        // upper bound on every completion. Prune whole subtrees once it
+        // drops to (or below) the incumbent. Children are visited in
+        // natural node order and the incumbent is replaced only on a
+        // strict improvement, so ties resolve exactly as the
+        // enumerate-then-rescore search did.
+        struct Search {
+            feas: SampledFeasibility,
             n: usize,
-            d: usize,
             homogeneous: bool,
             best: Option<(Vec<usize>, usize)>,
             assignment: Vec<usize>,
         }
-        impl Search<'_> {
-            fn count_feasible(&self, ln: &[f64]) -> usize {
-                self.points
-                    .iter()
-                    .filter(|p| {
-                        (0..self.n).all(|i| {
-                            let load: f64 = ln[i * self.d..(i + 1) * self.d]
-                                .iter()
-                                .zip(p.as_slice())
-                                .map(|(l, x)| l * x)
-                                .sum();
-                            load <= self.caps[i] + 1e-12
-                        })
-                    })
-                    .count()
-            }
-
-            fn recurse(&mut self, j: usize, used: usize, ln: &mut Vec<f64>) {
+        impl Search {
+            fn recurse(&mut self, j: usize, used: usize) {
                 let m = self.assignment.len();
                 // Bound: the partial plan already excludes everything a
                 // completion could add back.
-                let upper = self.count_feasible(ln);
+                let upper = self.feas.alive_count();
                 if let Some((_, best_hits)) = &self.best {
                     if upper <= *best_hits {
                         return;
@@ -180,28 +164,20 @@ impl OptimalPlanner {
                 };
                 for node in 0..limit {
                     self.assignment[j] = node;
-                    for (k, &v) in self.lo.row(j).iter().enumerate() {
-                        ln[node * self.d + k] += v;
-                    }
-                    self.recurse(j + 1, used.max(node + 1), ln);
-                    for (k, &v) in self.lo.row(j).iter().enumerate() {
-                        ln[node * self.d + k] -= v;
-                    }
+                    self.feas.push_assign(j, node);
+                    self.recurse(j + 1, used.max(node + 1));
+                    self.feas.pop_assign(j, node);
                 }
             }
         }
         let mut search = Search {
-            lo,
-            points: estimator.points(),
-            caps: caps.as_slice(),
+            feas: SampledFeasibility::new(model.lo(), estimator.points(), caps.as_slice()),
             n,
-            d,
             homogeneous,
             best: None,
             assignment: vec![0; m],
         };
-        let mut ln = vec![0.0; n * d];
-        search.recurse(0, 0, &mut ln);
+        search.recurse(0, 0);
         let (assignment, hits) = search.best.expect("at least one plan enumerated");
         let ratio = hits as f64 / estimator.samples() as f64;
         let mut alloc = Allocation::new(m, n);
@@ -270,6 +246,84 @@ mod tests {
         let mut labelled = 0;
         OptimalPlanner::enumerate(3, 2, false, &mut |_| labelled += 1);
         assert_eq!(labelled, 8);
+    }
+
+    /// Scores every complete plan from scratch (the pre-branch-and-bound
+    /// search shape) with the same tie rule: first strict maximum in
+    /// enumeration order.
+    fn reference_best(
+        model: &LoadModel,
+        cluster: &Cluster,
+        samples: usize,
+        seed: u64,
+    ) -> (Vec<usize>, usize) {
+        let estimator = VolumeEstimator::new(
+            model.total_coeffs().as_slice(),
+            cluster.total_capacity(),
+            samples,
+            seed,
+        );
+        let caps = cluster.capacities();
+        let homogeneous = caps.as_slice().iter().all(|&c| (c - caps[0]).abs() < 1e-12);
+        let m = model.num_operators();
+        let n = cluster.num_nodes();
+        let d = model.num_vars();
+        let lo = model.lo();
+        let mut best: Option<(Vec<usize>, usize)> = None;
+        OptimalPlanner::enumerate(m, n, homogeneous, &mut |assignment| {
+            let mut ln = vec![0.0; n * d];
+            for (j, &node) in assignment.iter().enumerate() {
+                for (k, &v) in lo.row(j).iter().enumerate() {
+                    ln[node * d + k] += v;
+                }
+            }
+            let hits = estimator
+                .points()
+                .iter()
+                .filter(|p| {
+                    (0..n).all(|i| {
+                        let load: f64 = ln[i * d..(i + 1) * d]
+                            .iter()
+                            .zip(p.as_slice())
+                            .map(|(l, x)| l * x)
+                            .sum();
+                        load <= caps[i] + 1e-12
+                    })
+                })
+                .count();
+            if best.as_ref().is_none_or(|(_, b)| hits > *b) {
+                best = Some((assignment.to_vec(), hits));
+            }
+        });
+        best.expect("at least one plan")
+    }
+
+    #[test]
+    fn branch_and_bound_matches_exhaustive_rescoring() {
+        let model = LoadModel::derive(&figure4_graph()).unwrap();
+        for cluster in [
+            Cluster::homogeneous(2, 1.0),
+            Cluster::homogeneous(3, 1.0),
+            Cluster::heterogeneous(vec![1.5, 0.5]),
+        ] {
+            let planner = OptimalPlanner {
+                samples: 4_000,
+                seed: 9,
+                ..OptimalPlanner::new()
+            };
+            let (alloc, ratio) = planner.search(&model, &cluster).unwrap();
+            let (reference, ref_hits) = reference_best(&model, &cluster, 4_000, 9);
+            let expected_ratio = ref_hits as f64 / 4_000.0;
+            for (j, &node) in reference.iter().enumerate() {
+                assert_eq!(
+                    alloc.node_of(OperatorId(j)),
+                    Some(NodeId(node)),
+                    "operator {j} on {:?} nodes",
+                    cluster.capacities()
+                );
+            }
+            assert_eq!(ratio, expected_ratio);
+        }
     }
 
     #[test]

@@ -1,0 +1,604 @@
+//! Incremental plan evaluation — the shared scoring layer under every
+//! planner.
+//!
+//! The ROD inner loop (§5, Figure 10), the brute-force optimum (§7.3.1),
+//! and the headroom/metrics paths all ask the same questions of a
+//! *partial* allocation: what are the node load coefficients, the
+//! normalised weight rows, and the plane/axis distances — and how would
+//! they change if operator `j` moved to node `i`? Rebuilding `L^n` and
+//! `W` from scratch for every candidate costs O(n·d) per probe and
+//! O(m·n²·d) per placement run. But a single-operator move touches
+//! exactly one row of every matrix, so the greedy moves the paper frames
+//! placement around are naturally O(d) delta-updates:
+//!
+//! ```text
+//! assign(j → i):   l^n_ik += l^o_jk                          (k = 1..d)
+//!                  w_ik    = (l^n_ik / l_k) / (C_i / C_T)
+//!                  1/‖W_i‖ recomputed from the one touched row
+//! ```
+//!
+//! [`IncrementalPlanEval`] owns that state and keeps it consistent under
+//! [`assign`](IncrementalPlanEval::assign) /
+//! [`unassign`](IncrementalPlanEval::unassign), while
+//! [`score_candidate`](IncrementalPlanEval::score_candidate) answers the
+//! what-if question in O(d) without mutating anything. A
+//! [`snapshot`](IncrementalPlanEval::snapshot) materialises the exact
+//! same [`WeightMatrix`] / [`FeasibleRegion`] the from-scratch path
+//! produces, so downstream geometry is unchanged.
+//!
+//! [`SampledFeasibility`] is the sampled counterpart for branch-and-bound
+//! searches: it tracks, per quasi-Monte-Carlo point, whether any node is
+//! over capacity under the current partial assignment. Adding operators
+//! only adds load, so the count of surviving points is a monotone upper
+//! bound on every completion's feasible-point count — the sound version
+//! of "prune when the partial plan is already no better than the
+//! incumbent". Kill lists are kept per assignment frame (LIFO), making
+//! the bound O(1) to read and O(P) to maintain per move instead of
+//! O(P·n·d) to recompute.
+
+use rod_geom::{FeasibleRegion, Matrix, Vector};
+
+use crate::allocation::{Allocation, WeightMatrix};
+use crate::cluster::Cluster;
+use crate::ids::{NodeId, OperatorId};
+use crate::load_model::LoadModel;
+
+/// What [`IncrementalPlanEval::score_candidate`] reports about a
+/// hypothetical single-operator assignment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CandidateScore {
+    /// Candidate plane distance of the receiving node: `1/‖W'_i‖₂`, or
+    /// `(1 − W'_i·B̃)/‖W'_i‖₂` under a §6.1 lower bound. `+inf` for an
+    /// all-zero candidate row.
+    pub plane_distance: f64,
+    /// True when every candidate weight stays at or below 1 (within the
+    /// `1e-12` tolerance) — the node remains **Class I**: its hyperplane
+    /// does not cross the ideal hyperplane.
+    pub class_one: bool,
+}
+
+/// A from-scratch view of the current partial plan, materialised by
+/// [`IncrementalPlanEval::snapshot`]. Identical to what
+/// [`crate::allocation::PlanEvaluator`] builds for the same allocation.
+#[derive(Clone, Debug)]
+pub struct PlanSnapshot {
+    /// The normalised weight matrix `W` of §3.3.
+    pub weights: WeightMatrix,
+    /// The exact feasible region `{x ≥ 0 : L^n x ≤ C}`.
+    pub region: FeasibleRegion,
+}
+
+/// Incrementally-maintained evaluation state for one partial
+/// [`Allocation`] of one load model on one cluster.
+#[derive(Clone, Debug)]
+pub struct IncrementalPlanEval<'a> {
+    model: &'a LoadModel,
+    cluster: &'a Cluster,
+    n: usize,
+    d: usize,
+    /// Per-node relative capacity `C_i / C_T`.
+    rel: Vec<f64>,
+    /// Node load coefficients `l^n_ik`, flat n×d.
+    ln: Vec<f64>,
+    /// Normalised weights `w_ik`, flat n×d, kept consistent with `ln`.
+    w: Vec<f64>,
+    /// Per-node plane distance `1/‖W_i‖₂` (`+inf` for an empty node).
+    plane: Vec<f64>,
+    /// Per-node largest weight `max_k w_ik` (0 for an empty node).
+    max_w: Vec<f64>,
+    /// Normalised §6.1 lower-bound point `B̃`, if configured.
+    lower_bound: Option<Vector>,
+    alloc: Allocation,
+}
+
+impl<'a> IncrementalPlanEval<'a> {
+    /// Evaluation state for an empty allocation. Panics on an invalid
+    /// cluster (the cluster is part of the problem statement).
+    pub fn new(model: &'a LoadModel, cluster: &'a Cluster) -> Self {
+        cluster.validate().expect("invalid cluster");
+        let n = cluster.num_nodes();
+        let d = model.num_vars();
+        let ct = cluster.total_capacity();
+        let rel = (0..n).map(|i| cluster.capacity(NodeId(i)) / ct).collect();
+        IncrementalPlanEval {
+            model,
+            cluster,
+            n,
+            d,
+            rel,
+            ln: vec![0.0; n * d],
+            w: vec![0.0; n * d],
+            plane: vec![f64::INFINITY; n],
+            max_w: vec![0.0; n],
+            lower_bound: None,
+            alloc: Allocation::new(model.num_operators(), n),
+        }
+    }
+
+    /// Evaluation state seeded from an existing (possibly partial)
+    /// allocation: operators are re-applied in index order, so the load
+    /// sums match the from-scratch accumulation exactly.
+    pub fn from_allocation(
+        model: &'a LoadModel,
+        cluster: &'a Cluster,
+        existing: &Allocation,
+    ) -> Self {
+        assert_eq!(existing.num_operators(), model.num_operators());
+        assert_eq!(existing.num_nodes(), cluster.num_nodes());
+        let mut eval = IncrementalPlanEval::new(model, cluster);
+        for j in 0..model.num_operators() {
+            let op = OperatorId(j);
+            if let Some(node) = existing.node_of(op) {
+                eval.assign(op, node);
+            }
+        }
+        eval
+    }
+
+    /// Installs the §6.1 workload lower bound, given on the *system
+    /// input* rates. The bound is propagated into variable space and
+    /// normalised (`b̃_k = b_k l_k / C_T`); candidate plane distances are
+    /// then measured from `B̃` instead of the origin.
+    pub fn set_input_lower_bound(&mut self, input_lower_bound: &[f64]) {
+        let totals = self.model.total_coeffs();
+        let ct = self.cluster.total_capacity();
+        let var_b = self.model.variable_point(input_lower_bound);
+        self.lower_bound = Some(Vector::new(
+            (0..self.d).map(|k| var_b[k] * totals[k] / ct).collect(),
+        ));
+    }
+
+    /// The model being evaluated.
+    pub fn model(&self) -> &LoadModel {
+        self.model
+    }
+
+    /// The cluster being evaluated against.
+    pub fn cluster(&self) -> &Cluster {
+        self.cluster
+    }
+
+    /// The current partial allocation.
+    pub fn allocation(&self) -> &Allocation {
+        &self.alloc
+    }
+
+    /// Consumes the evaluator, returning the allocation it built.
+    pub fn into_allocation(self) -> Allocation {
+        self.alloc
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of rate variables `d`.
+    pub fn num_vars(&self) -> usize {
+        self.d
+    }
+
+    /// The current load-coefficient row of one node.
+    pub fn node_load_row(&self, node: NodeId) -> &[f64] {
+        &self.ln[node.index() * self.d..(node.index() + 1) * self.d]
+    }
+
+    /// The current normalised weight row of one node.
+    pub fn weight_row(&self, node: NodeId) -> &[f64] {
+        &self.w[node.index() * self.d..(node.index() + 1) * self.d]
+    }
+
+    /// Plane distance `1/‖W_i‖₂` of one node (`+inf` when empty).
+    pub fn plane_distance(&self, node: NodeId) -> f64 {
+        self.plane[node.index()]
+    }
+
+    /// The MMPD objective `min_i 1/‖W_i‖₂` over the current rows.
+    pub fn min_plane_distance(&self) -> f64 {
+        self.plane.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Minimum axis distance of one node, `min_k 1/w_ik = 1/max_k w_ik`
+    /// (`+inf` when the node carries nothing).
+    pub fn axis_distance(&self, node: NodeId) -> f64 {
+        let m = self.max_w[node.index()];
+        if m == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / m
+        }
+    }
+
+    /// Largest normalised weight across all nodes.
+    pub fn max_weight(&self) -> f64 {
+        self.max_w.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Assigns `op` to `node`, updating only that node's row (O(d)).
+    /// Panics if `op` is already placed — use
+    /// [`unassign`](Self::unassign) first to model a move.
+    pub fn assign(&mut self, op: OperatorId, node: NodeId) {
+        assert!(
+            self.alloc.node_of(op).is_none(),
+            "operator {op:?} already assigned"
+        );
+        let i = node.index();
+        let lo_row = self.model.operator_row(op);
+        let row = &mut self.ln[i * self.d..(i + 1) * self.d];
+        for (cell, &v) in row.iter_mut().zip(lo_row) {
+            *cell += v;
+        }
+        self.alloc.assign(op, node);
+        self.refresh_node(i);
+    }
+
+    /// Removes `op` from `node`, updating only that node's row (O(d)).
+    /// Panics unless `op` currently sits on `node`.
+    pub fn unassign(&mut self, op: OperatorId, node: NodeId) {
+        assert_eq!(
+            self.alloc.node_of(op),
+            Some(node),
+            "operator {op:?} is not on node {node:?}"
+        );
+        let i = node.index();
+        let lo_row = self.model.operator_row(op);
+        let row = &mut self.ln[i * self.d..(i + 1) * self.d];
+        for (cell, &v) in row.iter_mut().zip(lo_row) {
+            *cell -= v;
+        }
+        self.alloc.unassign(op);
+        self.refresh_node(i);
+    }
+
+    /// Scores the hypothetical assignment of `op` to `node` without
+    /// mutating anything: the candidate weight row
+    /// `w'_ik = ((l^n_ik + l^o_jk)/l_k)/(C_i/C_T)` is folded in one O(d)
+    /// pass into the Class-I membership test and the candidate plane
+    /// distance (measured from the §6.1 lower bound when one is set).
+    pub fn score_candidate(&self, op: OperatorId, node: NodeId) -> CandidateScore {
+        let i = node.index();
+        let rel = self.rel[i];
+        let totals = self.model.total_coeffs();
+        let lo_row = self.model.operator_row(op);
+        let mut sumsq = 0.0;
+        let mut wb = 0.0;
+        let mut class_one = true;
+        for k in 0..self.d {
+            let lk = totals[k];
+            let w = if lk > 0.0 {
+                ((self.ln[i * self.d + k] + lo_row[k]) / lk) / rel
+            } else {
+                0.0
+            };
+            if w > 1.0 + 1e-12 {
+                class_one = false;
+            }
+            sumsq += w * w;
+            if let Some(b) = &self.lower_bound {
+                wb += w * b[k];
+            }
+        }
+        let norm = sumsq.sqrt();
+        let plane_distance = if norm == 0.0 {
+            f64::INFINITY
+        } else {
+            match &self.lower_bound {
+                None => 1.0 / norm,
+                Some(_) => (1.0 - wb) / norm,
+            }
+        };
+        CandidateScore {
+            plane_distance,
+            class_one,
+        }
+    }
+
+    /// The node load-coefficient matrix `L^n` as a dense matrix.
+    pub fn node_load_matrix(&self) -> Matrix {
+        let mut ln = Matrix::zeros(self.n, self.d);
+        for i in 0..self.n {
+            ln.row_mut(i)
+                .copy_from_slice(&self.ln[i * self.d..(i + 1) * self.d]);
+        }
+        ln
+    }
+
+    /// Materialises the from-scratch view of the current plan: the
+    /// [`WeightMatrix`] and [`FeasibleRegion`] are built through the same
+    /// constructors the non-incremental path uses, so every downstream
+    /// consumer sees identical numbers.
+    pub fn snapshot(&self) -> PlanSnapshot {
+        let ln = self.node_load_matrix();
+        let weights = WeightMatrix::new(&ln, self.model.total_coeffs(), self.cluster);
+        let region = FeasibleRegion::new(ln, self.cluster.capacities());
+        PlanSnapshot { weights, region }
+    }
+
+    /// Rebuilds the cached weight row, plane distance, and max weight of
+    /// one node from its current load row (O(d)).
+    fn refresh_node(&mut self, i: usize) {
+        let rel = self.rel[i];
+        let totals = self.model.total_coeffs();
+        let mut sumsq = 0.0;
+        let mut max_w = 0.0f64;
+        for k in 0..self.d {
+            let lk = totals[k];
+            let w = if lk > 0.0 {
+                (self.ln[i * self.d + k] / lk) / rel
+            } else {
+                0.0
+            };
+            self.w[i * self.d + k] = w;
+            sumsq += w * w;
+            max_w = max_w.max(w);
+        }
+        let norm = sumsq.sqrt();
+        self.plane[i] = if norm == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / norm
+        };
+        self.max_w[i] = max_w;
+    }
+}
+
+/// Incrementally-maintained feasibility of a quasi-Monte-Carlo point set
+/// under a partial assignment — the sampled-volume side of the
+/// evaluation layer, built for branch-and-bound searches.
+///
+/// A point survives while **every** node's load at that point stays
+/// within capacity. Assigning an operator only adds load, so points only
+/// die as the assignment grows; [`SampledFeasibility::alive_count`] is
+/// therefore a monotone upper bound on the feasible-point count of every
+/// completion of the current partial plan. Each
+/// [`push_assign`](SampledFeasibility::push_assign) records exactly which
+/// points it killed so the matching
+/// [`pop_assign`](SampledFeasibility::pop_assign) revives them — frames
+/// must nest LIFO, which is precisely the shape of a depth-first search.
+#[derive(Clone, Debug)]
+pub struct SampledFeasibility {
+    num_points: usize,
+    /// Per-operator load at each point, flat m×P: `op_loads[j·P + p] =
+    /// L^o_j · x_p`. Precomputed once so a move costs O(P), not O(P·d).
+    op_loads: Vec<f64>,
+    /// Current load of each node at each point, flat n×P.
+    node_loads: Vec<f64>,
+    caps: Vec<f64>,
+    alive: Vec<bool>,
+    alive_count: usize,
+    /// Indices of killed points, partitioned into frames by `marks`.
+    killed: Vec<u32>,
+    marks: Vec<usize>,
+}
+
+impl SampledFeasibility {
+    /// Builds the tracker for `lo` (m×d operator load coefficients),
+    /// a shared QMC `points` set, and per-node `caps`.
+    pub fn new(lo: &Matrix, points: &[Vector], caps: &[f64]) -> Self {
+        let m = lo.rows();
+        let p = points.len();
+        let mut op_loads = vec![0.0; m * p];
+        for j in 0..m {
+            let row = lo.row(j);
+            for (pi, point) in points.iter().enumerate() {
+                op_loads[j * p + pi] = row.iter().zip(point.as_slice()).map(|(l, x)| l * x).sum();
+            }
+        }
+        SampledFeasibility {
+            num_points: p,
+            op_loads,
+            node_loads: vec![0.0; caps.len() * p],
+            caps: caps.to_vec(),
+            alive: vec![true; p],
+            alive_count: p,
+            killed: Vec::new(),
+            marks: Vec::new(),
+        }
+    }
+
+    /// Number of points still feasible under the current partial
+    /// assignment — the branch-and-bound upper bound, O(1).
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Total number of points tracked.
+    pub fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    /// Applies "operator `op` on node `node`", killing the alive points
+    /// the move pushes over capacity. O(P).
+    pub fn push_assign(&mut self, op: usize, node: usize) {
+        self.marks.push(self.killed.len());
+        let p = self.num_points;
+        let cap = self.caps[node] + 1e-12;
+        let loads = &mut self.node_loads[node * p..(node + 1) * p];
+        let deltas = &self.op_loads[op * p..(op + 1) * p];
+        for pi in 0..p {
+            loads[pi] += deltas[pi];
+            if self.alive[pi] && loads[pi] > cap {
+                self.alive[pi] = false;
+                self.alive_count -= 1;
+                self.killed.push(pi as u32);
+            }
+        }
+    }
+
+    /// Reverts the most recent un-popped [`push_assign`](Self::push_assign)
+    /// (which must have been for the same `op`/`node` — frames are LIFO),
+    /// reviving exactly the points that move killed. O(P).
+    pub fn pop_assign(&mut self, op: usize, node: usize) {
+        let mark = self.marks.pop().expect("pop without matching push");
+        for &pi in &self.killed[mark..] {
+            self.alive[pi as usize] = true;
+            self.alive_count += 1;
+        }
+        self.killed.truncate(mark);
+        let p = self.num_points;
+        let loads = &mut self.node_loads[node * p..(node + 1) * p];
+        let deltas = &self.op_loads[op * p..(op + 1) * p];
+        for pi in 0..p {
+            loads[pi] -= deltas[pi];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::PlanEvaluator;
+    use crate::examples_paper::{example2_plans, figure4_graph};
+    use rod_geom::VolumeEstimator;
+
+    fn setup() -> (LoadModel, Cluster) {
+        (
+            LoadModel::derive(&figure4_graph()).unwrap(),
+            Cluster::homogeneous(2, 1.0),
+        )
+    }
+
+    #[test]
+    fn snapshot_matches_plan_evaluator_exactly() {
+        let (model, cluster) = setup();
+        let [a, b, c] = example2_plans();
+        let ev = PlanEvaluator::new(&model, &cluster);
+        for alloc in [&a, &b, &c] {
+            let eval = IncrementalPlanEval::from_allocation(&model, &cluster, alloc);
+            let snap = eval.snapshot();
+            assert_eq!(snap.weights.matrix(), ev.weight_matrix(alloc).matrix());
+            assert_eq!(
+                snap.region.coefficients,
+                ev.feasible_region(alloc).coefficients
+            );
+            assert_eq!(eval.min_plane_distance(), ev.min_plane_distance(alloc));
+        }
+    }
+
+    #[test]
+    fn assign_updates_only_touched_row() {
+        let (model, cluster) = setup();
+        let mut eval = IncrementalPlanEval::new(&model, &cluster);
+        eval.assign(OperatorId(0), NodeId(0));
+        // o0 loads stream 1 with coefficient 4: w_00 = (4/10)/(1/2) = 0.8.
+        assert!((eval.weight_row(NodeId(0))[0] - 0.8).abs() < 1e-15);
+        assert_eq!(eval.weight_row(NodeId(1)), &[0.0, 0.0]);
+        assert_eq!(eval.plane_distance(NodeId(1)), f64::INFINITY);
+    }
+
+    #[test]
+    fn unassign_restores_exactly_on_integer_loads() {
+        // Figure 4 load coefficients are small integers, so += then -=
+        // is exact and the state must match the never-assigned one.
+        let (model, cluster) = setup();
+        let mut eval = IncrementalPlanEval::new(&model, &cluster);
+        let fresh = eval.clone();
+        eval.assign(OperatorId(2), NodeId(1));
+        eval.assign(OperatorId(0), NodeId(1));
+        eval.unassign(OperatorId(0), NodeId(1));
+        eval.unassign(OperatorId(2), NodeId(1));
+        assert_eq!(eval.ln, fresh.ln);
+        assert_eq!(eval.w, fresh.w);
+        assert_eq!(eval.plane, fresh.plane);
+        assert_eq!(eval.allocation(), fresh.allocation());
+    }
+
+    #[test]
+    fn score_candidate_agrees_with_commit() {
+        let (model, cluster) = setup();
+        let mut eval = IncrementalPlanEval::new(&model, &cluster);
+        eval.assign(OperatorId(2), NodeId(0));
+        for op in [OperatorId(1), OperatorId(3)] {
+            for node in 0..2 {
+                let score = eval.score_candidate(op, NodeId(node));
+                let mut probe = eval.clone();
+                probe.assign(op, NodeId(node));
+                assert_eq!(
+                    score.plane_distance,
+                    probe.plane_distance(NodeId(node)),
+                    "op {op:?} node {node}"
+                );
+                let committed_max: f64 = probe
+                    .weight_row(NodeId(node))
+                    .iter()
+                    .copied()
+                    .fold(0.0, f64::max);
+                assert_eq!(score.class_one, committed_max <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_shrinks_candidate_distances() {
+        let (model, cluster) = setup();
+        let mut plain = IncrementalPlanEval::new(&model, &cluster);
+        let mut bounded = IncrementalPlanEval::new(&model, &cluster);
+        bounded.set_input_lower_bound(&[0.02, 0.02]);
+        plain.assign(OperatorId(2), NodeId(0));
+        bounded.assign(OperatorId(2), NodeId(0));
+        let p = plain.score_candidate(OperatorId(1), NodeId(0));
+        let b = bounded.score_candidate(OperatorId(1), NodeId(0));
+        assert!(b.plane_distance < p.plane_distance);
+    }
+
+    #[test]
+    fn axis_and_max_weight_track_weight_matrix() {
+        let (model, cluster) = setup();
+        let [a, _, _] = example2_plans();
+        let eval = IncrementalPlanEval::from_allocation(&model, &cluster, &a);
+        let w = eval.snapshot().weights;
+        assert_eq!(eval.max_weight(), w.max_weight());
+        // Node 1 of plan (a) has weights (1.2, 18/11): min axis distance
+        // is 11/18.
+        assert!((eval.axis_distance(NodeId(1)) - 11.0 / 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_feasibility_matches_fresh_counts() {
+        let (model, cluster) = setup();
+        let estimator = VolumeEstimator::new(
+            model.total_coeffs().as_slice(),
+            cluster.total_capacity(),
+            4_000,
+            3,
+        );
+        let caps = cluster.capacities();
+        let mut feas = SampledFeasibility::new(model.lo(), estimator.points(), caps.as_slice());
+        let ev = PlanEvaluator::new(&model, &cluster);
+
+        let fresh_count = |alloc: &Allocation| -> usize {
+            let region = ev.feasible_region(alloc);
+            estimator
+                .points()
+                .iter()
+                .filter(|p| region.contains(p))
+                .count()
+        };
+
+        assert_eq!(feas.alive_count(), 4_000);
+        // Walk a nested assign/rollback sequence and compare against the
+        // from-scratch count at every step.
+        let mut alloc = Allocation::new(model.num_operators(), 2);
+        feas.push_assign(2, 1);
+        alloc.assign(OperatorId(2), NodeId(1));
+        assert_eq!(feas.alive_count(), fresh_count(&alloc));
+        feas.push_assign(1, 1);
+        alloc.assign(OperatorId(1), NodeId(1));
+        assert_eq!(feas.alive_count(), fresh_count(&alloc));
+        feas.pop_assign(1, 1);
+        feas.push_assign(1, 0);
+        alloc.assign(OperatorId(1), NodeId(0));
+        assert_eq!(feas.alive_count(), fresh_count(&alloc));
+        feas.push_assign(0, 0);
+        feas.push_assign(3, 1);
+        alloc.assign(OperatorId(0), NodeId(0));
+        alloc.assign(OperatorId(3), NodeId(1));
+        assert_eq!(feas.alive_count(), fresh_count(&alloc));
+        // Unwind completely: every point revives.
+        feas.pop_assign(3, 1);
+        feas.pop_assign(0, 0);
+        feas.pop_assign(1, 0);
+        feas.pop_assign(2, 1);
+        assert_eq!(feas.alive_count(), 4_000);
+    }
+}

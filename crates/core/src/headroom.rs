@@ -61,7 +61,11 @@ impl HeadroomReport {
 pub fn headroom(ev: &PlanEvaluator<'_>, alloc: &Allocation, base_rates: &[f64]) -> HeadroomReport {
     let model = ev.model();
     assert_eq!(base_rates.len(), model.num_inputs());
-    let region = ev.feasible_region(alloc);
+    // One pass through the evaluation layer supplies both the exact
+    // region (for ray casting) and the node load rows (for the binding
+    // node) without rebuilding matrices twice.
+    let eval = ev.incremental(alloc);
+    let region = eval.snapshot().region;
     let base_point = model.variable_point(base_rates);
 
     // Per-stream: direction = d(variable point)/d(rate_k), finite diff.
@@ -99,12 +103,11 @@ pub fn headroom(ev: &PlanEvaluator<'_>, alloc: &Allocation, base_rates: &[f64]) 
     let uniform = 1.0 + alpha;
 
     // Binding node under uniform scaling: the argmin of slack/load.
-    let ln = ev.node_load_matrix(alloc);
     let caps = ev.cluster().capacities();
-    let binding_node = (0..ln.rows())
+    let binding_node = (0..eval.num_nodes())
         .filter_map(|i| {
-            let load: f64 = ln
-                .row(i)
+            let load: f64 = eval
+                .node_load_row(NodeId(i))
                 .iter()
                 .zip(base_point.as_slice())
                 .map(|(l, x)| l * x)

@@ -54,6 +54,7 @@ pub mod capacity;
 pub mod cluster;
 pub mod clustering;
 pub mod error;
+pub mod eval;
 pub mod examples_paper;
 pub mod explain;
 pub mod graph;
@@ -66,8 +67,10 @@ pub mod operator;
 pub mod rod;
 
 pub use allocation::{Allocation, PlanEvaluator, WeightMatrix};
+pub use baselines::{build_planner, PlannerSpec};
 pub use cluster::Cluster;
 pub use error::{GraphError, PlacementError};
+pub use eval::{CandidateScore, IncrementalPlanEval, PlanSnapshot, SampledFeasibility};
 pub use graph::{GraphBuilder, QueryGraph};
 pub use ids::{InputId, NodeId, OperatorId, StreamId, VarId};
 pub use load_model::{LoadModel, RateExpr};
@@ -78,11 +81,12 @@ pub use rod::{RodOptions, RodPlan, RodPlanner};
 pub mod prelude {
     pub use crate::allocation::{Allocation, PlanEvaluator, WeightMatrix};
     pub use crate::baselines::{
-        connected::ConnectedPlanner, correlation::CorrelationPlanner, llf::LlfPlanner,
-        optimal::OptimalPlanner, random::RandomPlanner, Planner,
+        build_planner, connected::ConnectedPlanner, correlation::CorrelationPlanner,
+        llf::LlfPlanner, optimal::OptimalPlanner, random::RandomPlanner, Planner, PlannerSpec,
     };
     pub use crate::cluster::Cluster;
     pub use crate::error::{GraphError, PlacementError};
+    pub use crate::eval::{CandidateScore, IncrementalPlanEval, PlanSnapshot, SampledFeasibility};
     pub use crate::graph::{GraphBuilder, QueryGraph};
     pub use crate::ids::{InputId, NodeId, OperatorId, StreamId, VarId};
     pub use crate::load_model::{LoadModel, RateExpr};

@@ -24,12 +24,13 @@
 use serde::{Deserialize, Serialize};
 
 use rand::seq::SliceRandom;
-use rod_geom::{seeded_rng, Vector};
+use rod_geom::seeded_rng;
 
 use crate::allocation::Allocation;
 use crate::baselines::Planner;
 use crate::cluster::Cluster;
 use crate::error::PlacementError;
+use crate::eval::{CandidateScore, IncrementalPlanEval};
 use crate::ids::{NodeId, OperatorId};
 use crate::load_model::LoadModel;
 
@@ -156,20 +157,18 @@ impl RodPlanner {
     pub fn place(&self, model: &LoadModel, cluster: &Cluster) -> Result<RodPlan, PlacementError> {
         cluster.validate()?;
         let m = model.num_operators();
-        let d = model.num_vars();
         if m == 0 {
             return Err(PlacementError::EmptyModel);
         }
         let n = cluster.num_nodes();
-        let ct = cluster.total_capacity();
-        let totals = model.total_coeffs();
 
-        // Normalised lower-bound point B̃ (§6.1): b̃_k = b_k l_k / C_T,
-        // where b is the lower bound propagated into variable space.
-        let lower_bound: Option<Vector> = self.options.input_lower_bound.as_ref().map(|b| {
-            let var_b = model.variable_point(b);
-            Vector::new((0..d).map(|k| var_b[k] * totals[k] / ct).collect())
-        });
+        // The incremental evaluation layer owns the node-load and weight
+        // state; the §6.1 lower bound (when set) is folded into every
+        // candidate plane distance it reports.
+        let mut eval = IncrementalPlanEval::new(model, cluster);
+        if let Some(b) = &self.options.input_lower_bound {
+            eval.set_input_lower_bound(b);
+        }
 
         // ---- Phase 1: order the operators. ----
         let mut order: Vec<OperatorId> = (0..m).map(OperatorId).collect();
@@ -192,62 +191,33 @@ impl RodPlanner {
         }
 
         // ---- Phase 2: greedy assignment. ----
-        // Current node load coefficients l^n_ik, flat n×d.
         let adjacency = match self.options.class_one_policy {
             ClassOnePolicy::MinCommunication => model.graph().adjacency(),
             _ => Vec::new(),
         };
-        let mut ln = vec![0.0; n * d];
-        let mut allocation = Allocation::new(m, n);
         let mut step_classes = Vec::with_capacity(m);
         let mut rng = match self.options.class_one_policy {
             ClassOnePolicy::Random { seed } => Some(seeded_rng(seed)),
             _ => None,
         };
 
-        // Scratch: candidate weight rows per node.
-        let mut candidate_w = vec![0.0; n * d];
+        let mut scores: Vec<CandidateScore> = Vec::with_capacity(n);
         let mut class_one: Vec<usize> = Vec::with_capacity(n);
 
         for &op in &order {
-            let lo_row = model.operator_row(op);
-
-            // Classify nodes by their candidate hyperplane.
+            // Classify nodes by their candidate hyperplane — one O(d)
+            // probe per node against the incremental state.
+            scores.clear();
             class_one.clear();
             for i in 0..n {
-                let rel = cluster.capacity(NodeId(i)) / ct;
-                let mut all_below_one = true;
-                for k in 0..d {
-                    let lk = totals[k];
-                    let w = if lk > 0.0 {
-                        ((ln[i * d + k] + lo_row[k]) / lk) / rel
-                    } else {
-                        0.0
-                    };
-                    candidate_w[i * d + k] = w;
-                    if w > 1.0 + 1e-12 {
-                        all_below_one = false;
-                    }
-                }
-                if all_below_one {
+                let score = eval.score_candidate(op, NodeId(i));
+                if score.class_one {
                     class_one.push(i);
                 }
+                scores.push(score);
             }
 
-            let candidate_distance = |i: usize| -> f64 {
-                let row = &candidate_w[i * d..(i + 1) * d];
-                let norm = row.iter().map(|w| w * w).sum::<f64>().sqrt();
-                if norm == 0.0 {
-                    return f64::INFINITY;
-                }
-                match &lower_bound {
-                    None => 1.0 / norm,
-                    Some(b) => {
-                        let wb: f64 = row.iter().zip(b.as_slice()).map(|(w, b)| w * b).sum();
-                        (1.0 - wb) / norm
-                    }
-                }
-            };
+            let candidate_distance = |i: usize| scores[i].plane_distance;
 
             let (dest, class) = if self.options.use_class_one && !class_one.is_empty() {
                 let dest = match self.options.class_one_policy {
@@ -260,7 +230,7 @@ impl RodPlanner {
                         let neighbours = |i: usize| -> usize {
                             adjacency[op.index()]
                                 .iter()
-                                .filter(|nb| allocation.node_of(**nb) == Some(NodeId(i)))
+                                .filter(|nb| eval.allocation().node_of(**nb) == Some(NodeId(i)))
                                 .count()
                         };
                         // Most already-placed neighbours first; plane
@@ -280,15 +250,12 @@ impl RodPlanner {
                 (best_by(&all, candidate_distance), StepClass::ClassTwo)
             };
 
-            allocation.assign(op, NodeId(dest));
-            for k in 0..d {
-                ln[dest * d + k] += lo_row[k];
-            }
+            eval.assign(op, NodeId(dest));
             step_classes.push(class);
         }
 
         Ok(RodPlan {
-            allocation,
+            allocation: eval.into_allocation(),
             order,
             step_classes,
         })
@@ -325,25 +292,13 @@ impl RodPlanner {
             return Err(PlacementError::EmptyModel);
         }
         let n = cluster.num_nodes();
-        let d = model.num_vars();
-        let ct = cluster.total_capacity();
-        let totals = model.total_coeffs();
 
         // Start from the load the fixed operators impose.
-        let mut ln = vec![0.0; n * d];
-        let mut allocation = existing.clone();
-        let mut pending: Vec<OperatorId> = Vec::new();
-        for j in 0..m {
-            let op = OperatorId(j);
-            match existing.node_of(op) {
-                Some(node) => {
-                    for (k, &v) in model.operator_row(op).iter().enumerate() {
-                        ln[node.index() * d + k] += v;
-                    }
-                }
-                None => pending.push(op),
-            }
-        }
+        let mut eval = IncrementalPlanEval::from_allocation(model, cluster, existing);
+        let mut pending: Vec<OperatorId> = (0..m)
+            .map(OperatorId)
+            .filter(|&op| existing.node_of(op).is_none())
+            .collect();
         pending.sort_by(|&a, &b| {
             model
                 .operator_norm(b)
@@ -353,56 +308,30 @@ impl RodPlanner {
         });
 
         let mut step_classes = Vec::with_capacity(pending.len());
-        let mut candidate_w = vec![0.0; n * d];
+        let mut scores: Vec<CandidateScore> = Vec::with_capacity(n);
         for &op in &pending {
-            let lo_row = model.operator_row(op);
+            scores.clear();
             let mut class_one: Vec<usize> = Vec::new();
             for i in 0..n {
-                let rel = cluster.capacity(NodeId(i)) / ct;
-                let mut ok = true;
-                for k in 0..d {
-                    let lk = totals[k];
-                    let w = if lk > 0.0 {
-                        ((ln[i * d + k] + lo_row[k]) / lk) / rel
-                    } else {
-                        0.0
-                    };
-                    candidate_w[i * d + k] = w;
-                    if w > 1.0 + 1e-12 {
-                        ok = false;
-                    }
-                }
-                if ok {
+                let score = eval.score_candidate(op, NodeId(i));
+                if score.class_one {
                     class_one.push(i);
                 }
+                scores.push(score);
             }
-            let distance = |i: usize| -> f64 {
-                let norm = candidate_w[i * d..(i + 1) * d]
-                    .iter()
-                    .map(|w| w * w)
-                    .sum::<f64>()
-                    .sqrt();
-                if norm == 0.0 {
-                    f64::INFINITY
-                } else {
-                    1.0 / norm
-                }
-            };
+            let distance = |i: usize| scores[i].plane_distance;
             let (dest, class) = if !class_one.is_empty() {
                 (best_by(&class_one, distance), StepClass::ClassOne)
             } else {
                 let all: Vec<usize> = (0..n).collect();
                 (best_by(&all, distance), StepClass::ClassTwo)
             };
-            allocation.assign(op, NodeId(dest));
-            for k in 0..d {
-                ln[dest * d + k] += lo_row[k];
-            }
+            eval.assign(op, NodeId(dest));
             step_classes.push(class);
         }
 
         Ok(RodPlan {
-            allocation,
+            allocation: eval.into_allocation(),
             order: pending,
             step_classes,
         })

@@ -251,6 +251,72 @@ proptest! {
     }
 
     #[test]
+    fn incremental_eval_matches_from_scratch_rebuild(
+        spec in graph_spec(),
+        nodes in 1usize..5,
+        moves in prop::collection::vec((0usize..64, 0usize..8, 0u8..2), 1..32),
+    ) {
+        use rod_core::allocation::WeightMatrix;
+        use rod_core::eval::IncrementalPlanEval;
+        // Drive the incremental evaluator through a random interleaving
+        // of assigns and unassigns; after every move its weight rows and
+        // plane distances must match a WeightMatrix rebuilt from scratch
+        // off the allocation's own node-load matrix.
+        let graph = build(&spec);
+        let model = LoadModel::derive(&graph).unwrap();
+        let cluster = Cluster::homogeneous(nodes, 1.0);
+        let mut eval = IncrementalPlanEval::new(&model, &cluster);
+        let m = model.num_operators();
+        for (op_pick, node_pick, assign) in moves {
+            let op = OperatorId(op_pick % m);
+            let node = NodeId(node_pick % nodes);
+            match (assign == 1, eval.allocation().node_of(op)) {
+                (true, None) => {
+                    // The committed distance must equal the quoted one.
+                    let quote = eval.score_candidate(op, node);
+                    eval.assign(op, node);
+                    let committed = eval.plane_distance(node);
+                    prop_assert!(
+                        quote.plane_distance == committed
+                            || (quote.plane_distance - committed).abs()
+                                <= 1e-9 * (1.0 + committed.abs()),
+                        "quote {} vs committed {committed}",
+                        quote.plane_distance
+                    );
+                }
+                (false, Some(current)) if current == node => eval.unassign(op, node),
+                _ => continue,
+            }
+            let reference = WeightMatrix::new(
+                &eval.allocation().node_load_matrix(model.lo()),
+                model.total_coeffs(),
+                &cluster,
+            );
+            for i in 0..nodes {
+                for (k, &got) in eval.weight_row(NodeId(i)).iter().enumerate() {
+                    let want = reference.matrix()[(i, k)];
+                    prop_assert!(
+                        (got - want).abs() <= 1e-9 * (1.0 + want.abs()),
+                        "w[{i},{k}]: incremental {got} vs scratch {want}"
+                    );
+                }
+                let want = reference.plane_distance(NodeId(i));
+                let got = eval.plane_distance(NodeId(i));
+                prop_assert!(
+                    got == want || (got - want).abs() <= 1e-9 * (1.0 + want.abs()),
+                    "plane[{i}]: incremental {got} vs scratch {want}"
+                );
+            }
+            let want = reference.max_weight();
+            let got = eval.max_weight();
+            prop_assert!(
+                (got - want).abs() <= 1e-9 * (1.0 + want.abs()),
+                "max weight: incremental {got} vs scratch {want}"
+            );
+        }
+    }
+
+    #[test]
     fn clustered_plans_keep_clusters_together(spec in graph_spec(),
                                               transfer in 0.0..2.0f64) {
         use rod_core::clustering::{cluster_operators, place_clustered,

@@ -254,9 +254,47 @@ impl VolumeEstimator {
     /// Estimates the volume of `region` (which must live in the same rate
     /// space — same `d`, and be contained in the ideal simplex, which holds
     /// for every region generated from an allocation of the same graph).
+    ///
+    /// The point set is partitioned across up to
+    /// `std::thread::available_parallelism()` scoped workers; each chunk's
+    /// integer hit count is merged in chunk order, so the result is
+    /// bit-identical to the serial scan regardless of thread count.
     pub fn estimate(&self, region: &FeasibleRegion) -> VolumeEstimate {
+        let threads = std::thread::available_parallelism().map_or(1, usize::from);
+        self.estimate_with_threads(region, threads)
+    }
+
+    /// [`VolumeEstimator::estimate`] with an explicit worker count
+    /// (clamped to at least 1; small point sets fall back to the serial
+    /// scan since spawning would cost more than counting).
+    pub fn estimate_with_threads(&self, region: &FeasibleRegion, threads: usize) -> VolumeEstimate {
         assert_eq!(region.dim(), self.points.first().map_or(0, Vector::dim));
-        let hits = self.points.iter().filter(|p| region.contains(p)).count();
+        // Below ~4k points a thread spawn outweighs the counting work.
+        const MIN_POINTS_PER_THREAD: usize = 4_096;
+        let threads = threads
+            .max(1)
+            .min(self.points.len().div_ceil(MIN_POINTS_PER_THREAD).max(1));
+        let hits = if threads == 1 {
+            self.points.iter().filter(|p| region.contains(p)).count()
+        } else {
+            let chunk = self.points.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .points
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || part.iter().filter(|p| region.contains(p)).count())
+                    })
+                    .collect();
+                // Ordered merge: chunk counts are summed in chunk order.
+                // Integer addition is associative, so the total equals
+                // the serial count exactly.
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("volume worker panicked"))
+                    .sum()
+            })
+        };
         let ratio = hits as f64 / self.points.len() as f64;
         VolumeEstimate {
             ratio_to_ideal: ratio,
@@ -423,6 +461,45 @@ mod tests {
         let est = VolumeEstimator::with_sobol(&[10.0, 11.0], 2.0, 50_000, 7).estimate(&reg);
         let rel_err = (est.absolute - exact).abs() / exact;
         assert!(rel_err < 0.01, "relative error {rel_err}");
+    }
+
+    #[test]
+    fn parallel_estimate_is_bit_identical_to_serial() {
+        // 20k points exceed the per-thread floor, so requested thread
+        // counts > 1 genuinely spawn workers.
+        let est = VolumeEstimator::new(&[10.0, 11.0], 2.0, 20_000, 7);
+        let reg = region(&[&[4.0, 2.0], &[6.0, 9.0]], &[1.0, 1.0]);
+        let serial = est.estimate_with_threads(&reg, 1);
+        for threads in [2, 3, 4, 5, 8] {
+            let parallel = est.estimate_with_threads(&reg, threads);
+            assert_eq!(
+                serial.ratio_to_ideal.to_bits(),
+                parallel.ratio_to_ideal.to_bits(),
+                "threads = {threads}"
+            );
+            assert_eq!(
+                serial.absolute.to_bits(),
+                parallel.absolute.to_bits(),
+                "threads = {threads}"
+            );
+        }
+        // The default path (available_parallelism) agrees too.
+        assert_eq!(
+            est.estimate(&reg).ratio_to_ideal.to_bits(),
+            serial.ratio_to_ideal.to_bits()
+        );
+    }
+
+    #[test]
+    fn tiny_point_sets_fall_back_to_serial() {
+        let est = VolumeEstimator::new(&[1.0, 1.0], 1.0, 500, 3);
+        let reg = region(&[&[0.7, 0.6]], &[0.5]);
+        let serial = est.estimate_with_threads(&reg, 1);
+        let requested_many = est.estimate_with_threads(&reg, 64);
+        assert_eq!(
+            serial.ratio_to_ideal.to_bits(),
+            requested_many.ratio_to_ideal.to_bits()
+        );
     }
 
     #[test]

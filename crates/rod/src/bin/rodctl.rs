@@ -14,10 +14,7 @@
 use std::fs;
 use std::process::ExitCode;
 
-use rod::core::baselines::{
-    connected::ConnectedPlanner, correlation::CorrelationPlanner, llf::LlfPlanner,
-    random::RandomPlanner, Planner,
-};
+use rod::core::baselines::{build_planner, PlannerSpec};
 use rod::core::metrics::{make_estimator, report};
 use rod::prelude::*;
 use rod::workloads::financial::{compliance_rules, FinancialConfig};
@@ -73,8 +70,10 @@ fn usage() -> String {
     "usage: rodctl <generate|plan|evaluate|explain|simulate> [--flag value]...\n\
      \n\
      generate --kind tree|traffic|financial|joins [--inputs N] [--ops-per-tree N] [--seed N]\n\
-     plan     --graph FILE --nodes N [--capacity C] [--algorithm rod|llf|connected|correlation|random]\n\
+     plan     --graph FILE --nodes N [--capacity C]\n\
+     \u{20}        [--algorithm rod|llf|connected|correlation|random|optimal]\n\
      \u{20}        [--rates r1,r2,...] [--seed N] [--out FILE]\n\
+     \u{20}        (optimal only: [--samples N] [--max-plans N])\n\
      evaluate --graph FILE --plan FILE --nodes N [--capacity C] [--samples N]\n\
      explain  --graph FILE --plan FILE --nodes N [--capacity C]\n\
      headroom --graph FILE --plan FILE --nodes N [--capacity C] --rates r1,r2,...\n\
@@ -163,29 +162,18 @@ fn cmd_plan(flags: &Flags) -> Result<String, String> {
         Some(spec) => parse_rates(spec, graph.num_inputs())?,
         None => vec![1.0; graph.num_inputs()],
     };
-    let allocation = match flags.get_or("algorithm", "rod") {
-        "rod" => RodPlanner::new()
-            .place(&model, &cluster)
-            .map(|p| p.allocation),
-        "llf" => LlfPlanner::new(rates).plan(&model, &cluster),
-        "connected" => ConnectedPlanner::new(rates).plan(&model, &cluster),
-        "correlation" => {
-            // Synthesise a jittered history around the given rates.
-            let history: Vec<Vec<f64>> = (0..32)
-                .map(|t| {
-                    rates
-                        .iter()
-                        .enumerate()
-                        .map(|(k, r)| r * (1.0 + 0.3 * (((t * (k + 1)) % 7) as f64 - 3.0) / 3.0))
-                        .collect()
-                })
-                .collect();
-            CorrelationPlanner::new(history).plan(&model, &cluster)
-        }
-        "random" => RandomPlanner::new(seed).plan(&model, &cluster),
-        other => return Err(format!("--algorithm: unknown '{other}'")),
-    }
-    .map_err(|e| e.to_string())?;
+    let samples: usize = flags.parse_num("samples", 20_000)?;
+    let max_plans: u64 = flags.parse_num("max-plans", 5_000_000)?;
+    let spec = PlannerSpec::from_cli(
+        flags.get_or("algorithm", "rod"),
+        &rates,
+        seed,
+        samples,
+        max_plans,
+    )?;
+    let allocation = build_planner(&spec)
+        .plan(&model, &cluster)
+        .map_err(|e| e.to_string())?;
     let json = serde_json::to_string_pretty(&allocation).map_err(|e| e.to_string())?;
     if let Some(path) = flags.get("out") {
         fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
@@ -282,48 +270,22 @@ fn cmd_compare(flags: &Flags) -> Result<String, String> {
     let ev = PlanEvaluator::new(&model, &cluster);
     let estimator = make_estimator(&model, &cluster, samples, seed);
     let rates = vec![1.0; graph.num_inputs()];
-    let history: Vec<Vec<f64>> = (0..32)
-        .map(|t| {
-            rates
-                .iter()
-                .enumerate()
-                .map(|(k, r)| r * (1.0 + 0.3 * (((t * (k + 1)) % 7) as f64 - 3.0) / 3.0))
-                .collect()
-        })
-        .collect();
-    let plans: Vec<(&str, Allocation)> = vec![
-        (
-            "ROD",
-            RodPlanner::new()
-                .place(&model, &cluster)
-                .map_err(|e| e.to_string())?
-                .allocation,
-        ),
-        (
-            "Correlation",
-            CorrelationPlanner::new(history)
-                .plan(&model, &cluster)
-                .map_err(|e| e.to_string())?,
-        ),
-        (
-            "LLF",
-            LlfPlanner::new(rates.clone())
-                .plan(&model, &cluster)
-                .map_err(|e| e.to_string())?,
-        ),
-        (
-            "Random",
-            RandomPlanner::new(seed)
-                .plan(&model, &cluster)
-                .map_err(|e| e.to_string())?,
-        ),
-        (
-            "Connected",
-            ConnectedPlanner::new(rates)
-                .plan(&model, &cluster)
-                .map_err(|e| e.to_string())?,
-        ),
+    let specs = [
+        PlannerSpec::Rod,
+        PlannerSpec::correlation_from_rates(&rates),
+        PlannerSpec::Llf {
+            rates: rates.clone(),
+        },
+        PlannerSpec::Random { seed },
+        PlannerSpec::Connected { rates },
     ];
+    let mut plans: Vec<(&str, Allocation)> = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let alloc = build_planner(spec)
+            .plan(&model, &cluster)
+            .map_err(|e| e.to_string())?;
+        plans.push((spec.name(), alloc));
+    }
     let mut out = format!(
         "{:>12}  {:>12}  {:>15}\n",
         "algorithm", "ratio/ideal", "min plane dist"
@@ -701,6 +663,54 @@ mod tests {
             let plan: Allocation = serde_json::from_str(&json).unwrap();
             assert!(plan.is_complete(), "{algo} produced incomplete plan");
         }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn optimal_plans_through_registry_with_budget_flags() {
+        let dir = std::env::temp_dir().join(format!("rodctl-opt-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("graph.json");
+        // Small enough for exhaustive search: 2 trees of 4 operators.
+        let f = Flags::parse(&strings(&[
+            "--kind",
+            "tree",
+            "--inputs",
+            "2",
+            "--ops-per-tree",
+            "4",
+        ]))
+        .unwrap();
+        fs::write(&graph_path, cmd_generate(&f).unwrap()).unwrap();
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            graph_path.to_str().unwrap(),
+            "--nodes",
+            "2",
+            "--algorithm",
+            "optimal",
+            "--samples",
+            "2000",
+        ]))
+        .unwrap();
+        let json = cmd_plan(&f).unwrap();
+        let plan: Allocation = serde_json::from_str(&json).unwrap();
+        assert!(plan.is_complete());
+        // A starved --max-plans budget is refused, not silently ignored.
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            graph_path.to_str().unwrap(),
+            "--nodes",
+            "2",
+            "--algorithm",
+            "optimal",
+            "--samples",
+            "2000",
+            "--max-plans",
+            "1",
+        ]))
+        .unwrap();
+        assert!(cmd_plan(&f).is_err());
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,501 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses: the
+//! `proptest!` macro (with optional `#![proptest_config(...)]`), the
+//! [`strategy::Strategy`] trait with `prop_map`, numeric range
+//! strategies, tuple strategies, `prop::collection::vec`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//! `prop_assume!` macros.
+//!
+//! Differences from upstream: inputs are drawn from a deterministic
+//! per-test generator (seeded from the test name and case index) rather
+//! than an entropy source, and failing cases are **not shrunk** — the
+//! failure report prints the raw generated inputs instead. Regression
+//! files (`*.proptest-regressions`) are ignored.
+
+/// Strategies: recipes for generating random values.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.unit_f64() as $t * (self.end - self.start)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    start + rng.unit_f64() as $t * (end - start)
+                }
+            }
+        )*};
+    }
+
+    impl_float_range!(f32, f64);
+
+    macro_rules! impl_tuple {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple!(A:0);
+    impl_tuple!(A:0, B:1);
+    impl_tuple!(A:0, B:1, C:2);
+    impl_tuple!(A:0, B:1, C:2, D:3);
+    impl_tuple!(A:0, B:1, C:2, D:3, E:4);
+    impl_tuple!(A:0, B:1, C:2, D:3, E:4, F:5);
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A range of collection sizes.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        /// Inclusive lower bound.
+        pub min: usize,
+        /// Inclusive upper bound.
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The test runner: configuration, RNG and the case loop.
+pub mod test_runner {
+    /// Runner configuration (upstream `proptest::test_runner::Config`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; this environment is single-core,
+            // so trade a little coverage for wall-clock.
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the inputs out; draw fresh ones.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A rejection (filtered inputs).
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+
+        /// A failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// A deterministic input generator (SplitMix64), seeded per test
+    /// name and case index so failures reproduce across runs.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The generator for case `case` of test `name`.
+        pub fn for_case(name: &str, case: u64) -> Self {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform draw from [0, 1).
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Runs the case loop for one property test. Panics (failing the
+    /// surrounding `#[test]`) on the first failing case.
+    pub fn run(
+        config: &Config,
+        name: &str,
+        mut case_fn: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    ) {
+        let mut passed: u32 = 0;
+        let mut rejected: u64 = 0;
+        let mut case: u64 = 0;
+        while passed < config.cases {
+            let mut rng = TestRng::for_case(name, case);
+            case += 1;
+            match case_fn(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > 20 * config.cases as u64 + 100 {
+                        panic!(
+                            "proptest `{name}`: too many rejected cases \
+                             ({rejected} rejections for {passed} passes)"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest `{name}` failed (case #{}):\n{msg}", case - 1);
+                }
+            }
+        }
+    }
+}
+
+/// The usual glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Each function body runs once per generated
+/// case; arguments are drawn from the strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal muncher for [`proptest!`] — one test function per step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                let mut __inputs = ::std::string::String::new();
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strategy), __rng);
+                    __inputs.push_str(&::std::format!(
+                        "  {} = {:?}\n", stringify!($arg), &$arg
+                    ));
+                )+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                __outcome.map_err(|e| match e {
+                    $crate::test_runner::TestCaseError::Fail(msg) => {
+                        $crate::test_runner::TestCaseError::Fail(::std::format!(
+                            "{msg}\nwith inputs:\n{}", __inputs
+                        ))
+                    }
+                    reject => reject,
+                })
+            });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        // `if cond {} else` rather than `if !cond` so the expansion never
+        // trips clippy's neg_cmp_op_on_partial_ord in caller crates.
+        if $cond {
+        } else {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+))
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right),
+            ::std::format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Rejects the current case (draws fresh inputs) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if $cond {
+        } else {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..500 {
+            let x = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&x));
+            let f = (0.5..2.0f64).generate(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = TestRng::for_case("sizes", 1);
+        let s = crate::collection::vec(0.0..1.0f64, 2..6);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+        let fixed = crate::collection::vec(0u8..5, 3);
+        assert_eq!(fixed.generate(&mut rng).len(), 3);
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_case("t", 7);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_case("t", 7);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(xs in prop::collection::vec(0.0..10.0f64, 1..8),
+                            k in 1usize..5) {
+            prop_assume!(!xs.is_empty());
+            let sum: f64 = xs.iter().sum();
+            prop_assert!(sum >= 0.0, "sum {sum}");
+            prop_assert_eq!(xs.len() * k / k, xs.len());
+        }
+
+        #[test]
+        fn prop_map_applies(x in (1u32..1000).prop_map(|v| v as f64 / 100.0)) {
+            prop_assert!((0.01..10.0).contains(&x));
+        }
+    }
+}

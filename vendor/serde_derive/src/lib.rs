@@ -1,0 +1,426 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! workspace's vendored `serde` shim without depending on `syn`/`quote`
+//! (unavailable in this build environment). The derive input is parsed
+//! directly from the `proc_macro::TokenStream` and the generated impl is
+//! assembled as source text, then re-parsed.
+//!
+//! Supported shapes — exactly what the workspace uses:
+//! structs with named fields, tuple structs (newtype structs serialize
+//! transparently), unit structs, and enums whose variants are unit,
+//! newtype, tuple, or struct-like. Generics and `#[serde(...)]`
+//! attributes are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a struct body or enum variant payload.
+enum Fields {
+    /// `{ a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `(T, U)` — the arity.
+    Tuple(usize),
+    /// No payload.
+    Unit,
+}
+
+/// A parsed derive input.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+// ---- token cursor ----------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` outer attributes, rejecting `#[serde(...)]`.
+    fn skip_attrs(&mut self) -> Result<(), String> {
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let body = g.stream().to_string();
+                    if body.starts_with("serde") {
+                        return Err(
+                            "#[serde(...)] attributes are not supported by the vendored serde shim"
+                                .into(),
+                        );
+                    }
+                }
+                _ => return Err("malformed attribute".into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Skips `pub` / `pub(...)` visibility.
+    fn skip_vis(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    /// Skips tokens until a top-level `,`, tracking `<...>` nesting so
+    /// commas inside generic arguments don't terminate early. Consumes
+    /// the comma. Returns whether any tokens were skipped.
+    fn skip_until_comma(&mut self) -> bool {
+        let mut depth: i32 = 0;
+        let mut dash = false;
+        let mut any = false;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    ',' if depth == 0 => {
+                        self.next();
+                        return any;
+                    }
+                    '<' => depth += 1,
+                    '>' if !dash => depth -= 1,
+                    _ => {}
+                }
+                dash = p.as_char() == '-';
+            } else {
+                dash = false;
+            }
+            self.next();
+            any = true;
+        }
+        any
+    }
+}
+
+// ---- parsing ---------------------------------------------------------
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut names = Vec::new();
+    loop {
+        cur.skip_attrs()?;
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_vis();
+        names.push(cur.expect_ident()?);
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, got {other:?}")),
+        }
+        cur.skip_until_comma();
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> Result<usize, String> {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        cur.skip_attrs()?;
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_vis();
+        if cur.skip_until_comma() {
+            count += 1;
+        }
+    }
+    Ok(count)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attrs()?;
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident()?;
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                cur.next();
+                Fields::Named(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                cur.next();
+                Fields::Tuple(count_tuple_fields(g)?)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        cur.skip_until_comma();
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs()?;
+    cur.skip_vis();
+    let keyword = cur.expect_ident()?;
+    let name = cur.expect_ident()?;
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "generic type `{name}` is not supported by the vendored serde derive"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match cur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream())?)
+                }
+                _ => Fields::Unit,
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            _ => Err("malformed enum body".into()),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---- code generation -------------------------------------------------
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// `(String::from("f"), Serialize::to_value(expr))` object-entry source.
+fn ser_entry(key: &str, expr: &str) -> String {
+    format!("(::std::string::String::from({key:?}), ::serde::Serialize::to_value({expr})),")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let entries: String = fs
+                        .iter()
+                        .map(|f| ser_entry(f, &format!("&self.{f}")))
+                        .collect();
+                    format!("::serde::Value::Object(::std::vec![{entries}])")
+                }
+                // Newtype structs are transparent, wider tuples are arrays.
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: String = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{items}])")
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![{}]),",
+                        ser_entry(vname, "__f0")
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from({vname:?}), ::serde::Value::Array(::std::vec![{items}])),]),",
+                            binds.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let entries: String =
+                            fs.iter().map(|f| ser_entry(f, f)).collect();
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from({vname:?}), ::serde::Value::Object(::std::vec![{entries}])),]),"
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            (name, format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+/// Source for deserializing named fields `fs` of `ty` out of `__pairs`
+/// into constructor `ctor { ... }`.
+fn de_named(ctor: &str, ty: &str, fs: &[String], pairs: &str) -> String {
+    let fields: String = fs
+        .iter()
+        .map(|f| format!("{f}: ::serde::field({pairs}, {f:?}, {ty:?})?,"))
+        .collect();
+    format!("::std::result::Result::Ok({ctor} {{ {fields} }})")
+}
+
+/// Source for deserializing a tuple payload of arity `n` from `__items`
+/// into constructor `ctor(...)`.
+fn de_tuple(ctor: &str, ty: &str, n: usize, items: &str) -> String {
+    let args: String = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&{items}[{i}])?,"))
+        .collect();
+    format!(
+        "if {items}.len() != {n} {{ \
+             ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\
+                 \"expected array of {n} for {ty}, got {{}}\", {items}.len()))) \
+         }} else {{ ::std::result::Result::Ok({ctor}({args})) }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => format!(
+                    "let __pairs = __v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", __v))?; {}",
+                    de_named(name, name, fs, "__pairs")
+                ),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Fields::Tuple(n) => format!(
+                    "let __items = __v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", __v))?; {}",
+                    de_tuple(name, name, *n, "__items")
+                ),
+                Fields::Unit => format!(
+                    "match __v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+                       __other => ::std::result::Result::Err(::serde::DeError::expected(\"null\", __other)) }}"
+                ),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for (vname, fields) in variants {
+                let ty = format!("{name}::{vname}");
+                match fields {
+                    Fields::Unit => str_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                    )),
+                    Fields::Tuple(1) => obj_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Fields::Tuple(n) => obj_arms.push_str(&format!(
+                        "{vname:?} => {{ let __items = __inner.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", __inner))?; {} }}",
+                        de_tuple(&ty, &ty, *n, "__items")
+                    )),
+                    Fields::Named(fs) => obj_arms.push_str(&format!(
+                        "{vname:?} => {{ let __pairs = __inner.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", __inner))?; {} }}",
+                        de_named(&ty, &ty, fs, "__pairs")
+                    )),
+                }
+            }
+            let body = format!(
+                "match __v {{ \
+                   ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                     {str_arms} \
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                       ::std::format!(\"unknown unit variant `{{}}` of {name}\", __other))), \
+                   }}, \
+                   ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{ \
+                     let __inner = &__pairs[0].1; \
+                     let _ = __inner; \
+                     match __pairs[0].0.as_str() {{ \
+                       {obj_arms} \
+                       __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"unknown variant `{{}}` of {name}\", __other))), \
+                     }} \
+                   }}, \
+                   __other => ::std::result::Result::Err(::serde::DeError::expected(\"enum {name}\", __other)), \
+                 }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
