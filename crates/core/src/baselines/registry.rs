@@ -15,6 +15,7 @@ use crate::baselines::{
     connected::ConnectedPlanner, correlation::CorrelationPlanner, llf::LlfPlanner,
     optimal::OptimalPlanner, random::RandomPlanner, Planner,
 };
+use crate::resilience::{ResilientRodOptions, ResilientRodPlanner};
 use crate::rod::RodPlanner;
 
 /// A self-contained, serialisable description of a planner instance.
@@ -42,6 +43,17 @@ pub enum PlannerSpec {
         /// RNG seed.
         seed: u64,
     },
+    /// ROD hardened against node loss: hill-climbs from the plain-ROD
+    /// plan to maximise the worst-case survivor feasible set across
+    /// k-node failure scenarios.
+    ResilientRod {
+        /// QMC sample points used to score survivor feasible sets.
+        samples: usize,
+        /// Seed for the scrambled point set.
+        seed: u64,
+        /// Plan against every loss of up to this many nodes.
+        max_failures: usize,
+    },
     /// Brute-force optimum by feasible-set volume (§7.3.1).
     Optimal {
         /// QMC sample points used to score each candidate plan.
@@ -62,6 +74,7 @@ impl PlannerSpec {
             PlannerSpec::Connected { .. } => "Connected",
             PlannerSpec::Correlation { .. } => "Correlation",
             PlannerSpec::Random { .. } => "Random",
+            PlannerSpec::ResilientRod { .. } => "ResilientRod",
             PlannerSpec::Optimal { .. } => "Optimal",
         }
     }
@@ -111,6 +124,11 @@ impl PlannerSpec {
             }),
             "correlation" => Ok(Self::correlation_from_rates(rates)),
             "random" => Ok(PlannerSpec::Random { seed }),
+            "resilient" | "resilientrod" => Ok(PlannerSpec::ResilientRod {
+                samples,
+                seed,
+                max_failures: 1,
+            }),
             "optimal" => Ok(PlannerSpec::Optimal {
                 samples,
                 seed,
@@ -129,6 +147,16 @@ pub fn build_planner(spec: &PlannerSpec) -> Box<dyn Planner> {
         PlannerSpec::Connected { rates } => Box::new(ConnectedPlanner::new(rates.clone())),
         PlannerSpec::Correlation { history } => Box::new(CorrelationPlanner::new(history.clone())),
         PlannerSpec::Random { seed } => Box::new(RandomPlanner::new(*seed)),
+        PlannerSpec::ResilientRod {
+            samples,
+            seed,
+            max_failures,
+        } => Box::new(ResilientRodPlanner::with_options(ResilientRodOptions {
+            samples: *samples,
+            seed: *seed,
+            max_failures: *max_failures,
+            ..ResilientRodOptions::default()
+        })),
         PlannerSpec::Optimal {
             samples,
             seed,
@@ -158,6 +186,11 @@ mod tests {
             },
             PlannerSpec::correlation_from_rates(&[1.0, 2.0]),
             PlannerSpec::Random { seed: 7 },
+            PlannerSpec::ResilientRod {
+                samples: 500,
+                seed: 7,
+                max_failures: 1,
+            },
             PlannerSpec::Optimal {
                 samples: 2_000,
                 seed: 1,
@@ -195,6 +228,7 @@ mod tests {
             "connected",
             "correlation",
             "random",
+            "resilientrod",
             "optimal",
         ] {
             let spec = PlannerSpec::from_cli(name, &[1.0], 3, 100, 1_000).unwrap();

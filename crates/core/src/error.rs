@@ -93,6 +93,20 @@ pub enum PlacementError {
         /// Nodes in the instance.
         nodes: usize,
     },
+    /// A failure scenario names no nodes.
+    EmptyScenario,
+    /// A failure scenario (or outage) names a node outside the cluster.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Nodes in the cluster.
+        nodes: usize,
+    },
+    /// A failure scenario kills every node, leaving nothing to plan for.
+    NoSurvivors {
+        /// Nodes in the cluster.
+        nodes: usize,
+    },
 }
 
 impl fmt::Display for PlacementError {
@@ -107,6 +121,16 @@ impl fmt::Display for PlacementError {
                 f,
                 "exhaustive search over {operators} operators x {nodes} nodes is intractable"
             ),
+            PlacementError::EmptyScenario => write!(f, "failure scenario names no nodes"),
+            PlacementError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} is out of range for a {nodes}-node cluster")
+            }
+            PlacementError::NoSurvivors { nodes } => {
+                write!(
+                    f,
+                    "scenario kills all {nodes} nodes; no survivors to plan for"
+                )
+            }
         }
     }
 }

@@ -64,6 +64,7 @@ pub mod linearize;
 pub mod load_model;
 pub mod metrics;
 pub mod operator;
+pub mod resilience;
 pub mod rod;
 
 pub use allocation::{Allocation, PlanEvaluator, WeightMatrix};
@@ -75,6 +76,9 @@ pub use graph::{GraphBuilder, QueryGraph};
 pub use ids::{InputId, NodeId, OperatorId, StreamId, VarId};
 pub use load_model::{LoadModel, RateExpr};
 pub use operator::{OperatorKind, OperatorSpec};
+pub use resilience::{
+    FailoverTable, FailureScenario, ResilientPlan, ResilientRodOptions, ResilientRodPlanner,
+};
 pub use rod::{RodOptions, RodPlan, RodPlanner};
 
 /// Convenient glob import for downstream users.
@@ -91,5 +95,8 @@ pub mod prelude {
     pub use crate::ids::{InputId, NodeId, OperatorId, StreamId, VarId};
     pub use crate::load_model::{LoadModel, RateExpr};
     pub use crate::operator::{OperatorKind, OperatorSpec};
+    pub use crate::resilience::{
+        FailoverTable, FailureScenario, ResilientPlan, ResilientRodOptions, ResilientRodPlanner,
+    };
     pub use crate::rod::{RodOptions, RodPlan, RodPlanner};
 }

@@ -1,0 +1,350 @@
+//! Precomputed failover assignments and survivor feasible-set scoring.
+
+use serde::{Deserialize, Serialize};
+
+use rod_geom::Vector;
+
+use crate::allocation::Allocation;
+use crate::cluster::Cluster;
+use crate::eval::{IncrementalPlanEval, SampledFeasibility};
+use crate::ids::{NodeId, OperatorId};
+use crate::load_model::LoadModel;
+use crate::resilience::FailureScenario;
+
+/// Computes where a scenario's orphaned operators should go: unassign
+/// every failed node's operators from the incremental state, then place
+/// the orphans back on survivors with the same greedy ROD Phase 2 uses —
+/// norm-descending order, Class I node if one exists, otherwise the
+/// survivor with the largest candidate plane distance (MMPD). Each probe
+/// is O(d) on the incremental state, so a whole scenario costs
+/// O(orphans · survivors · d).
+///
+/// Returns `(operator, destination)` pairs; destinations are always
+/// surviving nodes. The caller's allocation is untouched.
+pub fn survivor_moves(
+    model: &LoadModel,
+    cluster: &Cluster,
+    alloc: &Allocation,
+    scenario: &FailureScenario,
+) -> Vec<(OperatorId, NodeId)> {
+    let mut eval = IncrementalPlanEval::from_allocation(model, cluster, alloc);
+    let mut orphans: Vec<OperatorId> = Vec::new();
+    for j in 0..model.num_operators() {
+        let op = OperatorId(j);
+        if let Some(host) = alloc.node_of(op) {
+            if scenario.kills(host) {
+                eval.unassign(op, host);
+                orphans.push(op);
+            }
+        }
+    }
+    // Heaviest first, exactly like ROD Phase 1: placing high-impact
+    // orphans while the survivors still have slack.
+    orphans.sort_by(|&a, &b| {
+        model
+            .operator_norm(b)
+            .partial_cmp(&model.operator_norm(a))
+            .expect("finite norms")
+            .then(a.cmp(&b))
+    });
+    let survivors = scenario.survivors(cluster.num_nodes());
+    let mut moves = Vec::with_capacity(orphans.len());
+    for op in orphans {
+        let mut best: Option<(NodeId, f64, bool)> = None;
+        for &node in &survivors {
+            let score = eval.score_candidate(op, node);
+            let better = match best {
+                None => true,
+                Some((_, best_dist, best_class_one)) => {
+                    // Class I dominates Class II; plane distance breaks
+                    // ties within a class (lowest index wins exact ties).
+                    (score.class_one && !best_class_one)
+                        || (score.class_one == best_class_one
+                            && score.plane_distance > best_dist + 1e-15)
+                }
+            };
+            if better {
+                best = Some((node, score.plane_distance, score.class_one));
+            }
+        }
+        let (dest, _, _) = best.expect("scenario leaves at least one survivor");
+        eval.assign(op, dest);
+        moves.push((op, dest));
+    }
+    moves
+}
+
+/// For each node: where its operators go when it (alone) dies. The
+/// backup assignment is chosen by [`survivor_moves`], i.e. by the MMPD
+/// greedy, so the post-failure plan keeps the largest worst-node plane
+/// distance the greedy can manage.
+///
+/// The table is a value: serialisable, diffable, and cheap to ship to a
+/// runtime that must fail over without re-planning.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FailoverTable {
+    /// `entries[i]` lists `(operator, backup node)` for every operator
+    /// hosted on node `i`, in the order they should be re-placed.
+    entries: Vec<Vec<(OperatorId, NodeId)>>,
+}
+
+impl FailoverTable {
+    /// Precomputes the table for a complete allocation: one
+    /// [`survivor_moves`] pass per single-node scenario.
+    ///
+    /// Panics on an incomplete allocation or a single-node cluster (no
+    /// survivors to fail over to — callers should treat that cluster as
+    /// unprotectable).
+    pub fn precompute(model: &LoadModel, cluster: &Cluster, alloc: &Allocation) -> FailoverTable {
+        assert!(alloc.is_complete(), "failover table needs a complete plan");
+        assert!(
+            cluster.num_nodes() >= 2,
+            "single-node clusters have no failover target"
+        );
+        let entries = (0..cluster.num_nodes())
+            .map(|i| survivor_moves(model, cluster, alloc, &FailureScenario::single(NodeId(i))))
+            .collect();
+        FailoverTable { entries }
+    }
+
+    /// An empty table for `n` nodes (no planned backups; the simulator
+    /// falls back to nothing and orphans stay stranded).
+    pub fn empty(n: usize) -> FailoverTable {
+        FailoverTable {
+            entries: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The planned `(operator, backup)` moves for the loss of one node.
+    pub fn moves_for(&self, node: NodeId) -> &[(OperatorId, NodeId)] {
+        &self.entries[node.index()]
+    }
+
+    /// The designated backup of one operator for the loss of `node`, if
+    /// the table planned one.
+    pub fn backup_of(&self, node: NodeId, op: OperatorId) -> Option<NodeId> {
+        self.entries[node.index()]
+            .iter()
+            .find(|(o, _)| *o == op)
+            .map(|(_, dest)| *dest)
+    }
+}
+
+/// Scores scenarios for one model + cluster against a shared
+/// quasi-Monte-Carlo point set: the number of points whose load stays
+/// within every *survivor's* capacity after the scenario's orphans have
+/// been re-placed by [`survivor_moves`].
+///
+/// Built on [`SampledFeasibility`], so one scenario evaluation costs
+/// O(m·P) pushes/pops instead of an O(P·n·d) from-scratch region test,
+/// and every plan is judged on the same points (noise-free comparisons).
+pub struct ScenarioScorer<'a> {
+    model: &'a LoadModel,
+    cluster: &'a Cluster,
+    feas: SampledFeasibility,
+}
+
+impl<'a> ScenarioScorer<'a> {
+    /// A scorer over an explicit point set (typically
+    /// `VolumeEstimator::points()`).
+    pub fn new(model: &'a LoadModel, cluster: &'a Cluster, points: &[Vector]) -> Self {
+        ScenarioScorer {
+            model,
+            cluster,
+            feas: SampledFeasibility::new(model.lo(), points, cluster.capacities().as_slice()),
+        }
+    }
+
+    /// Total points tracked.
+    pub fn num_points(&self) -> usize {
+        self.feas.num_points()
+    }
+
+    /// Feasible-point count of the healthy plan (no failure).
+    pub fn healthy_alive(&mut self, alloc: &Allocation) -> usize {
+        self.alive_under(alloc, &[])
+    }
+
+    /// Feasible-point count surviving `scenario`: orphans re-placed per
+    /// [`survivor_moves`], dead nodes carry nothing (their capacity
+    /// constraint is vacuous).
+    pub fn scenario_alive(&mut self, alloc: &Allocation, scenario: &FailureScenario) -> usize {
+        let moves = survivor_moves(self.model, self.cluster, alloc, scenario);
+        self.alive_under(alloc, &moves)
+    }
+
+    /// Worst-case (minimum) surviving feasible-point count over a set of
+    /// scenarios. An empty scenario list scores as the healthy count.
+    pub fn worst_case_alive(&mut self, alloc: &Allocation, scenarios: &[FailureScenario]) -> usize {
+        scenarios
+            .iter()
+            .map(|s| self.scenario_alive(alloc, s))
+            .min()
+            .unwrap_or_else(|| self.healthy_alive(alloc))
+    }
+
+    /// Alive count with every operator at its allocation host except the
+    /// redirected ones. Pushes all assignments, reads the count, then
+    /// pops them in LIFO order, leaving the tracker pristine.
+    fn alive_under(&mut self, alloc: &Allocation, redirects: &[(OperatorId, NodeId)]) -> usize {
+        let m = self.model.num_operators();
+        let mut pushed: Vec<(usize, usize)> = Vec::with_capacity(m);
+        for j in 0..m {
+            let op = OperatorId(j);
+            let dest = redirects
+                .iter()
+                .find(|(o, _)| *o == op)
+                .map(|(_, d)| *d)
+                .or_else(|| alloc.node_of(op));
+            if let Some(node) = dest {
+                self.feas.push_assign(j, node.index());
+                pushed.push((j, node.index()));
+            }
+        }
+        let alive = self.feas.alive_count();
+        for &(j, i) in pushed.iter().rev() {
+            self.feas.pop_assign(j, i);
+        }
+        alive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::PlanEvaluator;
+    use crate::examples_paper::figure4_graph;
+    use crate::rod::RodPlanner;
+    use rod_geom::VolumeEstimator;
+
+    fn setup() -> (LoadModel, Cluster) {
+        (
+            LoadModel::derive(&figure4_graph()).unwrap(),
+            Cluster::homogeneous(3, 1.0),
+        )
+    }
+
+    fn rod_plan(model: &LoadModel, cluster: &Cluster) -> Allocation {
+        RodPlanner::new().place(model, cluster).unwrap().allocation
+    }
+
+    #[test]
+    fn survivor_moves_avoid_dead_nodes() {
+        let (model, cluster) = setup();
+        let alloc = rod_plan(&model, &cluster);
+        for scenario in FailureScenario::all_up_to_k(3, 2) {
+            let moves = survivor_moves(&model, &cluster, &alloc, &scenario);
+            // Every orphan is exactly an operator of a failed node, and
+            // every destination survives.
+            for (op, dest) in &moves {
+                assert!(scenario.kills(alloc.node_of(*op).unwrap()));
+                assert!(!scenario.kills(*dest), "{scenario:?} -> {dest:?}");
+            }
+            let orphan_count: usize = scenario
+                .failed()
+                .iter()
+                .map(|n| alloc.operators_on(*n).len())
+                .sum();
+            assert_eq!(moves.len(), orphan_count);
+        }
+    }
+
+    #[test]
+    fn table_covers_every_node_and_operator() {
+        let (model, cluster) = setup();
+        let alloc = rod_plan(&model, &cluster);
+        let table = FailoverTable::precompute(&model, &cluster, &alloc);
+        assert_eq!(table.num_nodes(), 3);
+        for i in 0..3 {
+            let node = NodeId(i);
+            let hosted = alloc.operators_on(node);
+            assert_eq!(table.moves_for(node).len(), hosted.len());
+            for op in hosted {
+                let backup = table.backup_of(node, op).expect("backup planned");
+                assert_ne!(backup, node, "backup on the dead node");
+            }
+        }
+        // Operators not hosted on a node have no backup entry for it.
+        for j in 0..4 {
+            let op = OperatorId(j);
+            if alloc.node_of(op) != Some(NodeId(0)) {
+                assert_eq!(table.backup_of(NodeId(0), op), None);
+            }
+        }
+    }
+
+    #[test]
+    fn table_round_trips_through_json() {
+        let (model, cluster) = setup();
+        let alloc = rod_plan(&model, &cluster);
+        let table = FailoverTable::precompute(&model, &cluster, &alloc);
+        let json = serde_json::to_string(&table).unwrap();
+        let back: FailoverTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, table);
+    }
+
+    #[test]
+    fn scorer_matches_from_scratch_region_counts() {
+        let (model, cluster) = setup();
+        let alloc = rod_plan(&model, &cluster);
+        let estimator = VolumeEstimator::new(
+            model.total_coeffs().as_slice(),
+            cluster.total_capacity(),
+            2_000,
+            7,
+        );
+        let mut scorer = ScenarioScorer::new(&model, &cluster, estimator.points());
+
+        // Healthy count agrees with a from-scratch region test.
+        let ev = PlanEvaluator::new(&model, &cluster);
+        let region = ev.feasible_region(&alloc);
+        let fresh = estimator
+            .points()
+            .iter()
+            .filter(|p| region.contains(p))
+            .count();
+        assert_eq!(scorer.healthy_alive(&alloc), fresh);
+
+        // Scenario count agrees with manually applying the moves and
+        // re-testing (dead node hosts nothing, so drop its constraint by
+        // moving everything off it).
+        let scenario = FailureScenario::single(NodeId(0));
+        let moves = survivor_moves(&model, &cluster, &alloc, &scenario);
+        let mut post = alloc.clone();
+        for (op, dest) in &moves {
+            post.assign(*op, *dest);
+        }
+        let post_region = ev.feasible_region(&post);
+        let fresh_post = estimator
+            .points()
+            .iter()
+            .filter(|p| post_region.contains(p))
+            .count();
+        assert_eq!(scorer.scenario_alive(&alloc, &scenario), fresh_post);
+
+        // The scorer is reusable: a second healthy query is unchanged.
+        assert_eq!(scorer.healthy_alive(&alloc), fresh);
+    }
+
+    #[test]
+    fn losing_a_node_never_grows_the_feasible_set() {
+        let (model, cluster) = setup();
+        let alloc = rod_plan(&model, &cluster);
+        let estimator = VolumeEstimator::new(
+            model.total_coeffs().as_slice(),
+            cluster.total_capacity(),
+            2_000,
+            3,
+        );
+        let mut scorer = ScenarioScorer::new(&model, &cluster, estimator.points());
+        let healthy = scorer.healthy_alive(&alloc);
+        for scenario in FailureScenario::all_single(3) {
+            assert!(scorer.scenario_alive(&alloc, &scenario) <= healthy);
+        }
+    }
+}

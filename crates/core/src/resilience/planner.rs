@@ -1,0 +1,260 @@
+//! ResilientRod: maximise the worst-case survivor feasible set.
+
+use serde::{Deserialize, Serialize};
+
+use crate::allocation::Allocation;
+use crate::baselines::Planner;
+use crate::cluster::Cluster;
+use crate::error::PlacementError;
+use crate::ids::{NodeId, OperatorId};
+use crate::load_model::LoadModel;
+use crate::resilience::failover::{FailoverTable, ScenarioScorer};
+use crate::resilience::scenario::FailureScenario;
+use crate::rod::RodPlanner;
+use rod_geom::VolumeEstimator;
+
+/// Tuning knobs for [`ResilientRodPlanner`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResilientRodOptions {
+    /// QMC sample points used to score survivor feasible sets.
+    pub samples: usize,
+    /// Seed for the scrambled point set.
+    pub seed: u64,
+    /// Plan against every loss of up to this many nodes (clamped to
+    /// `n - 1`; 1 = all single-node failures, the common case).
+    pub max_failures: usize,
+    /// Hill-climb budget: stop after this many accepted moves.
+    pub max_moves: usize,
+}
+
+impl Default for ResilientRodOptions {
+    fn default() -> Self {
+        ResilientRodOptions {
+            samples: 4_000,
+            seed: 2006,
+            max_failures: 1,
+            max_moves: 64,
+        }
+    }
+}
+
+/// The plan a [`ResilientRodPlanner`] produced, with diagnostics.
+#[derive(Clone, Debug)]
+pub struct ResilientPlan {
+    /// The chosen placement.
+    pub allocation: Allocation,
+    /// Precomputed per-node failover assignments for the placement.
+    pub failover: FailoverTable,
+    /// Scenarios the plan was optimised against.
+    pub scenarios: Vec<FailureScenario>,
+    /// Worst-case surviving feasible-point count of the chosen plan.
+    pub worst_alive: usize,
+    /// The same score for the plain-ROD starting point.
+    pub baseline_worst_alive: usize,
+    /// Healthy (no-failure) feasible-point count of the chosen plan.
+    pub healthy_alive: usize,
+    /// Total QMC points scored (denominator of the alive counts).
+    pub num_points: usize,
+    /// Accepted hill-climb moves that got here from plain ROD.
+    pub moves: usize,
+}
+
+impl ResilientPlan {
+    /// Worst-case survivor volume as a fraction of the sampled simplex.
+    pub fn worst_survivor_ratio(&self) -> f64 {
+        self.worst_alive as f64 / self.num_points.max(1) as f64
+    }
+
+    /// Plain ROD's worst-case survivor fraction, for comparison.
+    pub fn baseline_survivor_ratio(&self) -> f64 {
+        self.baseline_worst_alive as f64 / self.num_points.max(1) as f64
+    }
+}
+
+/// ROD hardened against node loss: start from the plain-ROD placement,
+/// then hill-climb single-operator moves on the lexicographic objective
+/// (worst-case survivor alive count, healthy alive count). Only strictly
+/// improving moves are accepted, so the result is **never worse than
+/// plain ROD** on the worst-case survivor objective — by construction,
+/// on every instance.
+///
+/// Each candidate move costs one scenario sweep, O(|scenarios|·m·P)
+/// feasibility pushes on the shared point set, so the climb is polynomial
+/// and deterministic for a fixed seed.
+#[derive(Clone, Debug, Default)]
+pub struct ResilientRodPlanner {
+    options: ResilientRodOptions,
+}
+
+impl ResilientRodPlanner {
+    /// Planner with default options.
+    pub fn new() -> Self {
+        ResilientRodPlanner::default()
+    }
+
+    /// Planner with explicit options.
+    pub fn with_options(options: ResilientRodOptions) -> Self {
+        ResilientRodPlanner { options }
+    }
+
+    /// Runs the planner and returns the plan with diagnostics.
+    pub fn place(
+        &self,
+        model: &LoadModel,
+        cluster: &Cluster,
+    ) -> Result<ResilientPlan, PlacementError> {
+        let seed_plan = RodPlanner::new().place(model, cluster)?;
+        let mut alloc = seed_plan.allocation;
+        let n = cluster.num_nodes();
+        let m = model.num_operators();
+
+        let scenarios = FailureScenario::all_up_to_k(n, self.options.max_failures);
+        let estimator = VolumeEstimator::new(
+            model.total_coeffs().as_slice(),
+            cluster.total_capacity(),
+            self.options.samples,
+            self.options.seed,
+        );
+        let mut scorer = ScenarioScorer::new(model, cluster, estimator.points());
+
+        // A single-node cluster has no survivable failure; ResilientRod
+        // degenerates to plain ROD (scenarios is empty, worst = healthy).
+        let baseline_worst = scorer.worst_case_alive(&alloc, &scenarios);
+        let mut best = (baseline_worst, scorer.healthy_alive(&alloc));
+        let mut moves = 0;
+
+        // Steepest-ascent over all (operator, destination) single moves;
+        // ties broken by scan order (lowest operator, then lowest node),
+        // so runs are deterministic.
+        while moves < self.options.max_moves {
+            let mut improved: Option<(OperatorId, NodeId, (usize, usize))> = None;
+            for j in 0..m {
+                let op = OperatorId(j);
+                let home = alloc.node_of(op).expect("ROD plans are complete");
+                for i in 0..n {
+                    let dest = NodeId(i);
+                    if dest == home {
+                        continue;
+                    }
+                    alloc.assign(op, dest);
+                    let score = (
+                        scorer.worst_case_alive(&alloc, &scenarios),
+                        scorer.healthy_alive(&alloc),
+                    );
+                    alloc.assign(op, home);
+                    let target = improved.as_ref().map_or(best, |(_, _, s)| *s);
+                    if score > target {
+                        improved = Some((op, dest, score));
+                    }
+                }
+            }
+            match improved {
+                Some((op, dest, score)) => {
+                    alloc.assign(op, dest);
+                    best = score;
+                    moves += 1;
+                }
+                None => break,
+            }
+        }
+
+        let failover = if n >= 2 {
+            FailoverTable::precompute(model, cluster, &alloc)
+        } else {
+            FailoverTable::empty(n)
+        };
+        Ok(ResilientPlan {
+            allocation: alloc,
+            failover,
+            scenarios,
+            worst_alive: best.0,
+            baseline_worst_alive: baseline_worst,
+            healthy_alive: best.1,
+            num_points: scorer.num_points(),
+            moves,
+        })
+    }
+}
+
+impl Planner for ResilientRodPlanner {
+    fn name(&self) -> &'static str {
+        "ResilientRod"
+    }
+
+    fn plan(&self, model: &LoadModel, cluster: &Cluster) -> Result<Allocation, PlacementError> {
+        self.place(model, cluster).map(|p| p.allocation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples_paper::figure4_graph;
+
+    fn setup(n: usize) -> (LoadModel, Cluster) {
+        (
+            LoadModel::derive(&figure4_graph()).unwrap(),
+            Cluster::homogeneous(n, 1.0),
+        )
+    }
+
+    fn small_options() -> ResilientRodOptions {
+        ResilientRodOptions {
+            samples: 1_500,
+            seed: 11,
+            max_failures: 1,
+            max_moves: 16,
+        }
+    }
+
+    #[test]
+    fn never_worse_than_rod_on_worst_case_survivor_volume() {
+        for n in [2, 3, 4] {
+            let (model, cluster) = setup(n);
+            let plan = ResilientRodPlanner::with_options(small_options())
+                .place(&model, &cluster)
+                .unwrap();
+            assert!(
+                plan.worst_alive >= plan.baseline_worst_alive,
+                "n={n}: {} < {}",
+                plan.worst_alive,
+                plan.baseline_worst_alive
+            );
+            assert!(plan.allocation.is_complete());
+            assert_eq!(plan.failover.num_nodes(), n);
+            assert_eq!(plan.scenarios.len(), n);
+        }
+    }
+
+    #[test]
+    fn single_node_cluster_degenerates_to_rod() {
+        let (model, cluster) = setup(1);
+        let plan = ResilientRodPlanner::with_options(small_options())
+            .place(&model, &cluster)
+            .unwrap();
+        assert!(plan.scenarios.is_empty());
+        assert_eq!(plan.worst_alive, plan.healthy_alive);
+        let rod = RodPlanner::new().place(&model, &cluster).unwrap();
+        assert_eq!(plan.allocation, rod.allocation);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (model, cluster) = setup(3);
+        let planner = ResilientRodPlanner::with_options(small_options());
+        let a = planner.place(&model, &cluster).unwrap();
+        let b = planner.place(&model, &cluster).unwrap();
+        assert_eq!(a.allocation, b.allocation);
+        assert_eq!(a.worst_alive, b.worst_alive);
+        assert_eq!(a.failover, b.failover);
+    }
+
+    #[test]
+    fn planner_trait_produces_complete_plans() {
+        let (model, cluster) = setup(2);
+        let planner = ResilientRodPlanner::new();
+        assert_eq!(planner.name(), "ResilientRod");
+        let alloc = planner.plan(&model, &cluster).unwrap();
+        assert!(alloc.is_complete());
+    }
+}

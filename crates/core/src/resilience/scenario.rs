@@ -1,0 +1,184 @@
+//! Failure scenarios: which nodes die together.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::Cluster;
+use crate::error::PlacementError;
+use crate::ids::NodeId;
+
+/// A fail-stop failure scenario: a set of nodes that die simultaneously.
+///
+/// Scenarios are value objects — sorted, duplicate-free — so they compare
+/// and serialise canonically.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureScenario {
+    failed: Vec<NodeId>,
+}
+
+impl FailureScenario {
+    /// A scenario from an arbitrary node list (sorted, deduplicated).
+    pub fn new(mut failed: Vec<NodeId>) -> Self {
+        failed.sort();
+        failed.dedup();
+        FailureScenario { failed }
+    }
+
+    /// The loss of a single node.
+    pub fn single(node: NodeId) -> Self {
+        FailureScenario { failed: vec![node] }
+    }
+
+    /// All single-node scenarios of an `n`-node cluster.
+    pub fn all_single(n: usize) -> Vec<FailureScenario> {
+        (0..n).map(|i| FailureScenario::single(NodeId(i))).collect()
+    }
+
+    /// Every scenario losing between 1 and `k` nodes of an `n`-node
+    /// cluster, smaller losses first, members lexicographic. `k` is
+    /// clamped to `n - 1`: losing every node leaves no survivors and no
+    /// plan can score it.
+    pub fn all_up_to_k(n: usize, k: usize) -> Vec<FailureScenario> {
+        let k = k.min(n.saturating_sub(1));
+        let mut out = Vec::new();
+        for size in 1..=k {
+            for combo in combinations(n, size) {
+                out.push(FailureScenario {
+                    failed: combo.into_iter().map(NodeId).collect(),
+                });
+            }
+        }
+        out
+    }
+
+    /// The failed nodes, sorted ascending.
+    pub fn failed(&self) -> &[NodeId] {
+        &self.failed
+    }
+
+    /// Number of failed nodes.
+    pub fn num_failed(&self) -> usize {
+        self.failed.len()
+    }
+
+    /// True when `node` dies in this scenario.
+    pub fn kills(&self, node: NodeId) -> bool {
+        self.failed.binary_search(&node).is_ok()
+    }
+
+    /// The surviving nodes of an `n`-node cluster, ascending.
+    pub fn survivors(&self, n: usize) -> Vec<NodeId> {
+        (0..n)
+            .map(NodeId)
+            .filter(|node| !self.kills(*node))
+            .collect()
+    }
+
+    /// Validates the scenario against a cluster: non-empty, every failed
+    /// node in range, and at least one survivor.
+    pub fn validate(&self, cluster: &Cluster) -> Result<(), PlacementError> {
+        let n = cluster.num_nodes();
+        if self.failed.is_empty() {
+            return Err(PlacementError::EmptyScenario);
+        }
+        for node in &self.failed {
+            if node.index() >= n {
+                return Err(PlacementError::NodeOutOfRange {
+                    node: node.index(),
+                    nodes: n,
+                });
+            }
+        }
+        if self.failed.len() >= n {
+            return Err(PlacementError::NoSurvivors { nodes: n });
+        }
+        Ok(())
+    }
+}
+
+/// All `size`-subsets of `0..n`, lexicographic.
+fn combinations(n: usize, size: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    if size == 0 || size > n {
+        return out;
+    }
+    let mut pick: Vec<usize> = (0..size).collect();
+    loop {
+        out.push(pick.clone());
+        // Advance to the next combination; finish when none remains.
+        let mut i = size;
+        let mut advanced = false;
+        while i > 0 {
+            i -= 1;
+            if pick[i] < n - (size - i) {
+                pick[i] += 1;
+                for j in i + 1..size {
+                    pick[j] = pick[j - 1] + 1;
+                }
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_scenarios_enumerate_every_node() {
+        let all = FailureScenario::all_single(3);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[1].failed(), &[NodeId(1)]);
+        assert!(all[1].kills(NodeId(1)));
+        assert!(!all[1].kills(NodeId(0)));
+        assert_eq!(all[1].survivors(3), vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn k_scenarios_count_binomially() {
+        // n = 4, k = 2: C(4,1) + C(4,2) = 4 + 6 = 10.
+        let all = FailureScenario::all_up_to_k(4, 2);
+        assert_eq!(all.len(), 10);
+        // Sorted and duplicate-free.
+        for s in &all {
+            let f = s.failed();
+            assert!(f.windows(2).all(|w| w[0] < w[1]), "{f:?}");
+        }
+        let mut seen = all.clone();
+        seen.dedup();
+        assert_eq!(seen.len(), all.len());
+    }
+
+    #[test]
+    fn k_is_clamped_below_total_loss() {
+        // k = n would leave no survivors; it is clamped to n - 1.
+        let all = FailureScenario::all_up_to_k(2, 5);
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().all(|s| s.num_failed() == 1));
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let s = FailureScenario::new(vec![NodeId(2), NodeId(0), NodeId(2)]);
+        assert_eq!(s.failed(), &[NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn validation_catches_bad_scenarios() {
+        let cluster = Cluster::homogeneous(2, 1.0);
+        assert!(FailureScenario::new(vec![]).validate(&cluster).is_err());
+        assert!(FailureScenario::single(NodeId(5))
+            .validate(&cluster)
+            .is_err());
+        assert!(FailureScenario::new(vec![NodeId(0), NodeId(1)])
+            .validate(&cluster)
+            .is_err());
+        assert!(FailureScenario::single(NodeId(1))
+            .validate(&cluster)
+            .is_ok());
+    }
+}

@@ -50,6 +50,15 @@ impl Flags {
             .map(|(_, v)| v.as_str())
     }
 
+    /// All values of a repeatable flag, in command-line order.
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
     fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
         self.get(name).unwrap_or(default)
     }
@@ -71,7 +80,7 @@ fn usage() -> String {
      \n\
      generate --kind tree|traffic|financial|joins [--inputs N] [--ops-per-tree N] [--seed N]\n\
      plan     --graph FILE --nodes N [--capacity C]\n\
-     \u{20}        [--algorithm rod|llf|connected|correlation|random|optimal]\n\
+     \u{20}        [--algorithm rod|resilient|llf|connected|correlation|random|optimal]\n\
      \u{20}        [--rates r1,r2,...] [--seed N] [--out FILE]\n\
      \u{20}        (optimal only: [--samples N] [--max-plans N])\n\
      evaluate --graph FILE --plan FILE --nodes N [--capacity C] [--samples N]\n\
@@ -80,6 +89,9 @@ fn usage() -> String {
      compare  --graph FILE --nodes N [--capacity C] [--samples N] [--seed N]\n\
      simulate --graph FILE --plan FILE --nodes N [--capacity C] [--horizon S] [--seed N]\n\
      \u{20}        (--rates r1,r2,... | --traces a.csv,b.csv,...)\n\
+     \u{20}        [--outage NODE:START:END]... [--failover DETECTION_DELAY]\n\
+     \u{20}        [--scheduling fifo|rr|lqf] [--op-queue-bound N]\n\
+     \u{20}        (--fault-tolerance is an alias for --failover)\n\
      trace    --kind pkt|tcp|http|poisson [--bins-log2 N] [--mean R] [--seed N] [--out FILE]"
         .to_string()
 }
@@ -320,12 +332,77 @@ fn cmd_headroom(flags: &Flags) -> Result<String, String> {
     Ok(out)
 }
 
+/// Parses one `--outage NODE:START:END` spec (e.g. `1:5.0:12.5`).
+fn parse_outage(spec: &str) -> Result<Outage, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [node, start, end] = parts.as_slice() else {
+        return Err(format!("--outage: expected NODE:START:END, got '{spec}'"));
+    };
+    let node: usize = node
+        .parse()
+        .map_err(|_| format!("--outage: bad node '{node}' in '{spec}'"))?;
+    let start: f64 = start
+        .parse()
+        .map_err(|_| format!("--outage: bad start time '{start}' in '{spec}'"))?;
+    let end: f64 = end
+        .parse()
+        .map_err(|_| format!("--outage: bad end time '{end}' in '{spec}'"))?;
+    Ok(Outage {
+        node: NodeId(node),
+        start,
+        end,
+    })
+}
+
+fn parse_scheduling(name: &str) -> Result<SchedulingPolicy, String> {
+    match name {
+        "fifo" => Ok(SchedulingPolicy::Fifo),
+        "rr" => Ok(SchedulingPolicy::RoundRobin),
+        "lqf" => Ok(SchedulingPolicy::LongestQueueFirst),
+        other => Err(format!(
+            "--scheduling: unknown policy '{other}' (expected fifo|rr|lqf)"
+        )),
+    }
+}
+
 fn cmd_simulate(flags: &Flags) -> Result<String, String> {
     let graph = load_graph(flags)?;
     let cluster = load_cluster(flags)?;
     let plan = load_plan(flags)?;
     let horizon: f64 = flags.parse_num("horizon", 30.0)?;
     let seed: u64 = flags.parse_num("seed", 0)?;
+    let scheduling = parse_scheduling(flags.get_or("scheduling", "fifo"))?;
+    let outages: Vec<Outage> = flags
+        .get_all("outage")
+        .into_iter()
+        .map(parse_outage)
+        .collect::<Result<_, _>>()?;
+    // --failover (alias --fault-tolerance) takes the detection delay in
+    // seconds and precomputes the MMPD backup table from the loaded plan.
+    let failover = match (flags.get("failover"), flags.get("fault-tolerance")) {
+        (None, None) => None,
+        (Some(v), _) | (None, Some(v)) => {
+            let delay: f64 = v
+                .parse()
+                .map_err(|_| format!("--failover: bad detection delay '{v}'"))?;
+            if cluster.num_nodes() < 2 {
+                return Err("--failover needs at least 2 nodes to back each other up".into());
+            }
+            if !plan.is_complete() {
+                return Err("--failover needs a complete plan (every operator placed)".into());
+            }
+            let model = LoadModel::derive(&graph).map_err(|e| e.to_string())?;
+            let table = FailoverTable::precompute(&model, &cluster, &plan);
+            Some(FailoverConfig::new(table, delay))
+        }
+    };
+    let op_queue_bound = match flags.get("op-queue-bound") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("--op-queue-bound: bad value '{v}'"))?,
+        ),
+    };
     let (sources, description) = match (flags.get("rates"), flags.get("traces")) {
         (Some(spec), None) => {
             let rates = parse_rates(spec, graph.num_inputs())?;
@@ -350,19 +427,21 @@ fn cmd_simulate(flags: &Flags) -> Result<String, String> {
         }
         _ => return Err("simulate needs exactly one of --rates or --traces".into()),
     };
-    let report = Simulation::new(
-        &graph,
-        &plan,
-        &cluster,
-        sources,
-        SimulationConfig {
-            horizon,
-            warmup: horizon * 0.15,
-            seed,
-            ..SimulationConfig::default()
-        },
-    )
-    .run();
+    let config = SimulationConfig {
+        horizon,
+        warmup: horizon * 0.15,
+        seed,
+        scheduling,
+        outages,
+        failover,
+        op_queue_bound,
+        ..SimulationConfig::default()
+    };
+    // Validate before constructing: Simulation::new enforces this with a
+    // panic; the CLI turns it into a real error message instead.
+    config.validate(cluster.num_nodes())?;
+    let had_outages = !config.outages.is_empty();
+    let report = Simulation::new(&graph, &plan, &cluster, sources, config).run();
     let mut out = String::new();
     out.push_str(&format!("simulated {horizon} s with {description}\n"));
     out.push_str(&format!(
@@ -384,6 +463,27 @@ fn cmd_simulate(flags: &Flags) -> Result<String, String> {
             report.latencies.quantile(0.99).unwrap_or(f64::NAN) * 1e3
         )),
         None => out.push_str("latency: no sink tuples observed\n"),
+    }
+    if had_outages {
+        out.push_str(&format!(
+            "failovers: {}   tuples shed: {} ({} during recovery)\n",
+            report.failovers, report.tuples_shed, report.tuples_shed_in_recovery
+        ));
+        for rec in &report.recoveries {
+            out.push_str(&format!(
+                "recovery: node {} failed at {:.2} s, detected at {:.2} s, \
+                 {} operator(s) re-homed by {:.2} s (latency {:.2} s)\n",
+                rec.node,
+                rec.outage_start,
+                rec.detected_at,
+                rec.operators_moved,
+                rec.recovered_at,
+                rec.recovery_latency()
+            ));
+        }
+        if let Some(u) = report.post_failure_max_utilisation {
+            out.push_str(&format!("post-failure max utilisation: {u:.3}\n"));
+        }
     }
     out.push_str(&format!(
         "feasible (util < 97%): {}",
@@ -578,6 +678,191 @@ mod tests {
     }
 
     #[test]
+    fn outage_specs_parse_and_reject_garbage() {
+        let o = parse_outage("1:5.0:12.5").unwrap();
+        assert_eq!(o.node, NodeId(1));
+        assert_eq!(o.start, 5.0);
+        assert_eq!(o.end, 12.5);
+        for bad in ["", "1", "1:2", "1:2:3:4", "x:2:3", "1:x:3", "1:2:x"] {
+            assert!(parse_outage(bad).is_err(), "accepted '{bad}'");
+        }
+    }
+
+    #[test]
+    fn scheduling_names_map_to_policies() {
+        assert_eq!(parse_scheduling("fifo").unwrap(), SchedulingPolicy::Fifo);
+        assert_eq!(
+            parse_scheduling("rr").unwrap(),
+            SchedulingPolicy::RoundRobin
+        );
+        assert_eq!(
+            parse_scheduling("lqf").unwrap(),
+            SchedulingPolicy::LongestQueueFirst
+        );
+        assert!(parse_scheduling("sjf").is_err());
+    }
+
+    /// Writes a small graph + ROD plan pair to tempfiles and returns
+    /// (dir, graph_path, plan_path) for simulate-flag tests.
+    fn graph_and_plan(tag: &str) -> (std::path::PathBuf, String, String) {
+        let dir = std::env::temp_dir().join(format!("rodctl-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("graph.json");
+        let plan_path = dir.join("plan.json");
+        let f = Flags::parse(&strings(&[
+            "--kind", "tree", "--inputs", "2", "--seed", "1",
+        ]))
+        .unwrap();
+        fs::write(&graph_path, cmd_generate(&f).unwrap()).unwrap();
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            graph_path.to_str().unwrap(),
+            "--nodes",
+            "2",
+            "--out",
+            plan_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        cmd_plan(&f).unwrap();
+        (
+            dir.clone(),
+            graph_path.to_str().unwrap().to_string(),
+            plan_path.to_str().unwrap().to_string(),
+        )
+    }
+
+    #[test]
+    fn simulate_rejects_invalid_outages_with_real_errors() {
+        let (dir, graph_path, plan_path) = graph_and_plan("badoutage");
+        // Node out of range for a 2-node cluster.
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            &graph_path,
+            "--plan",
+            &plan_path,
+            "--nodes",
+            "2",
+            "--rates",
+            "10,10",
+            "--horizon",
+            "5",
+            "--outage",
+            "7:1:2",
+        ]))
+        .unwrap();
+        let err = cmd_simulate(&f).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        // Zero-length outage.
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            &graph_path,
+            "--plan",
+            &plan_path,
+            "--nodes",
+            "2",
+            "--rates",
+            "10,10",
+            "--horizon",
+            "5",
+            "--outage",
+            "1:3:3",
+        ]))
+        .unwrap();
+        let err = cmd_simulate(&f).unwrap_err();
+        assert!(err.contains("positive length"), "{err}");
+        // Malformed spec.
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            &graph_path,
+            "--plan",
+            &plan_path,
+            "--nodes",
+            "2",
+            "--rates",
+            "10,10",
+            "--horizon",
+            "5",
+            "--outage",
+            "1-3-5",
+        ]))
+        .unwrap();
+        let err = cmd_simulate(&f).unwrap_err();
+        assert!(err.contains("NODE:START:END"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_with_failover_reports_recovery() {
+        let (dir, graph_path, plan_path) = graph_and_plan("failover");
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            &graph_path,
+            "--plan",
+            &plan_path,
+            "--nodes",
+            "2",
+            "--rates",
+            "10,10",
+            "--horizon",
+            "20",
+            "--outage",
+            "0:5:15",
+            "--failover",
+            "0.5",
+            "--scheduling",
+            "lqf",
+            "--op-queue-bound",
+            "500",
+        ]))
+        .unwrap();
+        let out = cmd_simulate(&f).unwrap();
+        assert!(out.contains("failovers:"), "{out}");
+        assert!(out.contains("recovery: node 0"), "{out}");
+        assert!(out.contains("detected at 5.50"), "{out}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_tolerance_is_an_alias_for_failover() {
+        let (dir, graph_path, plan_path) = graph_and_plan("ftalias");
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            &graph_path,
+            "--plan",
+            &plan_path,
+            "--nodes",
+            "2",
+            "--rates",
+            "10,10",
+            "--horizon",
+            "12",
+            "--outage",
+            "1:3:10",
+            "--fault-tolerance",
+            "0.4",
+        ]))
+        .unwrap();
+        let out = cmd_simulate(&f).unwrap();
+        assert!(out.contains("recovery: node 1"), "{out}");
+        // A single-node cluster cannot back itself up.
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            &graph_path,
+            "--plan",
+            &plan_path,
+            "--nodes",
+            "1",
+            "--rates",
+            "10,10",
+            "--fault-tolerance",
+            "0.4",
+        ]))
+        .unwrap();
+        assert!(cmd_simulate(&f).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn simulate_requires_exactly_one_source_kind() {
         let f = Flags::parse(&strings(&["--graph", "x", "--plan", "y", "--nodes", "1"])).unwrap();
         // Fails before touching files because neither --rates nor
@@ -649,7 +934,14 @@ mod tests {
         let graph_path = dir.join("graph.json");
         let f = Flags::parse(&strings(&["--kind", "tree", "--inputs", "2"])).unwrap();
         fs::write(&graph_path, cmd_generate(&f).unwrap()).unwrap();
-        for algo in ["rod", "llf", "connected", "correlation", "random"] {
+        for algo in [
+            "rod",
+            "resilient",
+            "llf",
+            "connected",
+            "correlation",
+            "random",
+        ] {
             let f = Flags::parse(&strings(&[
                 "--graph",
                 graph_path.to_str().unwrap(),
@@ -657,6 +949,8 @@ mod tests {
                 "2",
                 "--algorithm",
                 algo,
+                "--samples",
+                "1500",
             ]))
             .unwrap();
             let json = cmd_plan(&f).unwrap();

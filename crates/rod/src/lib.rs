@@ -64,8 +64,8 @@ pub mod prelude {
     pub use rod_core::prelude::*;
     pub use rod_geom::{Hyperplane, Matrix, Vector, VolumeEstimator};
     pub use rod_sim::{
-        FeasibilityProbe, MigrationConfig, NetworkConfig, ProbeConfig, SimReport, Simulation,
-        SimulationConfig, SourceSpec,
+        FailoverConfig, FeasibilityProbe, MigrationConfig, NetworkConfig, Outage, ProbeConfig,
+        RecoveryRecord, SchedulingPolicy, SimReport, Simulation, SimulationConfig, SourceSpec,
     };
     pub use rod_traces::{paper_traces, PaperTrace, Trace};
     pub use rod_workloads::{RandomTreeConfig, RandomTreeGenerator};

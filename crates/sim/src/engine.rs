@@ -24,11 +24,12 @@ use rod_core::cluster::Cluster;
 use rod_core::graph::QueryGraph;
 use rod_core::ids::{NodeId, OperatorId, StreamId};
 use rod_core::operator::OperatorKind;
+use rod_core::resilience::FailoverTable;
 use rod_geom::rng::{seeded_rng, Rng};
 use rod_geom::Percentiles;
 
 use crate::events::{EventKind, EventQueue, Tuple};
-use crate::report::{SimReport, TimelineSample};
+use crate::report::{RecoveryRecord, SimReport, TimelineSample};
 use crate::source::SourceSpec;
 
 /// Network cost model (the §6.3 relaxation of "communication is free").
@@ -123,6 +124,59 @@ pub struct Outage {
     pub end: f64,
 }
 
+impl Outage {
+    /// Validates the outage against a cluster size: the node must exist,
+    /// the times must be finite and non-negative, and `start < end`.
+    pub fn validate(&self, num_nodes: usize) -> Result<(), String> {
+        if self.node.index() >= num_nodes {
+            return Err(format!(
+                "outage node {} is out of range for a {num_nodes}-node cluster",
+                self.node.index()
+            ));
+        }
+        if !self.start.is_finite() || !self.end.is_finite() || self.start < 0.0 {
+            return Err(format!(
+                "outage times must be finite and non-negative (got {}:{})",
+                self.start, self.end
+            ));
+        }
+        if self.start >= self.end {
+            return Err(format!(
+                "outage must have positive length (start {} >= end {})",
+                self.start, self.end
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Failure detection and recovery: when set, a node outage is *noticed*
+/// after `detection_delay` and the dead node's operators then migrate to
+/// their [`FailoverTable`]-designated backups, paying the same downtime
+/// cost model as dynamic migration. Without it, outages merely starve
+/// queues until the node returns (the pre-recovery behaviour).
+#[derive(Clone, Debug)]
+pub struct FailoverConfig {
+    /// Precomputed per-node backup assignments (typically from
+    /// `ResilientPlan::failover` or `FailoverTable::precompute`).
+    pub table: FailoverTable,
+    /// Seconds between an outage starting and the monitor noticing it.
+    pub detection_delay: f64,
+    /// Cost model for the failover migrations (downtime per operator).
+    pub migration: MigrationConfig,
+}
+
+impl FailoverConfig {
+    /// A failover config with the default migration cost model.
+    pub fn new(table: FailoverTable, detection_delay: f64) -> Self {
+        FailoverConfig {
+            table,
+            detection_delay,
+            migration: MigrationConfig::default(),
+        }
+    }
+}
+
 /// Run parameters.
 #[derive(Clone, Debug)]
 pub struct SimulationConfig {
@@ -144,6 +198,13 @@ pub struct SimulationConfig {
     pub scheduling: SchedulingPolicy,
     /// Fail-stop outages to inject.
     pub outages: Vec<Outage>,
+    /// Failure detection + table-driven failover (None = outages starve
+    /// queues until the node returns).
+    pub failover: Option<FailoverConfig>,
+    /// Bounded per-operator queues: arrivals for an operator that already
+    /// has this many items queued (or buffered mid-migration) are shed
+    /// and counted. None = unbounded (up to `shed_above`/`max_queue`).
+    pub op_queue_bound: Option<usize>,
     /// Borealis-style load shedding: when a node's queue already holds
     /// this many items, further arrivals for that node are dropped (and
     /// counted) instead of queued. None = never shed (queues grow until
@@ -154,6 +215,33 @@ pub struct SimulationConfig {
     pub max_queue: usize,
     /// Keep at most this many latency samples (uniform thinning beyond).
     pub max_latency_samples: usize,
+}
+
+impl SimulationConfig {
+    /// Validates the parts of the config that depend on the cluster:
+    /// every outage (node in range, `start < end`) and the failover
+    /// table's node count. CLI front-ends call this to reject bad input
+    /// with a message; [`Simulation::new`] enforces it.
+    pub fn validate(&self, num_nodes: usize) -> Result<(), String> {
+        for outage in &self.outages {
+            outage.validate(num_nodes)?;
+        }
+        if let Some(fo) = &self.failover {
+            if fo.table.num_nodes() != num_nodes {
+                return Err(format!(
+                    "failover table covers {} nodes but the cluster has {num_nodes}",
+                    fo.table.num_nodes()
+                ));
+            }
+            if !fo.detection_delay.is_finite() || fo.detection_delay < 0.0 {
+                return Err(format!(
+                    "detection delay must be finite and non-negative (got {})",
+                    fo.detection_delay
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for SimulationConfig {
@@ -167,6 +255,8 @@ impl Default for SimulationConfig {
             sample_interval: None,
             scheduling: SchedulingPolicy::default(),
             outages: Vec::new(),
+            failover: None,
+            op_queue_bound: None,
             shed_above: None,
             max_queue: 200_000,
             max_latency_samples: 100_000,
@@ -214,6 +304,17 @@ struct JoinState {
     windows: [VecDeque<WindowEntry>; 2],
 }
 
+/// Bookkeeping for one node-failure recovery in progress.
+#[derive(Debug)]
+struct RecoveryState {
+    outage_start: f64,
+    detected_at: f64,
+    /// Failover migrations still in flight for this node.
+    pending: usize,
+    /// Operators moved off the node in total.
+    moved: usize,
+}
+
 /// Mutable engine state, shared by the event handlers.
 struct Runtime<'a> {
     graph: &'a QueryGraph,
@@ -235,8 +336,31 @@ struct Runtime<'a> {
     shed_above: usize,
     /// Tuples dropped by load shedding.
     tuples_shed: u64,
+    /// Of those, tuples dropped while a node was down or a failover was
+    /// in flight.
+    tuples_shed_recovery: u64,
+    /// Per-operator queued + buffered item counts.
+    op_queued: Vec<usize>,
+    /// Per-operator queue bound (usize::MAX = unbounded).
+    op_queue_bound: usize,
     /// Nodes currently failed (no dispatching).
     down: Vec<bool>,
+    /// How many nodes are currently failed.
+    down_count: usize,
+    /// Failover migrations currently in flight.
+    failover_in_flight: usize,
+    /// Failover migrations executed.
+    failovers: u64,
+    /// Recovery bookkeeping per node (Some while outage → recovery runs).
+    recovering: Vec<Option<RecoveryState>>,
+    /// Source node of an in-flight failover migration, per operator.
+    orphan_src: Vec<Option<usize>>,
+    /// Completed recoveries.
+    recoveries: Vec<RecoveryRecord>,
+    /// First outage start time (opens the post-failure window).
+    pf_start: Option<f64>,
+    /// Busy seconds per node inside the post-failure window.
+    post_failure_busy: Vec<f64>,
     /// Round-robin cursor per node (last served operator index).
     rr_cursor: Vec<usize>,
     /// Total busy time attributed to each operator (whole run).
@@ -254,25 +378,43 @@ struct Runtime<'a> {
 }
 
 impl Runtime<'_> {
+    /// Counts one shed tuple, attributing it to the recovery window when
+    /// a node is down or a failover is still in flight.
+    fn shed(&mut self) {
+        self.tuples_shed += 1;
+        if self.down_count > 0 || self.failover_in_flight > 0 {
+            self.tuples_shed_recovery += 1;
+        }
+    }
+
     /// Routes a work item either to its operator's node queue or, if the
-    /// operator is mid-migration, into its transfer buffer.
+    /// operator is mid-migration, into its transfer buffer. Arrivals
+    /// beyond the per-operator bound or the node shedding threshold are
+    /// dropped and counted.
     fn enqueue(&mut self, item: WorkItem, now: f64) {
-        if let Some((_, buffer)) = &mut self.migrating[item.op.index()] {
+        let op = item.op.index();
+        if self.op_queued[op] >= self.op_queue_bound {
+            self.shed();
+            return;
+        }
+        if let Some((_, buffer)) = &mut self.migrating[op] {
             if buffer.len() >= self.shed_above {
-                self.tuples_shed += 1;
+                self.shed();
                 return;
             }
             self.queued_total += 1;
+            self.op_queued[op] += 1;
             self.peak_queue = self.peak_queue.max(self.queued_total);
             buffer.push(item);
             return;
         }
-        let node = self.host[item.op.index()].index();
+        let node = self.host[op].index();
         if self.nodes[node].queue.len() >= self.shed_above {
-            self.tuples_shed += 1;
+            self.shed();
             return;
         }
         self.queued_total += 1;
+        self.op_queued[op] += 1;
         self.peak_queue = self.peak_queue.max(self.queued_total);
         self.nodes[node].queue.push_back(item);
         if !self.nodes[node].busy && !self.down[node] {
@@ -336,6 +478,7 @@ impl Runtime<'_> {
             self.rr_cursor[node] = item.op.index();
         }
         self.queued_total -= 1;
+        self.op_queued[item.op.index()] -= 1;
         let op = self.graph.operator(item.op);
 
         // Raw CPU cost and emission count for this tuple.
@@ -411,6 +554,12 @@ impl Runtime<'_> {
         if busy_end > busy_start {
             self.nodes[node].measured_busy += busy_end - busy_start;
         }
+        if let Some(pf) = self.pf_start {
+            let pf_end = end.min(self.horizon);
+            if pf_end > now.max(pf) {
+                self.post_failure_busy[node] += pf_end - now.max(pf);
+            }
+        }
         self.nodes[node].window_busy += service;
         self.nodes[node].sample_busy += service;
         self.op_window_busy[item.op.index()] += service;
@@ -478,6 +627,8 @@ impl Runtime<'_> {
         if utils[hot] >= config.utilisation_trigger
             && utils[hot] - utils[cold] >= config.imbalance_trigger
             && hot != cold
+            && !self.down[hot]
+            && !self.down[cold]
         {
             // Pick the operator on the hot node whose recent busy time is
             // closest to half the gap (move enough, not too much), among
@@ -496,7 +647,7 @@ impl Runtime<'_> {
                     da.partial_cmp(&db).expect("finite")
                 });
             if let Some(op) = candidate {
-                self.start_migration(OperatorId(op), NodeId(cold), now, config);
+                self.start_migration(OperatorId(op), NodeId(cold), now, config, false);
             }
         }
 
@@ -508,12 +659,15 @@ impl Runtime<'_> {
 
     /// Freezes an operator, buffers its queued input, and schedules its
     /// resumption on the destination node after the transfer downtime.
+    /// `failover = true` marks a table-driven recovery move (counted
+    /// separately from the load manager's migrations).
     fn start_migration(
         &mut self,
         op: OperatorId,
         dest: NodeId,
         now: f64,
         config: &MigrationConfig,
+        failover: bool,
     ) {
         let src = self.host[op.index()].index();
         // Divert items already queued for this operator into the buffer.
@@ -528,13 +682,21 @@ impl Runtime<'_> {
         });
         let downtime = config.base_downtime + buffer.len() as f64 * config.per_item_downtime;
         self.migrating[op.index()] = Some((dest, buffer));
-        self.migrations += 1;
-        self.migration_downtime += downtime;
+        if failover {
+            self.failovers += 1;
+            self.failover_in_flight += 1;
+            self.orphan_src[op.index()] = Some(src);
+        } else {
+            self.migrations += 1;
+            self.migration_downtime += downtime;
+        }
         self.queue
             .push(now + downtime, EventKind::MigrationComplete { op, dest });
     }
 
-    /// Finishes a migration: rebind the host and replay the buffer.
+    /// Finishes a migration: rebind the host and replay the buffer. A
+    /// failover move also advances its node's recovery bookkeeping,
+    /// closing the [`RecoveryRecord`] when the last orphan lands.
     fn finish_migration(&mut self, op: OperatorId, dest: NodeId, now: f64) {
         let (_, buffer) = self.migrating[op.index()]
             .take()
@@ -544,8 +706,71 @@ impl Runtime<'_> {
         for item in buffer {
             self.nodes[node].queue.push_back(item);
         }
+        if let Some(src) = self.orphan_src[op.index()].take() {
+            self.failover_in_flight -= 1;
+            if let Some(state) = self.recovering[src].as_mut() {
+                state.pending -= 1;
+                if state.pending == 0 {
+                    let state = self.recovering[src].take().expect("state present");
+                    self.recoveries.push(RecoveryRecord {
+                        node: src,
+                        outage_start: state.outage_start,
+                        detected_at: state.detected_at,
+                        recovered_at: now,
+                        operators_moved: state.moved,
+                    });
+                }
+            }
+        }
         if !self.nodes[node].busy && !self.nodes[node].queue.is_empty() && !self.down[node] {
             self.dispatch(node, now);
+        }
+    }
+
+    /// Handles a detected node failure: move every operator still hosted
+    /// on the dead node to its table-designated backup (falling back to
+    /// the lowest-indexed live node when the table has no entry or the
+    /// backup is itself down). A no-op if the outage already ended.
+    fn detect_failure(&mut self, node: NodeId, now: f64, fo: &FailoverConfig) {
+        let idx = node.index();
+        if !self.down[idx] {
+            // The node came back before the monitor noticed; no failover.
+            self.recovering[idx] = None;
+            return;
+        }
+        let orphans: Vec<usize> = (0..self.graph.num_operators())
+            .filter(|&j| self.host[j] == node && self.migrating[j].is_none())
+            .collect();
+        let mut moved = 0;
+        for j in orphans {
+            let op = OperatorId(j);
+            let planned = fo
+                .table
+                .backup_of(node, op)
+                .filter(|b| !self.down[b.index()]);
+            let dest =
+                planned.or_else(|| (0..self.down.len()).find(|&i| !self.down[i]).map(NodeId));
+            if let Some(dest) = dest {
+                self.start_migration(op, dest, now, &fo.migration, true);
+                moved += 1;
+            }
+        }
+        if let Some(state) = self.recovering[idx].as_mut() {
+            state.detected_at = now;
+            state.pending = moved;
+            state.moved = moved;
+            if moved == 0 {
+                // Nothing hosted here (or nowhere to go): recovery is
+                // instantaneous and trivially complete.
+                let state = self.recovering[idx].take().expect("state present");
+                self.recoveries.push(RecoveryRecord {
+                    node: idx,
+                    outage_start: state.outage_start,
+                    detected_at: now,
+                    recovered_at: now,
+                    operators_moved: 0,
+                });
+            }
         }
     }
 }
@@ -578,6 +803,9 @@ impl<'a> Simulation<'a> {
         assert_eq!(allocation.num_operators(), graph.num_operators());
         assert!(config.warmup < config.horizon);
         cluster.validate().expect("valid cluster");
+        if let Err(msg) = config.validate(cluster.num_nodes()) {
+            panic!("invalid simulation config: {msg}");
+        }
         Simulation {
             graph,
             allocation,
@@ -618,10 +846,6 @@ impl<'a> Simulation<'a> {
             queue.push(interval, EventKind::SampleTick);
         }
         for outage in &self.config.outages {
-            assert!(
-                outage.start < outage.end,
-                "outage must have positive length"
-            );
             queue.push(outage.start, EventKind::OutageStart { node: outage.node });
             queue.push(outage.end, EventKind::OutageEnd { node: outage.node });
         }
@@ -658,7 +882,18 @@ impl<'a> Simulation<'a> {
             scheduling: self.config.scheduling,
             shed_above: self.config.shed_above.unwrap_or(usize::MAX),
             tuples_shed: 0,
+            tuples_shed_recovery: 0,
+            op_queued: vec![0; m],
+            op_queue_bound: self.config.op_queue_bound.unwrap_or(usize::MAX),
             down: vec![false; n],
+            down_count: 0,
+            failover_in_flight: 0,
+            failovers: 0,
+            recovering: (0..n).map(|_| None).collect(),
+            orphan_src: vec![None; m],
+            recoveries: Vec::new(),
+            pf_start: None,
+            post_failure_busy: vec![0.0; n],
             rr_cursor: vec![0; n],
             op_total_busy: vec![0.0; m],
             op_served: vec![0; m],
@@ -773,13 +1008,40 @@ impl<'a> Simulation<'a> {
                     rt.finish_migration(op, dest, event.time);
                 }
                 EventKind::OutageStart { node } => {
-                    rt.down[node.index()] = true;
                     // The in-flight service (if any) completes; no new
                     // dispatches happen until recovery.
+                    rt.down[node.index()] = true;
+                    rt.down_count += 1;
+                    if rt.pf_start.is_none() {
+                        rt.pf_start = Some(event.time);
+                    }
+                    if let Some(fo) = &self.config.failover {
+                        if rt.recovering[node.index()].is_none() {
+                            rt.recovering[node.index()] = Some(RecoveryState {
+                                outage_start: event.time,
+                                detected_at: 0.0,
+                                pending: 0,
+                                moved: 0,
+                            });
+                            rt.queue.push(
+                                event.time + fo.detection_delay,
+                                EventKind::FailureDetected { node },
+                            );
+                        }
+                    }
+                }
+                EventKind::FailureDetected { node } => {
+                    let fo = self
+                        .config
+                        .failover
+                        .as_ref()
+                        .expect("FailureDetected only scheduled with failover enabled");
+                    rt.detect_failure(node, event.time, fo);
                 }
                 EventKind::OutageEnd { node } => {
                     let idx = node.index();
                     rt.down[idx] = false;
+                    rt.down_count -= 1;
                     if !rt.nodes[idx].busy && !rt.nodes[idx].queue.is_empty() {
                         rt.dispatch(idx, event.time);
                     }
@@ -804,6 +1066,14 @@ impl<'a> Simulation<'a> {
                 .map(|(_, b)| b.len())
                 .sum::<usize>();
 
+        let post_failure_max_utilisation = rt.pf_start.map(|pf| {
+            let window = (horizon - pf).max(1e-9);
+            rt.post_failure_busy
+                .iter()
+                .map(|b| (b / window).min(1.0))
+                .fold(0.0, f64::max)
+        });
+
         SimReport {
             measured_duration,
             utilisations,
@@ -820,6 +1090,11 @@ impl<'a> Simulation<'a> {
             operator_busy: rt.op_total_busy,
             operator_served: rt.op_served,
             tuples_shed: rt.tuples_shed,
+            tuples_shed_in_recovery: rt.tuples_shed_recovery,
+            failovers: rt.failovers,
+            recoveries: rt.recoveries,
+            post_failure_max_utilisation,
+            final_hosts: rt.host.iter().map(|h| h.index()).collect(),
         }
     }
 }
@@ -1433,6 +1708,224 @@ mod tests {
         )
         .run();
         assert_eq!(report.tuples_shed, 0);
+    }
+
+    /// Two operators on two nodes, plus the failover table for the
+    /// placement — the standard fixture for recovery tests.
+    fn two_node_failover_fixture() -> (QueryGraph, Cluster, Allocation, FailoverTable) {
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let model = LoadModel::derive(&graph).unwrap();
+        let mut alloc = Allocation::new(2, 2);
+        alloc.assign(OperatorId(0), NodeId(0));
+        alloc.assign(OperatorId(1), NodeId(1));
+        let table = FailoverTable::precompute(&model, &cluster, &alloc);
+        (graph, cluster, alloc, table)
+    }
+
+    #[test]
+    fn failover_moves_orphans_to_table_backups() {
+        let (graph, cluster, alloc, table) = two_node_failover_fixture();
+        let backup = table.backup_of(NodeId(0), OperatorId(0)).unwrap();
+        assert_eq!(backup, NodeId(1), "two-node fixture backs up to the peer");
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(100.0)],
+            SimulationConfig {
+                horizon: 40.0,
+                warmup: 2.0,
+                seed: 8,
+                outages: vec![Outage {
+                    node: NodeId(0),
+                    start: 10.0,
+                    end: 35.0,
+                }],
+                failover: Some(FailoverConfig::new(table, 0.5)),
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        assert_eq!(report.failovers, 1, "one operator moves off node 0");
+        assert_eq!(report.migrations, 0, "failovers are not migrations");
+        assert_eq!(report.final_hosts, vec![1, 1], "orphan lands per table");
+        assert_eq!(report.recoveries.len(), 1);
+        let rec = &report.recoveries[0];
+        assert_eq!(rec.node, 0);
+        assert_eq!(rec.operators_moved, 1);
+        assert!((rec.detected_at - 10.5).abs() < 1e-9);
+        assert!(rec.recovered_at >= rec.detected_at);
+        assert!(rec.recovery_latency() >= 0.5);
+        // With recovery, the system keeps producing during the outage.
+        assert!(report.tuples_out > 0);
+        assert!(report.post_failure_max_utilisation.is_some());
+    }
+
+    #[test]
+    fn failover_recovers_faster_than_waiting_out_the_outage() {
+        // A long outage on the node hosting the whole chain: without
+        // failover the backlog balloons; with failover it is bounded by
+        // the detection + migration window.
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let model = LoadModel::derive(&graph).unwrap();
+        let mut alloc = Allocation::new(2, 2);
+        alloc.assign(OperatorId(0), NodeId(0));
+        alloc.assign(OperatorId(1), NodeId(0));
+        let table = FailoverTable::precompute(&model, &cluster, &alloc);
+        let run = |failover: Option<FailoverConfig>| {
+            Simulation::new(
+                &graph,
+                &alloc,
+                &cluster,
+                vec![SourceSpec::ConstantRate(100.0)],
+                SimulationConfig {
+                    horizon: 60.0,
+                    warmup: 2.0,
+                    seed: 8,
+                    outages: vec![Outage {
+                        node: NodeId(0),
+                        start: 10.0,
+                        end: 50.0,
+                    }],
+                    failover,
+                    ..SimulationConfig::default()
+                },
+            )
+            .run()
+        };
+        let unprotected = run(None);
+        let protected = run(Some(FailoverConfig::new(table, 0.5)));
+        assert!(
+            protected.peak_queue * 4 < unprotected.peak_queue,
+            "failover peak {} vs unprotected {}",
+            protected.peak_queue,
+            unprotected.peak_queue
+        );
+        // The unprotected run eventually drains (the load is light), so
+        // totals converge — but its tuples waited out the outage, while
+        // failover keeps tail latency within the recovery window.
+        let p99 = |r: &SimReport| r.latencies.quantile(0.99).unwrap();
+        assert!(
+            p99(&protected) * 4.0 < p99(&unprotected),
+            "p99 {} vs {}",
+            p99(&protected),
+            p99(&unprotected)
+        );
+    }
+
+    #[test]
+    fn detection_after_outage_end_is_a_no_op() {
+        // Outage shorter than the detection delay: the node is back
+        // before the monitor fires, so nothing moves.
+        let (graph, cluster, alloc, table) = two_node_failover_fixture();
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(100.0)],
+            SimulationConfig {
+                horizon: 30.0,
+                warmup: 2.0,
+                seed: 3,
+                outages: vec![Outage {
+                    node: NodeId(0),
+                    start: 10.0,
+                    end: 11.0,
+                }],
+                failover: Some(FailoverConfig::new(table, 5.0)),
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        assert_eq!(report.failovers, 0);
+        assert!(report.recoveries.is_empty());
+        assert_eq!(report.final_hosts, vec![0, 1]);
+    }
+
+    #[test]
+    fn op_queue_bound_sheds_and_counts_recovery_drops() {
+        // Outage with no failover and a tight per-operator bound: the
+        // backlog is capped and the drops are attributed to recovery.
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let alloc = place(&graph, &cluster);
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(100.0)],
+            SimulationConfig {
+                horizon: 40.0,
+                warmup: 2.0,
+                seed: 8,
+                outages: vec![Outage {
+                    node: NodeId(0),
+                    start: 10.0,
+                    end: 30.0,
+                }],
+                op_queue_bound: Some(50),
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        assert!(report.tuples_shed > 0);
+        assert!(report.tuples_shed_in_recovery > 0);
+        assert!(report.tuples_shed_in_recovery <= report.tuples_shed);
+        // Two operators, bound 50 each: the backlog can never exceed 100
+        // (plus in-flight slack).
+        assert!(report.peak_queue <= 110, "peak {}", report.peak_queue);
+        assert!(!report.saturated);
+    }
+
+    #[test]
+    fn invalid_outages_are_rejected() {
+        let cluster_n = 2;
+        let ok = Outage {
+            node: NodeId(1),
+            start: 1.0,
+            end: 2.0,
+        };
+        assert!(ok.validate(cluster_n).is_ok());
+        let bad_node = Outage {
+            node: NodeId(5),
+            ..ok
+        };
+        assert!(bad_node.validate(cluster_n).unwrap_err().contains("range"));
+        let bad_span = Outage {
+            start: 2.0,
+            end: 2.0,
+            ..ok
+        };
+        assert!(bad_span.validate(cluster_n).unwrap_err().contains("length"));
+        let config = SimulationConfig {
+            outages: vec![bad_span],
+            ..SimulationConfig::default()
+        };
+        assert!(config.validate(cluster_n).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation config")]
+    fn simulation_new_panics_on_bad_outage() {
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let alloc = place(&graph, &cluster);
+        let _ = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(10.0)],
+            SimulationConfig {
+                outages: vec![Outage {
+                    node: NodeId(3),
+                    start: 1.0,
+                    end: 2.0,
+                }],
+                ..SimulationConfig::default()
+            },
+        );
     }
 
     #[test]

@@ -38,8 +38,9 @@ pub mod report;
 pub mod source;
 
 pub use engine::{
-    MigrationConfig, NetworkConfig, Outage, SchedulingPolicy, Simulation, SimulationConfig,
+    FailoverConfig, MigrationConfig, NetworkConfig, Outage, SchedulingPolicy, Simulation,
+    SimulationConfig,
 };
 pub use probe::{FeasibilityProbe, ProbeConfig, ProbeOutcome};
-pub use report::SimReport;
+pub use report::{RecoveryRecord, SimReport};
 pub use source::SourceSpec;

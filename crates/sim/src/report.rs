@@ -18,6 +18,30 @@ pub struct TimelineSample {
     pub migrations: u64,
 }
 
+/// One executed node-failure recovery: outage, detection, and the moment
+/// the last orphaned operator resumed on its backup host.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryRecord {
+    /// The failed node.
+    pub node: usize,
+    /// When the outage began.
+    pub outage_start: f64,
+    /// When the failure monitor noticed (outage start + detection delay).
+    pub detected_at: f64,
+    /// When the last failover migration completed and every orphan was
+    /// serving again on its backup.
+    pub recovered_at: f64,
+    /// Operators moved off the failed node.
+    pub operators_moved: usize,
+}
+
+impl RecoveryRecord {
+    /// Outage start to full recovery — the headline recovery latency.
+    pub fn recovery_latency(&self) -> f64 {
+        self.recovered_at - self.outage_start
+    }
+}
+
 /// Everything one simulation run reports.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SimReport {
@@ -55,6 +79,21 @@ pub struct SimReport {
     pub operator_served: Vec<u64>,
     /// Tuples dropped by load shedding (0 unless shedding was enabled).
     pub tuples_shed: u64,
+    /// Of `tuples_shed`, those dropped while a node was down or a
+    /// failover was in flight — the price of the recovery window.
+    pub tuples_shed_in_recovery: u64,
+    /// Failover migrations executed (operators moved off failed nodes);
+    /// kept separate from `migrations`, which counts only the dynamic
+    /// load manager's moves.
+    pub failovers: u64,
+    /// One record per completed node-failure recovery.
+    pub recoveries: Vec<RecoveryRecord>,
+    /// Highest per-node utilisation measured from the first outage start
+    /// to the horizon (None when no outage fired).
+    pub post_failure_max_utilisation: Option<f64>,
+    /// Final host of every operator (node index) — after migrations and
+    /// failovers; equals the initial placement for static healthy runs.
+    pub final_hosts: Vec<usize>,
 }
 
 impl SimReport {
@@ -98,6 +137,11 @@ mod tests {
             operator_busy: Vec::new(),
             operator_served: Vec::new(),
             tuples_shed: 0,
+            tuples_shed_in_recovery: 0,
+            failovers: 0,
+            recoveries: Vec::new(),
+            post_failure_max_utilisation: None,
+            final_hosts: Vec::new(),
         }
     }
 
@@ -113,5 +157,17 @@ mod tests {
         let r = report(vec![0.3, 0.6], false);
         assert_eq!(r.max_utilisation(), 0.6);
         assert!((r.mean_latency().unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_latency_spans_outage_to_resumption() {
+        let rec = RecoveryRecord {
+            node: 1,
+            outage_start: 10.0,
+            detected_at: 10.5,
+            recovered_at: 11.25,
+            operators_moved: 3,
+        };
+        assert!((rec.recovery_latency() - 1.25).abs() < 1e-12);
     }
 }

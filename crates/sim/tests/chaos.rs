@@ -1,0 +1,253 @@
+//! Chaos harness: randomized outage schedules against the invariants the
+//! recovery machinery must never break —
+//!
+//! 1. tuple conservation modulo declared sheds: on unit-selectivity
+//!    chains, sink output + counted drops + leftover queue never exceeds
+//!    the source input, and without shedding enabled nothing is dropped;
+//! 2. failover lands exactly per the precomputed table: after a single
+//!    detected outage, every operator of the dead node is hosted on its
+//!    table-designated backup;
+//! 3. deterministic replay: the same seed and schedule produce a
+//!    bit-identical report (checked through its JSON serialisation, the
+//!    same bytes the experiment harness persists);
+//! 4. termination: every randomized schedule runs to completion with
+//!    bounded queues (the `prop_assert`s after `.run()` are unreachable
+//!    otherwise).
+
+use proptest::prelude::*;
+
+use rod_core::allocation::Allocation;
+use rod_core::cluster::Cluster;
+use rod_core::graph::{GraphBuilder, QueryGraph};
+use rod_core::ids::{NodeId, OperatorId};
+use rod_core::load_model::LoadModel;
+use rod_core::operator::OperatorKind;
+use rod_core::resilience::FailoverTable;
+use rod_sim::{FailoverConfig, Outage, Simulation, SimulationConfig, SourceSpec};
+
+/// A chain of `k` unit-selectivity maps: every source tuple yields
+/// exactly one sink tuple unless it is shed or still in flight.
+fn unit_chain(k: usize) -> QueryGraph {
+    let mut b = GraphBuilder::new();
+    let mut up = b.add_input();
+    for j in 0..k {
+        let (_, s) = b
+            .add_operator(format!("m{j}"), OperatorKind::map(5e-4), &[up])
+            .unwrap();
+        up = s;
+    }
+    b.build().unwrap()
+}
+
+/// Round-robin placement of the chain across `n` nodes.
+fn spread(graph: &QueryGraph, n: usize) -> Allocation {
+    let mut alloc = Allocation::new(graph.num_operators(), n);
+    for j in 0..graph.num_operators() {
+        alloc.assign(OperatorId(j), NodeId(j % n));
+    }
+    alloc
+}
+
+/// Builds the outage schedule from raw proptest draws, clamped to the
+/// cluster and horizon so every generated schedule is valid.
+fn schedule(raw: &[(usize, u16, u16)], nodes: usize, horizon: f64) -> Vec<Outage> {
+    raw.iter()
+        .map(|&(node, start, dur)| {
+            let start = 1.0 + start as f64 / 100.0 * (horizon / 2.0 - 2.0);
+            let dur = 0.5 + dur as f64 / 100.0 * (horizon / 3.0);
+            Outage {
+                node: NodeId(node % nodes),
+                start,
+                end: (start + dur).min(horizon - 1.0),
+            }
+        })
+        .filter(|o| o.start < o.end)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn tuples_conserved_modulo_declared_sheds(
+        k in 1usize..4,
+        nodes in 2usize..4,
+        rate in 20.0..150.0f64,
+        seed in 0u64..1000,
+        raw in prop::collection::vec((0usize..4, 0u16..100, 0u16..100), 1..4),
+        bound in 30usize..200,
+    ) {
+        let graph = unit_chain(k);
+        let cluster = Cluster::homogeneous(nodes, 1.0);
+        let alloc = spread(&graph, nodes);
+        let horizon = 25.0;
+        let outages = schedule(&raw, nodes, horizon);
+        let model = LoadModel::derive(&graph).unwrap();
+        let table = FailoverTable::precompute(&model, &cluster, &alloc);
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(rate)],
+            SimulationConfig {
+                horizon,
+                warmup: 1.0,
+                seed,
+                outages,
+                failover: Some(FailoverConfig::new(table, 0.4)),
+                op_queue_bound: Some(bound),
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        // Conservation: every sink tuple, declared shed, and leftover
+        // queued item traces back to exactly one source tuple; in-flight
+        // events at the horizon account for any remainder.
+        prop_assert!(
+            report.tuples_out + report.tuples_shed + report.final_queue as u64
+                <= report.tuples_in,
+            "out {} + shed {} + queued {} > in {}",
+            report.tuples_out,
+            report.tuples_shed,
+            report.final_queue,
+            report.tuples_in
+        );
+        prop_assert!(report.tuples_shed_in_recovery <= report.tuples_shed);
+        // Termination with bounded queues: the run completed (we are
+        // here) without tripping the saturation cap.
+        prop_assert!(!report.saturated);
+        prop_assert!(report.peak_queue <= k * bound + k * nodes);
+    }
+
+    #[test]
+    fn without_shedding_nothing_is_dropped(
+        k in 1usize..4,
+        rate in 20.0..120.0f64,
+        seed in 0u64..1000,
+        raw in prop::collection::vec((0usize..3, 0u16..100, 0u16..100), 0..3),
+    ) {
+        let graph = unit_chain(k);
+        let nodes = 2;
+        let cluster = Cluster::homogeneous(nodes, 1.0);
+        let alloc = spread(&graph, nodes);
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(rate)],
+            SimulationConfig {
+                horizon: 25.0,
+                warmup: 1.0,
+                seed,
+                outages: schedule(&raw, nodes, 25.0),
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        prop_assert_eq!(report.tuples_shed, 0);
+        prop_assert_eq!(report.tuples_shed_in_recovery, 0);
+        prop_assert!(
+            report.tuples_out + report.final_queue as u64 <= report.tuples_in
+        );
+    }
+
+    #[test]
+    fn failover_lands_exactly_per_table(
+        nodes in 2usize..4,
+        failed in 0usize..4,
+        rate in 20.0..100.0f64,
+        seed in 0u64..1000,
+        delay_centi in 10u16..200,
+    ) {
+        // One outage, long enough to be detected, ending before the
+        // horizon with slack for every migration to complete.
+        let graph = unit_chain(3);
+        let cluster = Cluster::homogeneous(nodes, 1.0);
+        let alloc = spread(&graph, nodes);
+        let model = LoadModel::derive(&graph).unwrap();
+        let table = FailoverTable::precompute(&model, &cluster, &alloc);
+        let failed = NodeId(failed % nodes);
+        let delay = delay_centi as f64 / 100.0;
+        let outage = Outage { node: failed, start: 5.0, end: 5.0 + delay + 10.0 };
+        let orphans: Vec<OperatorId> = alloc.operators_on(failed);
+        let report = Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(rate)],
+            SimulationConfig {
+                horizon: 40.0,
+                warmup: 1.0,
+                seed,
+                outages: vec![outage],
+                failover: Some(FailoverConfig::new(table.clone(), delay)),
+                ..SimulationConfig::default()
+            },
+        )
+        .run();
+        prop_assert_eq!(report.failovers as usize, orphans.len());
+        prop_assert_eq!(report.recoveries.len(), 1);
+        let rec = &report.recoveries[0];
+        prop_assert_eq!(rec.node, failed.index());
+        prop_assert_eq!(rec.operators_moved, orphans.len());
+        prop_assert!((rec.detected_at - (5.0 + delay)).abs() < 1e-9);
+        for op in orphans {
+            let planned = table.backup_of(failed, op).expect("table covers hosted ops");
+            prop_assert_eq!(
+                report.final_hosts[op.index()],
+                planned.index(),
+                "operator {} not on its designated backup",
+                op.index()
+            );
+        }
+        // Untouched operators never move.
+        for j in 0..graph.num_operators() {
+            if !report.final_hosts.is_empty() && NodeId(j % nodes) != failed {
+                prop_assert_eq!(report.final_hosts[j], j % nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn seed_identical_reruns_are_bit_identical(
+        nodes in 2usize..4,
+        rate in 20.0..150.0f64,
+        seed in 0u64..1000,
+        raw in prop::collection::vec((0usize..4, 0u16..100, 0u16..100), 0..4),
+        failover_flag in 0u8..2,
+    ) {
+        let graph = unit_chain(2);
+        let cluster = Cluster::homogeneous(nodes, 1.0);
+        let alloc = spread(&graph, nodes);
+        let model = LoadModel::derive(&graph).unwrap();
+        let failover = if failover_flag == 1 {
+            Some(FailoverConfig::new(
+                FailoverTable::precompute(&model, &cluster, &alloc),
+                0.3,
+            ))
+        } else {
+            None
+        };
+        let run = || {
+            Simulation::new(
+                &graph,
+                &alloc,
+                &cluster,
+                vec![SourceSpec::ConstantRate(rate)],
+                SimulationConfig {
+                    horizon: 20.0,
+                    warmup: 1.0,
+                    seed,
+                    outages: schedule(&raw, nodes, 20.0),
+                    failover: failover.clone(),
+                    op_queue_bound: Some(500),
+                    ..SimulationConfig::default()
+                },
+            )
+            .run()
+        };
+        let a = serde_json::to_string(&run()).unwrap();
+        let b = serde_json::to_string(&run()).unwrap();
+        prop_assert_eq!(a, b, "seed-identical reruns diverged");
+    }
+}

@@ -166,6 +166,107 @@ fn bursty_traces_hurt_less_resilient_plans_more() {
 }
 
 #[test]
+fn outage_without_failover_starves_then_drains() {
+    // A mid-run outage with no recovery configured: tuples routed to the
+    // dead node queue up during the outage, then drain once it returns —
+    // the run stays deterministic and conserves tuples.
+    let graph = RandomTreeGenerator::paper_default(2, 6).generate(4);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(2, 1.0);
+    let alloc = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    let run = |outages: Vec<Outage>| {
+        Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(30.0); 2],
+            SimulationConfig {
+                horizon: 40.0,
+                warmup: 2.0,
+                seed: 11,
+                outages,
+                ..SimulationConfig::default()
+            },
+        )
+        .run()
+    };
+    let healthy = run(vec![]);
+    let hit = run(vec![Outage {
+        node: NodeId(0),
+        start: 10.0,
+        end: 18.0,
+    }]);
+    assert_eq!(hit.failovers, 0, "no failover was configured");
+    assert!(hit.recoveries.is_empty());
+    assert!(
+        hit.peak_queue > healthy.peak_queue,
+        "outage did not back anything up: {} vs {}",
+        hit.peak_queue,
+        healthy.peak_queue
+    );
+    // Selectivities are non-unit here, so no tuple-count identity — but
+    // the backlog must drain after the node returns and nothing is shed.
+    assert_eq!(hit.tuples_shed, 0);
+    assert!(hit.tuples_out > 0);
+    assert!(hit.post_failure_max_utilisation.is_some());
+}
+
+#[test]
+fn failover_rehomes_orphans_and_records_recovery() {
+    // With a FailoverTable, a permanent outage is detected and every
+    // orphaned operator lands on its designated backup before the end of
+    // the run; throughput resumes instead of starving.
+    let graph = RandomTreeGenerator::paper_default(2, 6).generate(4);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(3, 1.0);
+    let alloc = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    let table = FailoverTable::precompute(&model, &cluster, &alloc);
+    let dead = NodeId(0);
+    let orphans = alloc.operators_on(dead);
+    assert!(!orphans.is_empty(), "fixture: node 0 must host operators");
+    let report = Simulation::new(
+        &graph,
+        &alloc,
+        &cluster,
+        vec![SourceSpec::ConstantRate(30.0); 2],
+        SimulationConfig {
+            horizon: 40.0,
+            warmup: 2.0,
+            seed: 11,
+            outages: vec![Outage {
+                node: dead,
+                start: 10.0,
+                end: 39.0,
+            }],
+            failover: Some(FailoverConfig::new(table.clone(), 0.5)),
+            ..SimulationConfig::default()
+        },
+    )
+    .run();
+    assert_eq!(report.failovers as usize, orphans.len());
+    assert_eq!(report.recoveries.len(), 1);
+    let rec = &report.recoveries[0];
+    assert_eq!(rec.node, dead.index());
+    assert!((rec.detected_at - 10.5).abs() < 1e-9);
+    assert!(rec.recovered_at >= rec.detected_at);
+    for op in orphans {
+        let backup = table.backup_of(dead, op).unwrap();
+        assert_eq!(
+            report.final_hosts[op.index()],
+            backup.index(),
+            "operator {} not on its table backup",
+            op.index()
+        );
+    }
+}
+
+#[test]
 fn join_graph_runs_in_simulator() {
     use rod::workloads::joins::{join_pairs, JoinConfig};
     let graph = join_pairs(&JoinConfig::default(), 5);
