@@ -1,0 +1,78 @@
+//! Cost of the tracing hooks when tracing is **off**.
+//!
+//! The engine guards every trace emission with `if self.sink.enabled()`,
+//! and [`NullSink::enabled`] is an `#[inline(always)] false` — after
+//! monomorphisation the untraced engine should contain no record
+//! construction at all. This bench pins that contract: a `NullSink` run
+//! must be within noise (the acceptance bar is ≤ 5% overhead) of the
+//! pre-tracing engine, measured against a collecting `VecSink` run of
+//! the same scenario for scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rod_core::allocation::Allocation;
+use rod_core::cluster::Cluster;
+use rod_core::graph::{GraphBuilder, QueryGraph};
+use rod_core::ids::{NodeId, OperatorId};
+use rod_core::operator::OperatorKind;
+use rod_sim::{Simulation, SimulationConfig, SourceSpec, VecSink};
+
+fn chain(k: usize) -> QueryGraph {
+    let mut b = GraphBuilder::new();
+    let mut up = b.add_input();
+    for j in 0..k {
+        let (_, s) = b
+            .add_operator(format!("m{j}"), OperatorKind::map(2e-4), &[up])
+            .unwrap();
+        up = s;
+    }
+    b.build().unwrap()
+}
+
+fn spread(graph: &QueryGraph, n: usize) -> Allocation {
+    let mut alloc = Allocation::new(graph.num_operators(), n);
+    for j in 0..graph.num_operators() {
+        alloc.assign(OperatorId(j), NodeId(j % n));
+    }
+    alloc
+}
+
+fn config() -> SimulationConfig {
+    SimulationConfig {
+        horizon: 10.0,
+        warmup: 1.0,
+        seed: 11,
+        sample_interval: Some(0.5),
+        ..SimulationConfig::default()
+    }
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let graph = chain(4);
+    let cluster = Cluster::homogeneous(2, 1.0);
+    let alloc = spread(&graph, 2);
+    let sources = || vec![SourceSpec::ConstantRate(400.0)];
+
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(20);
+    // The default run() path: NullSink, tracing compiled out.
+    group.bench_function("null_sink", |b| {
+        b.iter(|| {
+            let sim = Simulation::new(&graph, &alloc, &cluster, sources(), config());
+            std::hint::black_box(sim.run())
+        })
+    });
+    // The fully-collecting path: every record built and cloned.
+    group.bench_function("vec_sink", |b| {
+        b.iter(|| {
+            let sim = Simulation::new(&graph, &alloc, &cluster, sources(), config());
+            let mut sink = VecSink::new();
+            let report = sim.run_with_sink(&mut sink);
+            std::hint::black_box((report, sink.records.len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

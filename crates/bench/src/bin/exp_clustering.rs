@@ -31,6 +31,8 @@ struct ClusterRow {
 }
 
 fn main() {
+    let metrics = rod_core::obs::MetricsRegistry::new();
+    let bench_start = std::time::Instant::now();
     let inputs = 3;
     let graph = RandomTreeGenerator::paper_default(inputs, 12).generate(63);
     let model = LoadModel::derive(&graph).unwrap();
@@ -98,11 +100,9 @@ fn main() {
     let best = candidates
         .iter()
         .min_by(|a, b| {
-            a.internode_arcs.cmp(&b.internode_arcs).then(
-                b.min_plane_distance
-                    .partial_cmp(&a.min_plane_distance)
-                    .expect("finite"),
-            )
+            a.internode_arcs
+                .cmp(&b.internode_arcs)
+                .then(b.min_plane_distance.total_cmp(&a.min_plane_distance))
         })
         .expect("non-empty sweep");
     let unit_load = model.total_load(&model.variable_point(&vec![1.0; inputs]));
@@ -156,4 +156,6 @@ fn main() {
          beats plain ROD's."
     );
     write_json("exp_clustering", &payload);
+    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
+    rod_bench::output::write_metrics(&metrics);
 }

@@ -31,7 +31,7 @@ use rod_core::resilience::{
 };
 use rod_core::rod::RodPlanner;
 use rod_geom::VolumeEstimator;
-use rod_sim::{FailoverConfig, Outage, Simulation, SimulationConfig, SourceSpec};
+use rod_sim::{FailoverConfig, Outage, Simulation, SimulationConfig, SourceSpec, TimelineSample};
 use rod_workloads::RandomTreeGenerator;
 
 const SAMPLES: usize = 6_000;
@@ -47,6 +47,9 @@ struct Row {
     recovery_latency_s: Option<f64>,
     tuples_shed_in_recovery: u64,
     post_failure_max_utilisation: Option<f64>,
+    /// Utilisation / queue-depth samples on a 1 s tick across the
+    /// outage, detection, and recovery phases.
+    timeline: Vec<TimelineSample>,
 }
 
 struct Scored {
@@ -85,6 +88,8 @@ fn score(
 }
 
 fn main() {
+    let metrics = rod_core::obs::MetricsRegistry::new();
+    let bench_start = std::time::Instant::now();
     let mut rows = Vec::new();
     let mut payload: Vec<Row> = Vec::new();
 
@@ -108,7 +113,7 @@ fn main() {
         let scenarios = FailureScenario::all_single(nodes);
 
         let rod = RodPlanner::new()
-            .place(&model, &cluster)
+            .place_with_metrics(&model, &cluster, &metrics)
             .unwrap()
             .allocation;
         let resilient = ResilientRodPlanner::with_options(ResilientRodOptions {
@@ -116,12 +121,12 @@ fn main() {
             seed: QMC_SEED,
             ..ResilientRodOptions::default()
         })
-        .place(&model, &cluster)
+        .place_with_metrics(&model, &cluster, &metrics)
         .unwrap();
         let llf = build_planner(&PlannerSpec::Llf {
             rates: vec![1.0; model.num_vars()],
         })
-        .plan(&model, &cluster)
+        .plan_with_metrics(&model, &cluster, &metrics)
         .unwrap();
 
         let scored = [
@@ -169,6 +174,7 @@ fn main() {
                     failover: Some(FailoverConfig::new(table, 0.5)),
                     op_queue_bound: Some(20_000),
                     max_queue: 500_000,
+                    sample_interval: Some(1.0),
                     ..SimulationConfig::default()
                 },
             )
@@ -193,6 +199,7 @@ fn main() {
                 recovery_latency_s: latency,
                 tuples_shed_in_recovery: report.tuples_shed_in_recovery,
                 post_failure_max_utilisation: report.post_failure_max_utilisation,
+                timeline: report.timeline,
             });
         }
     }
@@ -217,4 +224,6 @@ fn main() {
          detection delay\nplus per-operator migration downtime, independent of the planner."
     );
     write_json("exp_failover", &payload);
+    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
+    rod_bench::output::write_metrics(&metrics);
 }

@@ -51,7 +51,7 @@ fn heavy_operators(model: &LoadModel, share: f64) -> Vec<OperatorId> {
     let mut ops: Vec<(OperatorId, f64)> = (0..model.num_operators())
         .map(|j| (OperatorId(j), model.operator_norm(OperatorId(j))))
         .collect();
-    ops.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    ops.sort_by(|a, b| b.1.total_cmp(&a.1));
     let total: f64 = ops.iter().map(|(_, n)| n).sum();
     let mut acc = 0.0;
     let mut pinned = Vec::new();
@@ -66,6 +66,8 @@ fn heavy_operators(model: &LoadModel, share: f64) -> Vec<OperatorId> {
 }
 
 fn main() {
+    let metrics = rod_core::obs::MetricsRegistry::new();
+    let bench_start = std::time::Instant::now();
     let inputs = 3;
     let graph = RandomTreeGenerator::paper_default(inputs, 12).generate(99);
     let model = LoadModel::derive(&graph).unwrap();
@@ -197,4 +199,6 @@ fn main() {
          still trails."
     );
     write_json("exp_hybrid", &payload);
+    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
+    rod_bench::output::write_metrics(&metrics);
 }

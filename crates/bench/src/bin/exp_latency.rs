@@ -19,7 +19,7 @@ use rod_core::baselines::{build_planner, PlannerSpec};
 use rod_core::cluster::Cluster;
 use rod_core::load_model::LoadModel;
 use rod_geom::rng::derive_seed;
-use rod_sim::{Simulation, SimulationConfig, SourceSpec};
+use rod_sim::{Simulation, SimulationConfig, SourceSpec, TimelineSample};
 use rod_traces::{paper_traces, Trace};
 use rod_workloads::RandomTreeGenerator;
 
@@ -30,9 +30,14 @@ struct LatencyRow {
     p99_latency_ms: Option<f64>,
     max_utilisation: f64,
     saturated: bool,
+    /// Per-node utilisation / queue-depth samples on a 1 s tick, so the
+    /// burst trajectory behind the latency numbers can be plotted.
+    timeline: Vec<TimelineSample>,
 }
 
 fn main() {
+    let metrics = rod_core::obs::MetricsRegistry::new();
+    let bench_start = std::time::Instant::now();
     let inputs = 3;
     let graph = RandomTreeGenerator::paper_default(inputs, 12).generate(77);
     let model = LoadModel::derive(&graph).unwrap();
@@ -75,7 +80,9 @@ fn main() {
     let plans: Vec<(&str, Allocation)> = specs
         .iter()
         .map(|spec| {
-            let alloc = build_planner(spec).plan(&model, &cluster).unwrap();
+            let alloc = build_planner(spec)
+                .plan_with_metrics(&model, &cluster, &metrics)
+                .unwrap();
             (spec.name(), alloc)
         })
         .collect();
@@ -97,12 +104,14 @@ fn main() {
                 warmup: horizon * 0.1,
                 seed: derive_seed(500, name.len() as u64),
                 max_queue: 400_000,
+                sample_interval: Some(1.0),
                 ..SimulationConfig::default()
             },
         )
         .run();
         let mean_ms = report.mean_latency().map(|l| l * 1e3);
-        let p99_ms = report.latencies.quantile(0.99).map(|l| l * 1e3);
+        // None-safe: a fully saturated/shed run has no latency samples.
+        let p99_ms = report.p99_latency().map(|l| l * 1e3);
         rows.push(vec![
             name.to_string(),
             mean_ms.map_or("-".into(), fmt),
@@ -117,6 +126,7 @@ fn main() {
             p99_latency_ms: p99_ms,
             max_utilisation: report.max_utilisation(),
             saturated: report.saturated,
+            timeline: report.timeline,
         });
     }
 
@@ -138,4 +148,6 @@ fn main() {
          tail latency explodes."
     );
     write_json("exp_latency", &payload);
+    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
+    rod_bench::output::write_metrics(&metrics);
 }

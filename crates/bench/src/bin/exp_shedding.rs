@@ -33,6 +33,8 @@ struct Row {
 }
 
 fn main() {
+    let metrics = rod_core::obs::MetricsRegistry::new();
+    let bench_start = std::time::Instant::now();
     // Four small trees on two nodes: each chain fits under Connected's
     // fair-share cap, so Connected keeps chains whole (two streams
     // concentrated per node) while ROD spreads every stream.
@@ -134,4 +136,6 @@ fn main() {
          ideal set both must shed, ROD less."
     );
     write_json("exp_shedding", &payload);
+    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
+    rod_bench::output::write_metrics(&metrics);
 }

@@ -47,6 +47,24 @@ pub fn write_json<T: Serialize>(name: &str, payload: &T) {
     println!("[results written to {}]", path.display());
 }
 
+/// Value of a `--flag VALUE`-style argument on the command line.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}
+
+/// Honours the experiment binaries' shared `--metrics-out FILE` flag:
+/// when present, freezes `metrics` and writes the snapshot as pretty
+/// JSON to FILE. Without the flag this is a no-op, so every `exp_*` bin
+/// can call it unconditionally at exit.
+pub fn write_metrics(metrics: &rod_core::obs::MetricsRegistry) {
+    if let Some(path) = arg_value("--metrics-out") {
+        let json = serde_json::to_string_pretty(&metrics.snapshot()).expect("snapshot serialises");
+        fs::write(&path, json).expect("write metrics file");
+        println!("[metrics written to {path}]");
+    }
+}
+
 /// Formats a float with 4 significant decimals for tables.
 pub fn fmt(x: f64) -> String {
     if x.is_infinite() {

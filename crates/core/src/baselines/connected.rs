@@ -74,10 +74,8 @@ impl Planner for ConnectedPlanner {
                 .iter()
                 .enumerate()
                 .max_by(|(_, a), (_, b)| {
-                    loads[a.index()]
-                        .partial_cmp(&loads[b.index()])
-                        .expect("finite")
-                        .then(b.cmp(a)) // lowest id wins ties
+                    loads[a.index()].total_cmp(&loads[b.index()]).then(b.cmp(a))
+                    // lowest id wins ties
                 })
                 .expect("non-empty");
             let seed = unassigned.swap_remove(pos);
@@ -85,7 +83,7 @@ impl Planner for ConnectedPlanner {
                 .min_by(|&a, &b| {
                     let ra = node_load[a] / cluster.capacity(NodeId(a));
                     let rb = node_load[b] / cluster.capacity(NodeId(b));
-                    ra.partial_cmp(&rb).expect("finite").then(a.cmp(&b))
+                    ra.total_cmp(&rb).then(a.cmp(&b))
                 })
                 .expect("non-empty cluster");
             alloc.assign(seed, NodeId(ns));

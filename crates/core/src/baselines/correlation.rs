@@ -103,8 +103,7 @@ impl Planner for CorrelationPlanner {
         let mut order: Vec<OperatorId> = (0..m).map(OperatorId).collect();
         order.sort_by(|&a, &b| {
             mean_loads[b.index()]
-                .partial_cmp(&mean_loads[a.index()])
-                .expect("finite")
+                .total_cmp(&mean_loads[a.index()])
                 .then(a.cmp(&b))
         });
 
@@ -121,10 +120,7 @@ impl Planner for CorrelationPlanner {
                     let cb = correlation(op_series, &node_series[b]);
                     let la = node_mean[a] / cluster.capacity(NodeId(a));
                     let lb = node_mean[b] / cluster.capacity(NodeId(b));
-                    ca.partial_cmp(&cb)
-                        .expect("finite")
-                        .then(la.partial_cmp(&lb).expect("finite"))
-                        .then(a.cmp(&b))
+                    ca.total_cmp(&cb).then(la.total_cmp(&lb)).then(a.cmp(&b))
                 })
                 .expect("non-empty cluster");
             alloc.assign(op, NodeId(dest));

@@ -61,8 +61,7 @@ impl Planner for LlfPlanner {
         let mut order: Vec<OperatorId> = (0..m).map(OperatorId).collect();
         order.sort_by(|&a, &b| {
             loads[b.index()]
-                .partial_cmp(&loads[a.index()])
-                .expect("finite loads")
+                .total_cmp(&loads[a.index()])
                 .then(a.cmp(&b))
         });
 
@@ -74,7 +73,7 @@ impl Planner for LlfPlanner {
                 .min_by(|&a, &b| {
                     let ra = node_load[a] / cluster.capacity(NodeId(a));
                     let rb = node_load[b] / cluster.capacity(NodeId(b));
-                    ra.partial_cmp(&rb).expect("finite").then(a.cmp(&b))
+                    ra.total_cmp(&rb).then(a.cmp(&b))
                 })
                 .expect("non-empty cluster");
             alloc.assign(op, NodeId(dest));

@@ -30,6 +30,7 @@ use crate::allocation::Allocation;
 use crate::cluster::Cluster;
 use crate::error::PlacementError;
 use crate::load_model::LoadModel;
+use crate::obs::MetricsRegistry;
 
 /// A static operator-placement algorithm.
 pub trait Planner {
@@ -39,6 +40,22 @@ pub trait Planner {
     /// Produces a complete allocation of every operator in `model` onto
     /// `cluster`.
     fn plan(&self, model: &LoadModel, cluster: &Cluster) -> Result<Allocation, PlacementError>;
+
+    /// Like [`plan`](Planner::plan), additionally recording phase timings
+    /// and work counters into `metrics`. The default implementation times
+    /// the whole run under `<name>.plan_seconds`; planners with internal
+    /// phases (ROD, ResilientRod) override it with finer-grained metrics.
+    fn plan_with_metrics(
+        &self,
+        model: &LoadModel,
+        cluster: &Cluster,
+        metrics: &MetricsRegistry,
+    ) -> Result<Allocation, PlacementError> {
+        let name = self.name();
+        metrics.time(&format!("{name}.plan_seconds"), || {
+            self.plan(model, cluster)
+        })
+    }
 }
 
 /// Validates the common preconditions shared by every baseline.

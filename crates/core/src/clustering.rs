@@ -205,7 +205,7 @@ pub fn cluster_operators(
         }
         let pick = match policy {
             ClusteringPolicy::LargestRatio => {
-                candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite ratio"));
+                candidates.sort_by(|a, b| b.2.total_cmp(&a.2));
                 candidates[0]
             }
             ClusteringPolicy::MinWeight => {
@@ -214,7 +214,7 @@ pub fn cluster_operators(
                         + cluster_weight(model, clustering.members(clustering.cluster_of(a.1)));
                     let wb = cluster_weight(model, clustering.members(clustering.cluster_of(b.0)))
                         + cluster_weight(model, clustering.members(clustering.cluster_of(b.1)));
-                    wa.partial_cmp(&wb).expect("finite weight")
+                    wa.total_cmp(&wb)
                 });
                 candidates[0]
             }
@@ -259,12 +259,7 @@ pub fn place_clustered(
 
     let mut order: Vec<usize> = (0..nc).collect();
     let norm = |row: &[f64]| row.iter().map(|v| v * v).sum::<f64>().sqrt();
-    order.sort_by(|&a, &b| {
-        norm(&rows[b])
-            .partial_cmp(&norm(&rows[a]))
-            .expect("finite")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| norm(&rows[b]).total_cmp(&norm(&rows[a])).then(a.cmp(&b)));
 
     let mut ln = vec![0.0; n * d];
     let mut destination = vec![0usize; nc];
@@ -310,7 +305,7 @@ pub fn place_clustered(
         let dest = pool
             .iter()
             .copied()
-            .max_by(|&a, &b| dist(a).partial_cmp(&dist(b)).expect("finite"))
+            .max_by(|&a, &b| dist(a).total_cmp(&dist(b)))
             .expect("non-empty pool");
         destination[c] = dest;
         for k in 0..d {
@@ -392,11 +387,7 @@ impl ClusteringSearch {
                 });
             }
         }
-        out.sort_by(|a, b| {
-            b.min_plane_distance
-                .partial_cmp(&a.min_plane_distance)
-                .expect("finite distances")
-        });
+        out.sort_by(|a, b| b.min_plane_distance.total_cmp(&a.min_plane_distance));
         Ok(out)
     }
 

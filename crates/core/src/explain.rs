@@ -70,7 +70,7 @@ pub fn explain_plan(ev: &PlanEvaluator<'_>, alloc: &Allocation) -> String {
         .as_slice()
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .expect("at least one axis");
     let _ = writeln!(
         out,

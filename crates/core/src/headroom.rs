@@ -45,7 +45,7 @@ impl HeadroomReport {
             .iter()
             .copied()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite or inf"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 
@@ -114,7 +114,7 @@ pub fn headroom(ev: &PlanEvaluator<'_>, alloc: &Allocation, base_rates: &[f64]) 
                 .sum();
             (load > 0.0).then_some((i, caps[i] / load))
         })
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .map(|(i, _)| NodeId(i))
         .unwrap_or(NodeId(0));
 

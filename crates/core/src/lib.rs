@@ -63,6 +63,7 @@ pub mod ids;
 pub mod linearize;
 pub mod load_model;
 pub mod metrics;
+pub mod obs;
 pub mod operator;
 pub mod resilience;
 pub mod rod;
@@ -75,6 +76,7 @@ pub use eval::{CandidateScore, IncrementalPlanEval, PlanSnapshot, SampledFeasibi
 pub use graph::{GraphBuilder, QueryGraph};
 pub use ids::{InputId, NodeId, OperatorId, StreamId, VarId};
 pub use load_model::{LoadModel, RateExpr};
+pub use obs::{MetricsRegistry, MetricsSnapshot};
 pub use operator::{OperatorKind, OperatorSpec};
 pub use resilience::{
     FailoverTable, FailureScenario, ResilientPlan, ResilientRodOptions, ResilientRodPlanner,
@@ -94,6 +96,7 @@ pub mod prelude {
     pub use crate::graph::{GraphBuilder, QueryGraph};
     pub use crate::ids::{InputId, NodeId, OperatorId, StreamId, VarId};
     pub use crate::load_model::{LoadModel, RateExpr};
+    pub use crate::obs::{MetricsRegistry, MetricsSnapshot};
     pub use crate::operator::{OperatorKind, OperatorSpec};
     pub use crate::resilience::{
         FailoverTable, FailureScenario, ResilientPlan, ResilientRodOptions, ResilientRodPlanner,

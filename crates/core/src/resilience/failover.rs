@@ -43,8 +43,7 @@ pub fn survivor_moves(
     orphans.sort_by(|&a, &b| {
         model
             .operator_norm(b)
-            .partial_cmp(&model.operator_norm(a))
-            .expect("finite norms")
+            .total_cmp(&model.operator_norm(a))
             .then(a.cmp(&b))
     });
     let survivors = scenario.survivors(cluster.num_nodes());

@@ -1,5 +1,7 @@
 //! ResilientRod: maximise the worst-case survivor feasible set.
 
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 
 use crate::allocation::Allocation;
@@ -8,6 +10,7 @@ use crate::cluster::Cluster;
 use crate::error::PlacementError;
 use crate::ids::{NodeId, OperatorId};
 use crate::load_model::LoadModel;
+use crate::obs::MetricsRegistry;
 use crate::resilience::failover::{FailoverTable, ScenarioScorer};
 use crate::resilience::scenario::FailureScenario;
 use crate::rod::RodPlanner;
@@ -103,12 +106,41 @@ impl ResilientRodPlanner {
         model: &LoadModel,
         cluster: &Cluster,
     ) -> Result<ResilientPlan, PlacementError> {
-        let seed_plan = RodPlanner::new().place(model, cluster)?;
+        self.place_impl(model, cluster, None)
+    }
+
+    /// Like [`place`](ResilientRodPlanner::place), additionally recording
+    /// phase timings (`resilient_rod.qmc_seconds`,
+    /// `resilient_rod.hill_climb_seconds`) and hill-climb work counters
+    /// (`resilient_rod.iterations`, `resilient_rod.accepted_moves`,
+    /// `resilient_rod.candidate_moves`) into `metrics`.
+    pub fn place_with_metrics(
+        &self,
+        model: &LoadModel,
+        cluster: &Cluster,
+        metrics: &MetricsRegistry,
+    ) -> Result<ResilientPlan, PlacementError> {
+        self.place_impl(model, cluster, Some(metrics))
+    }
+
+    fn place_impl(
+        &self,
+        model: &LoadModel,
+        cluster: &Cluster,
+        metrics: Option<&MetricsRegistry>,
+    ) -> Result<ResilientPlan, PlacementError> {
+        let seed_plan = match metrics {
+            Some(m) => RodPlanner::new().place_with_metrics(model, cluster, m)?,
+            None => RodPlanner::new().place(model, cluster)?,
+        };
         let mut alloc = seed_plan.allocation;
         let n = cluster.num_nodes();
         let m = model.num_operators();
 
         let scenarios = FailureScenario::all_up_to_k(n, self.options.max_failures);
+        // QMC point-set construction is the volume-estimation batch cost;
+        // timed here because rod-geom cannot depend on the core registry.
+        let qmc_start = Instant::now();
         let estimator = VolumeEstimator::new(
             model.total_coeffs().as_slice(),
             cluster.total_capacity(),
@@ -116,17 +148,29 @@ impl ResilientRodPlanner {
             self.options.seed,
         );
         let mut scorer = ScenarioScorer::new(model, cluster, estimator.points());
+        if let Some(metrics) = metrics {
+            metrics.observe(
+                "resilient_rod.qmc_seconds",
+                qmc_start.elapsed().as_secs_f64(),
+            );
+            metrics.set_gauge("resilient_rod.qmc_points", scorer.num_points() as f64);
+        }
 
         // A single-node cluster has no survivable failure; ResilientRod
         // degenerates to plain ROD (scenarios is empty, worst = healthy).
         let baseline_worst = scorer.worst_case_alive(&alloc, &scenarios);
         let mut best = (baseline_worst, scorer.healthy_alive(&alloc));
         let mut moves = 0;
+        let mut iterations = 0u64;
+        let mut candidate_moves = 0u64;
+        let climb_start = Instant::now();
 
         // Steepest-ascent over all (operator, destination) single moves;
         // ties broken by scan order (lowest operator, then lowest node),
         // so runs are deterministic.
         while moves < self.options.max_moves {
+            iterations += 1;
+            let iter_start = Instant::now();
             let mut improved: Option<(OperatorId, NodeId, (usize, usize))> = None;
             for j in 0..m {
                 let op = OperatorId(j);
@@ -136,6 +180,7 @@ impl ResilientRodPlanner {
                     if dest == home {
                         continue;
                     }
+                    candidate_moves += 1;
                     alloc.assign(op, dest);
                     let score = (
                         scorer.worst_case_alive(&alloc, &scenarios),
@@ -148,6 +193,12 @@ impl ResilientRodPlanner {
                     }
                 }
             }
+            if let Some(metrics) = metrics {
+                metrics.observe(
+                    "resilient_rod.iteration_seconds",
+                    iter_start.elapsed().as_secs_f64(),
+                );
+            }
             match improved {
                 Some((op, dest, score)) => {
                     alloc.assign(op, dest);
@@ -156,6 +207,15 @@ impl ResilientRodPlanner {
                 }
                 None => break,
             }
+        }
+        if let Some(metrics) = metrics {
+            metrics.observe(
+                "resilient_rod.hill_climb_seconds",
+                climb_start.elapsed().as_secs_f64(),
+            );
+            metrics.add("resilient_rod.iterations", iterations);
+            metrics.add("resilient_rod.accepted_moves", moves as u64);
+            metrics.add("resilient_rod.candidate_moves", candidate_moves);
         }
 
         let failover = if n >= 2 {
@@ -183,6 +243,16 @@ impl Planner for ResilientRodPlanner {
 
     fn plan(&self, model: &LoadModel, cluster: &Cluster) -> Result<Allocation, PlacementError> {
         self.place(model, cluster).map(|p| p.allocation)
+    }
+
+    fn plan_with_metrics(
+        &self,
+        model: &LoadModel,
+        cluster: &Cluster,
+        metrics: &MetricsRegistry,
+    ) -> Result<Allocation, PlacementError> {
+        self.place_with_metrics(model, cluster, metrics)
+            .map(|p| p.allocation)
     }
 }
 

@@ -26,6 +26,8 @@ use serde::{Deserialize, Serialize};
 use rand::seq::SliceRandom;
 use rod_geom::seeded_rng;
 
+use std::time::Instant;
+
 use crate::allocation::Allocation;
 use crate::baselines::Planner;
 use crate::cluster::Cluster;
@@ -33,6 +35,7 @@ use crate::error::PlacementError;
 use crate::eval::{CandidateScore, IncrementalPlanEval};
 use crate::ids::{NodeId, OperatorId};
 use crate::load_model::LoadModel;
+use crate::obs::MetricsRegistry;
 
 /// How to break ties among Class I nodes (paper §5.2: "choosing any node
 /// from Class I does not affect the final feasible set size in this step.
@@ -155,6 +158,27 @@ impl RodPlanner {
 
     /// Runs ROD and returns the plan with diagnostics.
     pub fn place(&self, model: &LoadModel, cluster: &Cluster) -> Result<RodPlan, PlacementError> {
+        self.place_impl(model, cluster, None)
+    }
+
+    /// Like [`place`](RodPlanner::place), additionally recording per-phase
+    /// wall-clock timings (`rod.phase1_seconds`, `rod.phase2_seconds`) and
+    /// step-class counters into `metrics`.
+    pub fn place_with_metrics(
+        &self,
+        model: &LoadModel,
+        cluster: &Cluster,
+        metrics: &MetricsRegistry,
+    ) -> Result<RodPlan, PlacementError> {
+        self.place_impl(model, cluster, Some(metrics))
+    }
+
+    fn place_impl(
+        &self,
+        model: &LoadModel,
+        cluster: &Cluster,
+        metrics: Option<&MetricsRegistry>,
+    ) -> Result<RodPlan, PlacementError> {
         cluster.validate()?;
         let m = model.num_operators();
         if m == 0 {
@@ -171,26 +195,31 @@ impl RodPlanner {
         }
 
         // ---- Phase 1: order the operators. ----
+        let phase1_start = Instant::now();
         let mut order: Vec<OperatorId> = (0..m).map(OperatorId).collect();
         match self.options.ordering {
             OperatorOrdering::NormDescending => order.sort_by(|&a, &b| {
                 model
                     .operator_norm(b)
-                    .partial_cmp(&model.operator_norm(a))
-                    .expect("finite norms")
+                    .total_cmp(&model.operator_norm(a))
                     .then(a.cmp(&b))
             }),
             OperatorOrdering::NormAscending => order.sort_by(|&a, &b| {
                 model
                     .operator_norm(a)
-                    .partial_cmp(&model.operator_norm(b))
-                    .expect("finite norms")
+                    .total_cmp(&model.operator_norm(b))
                     .then(a.cmp(&b))
             }),
             OperatorOrdering::ByIndex => {}
         }
+        if let Some(metrics) = metrics {
+            metrics.observe("rod.phase1_seconds", phase1_start.elapsed().as_secs_f64());
+            metrics.set_gauge("rod.operators", m as f64);
+            metrics.set_gauge("rod.nodes", n as f64);
+        }
 
         // ---- Phase 2: greedy assignment. ----
+        let phase2_start = Instant::now();
         let adjacency = match self.options.class_one_policy {
             ClassOnePolicy::MinCommunication => model.graph().adjacency(),
             _ => Vec::new(),
@@ -253,6 +282,23 @@ impl RodPlanner {
             eval.assign(op, NodeId(dest));
             step_classes.push(class);
         }
+        if let Some(metrics) = metrics {
+            metrics.observe("rod.phase2_seconds", phase2_start.elapsed().as_secs_f64());
+            metrics.add(
+                "rod.steps_class_one",
+                step_classes
+                    .iter()
+                    .filter(|c| **c == StepClass::ClassOne)
+                    .count() as u64,
+            );
+            metrics.add(
+                "rod.steps_class_two",
+                step_classes
+                    .iter()
+                    .filter(|c| **c == StepClass::ClassTwo)
+                    .count() as u64,
+            );
+        }
 
         Ok(RodPlan {
             allocation: eval.into_allocation(),
@@ -302,8 +348,7 @@ impl RodPlanner {
         pending.sort_by(|&a, &b| {
             model
                 .operator_norm(b)
-                .partial_cmp(&model.operator_norm(a))
-                .expect("finite norms")
+                .total_cmp(&model.operator_norm(a))
                 .then(a.cmp(&b))
         });
 
@@ -345,6 +390,16 @@ impl Planner for RodPlanner {
 
     fn plan(&self, model: &LoadModel, cluster: &Cluster) -> Result<Allocation, PlacementError> {
         self.place(model, cluster).map(|p| p.allocation)
+    }
+
+    fn plan_with_metrics(
+        &self,
+        model: &LoadModel,
+        cluster: &Cluster,
+        metrics: &MetricsRegistry,
+    ) -> Result<Allocation, PlacementError> {
+        self.place_with_metrics(model, cluster, metrics)
+            .map(|p| p.allocation)
     }
 }
 

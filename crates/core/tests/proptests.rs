@@ -317,6 +317,64 @@ proptest! {
     }
 
     #[test]
+    fn degenerate_zero_load_graphs_never_poison_planners(
+        inputs in 1usize..3,
+        ops in prop::collection::vec((0usize..100, 0u16..1000, 0u16..1000), 1..12),
+        nodes in 2usize..4,
+    ) {
+        // Regression guard for the NaN audit: zero-cost operators, zero
+        // selectivities, and flat (zero-variance) rate histories used to
+        // be able to produce NaN sort keys deep inside the planners and
+        // abort via `partial_cmp().expect(...)`. Every planner must now
+        // finish with a complete plan on such degenerate instances.
+        use rod_core::baselines::connected::ConnectedPlanner;
+        use rod_core::baselines::correlation::CorrelationPlanner;
+        use rod_core::baselines::llf::LlfPlanner;
+        use rod_core::baselines::Planner;
+        use rod_core::resilience::{ResilientRodOptions, ResilientRodPlanner};
+
+        let mut b = GraphBuilder::new();
+        let mut streams: Vec<StreamId> = (0..inputs).map(|_| b.add_input()).collect();
+        for (j, &(parent, cost, sel)) in ops.iter().enumerate() {
+            // cost/sel hit exactly 0.0 with probability 1/1000 per draw,
+            // and proptest's shrinker drives them there on any failure.
+            let cost = cost as f64 / 1000.0;
+            let sel = sel as f64 / 1000.0;
+            let p = streams[parent % streams.len()];
+            let (_, out) = b
+                .add_operator(format!("z{j}"), OperatorKind::delay(cost, sel), &[p])
+                .unwrap();
+            streams.push(out);
+        }
+        let graph = b.build().unwrap();
+        let model = LoadModel::derive(&graph).unwrap();
+        let cluster = Cluster::homogeneous(nodes, 1.0);
+        let d = graph.num_inputs();
+
+        let zero_rates = vec![0.0; d];
+        // Constant histories have zero variance: the correlation
+        // coefficient's denominator vanishes, the classic NaN source.
+        let flat_history = vec![vec![0.0; d], vec![0.0; d], vec![0.0; d]];
+        let planners: Vec<Box<dyn Planner>> = vec![
+            Box::new(RodPlanner::new()),
+            Box::new(LlfPlanner::new(zero_rates.clone())),
+            Box::new(ConnectedPlanner::new(zero_rates)),
+            Box::new(CorrelationPlanner::new(flat_history)),
+            Box::new(ResilientRodPlanner::with_options(ResilientRodOptions {
+                samples: 200,
+                seed: 7,
+                max_failures: 1,
+                max_moves: 2,
+            })),
+        ];
+        for planner in &planners {
+            let alloc = planner.plan(&model, &cluster);
+            prop_assert!(alloc.is_ok(), "{} failed: {:?}", planner.name(), alloc.err());
+            prop_assert!(alloc.unwrap().is_complete(), "{} incomplete", planner.name());
+        }
+    }
+
+    #[test]
     fn clustered_plans_keep_clusters_together(spec in graph_spec(),
                                               transfer in 0.0..2.0f64) {
         use rod_core::clustering::{cluster_operators, place_clustered,

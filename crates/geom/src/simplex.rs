@@ -65,7 +65,7 @@ pub fn hypersphere_ratio_bound(r: f64, d: usize) -> f64 {
 /// practice for QMC over simplices).
 pub fn unit_cube_to_simplex(u: &Vector) -> Vector {
     let mut sorted: Vec<f64> = u.as_slice().to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in cube point"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let mut prev = 0.0;
     let mut out = Vec::with_capacity(sorted.len());
     for &v in &sorted {
@@ -86,10 +86,23 @@ pub struct SimplexSampler {
 
 impl SimplexSampler {
     /// Sampler for `{R ≥ 0 : Σ coeffs_k R_k ≤ cap}`.
+    ///
+    /// A zero coefficient leaves the region unbounded along that axis (the
+    /// input feeds only zero-load operators), so no finite sampler can
+    /// cover it — but feasibility of any region built from the same load
+    /// model is independent of that coordinate (every per-node coefficient
+    /// is then also zero). Such axes are pinned to rate 0; samples stay
+    /// uniform only over the load-carrying axes.
     pub fn new(coeffs: &[f64], cap: f64) -> Self {
-        assert!(coeffs.iter().all(|&a| a > 0.0), "nonpositive coefficient");
+        assert!(
+            coeffs.iter().all(|&a| a.is_finite() && a >= 0.0),
+            "negative or non-finite coefficient"
+        );
         SimplexSampler {
-            scale: coeffs.iter().map(|&a| cap / a).collect(),
+            scale: coeffs
+                .iter()
+                .map(|&a| if a > 0.0 { cap / a } else { 0.0 })
+                .collect(),
         }
     }
 

@@ -130,8 +130,10 @@ pub struct Percentiles {
 
 impl Percentiles {
     /// Builds the summary from raw observations (takes ownership, sorts).
+    /// NaN observations sort to the end (IEEE total order) instead of
+    /// panicking, so a single bad sample cannot abort a whole run report.
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+        samples.sort_by(f64::total_cmp);
         Percentiles { sorted: samples }
     }
 

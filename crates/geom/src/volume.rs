@@ -191,6 +191,18 @@ pub struct VolumeEstimate {
     pub samples: usize,
 }
 
+/// Ideal-simplex volume restricted to the load-carrying axes: zero
+/// coefficients are dropped (the set is unbounded along them and the
+/// sampler pins those rates to 0), and an all-zero system has volume 0.
+fn projected_ideal_volume(total_coeffs: &[f64], total_cap: f64) -> f64 {
+    let positive: Vec<f64> = total_coeffs.iter().copied().filter(|&a| a > 0.0).collect();
+    if positive.is_empty() {
+        0.0
+    } else {
+        simplex_volume(&positive, total_cap)
+    }
+}
+
 /// Quasi-Monte-Carlo estimator of feasible-set volume ratios.
 ///
 /// The estimator is configured once with the total load coefficients
@@ -208,6 +220,12 @@ pub struct VolumeEstimator {
 impl VolumeEstimator {
     /// Builds an estimator with `samples` scrambled-Halton points uniform
     /// in the ideal simplex `{R ≥ 0 : Σ total_coeffs_k R_k ≤ total_cap}`.
+    ///
+    /// Zero total coefficients (inputs feeding only zero-load operators)
+    /// leave the ideal set unbounded along those axes; the sampler pins
+    /// them to rate 0 and `ideal_volume` is measured on the subspace of
+    /// load-carrying inputs (0 when there are none). Plan-to-plan ratio
+    /// comparisons stay valid — every plan is scored on the same points.
     pub fn new(total_coeffs: &[f64], total_cap: f64, samples: usize, seed: u64) -> Self {
         let sampler = SimplexSampler::new(total_coeffs, total_cap);
         let mut seq = HaltonSeq::shifted(total_coeffs.len(), seed);
@@ -216,7 +234,7 @@ impl VolumeEstimator {
             .collect();
         VolumeEstimator {
             points,
-            ideal_volume: simplex_volume(total_coeffs, total_cap),
+            ideal_volume: projected_ideal_volume(total_coeffs, total_cap),
         }
     }
 
@@ -231,7 +249,7 @@ impl VolumeEstimator {
             .collect();
         VolumeEstimator {
             points,
-            ideal_volume: simplex_volume(total_coeffs, total_cap),
+            ideal_volume: projected_ideal_volume(total_coeffs, total_cap),
         }
     }
 

@@ -21,6 +21,9 @@ use rod::workloads::financial::{compliance_rules, FinancialConfig};
 use rod::workloads::joins::{join_pairs, JoinConfig};
 use rod::workloads::traffic::{traffic_monitoring, TrafficConfig};
 
+/// Flags that take no value (presence alone switches them on).
+const BOOL_FLAGS: &[&str] = &["timings"];
+
 /// Parsed command-line flags: `--name value` pairs after the subcommand.
 #[derive(Debug, Default)]
 struct Flags {
@@ -35,12 +38,20 @@ impl Flags {
             let name = flag
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got '{flag}'"))?;
+            if BOOL_FLAGS.contains(&name) {
+                pairs.push((name.to_string(), "true".to_string()));
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("flag --{name} needs a value"))?;
             pairs.push((name.to_string(), value.clone()));
         }
         Ok(Flags { pairs })
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.get(name).is_some()
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -81,7 +92,7 @@ fn usage() -> String {
      generate --kind tree|traffic|financial|joins [--inputs N] [--ops-per-tree N] [--seed N]\n\
      plan     --graph FILE --nodes N [--capacity C]\n\
      \u{20}        [--algorithm rod|resilient|llf|connected|correlation|random|optimal]\n\
-     \u{20}        [--rates r1,r2,...] [--seed N] [--out FILE]\n\
+     \u{20}        [--rates r1,r2,...] [--seed N] [--out FILE] [--timings]\n\
      \u{20}        (optimal only: [--samples N] [--max-plans N])\n\
      evaluate --graph FILE --plan FILE --nodes N [--capacity C] [--samples N]\n\
      explain  --graph FILE --plan FILE --nodes N [--capacity C]\n\
@@ -91,6 +102,7 @@ fn usage() -> String {
      \u{20}        (--rates r1,r2,... | --traces a.csv,b.csv,...)\n\
      \u{20}        [--outage NODE:START:END]... [--failover DETECTION_DELAY]\n\
      \u{20}        [--scheduling fifo|rr|lqf] [--op-queue-bound N]\n\
+     \u{20}        [--trace-out FILE] [--metrics-interval T]\n\
      \u{20}        (--fault-tolerance is an alias for --failover)\n\
      trace    --kind pkt|tcp|http|poisson [--bins-log2 N] [--mean R] [--seed N] [--out FILE]"
         .to_string()
@@ -183,9 +195,19 @@ fn cmd_plan(flags: &Flags) -> Result<String, String> {
         samples,
         max_plans,
     )?;
-    let allocation = build_planner(&spec)
-        .plan(&model, &cluster)
-        .map_err(|e| e.to_string())?;
+    let planner = build_planner(&spec);
+    // --timings routes through plan_with_metrics and prints the phase
+    // table on stderr, keeping stdout pipeline-clean (plan JSON only).
+    let allocation = if flags.has("timings") {
+        let metrics = rod::core::MetricsRegistry::new();
+        let allocation = planner
+            .plan_with_metrics(&model, &cluster, &metrics)
+            .map_err(|e| e.to_string())?;
+        eprint!("{}", metrics.snapshot().render());
+        allocation
+    } else {
+        planner.plan(&model, &cluster).map_err(|e| e.to_string())?
+    };
     let json = serde_json::to_string_pretty(&allocation).map_err(|e| e.to_string())?;
     if let Some(path) = flags.get("out") {
         fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
@@ -333,11 +355,23 @@ fn cmd_headroom(flags: &Flags) -> Result<String, String> {
 }
 
 /// Parses one `--outage NODE:START:END` spec (e.g. `1:5.0:12.5`).
+///
+/// Rejects the spec shapes that used to slip through to a panic or a
+/// confusing downstream error: empty fields, an out-of-range node index
+/// (larger than `usize`), non-finite or negative times, and zero/negative
+/// span (`START >= END`). Duplicate or overlapping outages on one node
+/// are caught later by [`SimulationConfig::validate`], which sees the
+/// whole list.
 fn parse_outage(spec: &str) -> Result<Outage, String> {
     let parts: Vec<&str> = spec.split(':').collect();
     let [node, start, end] = parts.as_slice() else {
         return Err(format!("--outage: expected NODE:START:END, got '{spec}'"));
     };
+    for (what, field) in [("node", node), ("start time", start), ("end time", end)] {
+        if field.is_empty() {
+            return Err(format!("--outage: empty {what} in '{spec}'"));
+        }
+    }
     let node: usize = node
         .parse()
         .map_err(|_| format!("--outage: bad node '{node}' in '{spec}'"))?;
@@ -347,6 +381,16 @@ fn parse_outage(spec: &str) -> Result<Outage, String> {
     let end: f64 = end
         .parse()
         .map_err(|_| format!("--outage: bad end time '{end}' in '{spec}'"))?;
+    if !start.is_finite() || !end.is_finite() || start < 0.0 {
+        return Err(format!(
+            "--outage: times must be finite and non-negative in '{spec}'"
+        ));
+    }
+    if start >= end {
+        return Err(format!(
+            "--outage: '{spec}' needs positive length (start < end)"
+        ));
+    }
     Ok(Outage {
         node: NodeId(node),
         start,
@@ -427,6 +471,22 @@ fn cmd_simulate(flags: &Flags) -> Result<String, String> {
         }
         _ => return Err("simulate needs exactly one of --rates or --traces".into()),
     };
+    let trace_out = flags.get("trace-out");
+    // --metrics-interval controls the utilisation/queue-depth sampling
+    // tick; giving --trace-out without it defaults to one sample per
+    // simulated second so traces carry a timeseries out of the box.
+    let sample_interval = match flags.get("metrics-interval") {
+        Some(v) => {
+            let t: f64 = v
+                .parse()
+                .map_err(|_| format!("--metrics-interval: bad value '{v}'"))?;
+            if !t.is_finite() || t <= 0.0 {
+                return Err(format!("--metrics-interval: '{v}' must be > 0"));
+            }
+            Some(t)
+        }
+        None => trace_out.map(|_| 1.0),
+    };
     let config = SimulationConfig {
         horizon,
         warmup: horizon * 0.15,
@@ -435,14 +495,27 @@ fn cmd_simulate(flags: &Flags) -> Result<String, String> {
         outages,
         failover,
         op_queue_bound,
+        sample_interval,
         ..SimulationConfig::default()
     };
     // Validate before constructing: Simulation::new enforces this with a
     // panic; the CLI turns it into a real error message instead.
     config.validate(cluster.num_nodes())?;
     let had_outages = !config.outages.is_empty();
-    let report = Simulation::new(&graph, &plan, &cluster, sources, config).run();
+    let sim = Simulation::new(&graph, &plan, &cluster, sources, config);
     let mut out = String::new();
+    let report = match trace_out {
+        Some(path) => {
+            let mut sink =
+                rod::sim::JsonlSink::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            let report = sim.run_with_sink(&mut sink);
+            let records = sink.records_written();
+            sink.into_inner(); // flush
+            out.push_str(&format!("trace: {records} records written to {path}\n"));
+            report
+        }
+        None => sim.run(),
+    };
     out.push_str(&format!("simulated {horizon} s with {description}\n"));
     out.push_str(&format!(
         "node utilisations: {:?}\n",
@@ -456,13 +529,15 @@ fn cmd_simulate(flags: &Flags) -> Result<String, String> {
         "tuples: in {}, out {}, processed {}\n",
         report.tuples_in, report.tuples_out, report.tuples_processed
     ));
-    match report.mean_latency() {
-        Some(l) => out.push_str(&format!(
+    // All-shed runs (e.g. --op-queue-bound 0) have no latency samples at
+    // all; both branches must stay None-safe rather than unwrap.
+    match (report.mean_latency(), report.p99_latency()) {
+        (Some(mean), Some(p99)) => out.push_str(&format!(
             "latency: mean {:.2} ms, p99 {:.2} ms\n",
-            l * 1e3,
-            report.latencies.quantile(0.99).unwrap_or(f64::NAN) * 1e3
+            mean * 1e3,
+            p99 * 1e3
         )),
-        None => out.push_str("latency: no sink tuples observed\n"),
+        _ => out.push_str("latency: no sink tuples observed\n"),
     }
     if had_outages {
         out.push_str(&format!(
@@ -689,6 +764,54 @@ mod tests {
     }
 
     #[test]
+    fn outage_specs_reject_edge_cases_with_specific_errors() {
+        // Empty fields name the field instead of a generic parse error.
+        for (bad, field) in [("::5", "node"), ("1::5", "start"), ("1:2:", "end")] {
+            let err = parse_outage(bad).unwrap_err();
+            assert!(err.contains("empty"), "'{bad}': {err}");
+            assert!(err.contains(field), "'{bad}': {err}");
+        }
+        // A node index beyond usize::MAX cannot wrap around.
+        let err = parse_outage("18446744073709551616:1:2").unwrap_err();
+        assert!(err.contains("bad node"), "{err}");
+        // Zero-length and inverted spans are caught at parse time.
+        for bad in ["1:3:3", "1:5:2"] {
+            let err = parse_outage(bad).unwrap_err();
+            assert!(err.contains("positive length"), "'{bad}': {err}");
+        }
+        // Negative and non-finite times are rejected.
+        for bad in ["1:-1:2", "1:NaN:2", "1:1:inf"] {
+            let err = parse_outage(bad).unwrap_err();
+            assert!(err.contains("finite and non-negative"), "'{bad}': {err}");
+        }
+    }
+
+    #[test]
+    fn simulate_rejects_duplicate_outages_per_node() {
+        let (dir, graph_path, plan_path) = graph_and_plan("dupoutage");
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            &graph_path,
+            "--plan",
+            &plan_path,
+            "--nodes",
+            "2",
+            "--rates",
+            "10,10",
+            "--horizon",
+            "5",
+            "--outage",
+            "1:1:3",
+            "--outage",
+            "1:2:4",
+        ]))
+        .unwrap();
+        let err = cmd_simulate(&f).unwrap_err();
+        assert!(err.contains("overlapping outages on node 1"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn scheduling_names_map_to_policies() {
         assert_eq!(parse_scheduling("fifo").unwrap(), SchedulingPolicy::Fifo);
         assert_eq!(
@@ -859,6 +982,128 @@ mod tests {
         ]))
         .unwrap();
         assert!(cmd_simulate(&f).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_shed_run_reports_without_panicking() {
+        // --op-queue-bound 0 sheds every arrival, so no tuple ever
+        // reaches a sink and the latency sample set is empty; the report
+        // path must say so instead of unwrapping a missing quantile.
+        let (dir, graph_path, plan_path) = graph_and_plan("allshed");
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            &graph_path,
+            "--plan",
+            &plan_path,
+            "--nodes",
+            "2",
+            "--rates",
+            "10,10",
+            "--horizon",
+            "5",
+            "--op-queue-bound",
+            "0",
+        ]))
+        .unwrap();
+        let out = cmd_simulate(&f).unwrap();
+        assert!(out.contains("latency: no sink tuples observed"), "{out}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_out_is_deterministic_and_parses_line_by_line() {
+        let (dir, graph_path, plan_path) = graph_and_plan("goldentrace");
+        let run = |tag: &str| -> (String, std::path::PathBuf) {
+            let trace_path = dir.join(format!("trace-{tag}.jsonl"));
+            let f = Flags::parse(&strings(&[
+                "--graph",
+                &graph_path,
+                "--plan",
+                &plan_path,
+                "--nodes",
+                "2",
+                "--rates",
+                "20,20",
+                "--horizon",
+                "5",
+                "--seed",
+                "42",
+                "--outage",
+                "1:2:4",
+                "--failover",
+                "0.3",
+                "--trace-out",
+                trace_path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            (cmd_simulate(&f).unwrap(), trace_path)
+        };
+        let (out_a, path_a) = run("a");
+        let (_, path_b) = run("b");
+        assert!(out_a.contains("records written"), "{out_a}");
+        let bytes_a = fs::read(&path_a).unwrap();
+        let bytes_b = fs::read(&path_b).unwrap();
+        assert!(!bytes_a.is_empty());
+        // Golden determinism: same seed, byte-identical JSONL.
+        assert_eq!(bytes_a, bytes_b);
+        let text = String::from_utf8(bytes_a).unwrap();
+        let mut kinds = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            let record: rod::sim::TraceRecord =
+                serde_json::from_str(line).expect("every line is one TraceRecord");
+            kinds.insert(format!("{record:?}").split(' ').next().unwrap().to_string());
+        }
+        let first = text.lines().next().unwrap();
+        let last = text.lines().last().unwrap();
+        assert!(first.contains("RunStart"), "{first}");
+        assert!(last.contains("RunEnd"), "{last}");
+        // The failover scenario exercises the interesting record kinds.
+        for kind in ["UtilSample", "OutageStart", "FailureDetected"] {
+            assert!(kinds.iter().any(|k| k.contains(kind)), "missing {kind}");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plan_timings_keeps_stdout_json_clean() {
+        let (dir, graph_path, _plan) = graph_and_plan("timings");
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            &graph_path,
+            "--nodes",
+            "2",
+            "--timings",
+        ]))
+        .unwrap();
+        // stdout payload must still be exactly the plan JSON (the timing
+        // table goes to stderr).
+        let json = cmd_plan(&f).unwrap();
+        let plan: Allocation = serde_json::from_str(&json).unwrap();
+        assert!(plan.is_complete());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_rejects_bad_metrics_interval() {
+        let (dir, graph_path, plan_path) = graph_and_plan("badtick");
+        for bad in ["0", "-1", "x"] {
+            let f = Flags::parse(&strings(&[
+                "--graph",
+                &graph_path,
+                "--plan",
+                &plan_path,
+                "--nodes",
+                "2",
+                "--rates",
+                "10,10",
+                "--metrics-interval",
+                bad,
+            ]))
+            .unwrap();
+            let err = cmd_simulate(&f).unwrap_err();
+            assert!(err.contains("metrics-interval"), "'{bad}': {err}");
+        }
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -64,8 +64,9 @@ pub mod prelude {
     pub use rod_core::prelude::*;
     pub use rod_geom::{Hyperplane, Matrix, Vector, VolumeEstimator};
     pub use rod_sim::{
-        FailoverConfig, FeasibilityProbe, MigrationConfig, NetworkConfig, Outage, ProbeConfig,
-        RecoveryRecord, SchedulingPolicy, SimReport, Simulation, SimulationConfig, SourceSpec,
+        FailoverConfig, FeasibilityProbe, JsonlSink, MigrationConfig, NetworkConfig, NullSink,
+        Outage, ProbeConfig, RecoveryRecord, SchedulingPolicy, SimReport, Simulation,
+        SimulationConfig, SourceSpec, TraceRecord, TraceSink, VecSink,
     };
     pub use rod_traces::{paper_traces, PaperTrace, Trace};
     pub use rod_workloads::{RandomTreeConfig, RandomTreeGenerator};

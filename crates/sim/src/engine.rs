@@ -31,6 +31,7 @@ use rod_geom::Percentiles;
 use crate::events::{EventKind, EventQueue, Tuple};
 use crate::report::{RecoveryRecord, SimReport, TimelineSample};
 use crate::source::SourceSpec;
+use crate::trace::{NullSink, TraceRecord, TraceSink};
 
 /// Network cost model (the §6.3 relaxation of "communication is free").
 #[derive(Clone, Copy, Debug)]
@@ -226,6 +227,25 @@ impl SimulationConfig {
         for outage in &self.outages {
             outage.validate(num_nodes)?;
         }
+        // Overlapping (or duplicate) outages on one node would
+        // double-count the engine's down/down_count bookkeeping: a second
+        // OutageStart while the node is already down leaves the node
+        // permanently "half down" after the first OutageEnd.
+        let mut spans: Vec<(usize, f64, f64)> = self
+            .outages
+            .iter()
+            .map(|o| (o.node.index(), o.start, o.end))
+            .collect();
+        spans.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        for w in spans.windows(2) {
+            let (n0, s0, e0) = w[0];
+            let (n1, s1, _) = w[1];
+            if n0 == n1 && s1 < e0 {
+                return Err(format!(
+                    "overlapping outages on node {n0}: [{s1}, ..) begins before [{s0}, {e0}) ends"
+                ));
+            }
+        }
         if let Some(fo) = &self.failover {
             if fo.table.num_nodes() != num_nodes {
                 return Err(format!(
@@ -316,7 +336,7 @@ struct RecoveryState {
 }
 
 /// Mutable engine state, shared by the event handlers.
-struct Runtime<'a> {
+struct Runtime<'a, S: TraceSink> {
     graph: &'a QueryGraph,
     network: NetworkConfig,
     horizon: f64,
@@ -375,15 +395,25 @@ struct Runtime<'a> {
     migrations: u64,
     migration_downtime: f64,
     timeline: Vec<TimelineSample>,
+    /// Trace receiver ([`NullSink`] when tracing is off).
+    sink: &'a mut S,
 }
 
-impl Runtime<'_> {
+impl<S: TraceSink> Runtime<'_, S> {
     /// Counts one shed tuple, attributing it to the recovery window when
     /// a node is down or a failover is still in flight.
-    fn shed(&mut self) {
+    fn shed(&mut self, op: OperatorId, now: f64) {
         self.tuples_shed += 1;
-        if self.down_count > 0 || self.failover_in_flight > 0 {
+        let in_recovery = self.down_count > 0 || self.failover_in_flight > 0;
+        if in_recovery {
             self.tuples_shed_recovery += 1;
+        }
+        if self.sink.enabled() {
+            self.sink.record(&TraceRecord::Shed {
+                time: now,
+                op: op.index(),
+                in_recovery,
+            });
         }
     }
 
@@ -394,12 +424,12 @@ impl Runtime<'_> {
     fn enqueue(&mut self, item: WorkItem, now: f64) {
         let op = item.op.index();
         if self.op_queued[op] >= self.op_queue_bound {
-            self.shed();
+            self.shed(item.op, now);
             return;
         }
         if let Some((_, buffer)) = &mut self.migrating[op] {
             if buffer.len() >= self.shed_above {
-                self.shed();
+                self.shed(item.op, now);
                 return;
             }
             self.queued_total += 1;
@@ -410,7 +440,7 @@ impl Runtime<'_> {
         }
         let node = self.host[op].index();
         if self.nodes[node].queue.len() >= self.shed_above {
-            self.shed();
+            self.shed(item.op, now);
             return;
         }
         self.queued_total += 1;
@@ -618,10 +648,10 @@ impl Runtime<'_> {
             .map(|i| (self.nodes[i].window_busy / config.check_interval).min(1.0))
             .collect();
         let hot = (0..n)
-            .max_by(|&a, &b| utils[a].partial_cmp(&utils[b]).expect("finite"))
+            .max_by(|&a, &b| utils[a].total_cmp(&utils[b]))
             .expect("nodes");
         let cold = (0..n)
-            .min_by(|&a, &b| utils[a].partial_cmp(&utils[b]).expect("finite"))
+            .min_by(|&a, &b| utils[a].total_cmp(&utils[b]))
             .expect("nodes");
 
         if utils[hot] >= config.utilisation_trigger
@@ -644,7 +674,7 @@ impl Runtime<'_> {
                 .min_by(|&a, &b| {
                     let da = (self.op_window_busy[a] - target).abs();
                     let db = (self.op_window_busy[b] - target).abs();
-                    da.partial_cmp(&db).expect("finite")
+                    da.total_cmp(&db)
                 });
             if let Some(op) = candidate {
                 self.start_migration(OperatorId(op), NodeId(cold), now, config, false);
@@ -681,6 +711,16 @@ impl Runtime<'_> {
             }
         });
         let downtime = config.base_downtime + buffer.len() as f64 * config.per_item_downtime;
+        if self.sink.enabled() {
+            self.sink.record(&TraceRecord::MigrationStart {
+                time: now,
+                op: op.index(),
+                from: src,
+                to: dest.index(),
+                downtime,
+                failover,
+            });
+        }
         self.migrating[op.index()] = Some((dest, buffer));
         if failover {
             self.failovers += 1;
@@ -706,12 +746,27 @@ impl Runtime<'_> {
         for item in buffer {
             self.nodes[node].queue.push_back(item);
         }
+        if self.sink.enabled() {
+            self.sink.record(&TraceRecord::MigrationEnd {
+                time: now,
+                op: op.index(),
+                dest: node,
+            });
+        }
         if let Some(src) = self.orphan_src[op.index()].take() {
             self.failover_in_flight -= 1;
             if let Some(state) = self.recovering[src].as_mut() {
                 state.pending -= 1;
                 if state.pending == 0 {
                     let state = self.recovering[src].take().expect("state present");
+                    if self.sink.enabled() {
+                        self.sink.record(&TraceRecord::RecoveryComplete {
+                            time: now,
+                            node: src,
+                            moved: state.moved,
+                            latency: now - state.outage_start,
+                        });
+                    }
                     self.recoveries.push(RecoveryRecord {
                         node: src,
                         outage_start: state.outage_start,
@@ -741,6 +796,13 @@ impl Runtime<'_> {
         let orphans: Vec<usize> = (0..self.graph.num_operators())
             .filter(|&j| self.host[j] == node && self.migrating[j].is_none())
             .collect();
+        if self.sink.enabled() {
+            self.sink.record(&TraceRecord::FailureDetected {
+                time: now,
+                node: idx,
+                orphans: orphans.len(),
+            });
+        }
         let mut moved = 0;
         for j in orphans {
             let op = OperatorId(j);
@@ -763,6 +825,14 @@ impl Runtime<'_> {
                 // Nothing hosted here (or nowhere to go): recovery is
                 // instantaneous and trivially complete.
                 let state = self.recovering[idx].take().expect("state present");
+                if self.sink.enabled() {
+                    self.sink.record(&TraceRecord::RecoveryComplete {
+                        time: now,
+                        node: idx,
+                        moved: 0,
+                        latency: now - state.outage_start,
+                    });
+                }
                 self.recoveries.push(RecoveryRecord {
                     node: idx,
                     outage_start: state.outage_start,
@@ -815,8 +885,16 @@ impl<'a> Simulation<'a> {
         }
     }
 
-    /// Runs the simulation to completion and reports.
+    /// Runs the simulation to completion and reports (tracing disabled).
     pub fn run(&self) -> SimReport {
+        self.run_with_sink(&mut NullSink)
+    }
+
+    /// Runs the simulation, offering every event-loop transition of
+    /// interest to `sink` as a [`TraceRecord`] (see [`crate::trace`]).
+    /// Identical inputs produce the identical report *and* the identical
+    /// record sequence, whatever the sink.
+    pub fn run_with_sink<S: TraceSink>(&self, sink: &mut S) -> SimReport {
         let mut rng = seeded_rng(self.config.seed);
         let graph = self.graph;
         let horizon = self.config.horizon;
@@ -845,9 +923,23 @@ impl<'a> Simulation<'a> {
         if let Some(interval) = self.config.sample_interval {
             queue.push(interval, EventKind::SampleTick);
         }
+        // Push outage transitions in canonical order — by time, ends
+        // before starts at equal times — so back-to-back outages on one
+        // node (end at t, next start at t) never overlap in the down/
+        // down_count bookkeeping regardless of config order.
+        let mut outage_events: Vec<(f64, bool, NodeId)> = Vec::new();
         for outage in &self.config.outages {
-            queue.push(outage.start, EventKind::OutageStart { node: outage.node });
-            queue.push(outage.end, EventKind::OutageEnd { node: outage.node });
+            outage_events.push((outage.start, true, outage.node));
+            outage_events.push((outage.end, false, outage.node));
+        }
+        outage_events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for (time, is_start, node) in outage_events {
+            let kind = if is_start {
+                EventKind::OutageStart { node }
+            } else {
+                EventKind::OutageEnd { node }
+            };
+            queue.push(time, kind);
         }
 
         let mut rt = Runtime {
@@ -905,12 +997,24 @@ impl<'a> Simulation<'a> {
             migrations: 0,
             migration_downtime: 0.0,
             timeline: Vec::new(),
+            sink,
         };
+
+        if rt.sink.enabled() {
+            rt.sink.record(&TraceRecord::RunStart {
+                horizon,
+                warmup,
+                seed: self.config.seed,
+                nodes: n,
+                operators: m,
+            });
+        }
 
         let mut tuples_out = 0u64;
         let mut latencies: Vec<f64> = Vec::new();
         let mut latency_seen = 0u64; // for reservoir thinning
         let mut saturated = false;
+        let mut end_time = horizon;
 
         while let Some(event) = rt.queue.pop() {
             if event.time > horizon {
@@ -921,6 +1025,13 @@ impl<'a> Simulation<'a> {
                     if rt.consumers[stream.index()].is_empty() {
                         // Sink stream: record end-to-end latency.
                         tuples_out += 1;
+                        if rt.sink.enabled() {
+                            rt.sink.record(&TraceRecord::SinkDeparture {
+                                time: event.time,
+                                stream: stream.index(),
+                                latency: event.time - tuple.birth,
+                            });
+                        }
                         if event.time >= warmup {
                             latency_seen += 1;
                             record_latency(
@@ -936,6 +1047,12 @@ impl<'a> Simulation<'a> {
                     // Source fan-out: deliver locally (sources are
                     // external; the paper's communication model concerns
                     // inter-operator arcs).
+                    if rt.sink.enabled() {
+                        rt.sink.record(&TraceRecord::SourceArrival {
+                            time: event.time,
+                            stream: stream.index(),
+                        });
+                    }
                     for ci in 0..rt.consumers[stream.index()].len() {
                         let (op, port) = rt.consumers[stream.index()][ci];
                         rt.enqueue(
@@ -985,7 +1102,7 @@ impl<'a> Simulation<'a> {
                         .config
                         .sample_interval
                         .expect("SampleTick only scheduled with sampling enabled");
-                    let utilisations = rt
+                    let utilisations: Vec<f64> = rt
                         .nodes
                         .iter_mut()
                         .map(|s| {
@@ -994,6 +1111,15 @@ impl<'a> Simulation<'a> {
                             u
                         })
                         .collect();
+                    if rt.sink.enabled() {
+                        let record = TraceRecord::UtilSample {
+                            time: event.time,
+                            utilisations: utilisations.clone(),
+                            queue_depths: rt.nodes.iter().map(|s| s.queue.len()).collect(),
+                            queued: rt.queued_total,
+                        };
+                        rt.sink.record(&record);
+                    }
                     rt.timeline.push(TimelineSample {
                         time: event.time,
                         utilisations,
@@ -1012,6 +1138,12 @@ impl<'a> Simulation<'a> {
                     // dispatches happen until recovery.
                     rt.down[node.index()] = true;
                     rt.down_count += 1;
+                    if rt.sink.enabled() {
+                        rt.sink.record(&TraceRecord::OutageStart {
+                            time: event.time,
+                            node: node.index(),
+                        });
+                    }
                     if rt.pf_start.is_none() {
                         rt.pf_start = Some(event.time);
                     }
@@ -1042,6 +1174,12 @@ impl<'a> Simulation<'a> {
                     let idx = node.index();
                     rt.down[idx] = false;
                     rt.down_count -= 1;
+                    if rt.sink.enabled() {
+                        rt.sink.record(&TraceRecord::OutageEnd {
+                            time: event.time,
+                            node: idx,
+                        });
+                    }
                     if !rt.nodes[idx].busy && !rt.nodes[idx].queue.is_empty() {
                         rt.dispatch(idx, event.time);
                     }
@@ -1049,8 +1187,20 @@ impl<'a> Simulation<'a> {
             }
             if rt.queued_total > self.config.max_queue {
                 saturated = true;
+                end_time = event.time;
                 break;
             }
+        }
+
+        if rt.sink.enabled() {
+            rt.sink.record(&TraceRecord::RunEnd {
+                time: end_time,
+                tuples_in,
+                tuples_out,
+                tuples_processed: rt.tuples_processed,
+                tuples_shed: rt.tuples_shed,
+                saturated,
+            });
         }
 
         let measured_duration = horizon - warmup;

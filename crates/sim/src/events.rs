@@ -95,8 +95,7 @@ impl Ord for Event {
         // Min-heap semantics: earlier time (then lower seq) is "greater".
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("finite event times")
+            .total_cmp(&self.time)
             .then(other.seq.cmp(&self.seq))
     }
 }

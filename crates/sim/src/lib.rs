@@ -36,11 +36,13 @@ pub mod events;
 pub mod probe;
 pub mod report;
 pub mod source;
+pub mod trace;
 
 pub use engine::{
     FailoverConfig, MigrationConfig, NetworkConfig, Outage, SchedulingPolicy, Simulation,
     SimulationConfig,
 };
 pub use probe::{FeasibilityProbe, ProbeConfig, ProbeOutcome};
-pub use report::{RecoveryRecord, SimReport};
+pub use report::{RecoveryRecord, SimReport, TimelineSample};
 pub use source::SourceSpec;
+pub use trace::{JsonlSink, NullSink, TraceRecord, TraceSink, VecSink};

@@ -114,6 +114,20 @@ impl SimReport {
     pub fn mean_latency(&self) -> Option<f64> {
         self.latencies.mean()
     }
+
+    /// The `q`-quantile of end-to-end latency, or `None` when the run
+    /// completed zero sink tuples (e.g. every tuple was shed during a
+    /// full-run outage) — the None-safe path report consumers must use
+    /// instead of `latencies.quantile(q).unwrap()`.
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        self.latencies.quantile(q)
+    }
+
+    /// The 99th-percentile end-to-end latency, if any sink tuples were
+    /// observed.
+    pub fn p99_latency(&self) -> Option<f64> {
+        self.latency_quantile(0.99)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,344 @@
+//! Structured event tracing for the simulator.
+//!
+//! The engine's aggregate [`crate::SimReport`] answers *"how did the run
+//! end?"*; this module answers *"what happened, and when?"*. Every
+//! event-loop transition of interest — tuple arrivals and sheds, periodic
+//! utilisation/queue-depth samples, migrations, outages, failovers, and
+//! recovery completions — is offered to a pluggable [`TraceSink`] as a
+//! [`TraceRecord`].
+//!
+//! Determinism contract: record content carries **simulation time only**,
+//! never wall-clock, and the engine emits records in event order — so a
+//! fixed-seed run produces a byte-identical JSONL trace every time, and
+//! traces can be diffed or replayed in tests.
+//!
+//! Cost contract: the engine asks [`TraceSink::enabled`] before building
+//! a record, and [`NullSink`] answers with a compile-time `false` — after
+//! monomorphisation the untraced engine contains no record construction
+//! at all (verified against a collecting sink by the
+//! `bench_trace_overhead` criterion bench).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// One structured trace event. Serialises to a single self-describing
+/// JSON object per record (`{"UtilSample":{...}}`), with field order
+/// fixed by declaration order — the basis of the byte-identical golden
+/// tests.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceRecord {
+    /// Run parameters, emitted once before the first event.
+    RunStart {
+        /// Total simulated time.
+        horizon: f64,
+        /// Measurement-window start.
+        warmup: f64,
+        /// RNG seed of the run.
+        seed: u64,
+        /// Cluster size.
+        nodes: usize,
+        /// Operators in the query network.
+        operators: usize,
+    },
+    /// A tuple entered the system on a source stream.
+    SourceArrival {
+        /// Simulation time of the arrival.
+        time: f64,
+        /// Source stream index.
+        stream: usize,
+    },
+    /// A tuple left the query network at a sink stream.
+    SinkDeparture {
+        /// Simulation time of the departure.
+        time: f64,
+        /// Sink stream index.
+        stream: usize,
+        /// End-to-end latency (departure minus birth of its ancestor).
+        latency: f64,
+    },
+    /// A tuple was dropped by load shedding.
+    Shed {
+        /// Simulation time of the drop.
+        time: f64,
+        /// Operator whose input was shed.
+        op: usize,
+        /// True when a node was down or a failover was in flight — the
+        /// shed is attributed to the recovery window.
+        in_recovery: bool,
+    },
+    /// Periodic utilisation / queue-depth sample (emitted on the
+    /// [`crate::SimulationConfig::sample_interval`] tick).
+    UtilSample {
+        /// Simulation time of the sample.
+        time: f64,
+        /// Per-node utilisation over the elapsed sampling window.
+        utilisations: Vec<f64>,
+        /// Per-node queued work-item counts at the instant.
+        queue_depths: Vec<usize>,
+        /// Total work items queued across the system (includes buffers
+        /// of migrating operators).
+        queued: usize,
+    },
+    /// An operator froze and began transferring to another node.
+    MigrationStart {
+        /// Simulation time the transfer began.
+        time: f64,
+        /// The migrating operator.
+        op: usize,
+        /// Node it is leaving.
+        from: usize,
+        /// Node it is moving to.
+        to: usize,
+        /// Downtime this transfer will pay (base + per-item term).
+        downtime: f64,
+        /// True for a table-driven failover move, false for a dynamic
+        /// load-manager move.
+        failover: bool,
+    },
+    /// A migrating operator resumed on its destination node.
+    MigrationEnd {
+        /// Simulation time of resumption.
+        time: f64,
+        /// The operator that finished moving.
+        op: usize,
+        /// Its new host.
+        dest: usize,
+    },
+    /// An injected fail-stop outage began.
+    OutageStart {
+        /// Simulation time the node went down.
+        time: f64,
+        /// The failed node.
+        node: usize,
+    },
+    /// An injected outage ended; the node resumes draining its queue.
+    OutageEnd {
+        /// Simulation time the node returned.
+        time: f64,
+        /// The recovering node.
+        node: usize,
+    },
+    /// The failure monitor noticed a down node and began failover.
+    FailureDetected {
+        /// Simulation time of detection (outage start + delay).
+        time: f64,
+        /// The node detected as failed.
+        node: usize,
+        /// Operators found orphaned on it (still hosted there and not
+        /// already mid-migration).
+        orphans: usize,
+    },
+    /// The last orphan of a failed node resumed on its backup.
+    RecoveryComplete {
+        /// Simulation time recovery finished.
+        time: f64,
+        /// The recovered (failed) node.
+        node: usize,
+        /// Operators moved off it.
+        moved: usize,
+        /// Outage start to full recovery, in seconds.
+        latency: f64,
+    },
+    /// Run totals, emitted once after the last event.
+    RunEnd {
+        /// Simulation time the run stopped (horizon, or earlier when
+        /// saturated).
+        time: f64,
+        /// Tuples injected by sources.
+        tuples_in: u64,
+        /// Tuples that left at sinks.
+        tuples_out: u64,
+        /// Service completions.
+        tuples_processed: u64,
+        /// Tuples dropped by shedding.
+        tuples_shed: u64,
+        /// True when the run was cut short by the queue safety cap.
+        saturated: bool,
+    },
+}
+
+/// Receiver of engine trace records.
+///
+/// The engine calls [`enabled`](TraceSink::enabled) before constructing
+/// each record, so a disabled sink costs one (monomorphised,
+/// constant-foldable) branch per event.
+pub trait TraceSink {
+    /// True when the sink wants records. Implementations returning a
+    /// compile-time constant let the optimiser erase tracing entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Accepts one record. Only called when [`enabled`](TraceSink::enabled)
+    /// returned true.
+    fn record(&mut self, record: &TraceRecord);
+}
+
+/// The no-op sink: tracing disabled, near-zero overhead.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _record: &TraceRecord) {}
+}
+
+/// Collects records in memory — the test and replay sink.
+#[derive(Clone, Debug, Default)]
+pub struct VecSink {
+    /// Every record received, in emission order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl VecSink {
+    /// An empty collecting sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, record: &TraceRecord) {
+        self.records.push(record.clone());
+    }
+}
+
+/// Streams records as JSON Lines (one compact JSON object per line) to
+/// any writer. Construction order and serde's declaration-order field
+/// layout make the output deterministic for a fixed-seed run.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    records_written: u64,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) a JSONL trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            records_written: 0,
+        }
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn into_inner(mut self) -> W {
+        self.writer.flush().expect("flush trace sink");
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, record: &TraceRecord) {
+        let line = serde_json::to_string(record).expect("trace record serialises");
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .expect("write trace record");
+        self.records_written += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let sink = NullSink;
+        assert!(!sink.enabled());
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut sink = VecSink::new();
+        assert!(sink.enabled());
+        sink.record(&TraceRecord::OutageStart { time: 1.0, node: 0 });
+        sink.record(&TraceRecord::OutageEnd { time: 2.0, node: 0 });
+        assert_eq!(sink.records.len(), 2);
+        assert!(matches!(
+            sink.records[0],
+            TraceRecord::OutageStart { node: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn jsonl_sink_emits_one_line_per_record() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&TraceRecord::SourceArrival {
+            time: 0.5,
+            stream: 2,
+        });
+        sink.record(&TraceRecord::Shed {
+            time: 1.5,
+            op: 3,
+            in_recovery: false,
+        });
+        assert_eq!(sink.records_written(), 2);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            serde_json::parse_value(line).expect("each line is valid JSON");
+        }
+        assert!(lines[0].contains("SourceArrival"));
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let records = vec![
+            TraceRecord::RunStart {
+                horizon: 30.0,
+                warmup: 5.0,
+                seed: 7,
+                nodes: 3,
+                operators: 10,
+            },
+            TraceRecord::UtilSample {
+                time: 1.0,
+                utilisations: vec![0.25, 0.5],
+                queue_depths: vec![1, 0],
+                queued: 1,
+            },
+            TraceRecord::MigrationStart {
+                time: 2.0,
+                op: 4,
+                from: 0,
+                to: 1,
+                downtime: 0.25,
+                failover: true,
+            },
+            TraceRecord::RecoveryComplete {
+                time: 3.0,
+                node: 0,
+                moved: 2,
+                latency: 0.75,
+            },
+        ];
+        for record in &records {
+            let json = serde_json::to_string(record).unwrap();
+            let back: TraceRecord = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, record);
+        }
+    }
+}

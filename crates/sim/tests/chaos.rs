@@ -49,17 +49,24 @@ fn spread(graph: &QueryGraph, n: usize) -> Allocation {
 }
 
 /// Builds the outage schedule from raw proptest draws, clamped to the
-/// cluster and horizon so every generated schedule is valid.
+/// cluster and horizon so every generated schedule is valid. At most one
+/// outage per node is kept (the first drawn): overlapping outages on a
+/// node are a configuration error the engine rejects.
 fn schedule(raw: &[(usize, u16, u16)], nodes: usize, horizon: f64) -> Vec<Outage> {
+    let mut taken = vec![false; nodes];
     raw.iter()
-        .map(|&(node, start, dur)| {
+        .filter_map(|&(node, start, dur)| {
+            let node = node % nodes;
+            if std::mem::replace(&mut taken[node], true) {
+                return None;
+            }
             let start = 1.0 + start as f64 / 100.0 * (horizon / 2.0 - 2.0);
             let dur = 0.5 + dur as f64 / 100.0 * (horizon / 3.0);
-            Outage {
-                node: NodeId(node % nodes),
+            Some(Outage {
+                node: NodeId(node),
                 start,
                 end: (start + dur).min(horizon - 1.0),
-            }
+            })
         })
         .filter(|o| o.start < o.end)
         .collect()

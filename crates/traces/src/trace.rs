@@ -189,7 +189,7 @@ impl Trace {
                 times.push(t0 + rng.gen::<f64>() * self.dt);
             }
         }
-        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        times.sort_by(|a, b| a.total_cmp(b));
         times
     }
 }
