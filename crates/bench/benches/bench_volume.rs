@@ -54,6 +54,40 @@ fn bench_dimensions(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched [`FeasibilityKernel`](rod_geom::FeasibilityKernel) path vs the
+/// reference per-point scalar walk, on the same estimator and region. The
+/// two are asserted bit-identical up front, so this group only ever
+/// compares equivalent computations.
+fn bench_kernel_vs_scalar(c: &mut Criterion) {
+    let graph = RandomTreeGenerator::paper_default(6, 16).generate(5);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(16, 1.0);
+    let ev = PlanEvaluator::new(&model, &cluster);
+    let alloc = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    let region = ev.feasible_region(&alloc);
+    let estimator = make_estimator(&model, &cluster, 80_000, 1);
+    assert_eq!(
+        estimator.estimate_scalar(&region).ratio_to_ideal.to_bits(),
+        estimator
+            .estimate_with_threads(&region, 1)
+            .ratio_to_ideal
+            .to_bits(),
+        "batched kernel diverged from the scalar path"
+    );
+
+    let mut group = c.benchmark_group("kernel_vs_scalar");
+    group.bench_function("scalar", |b| {
+        b.iter(|| estimator.estimate_scalar(&region));
+    });
+    group.bench_function("kernel", |b| {
+        b.iter(|| estimator.estimate_with_threads(&region, 1));
+    });
+    group.finish();
+}
+
 fn bench_point_generation(c: &mut Criterion) {
     c.bench_function("estimator_build_20k_d5", |b| {
         let graph = RandomTreeGenerator::paper_default(5, 20).generate(6);
@@ -67,6 +101,7 @@ criterion_group!(
     benches,
     bench_samples,
     bench_dimensions,
+    bench_kernel_vs_scalar,
     bench_point_generation
 );
 criterion_main!(benches);

@@ -24,8 +24,7 @@ struct Row {
 }
 
 fn main() {
-    let metrics = rod_core::obs::MetricsRegistry::new();
-    let bench_start = std::time::Instant::now();
+    let exp = rod_bench::output::Experiment::start();
     let inputs = 4;
     let graph = RandomTreeGenerator::paper_default(inputs, 12).generate(42);
     let model = LoadModel::derive(&graph).unwrap();
@@ -79,6 +78,5 @@ fn main() {
          saved hardware."
     );
     write_json("exp_capacity", &payload);
-    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
-    rod_bench::output::write_metrics(&metrics);
+    exp.finish();
 }

@@ -31,8 +31,7 @@ struct ClusterRow {
 }
 
 fn main() {
-    let metrics = rod_core::obs::MetricsRegistry::new();
-    let bench_start = std::time::Instant::now();
+    let exp = rod_bench::output::Experiment::start();
     let inputs = 3;
     let graph = RandomTreeGenerator::paper_default(inputs, 12).generate(63);
     let model = LoadModel::derive(&graph).unwrap();
@@ -156,6 +155,5 @@ fn main() {
          beats plain ROD's."
     );
     write_json("exp_clustering", &payload);
-    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
-    rod_bench::output::write_metrics(&metrics);
+    exp.finish();
 }

@@ -77,8 +77,7 @@ fn shifted_pair(q: f64, bins: usize) -> [Trace; 2] {
 }
 
 fn main() {
-    let metrics = rod_core::obs::MetricsRegistry::new();
-    let bench_start = std::time::Instant::now();
+    let exp = rod_bench::output::Experiment::start();
     let graph = RandomTreeGenerator::paper_default(2, 14).generate(55);
     let model = LoadModel::derive(&graph).unwrap();
     let cluster = Cluster::homogeneous(2, 1.0);
@@ -197,6 +196,5 @@ fn main() {
          stale Connected plan; ROD still needs no moves."
     );
     write_json("exp_dynamic_vs_static", &payload);
-    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
-    rod_bench::output::write_metrics(&metrics);
+    exp.finish();
 }

@@ -6,7 +6,8 @@
 //!
 //! 1. **Survivor feasible volume** — the fraction of QMC-sampled rate
 //!    points that stay feasible after the *worst* single-node loss, with
-//!    orphans re-homed greedily per [`survivor_moves`]. All plans are
+//!    orphans re-homed greedily per
+//!    [`survivor_moves`](rod_core::resilience::survivor_moves). All plans are
 //!    scored on the same point set, so comparisons are noise-free.
 //! 2. **Recovery latency** — the simulator injects the worst-node outage
 //!    mid-run with table-driven failover (0.5 s detection delay) and
@@ -88,8 +89,7 @@ fn score(
 }
 
 fn main() {
-    let metrics = rod_core::obs::MetricsRegistry::new();
-    let bench_start = std::time::Instant::now();
+    let exp = rod_bench::output::Experiment::start();
     let mut rows = Vec::new();
     let mut payload: Vec<Row> = Vec::new();
 
@@ -113,7 +113,7 @@ fn main() {
         let scenarios = FailureScenario::all_single(nodes);
 
         let rod = RodPlanner::new()
-            .place_with_metrics(&model, &cluster, &metrics)
+            .place_with_metrics(&model, &cluster, exp.metrics())
             .unwrap()
             .allocation;
         let resilient = ResilientRodPlanner::with_options(ResilientRodOptions {
@@ -121,12 +121,12 @@ fn main() {
             seed: QMC_SEED,
             ..ResilientRodOptions::default()
         })
-        .place_with_metrics(&model, &cluster, &metrics)
+        .place_with_metrics(&model, &cluster, exp.metrics())
         .unwrap();
         let llf = build_planner(&PlannerSpec::Llf {
             rates: vec![1.0; model.num_vars()],
         })
-        .plan_with_metrics(&model, &cluster, &metrics)
+        .plan_with_metrics(&model, &cluster, exp.metrics())
         .unwrap();
 
         let scored = [
@@ -224,6 +224,5 @@ fn main() {
          detection delay\nplus per-operator migration downtime, independent of the planner."
     );
     write_json("exp_failover", &payload);
-    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
-    rod_bench::output::write_metrics(&metrics);
+    exp.finish();
 }

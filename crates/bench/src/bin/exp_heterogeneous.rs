@@ -32,8 +32,7 @@ struct HeteroRow {
 }
 
 fn main() {
-    let metrics = rod_core::obs::MetricsRegistry::new();
-    let bench_start = std::time::Instant::now();
+    let exp = rod_bench::output::Experiment::start();
     let inputs = 4;
     // Four cluster shapes with equal total capacity 4.0.
     let shapes: Vec<(&str, Vec<f64>)> = vec![
@@ -107,6 +106,5 @@ fn main() {
          capacity (small spread)."
     );
     write_json("exp_heterogeneous", &payload);
-    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
-    rod_bench::output::write_metrics(&metrics);
+    exp.finish();
 }

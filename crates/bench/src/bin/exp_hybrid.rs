@@ -66,8 +66,7 @@ fn heavy_operators(model: &LoadModel, share: f64) -> Vec<OperatorId> {
 }
 
 fn main() {
-    let metrics = rod_core::obs::MetricsRegistry::new();
-    let bench_start = std::time::Instant::now();
+    let exp = rod_bench::output::Experiment::start();
     let inputs = 3;
     let graph = RandomTreeGenerator::paper_default(inputs, 12).generate(99);
     let model = LoadModel::derive(&graph).unwrap();
@@ -199,6 +198,5 @@ fn main() {
          still trails."
     );
     write_json("exp_hybrid", &payload);
-    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
-    rod_bench::output::write_metrics(&metrics);
+    exp.finish();
 }

@@ -36,8 +36,7 @@ struct LatencyRow {
 }
 
 fn main() {
-    let metrics = rod_core::obs::MetricsRegistry::new();
-    let bench_start = std::time::Instant::now();
+    let exp = rod_bench::output::Experiment::start();
     let inputs = 3;
     let graph = RandomTreeGenerator::paper_default(inputs, 12).generate(77);
     let model = LoadModel::derive(&graph).unwrap();
@@ -81,7 +80,7 @@ fn main() {
         .iter()
         .map(|spec| {
             let alloc = build_planner(spec)
-                .plan_with_metrics(&model, &cluster, &metrics)
+                .plan_with_metrics(&model, &cluster, exp.metrics())
                 .unwrap();
             (spec.name(), alloc)
         })
@@ -148,6 +147,5 @@ fn main() {
          tail latency explodes."
     );
     write_json("exp_latency", &payload);
-    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
-    rod_bench::output::write_metrics(&metrics);
+    exp.finish();
 }

@@ -35,8 +35,7 @@ struct LbPoint {
 }
 
 fn main() {
-    let metrics = rod_core::obs::MetricsRegistry::new();
-    let bench_start = std::time::Instant::now();
+    let exp = rod_bench::output::Experiment::start();
     let inputs = 4;
     let nodes = 4;
     let graphs = 6;
@@ -149,6 +148,5 @@ fn main() {
          (typically) grows."
     );
     write_json("exp_lower_bound", &payload);
-    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
-    rod_bench::output::write_metrics(&metrics);
+    exp.finish();
 }

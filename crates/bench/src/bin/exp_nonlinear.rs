@@ -31,8 +31,7 @@ struct NonlinearRow {
 }
 
 fn main() {
-    let metrics = rod_core::obs::MetricsRegistry::new();
-    let bench_start = std::time::Instant::now();
+    let exp = rod_bench::output::Experiment::start();
     // Part 1: the Example 3 cut.
     let g3 = example3_graph();
     let model3 = LoadModel::derive(&g3).unwrap();
@@ -114,6 +113,5 @@ fn main() {
          ROD still leads the baselines."
     );
     write_json("exp_nonlinear", &payload);
-    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
-    rod_bench::output::write_metrics(&metrics);
+    exp.finish();
 }

@@ -28,8 +28,7 @@ struct GapPoint {
 }
 
 fn main() {
-    let metrics = rod_core::obs::MetricsRegistry::new();
-    let bench_start = std::time::Instant::now();
+    let exp = rod_bench::output::Experiment::start();
     let nodes = 2;
     let graphs_per_config = 8;
     // (d, ops per tree): m = d * ops_per_tree <= 12 as in the paper. The
@@ -106,6 +105,5 @@ fn main() {
          (avg >= ~0.9, min >= ~0.8)."
     );
     write_json("exp_optimal_gap", &payload);
-    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
-    rod_bench::output::write_metrics(&metrics);
+    exp.finish();
 }

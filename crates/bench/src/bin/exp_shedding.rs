@@ -33,8 +33,7 @@ struct Row {
 }
 
 fn main() {
-    let metrics = rod_core::obs::MetricsRegistry::new();
-    let bench_start = std::time::Instant::now();
+    let exp = rod_bench::output::Experiment::start();
     // Four small trees on two nodes: each chain fits under Connected's
     // fair-share cap, so Connected keeps chains whole (two streams
     // concentrated per node) while ROD spreads every stream.
@@ -136,6 +135,5 @@ fn main() {
          ideal set both must shed, ROD less."
     );
     write_json("exp_shedding", &payload);
-    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
-    rod_bench::output::write_metrics(&metrics);
+    exp.finish();
 }

@@ -26,8 +26,7 @@ struct CrossRow {
 }
 
 fn main() {
-    let metrics = rod_core::obs::MetricsRegistry::new();
-    let bench_start = std::time::Instant::now();
+    let exp = rod_bench::output::Experiment::start();
     let inputs = 3;
     let graph = RandomTreeGenerator::paper_default(inputs, 8).generate(31);
     let model = LoadModel::derive(&graph).unwrap();
@@ -90,6 +89,5 @@ fn main() {
          paper's \"simulator tracked Borealis\nvery closely\" property."
     );
     write_json("exp_sim_crosscheck", &payload);
-    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
-    rod_bench::output::write_metrics(&metrics);
+    exp.finish();
 }

@@ -37,8 +37,7 @@ struct Row {
 }
 
 fn main() {
-    let metrics = rod_core::obs::MetricsRegistry::new();
-    let bench_start = std::time::Instant::now();
+    let exp = rod_bench::output::Experiment::start();
     let inputs = 2;
     let graph = RandomTreeGenerator::paper_default(inputs, 14).generate(123);
     let model = LoadModel::derive(&graph).unwrap();
@@ -152,6 +151,5 @@ fn main() {
          closes the gap as bursts stretch into the medium term."
     );
     write_json("exp_timescales", &payload);
-    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
-    rod_bench::output::write_metrics(&metrics);
+    exp.finish();
 }

@@ -26,8 +26,7 @@ struct TraceRow {
 }
 
 fn main() {
-    let metrics = rod_core::obs::MetricsRegistry::new();
-    let bench_start = std::time::Instant::now();
+    let exp = rod_bench::output::Experiment::start();
     let traces = paper_traces(12, 2006); // 4096 bins each
     let mut rows = Vec::new();
     let mut payload = Vec::new();
@@ -71,6 +70,5 @@ fn main() {
          after 16x aggregation, and Hurst > 0.5 throughout."
     );
     write_json("fig02_traces", &payload);
-    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
-    rod_bench::output::write_metrics(&metrics);
+    exp.finish();
 }

@@ -22,8 +22,7 @@ struct ScatterPoint {
 }
 
 fn main() {
-    let metrics = rod_core::obs::MetricsRegistry::new();
-    let bench_start = std::time::Instant::now();
+    let exp = rod_bench::output::Experiment::start();
     let n = 10;
     let d = 3;
     let matrices = 1000;
@@ -123,6 +122,5 @@ fn main() {
         rod_bench::plot::scatter("Figure 9, rendered (x = r/r*, y = ratio):", &xy, 72, 18)
     );
     write_json("fig09_plane_distance", &points);
-    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
-    rod_bench::output::write_metrics(&metrics);
+    exp.finish();
 }

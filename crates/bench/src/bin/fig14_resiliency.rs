@@ -29,8 +29,7 @@ struct FigurePoint {
 }
 
 fn main() {
-    let metrics = rod_core::obs::MetricsRegistry::new();
-    let bench_start = std::time::Instant::now();
+    let exp = rod_bench::output::Experiment::start();
     let inputs = 5;
     let nodes = 5;
     let graphs_per_size = 3; // independent random graphs averaged per size
@@ -141,6 +140,5 @@ fn main() {
          operators; ROD approaches the ideal."
     );
     write_json("fig14_resiliency", &payload);
-    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
-    rod_bench::output::write_metrics(&metrics);
+    exp.finish();
 }

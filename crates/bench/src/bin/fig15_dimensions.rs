@@ -29,8 +29,7 @@ struct FigurePoint {
 }
 
 fn main() {
-    let metrics = rod_core::obs::MetricsRegistry::new();
-    let bench_start = std::time::Instant::now();
+    let exp = rod_bench::output::Experiment::start();
     let ops_per_tree = 16;
     let nodes = 5;
     let graphs_per_dim = 3;
@@ -100,6 +99,5 @@ fn main() {
          improvement); d=2 sits above the trend line."
     );
     write_json("fig15_dimensions", &payload);
-    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
-    rod_bench::output::write_metrics(&metrics);
+    exp.finish();
 }

@@ -1,0 +1,314 @@
+//! **Planner performance trajectory** — times plan construction and
+//! QMC volume estimation across instance sizes and records the repo's
+//! persistent perf baseline.
+//!
+//! For each grid cell (d input streams × `ops_per_tree` operators each,
+//! n nodes, P sample points) the harness generates the paper's random
+//! tree workload, plans it with ROD, and times three things over
+//! `repeats` runs, keeping medians:
+//!
+//! * `plan_seconds` — a full `RodPlanner::place` run,
+//! * `scalar_estimate_seconds` — the reference per-point volume walk
+//!   ([`VolumeEstimator::estimate_scalar`]),
+//! * `kernel_estimate_seconds` — the batched
+//!   [`FeasibilityKernel`](rod_geom::FeasibilityKernel) path on one
+//!   thread.
+//!
+//! Every repetition asserts the two estimates are **bit-identical**; the
+//! run aborts otherwise, so the perf numbers can never silently come
+//! from a kernel that changed the numerics.
+//!
+//! Results go to `BENCH_planner.json` at the repo root (see
+//! `docs/benchmarks.md` for the schema). Flags:
+//!
+//! * `--quick` — subset of the grid, fewer repeats (CI smoke mode);
+//! * `--out FILE` — write somewhere else (CI writes a scratch copy);
+//! * `--check FILE` — compare against a committed baseline and exit
+//!   non-zero when any cell's kernel speedup regressed by more than 2×
+//!   (speedups are machine-relative ratios, so the check is stable
+//!   across runner hardware, unlike absolute times).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use rod_bench::output::{arg_value, fmt, print_table};
+use rod_core::allocation::PlanEvaluator;
+use rod_core::cluster::Cluster;
+use rod_core::load_model::LoadModel;
+use rod_core::rod::RodPlanner;
+use rod_geom::VolumeEstimator;
+use rod_workloads::random_graphs::RandomTreeGenerator;
+
+/// Schema version of `BENCH_planner.json`; bump on breaking layout
+/// changes and teach `--check` the migration.
+const SCHEMA_VERSION: u32 = 1;
+
+/// Workload seed — fixed so the trajectory tracks code, not instances.
+const WORKLOAD_SEED: u64 = 42;
+
+/// QMC seed for the estimators.
+const QMC_SEED: u64 = 7;
+
+#[derive(Clone, Copy)]
+struct Cell {
+    name: &'static str,
+    inputs: usize,
+    ops_per_tree: usize,
+    nodes: usize,
+    samples: usize,
+    /// Included in `--quick` runs (must stay a subset of the full grid
+    /// with identical parameters, so `--check` can match cells by name).
+    quick: bool,
+}
+
+const GRID: &[Cell] = &[
+    Cell {
+        name: "d2_n4",
+        inputs: 2,
+        ops_per_tree: 5,
+        nodes: 4,
+        samples: 50_000,
+        quick: true,
+    },
+    Cell {
+        name: "d4_n8",
+        inputs: 4,
+        ops_per_tree: 5,
+        nodes: 8,
+        samples: 50_000,
+        quick: false,
+    },
+    Cell {
+        name: "d6_n16",
+        inputs: 6,
+        ops_per_tree: 5,
+        nodes: 16,
+        samples: 100_000,
+        quick: true,
+    },
+    Cell {
+        name: "d8_n24",
+        inputs: 8,
+        ops_per_tree: 5,
+        nodes: 24,
+        samples: 100_000,
+        quick: false,
+    },
+];
+
+#[derive(Serialize, Deserialize)]
+struct CellResult {
+    name: String,
+    inputs: usize,
+    ops: usize,
+    nodes: usize,
+    samples: usize,
+    plan_seconds: f64,
+    scalar_estimate_seconds: f64,
+    kernel_estimate_seconds: f64,
+    kernel_speedup: f64,
+    feasible_ratio: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BenchFile {
+    schema_version: u32,
+    created_unix: u64,
+    rustc: String,
+    commit: String,
+    quick: bool,
+    repeats: usize,
+    workload_seed: u64,
+    qmc_seed: u64,
+    grid: Vec<CellResult>,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn tool_line(cmd: &str, args: &[&str]) -> String {
+    Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn run_cell(cell: &Cell, repeats: usize) -> CellResult {
+    let graph =
+        RandomTreeGenerator::paper_default(cell.inputs, cell.ops_per_tree).generate(WORKLOAD_SEED);
+    let model = LoadModel::derive(&graph).expect("model derives");
+    let cluster = Cluster::homogeneous(cell.nodes, 1.0);
+
+    let mut plan_times = Vec::with_capacity(repeats);
+    let mut alloc = None;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        let plan = RodPlanner::new()
+            .place(&model, &cluster)
+            .expect("ROD plans");
+        plan_times.push(t.elapsed().as_secs_f64());
+        alloc = Some(plan.allocation);
+    }
+    let alloc = alloc.expect("at least one repeat");
+
+    let estimator = VolumeEstimator::new(
+        model.total_coeffs().as_slice(),
+        cluster.total_capacity(),
+        cell.samples,
+        QMC_SEED,
+    );
+    let region = PlanEvaluator::new(&model, &cluster).feasible_region(&alloc);
+
+    let mut scalar_times = Vec::with_capacity(repeats);
+    let mut kernel_times = Vec::with_capacity(repeats);
+    let mut ratio = 0.0;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        let scalar = estimator.estimate_scalar(&region);
+        scalar_times.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let kernel = estimator.estimate_with_threads(&region, 1);
+        kernel_times.push(t.elapsed().as_secs_f64());
+        assert_eq!(
+            scalar.ratio_to_ideal.to_bits(),
+            kernel.ratio_to_ideal.to_bits(),
+            "{}: batched kernel diverged from the scalar path",
+            cell.name
+        );
+        ratio = kernel.ratio_to_ideal;
+    }
+
+    let scalar_s = median(&mut scalar_times);
+    let kernel_s = median(&mut kernel_times);
+    CellResult {
+        name: cell.name.to_string(),
+        inputs: cell.inputs,
+        ops: cell.inputs * cell.ops_per_tree,
+        nodes: cell.nodes,
+        samples: cell.samples,
+        plan_seconds: median(&mut plan_times),
+        scalar_estimate_seconds: scalar_s,
+        kernel_estimate_seconds: kernel_s,
+        kernel_speedup: scalar_s / kernel_s,
+        feasible_ratio: ratio,
+    }
+}
+
+/// Compares against a baseline file; returns the regressed cell names.
+fn regressions(current: &BenchFile, baseline_path: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {}: {e}", baseline_path.display()));
+    let baseline: BenchFile = serde_json::from_str(&text).expect("baseline parses");
+    assert_eq!(
+        baseline.schema_version, SCHEMA_VERSION,
+        "baseline schema version mismatch"
+    );
+    let mut bad = Vec::new();
+    for cur in &current.grid {
+        let Some(base) = baseline.grid.iter().find(|b| b.name == cur.name) else {
+            continue;
+        };
+        if base.kernel_speedup / cur.kernel_speedup > 2.0 {
+            bad.push(format!(
+                "{}: speedup {:.2}x vs baseline {:.2}x",
+                cur.name, cur.kernel_speedup, base.kernel_speedup
+            ));
+        }
+    }
+    bad
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let repeats = if quick { 3 } else { 7 };
+    let out = arg_value("--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| repo_root().join("BENCH_planner.json"));
+
+    let cells: Vec<&Cell> = GRID.iter().filter(|c| !quick || c.quick).collect();
+    let mut grid = Vec::with_capacity(cells.len());
+    for cell in cells {
+        eprintln!("[perf_planner] {} ...", cell.name);
+        grid.push(run_cell(cell, repeats));
+    }
+
+    let file = BenchFile {
+        schema_version: SCHEMA_VERSION,
+        created_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        rustc: tool_line("rustc", &["--version"]),
+        commit: tool_line(
+            "git",
+            &["-C", repo_root().to_str().unwrap(), "rev-parse", "HEAD"],
+        ),
+        quick,
+        repeats,
+        workload_seed: WORKLOAD_SEED,
+        qmc_seed: QMC_SEED,
+        grid,
+    };
+
+    let rows: Vec<Vec<String>> = file
+        .grid
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                c.ops.to_string(),
+                c.nodes.to_string(),
+                c.samples.to_string(),
+                format!("{:.3}", c.plan_seconds * 1e3),
+                format!("{:.3}", c.scalar_estimate_seconds * 1e3),
+                format!("{:.3}", c.kernel_estimate_seconds * 1e3),
+                format!("{:.2}x", c.kernel_speedup),
+                fmt(c.feasible_ratio),
+            ]
+        })
+        .collect();
+    print_table(
+        "planner perf trajectory (medians)",
+        &[
+            "cell",
+            "ops",
+            "nodes",
+            "samples",
+            "plan ms",
+            "scalar ms",
+            "kernel ms",
+            "speedup",
+            "ratio",
+        ],
+        &rows,
+    );
+
+    let json = serde_json::to_string_pretty(&file).expect("results serialise");
+    std::fs::write(&out, json).expect("write bench file");
+    println!("[bench written to {}]", out.display());
+
+    if let Some(baseline) = arg_value("--check") {
+        let bad = regressions(&file, Path::new(&baseline));
+        if bad.is_empty() {
+            println!("[check] no >2x speedup regressions vs {baseline}");
+        } else {
+            eprintln!("[check] PERF REGRESSION vs {baseline}:");
+            for line in &bad {
+                eprintln!("  {line}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

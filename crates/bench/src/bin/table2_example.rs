@@ -31,8 +31,7 @@ struct PlanRow {
 }
 
 fn main() {
-    let metrics = rod_core::obs::MetricsRegistry::new();
-    let bench_start = std::time::Instant::now();
+    let exp = rod_bench::output::Experiment::start();
     let graph = figure4_graph();
     let model = LoadModel::derive(&graph).unwrap();
     let cluster = Cluster::homogeneous(2, 1.0);
@@ -117,6 +116,5 @@ fn main() {
          is worst. ROD should recover plan (b)."
     );
     write_json("table2_example", &payload);
-    metrics.observe("exp.total_seconds", bench_start.elapsed().as_secs_f64());
-    rod_bench::output::write_metrics(&metrics);
+    exp.finish();
 }

@@ -65,6 +65,44 @@ pub fn write_metrics(metrics: &rod_core::obs::MetricsRegistry) {
     }
 }
 
+/// Shared lifecycle of the `exp_*`/`fig*` binaries: owns the metrics
+/// registry and the experiment wall-clock, and centralises the
+/// `--metrics-out FILE` contract so the flag cannot drift per-bin.
+///
+/// ```no_run
+/// let exp = rod_bench::output::Experiment::start();
+/// // ... run the experiment, passing `exp.metrics()` around ...
+/// exp.finish(); // records `exp.total_seconds`, honours --metrics-out
+/// ```
+pub struct Experiment {
+    metrics: rod_core::obs::MetricsRegistry,
+    start: std::time::Instant,
+}
+
+impl Experiment {
+    /// Starts the experiment clock with a fresh registry.
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> Self {
+        Experiment {
+            metrics: rod_core::obs::MetricsRegistry::new(),
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// The experiment's metrics registry.
+    pub fn metrics(&self) -> &rod_core::obs::MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Records the total wall-clock as `exp.total_seconds` and writes the
+    /// snapshot to the `--metrics-out` file when the flag is present.
+    pub fn finish(self) {
+        self.metrics
+            .observe("exp.total_seconds", self.start.elapsed().as_secs_f64());
+        write_metrics(&self.metrics);
+    }
+}
+
 /// Formats a float with 4 significant decimals for tables.
 pub fn fmt(x: f64) -> String {
     if x.is_infinite() {

@@ -1,0 +1,146 @@
+//! Golden-value pins for the planner and the volume estimator.
+//!
+//! These tests freeze exact outputs — ROD placements as op→node vectors
+//! and QMC volume estimates down to the f64 bit pattern — for fixed
+//! workload/QMC seeds. They exist to catch *unintentional* numeric or
+//! behavioural drift: an optimisation that reorders float accumulation,
+//! a planner tweak that silently changes placements, a sampler change
+//! that shifts the point set.
+//!
+//! If a change fails these tests **on purpose** (e.g. a deliberate
+//! planner improvement), re-pin the constants in the same commit and
+//! call the change out in the commit message; a re-pin is an API-break
+//! level event for downstream experiment reproducibility.
+
+use rod_core::allocation::PlanEvaluator;
+use rod_core::cluster::Cluster;
+use rod_core::ids::OperatorId;
+use rod_core::load_model::LoadModel;
+use rod_core::rod::RodPlanner;
+use rod_geom::VolumeEstimator;
+use rod_workloads::random_graphs::RandomTreeGenerator;
+
+/// One frozen scenario: the paper-default random tree workload on a
+/// homogeneous cluster, mirroring the `perf_planner` grid cells.
+struct GoldenCase {
+    name: &'static str,
+    inputs: usize,
+    ops_per_tree: usize,
+    nodes: usize,
+    samples: usize,
+    workload_seed: u64,
+    qmc_seed: u64,
+    /// Expected op→node assignment from `RodPlanner::place`.
+    placement: &'static [usize],
+    /// Expected `ratio_to_ideal` as raw f64 bits (bit-exact pin).
+    ratio_bits: u64,
+}
+
+const CASES: &[GoldenCase] = &[
+    GoldenCase {
+        name: "d2_n4_s42",
+        inputs: 2,
+        ops_per_tree: 5,
+        nodes: 4,
+        samples: 50_000,
+        workload_seed: 42,
+        qmc_seed: 7,
+        placement: &[0, 2, 3, 1, 3, 2, 3, 2, 1, 0],
+        ratio_bits: 0x3fe3a9a8049667b6, // 0.61446
+    },
+    GoldenCase {
+        name: "d4_n8_s42",
+        inputs: 4,
+        ops_per_tree: 5,
+        nodes: 8,
+        samples: 50_000,
+        workload_seed: 42,
+        qmc_seed: 7,
+        placement: &[5, 6, 4, 3, 7, 2, 4, 5, 3, 7, 0, 6, 2, 7, 3, 3, 1, 2, 6, 7],
+        ratio_bits: 0x3fc916872b020c4a, // 0.196
+    },
+];
+
+fn run_case(case: &GoldenCase) -> (Vec<usize>, f64) {
+    let graph = RandomTreeGenerator::paper_default(case.inputs, case.ops_per_tree)
+        .generate(case.workload_seed);
+    let model = LoadModel::derive(&graph).expect("model derives");
+    let cluster = Cluster::homogeneous(case.nodes, 1.0);
+    let alloc = RodPlanner::new()
+        .place(&model, &cluster)
+        .expect("ROD plans")
+        .allocation;
+    let placement: Vec<usize> = (0..alloc.num_operators())
+        .map(|op| alloc.node_of(OperatorId(op)).expect("complete placement").0)
+        .collect();
+
+    let estimator = VolumeEstimator::new(
+        model.total_coeffs().as_slice(),
+        cluster.total_capacity(),
+        case.samples,
+        case.qmc_seed,
+    );
+    let region = PlanEvaluator::new(&model, &cluster).feasible_region(&alloc);
+    let estimate = estimator.estimate(&region);
+    (placement, estimate.ratio_to_ideal)
+}
+
+#[test]
+fn golden_placements_and_volumes_are_stable() {
+    for case in CASES {
+        let (placement, ratio) = run_case(case);
+        assert_eq!(
+            placement, case.placement,
+            "{}: ROD placement drifted — if intentional, re-pin and \
+             document in the commit message",
+            case.name
+        );
+        assert_eq!(
+            ratio.to_bits(),
+            case.ratio_bits,
+            "{}: volume estimate drifted ({} vs pinned {}) — if \
+             intentional, re-pin and document in the commit message",
+            case.name,
+            ratio,
+            f64::from_bits(case.ratio_bits)
+        );
+    }
+}
+
+/// The batched kernel, the scalar reference walk, and the threaded path
+/// must all agree bit-for-bit on the golden scenarios.
+#[test]
+fn golden_scenarios_are_bit_identical_across_estimate_paths() {
+    for case in CASES {
+        let graph = RandomTreeGenerator::paper_default(case.inputs, case.ops_per_tree)
+            .generate(case.workload_seed);
+        let model = LoadModel::derive(&graph).expect("model derives");
+        let cluster = Cluster::homogeneous(case.nodes, 1.0);
+        let alloc = RodPlanner::new()
+            .place(&model, &cluster)
+            .expect("ROD plans")
+            .allocation;
+        let estimator = VolumeEstimator::new(
+            model.total_coeffs().as_slice(),
+            cluster.total_capacity(),
+            case.samples,
+            case.qmc_seed,
+        );
+        let region = PlanEvaluator::new(&model, &cluster).feasible_region(&alloc);
+        let scalar = estimator.estimate_scalar(&region).ratio_to_ideal.to_bits();
+        let kernel = estimator
+            .estimate_with_threads(&region, 1)
+            .ratio_to_ideal
+            .to_bits();
+        let threaded = estimator
+            .estimate_with_threads(&region, 4)
+            .ratio_to_ideal
+            .to_bits();
+        assert_eq!(scalar, kernel, "{}: kernel diverged from scalar", case.name);
+        assert_eq!(
+            scalar, threaded,
+            "{}: threaded estimate diverged from scalar",
+            case.name
+        );
+    }
+}

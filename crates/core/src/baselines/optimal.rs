@@ -106,6 +106,31 @@ impl OptimalPlanner {
         model: &LoadModel,
         cluster: &Cluster,
     ) -> Result<(Allocation, f64), PlacementError> {
+        self.search_impl(model, cluster, None)
+    }
+
+    /// [`search`](Self::search) that additionally memoises every
+    /// improving incumbent's exact alive count into `cache`, so callers
+    /// re-rating the winner (or near-winners) through a
+    /// [`ScenarioScorer`](crate::resilience::ScenarioScorer) over the
+    /// **same point set** get those scores for free. The scope rule of
+    /// [`crate::score_cache`] applies: the shared point set must be built
+    /// with this planner's `samples`/`seed`.
+    pub fn search_with_cache(
+        &self,
+        model: &LoadModel,
+        cluster: &Cluster,
+        cache: &mut crate::score_cache::ScoreCache,
+    ) -> Result<(Allocation, f64), PlacementError> {
+        self.search_impl(model, cluster, Some(cache))
+    }
+
+    fn search_impl(
+        &self,
+        model: &LoadModel,
+        cluster: &Cluster,
+        cache: Option<&mut crate::score_cache::ScoreCache>,
+    ) -> Result<(Allocation, f64), PlacementError> {
         check_inputs(model, cluster)?;
         let m = model.num_operators();
         let n = cluster.num_nodes();
@@ -134,14 +159,18 @@ impl OptimalPlanner {
         // natural node order and the incumbent is replaced only on a
         // strict improvement, so ties resolve exactly as the
         // enumerate-then-rescore search did.
-        struct Search {
+        struct Search<'c> {
             feas: SampledFeasibility,
             n: usize,
             homogeneous: bool,
             best: Option<(Vec<usize>, usize)>,
             assignment: Vec<usize>,
+            /// Improving incumbents' exact counts are memoised here —
+            /// only incumbents, so the per-leaf overhead stays zero on
+            /// the pruned bulk of the tree.
+            cache: Option<&'c mut crate::score_cache::ScoreCache>,
         }
-        impl Search {
+        impl Search<'_> {
             fn recurse(&mut self, j: usize, used: usize) {
                 let m = self.assignment.len();
                 // Bound: the partial plan already excludes everything a
@@ -155,6 +184,9 @@ impl OptimalPlanner {
                 if j == m {
                     // `upper` is the exact count of the complete plan.
                     self.best = Some((self.assignment.clone(), upper));
+                    if let Some(cache) = self.cache.as_deref_mut() {
+                        cache.insert(self.assignment.iter().map(|&i| i as u32).collect(), upper);
+                    }
                     return;
                 }
                 let limit = if self.homogeneous {
@@ -171,11 +203,12 @@ impl OptimalPlanner {
             }
         }
         let mut search = Search {
-            feas: SampledFeasibility::new(model.lo(), estimator.points(), caps.as_slice()),
+            feas: SampledFeasibility::from_batch(model.lo(), estimator.batch(), caps.as_slice()),
             n,
             homogeneous,
             best: None,
             assignment: vec![0; m],
+            cache,
         };
         search.recurse(0, 0);
         let (assignment, hits) = search.best.expect("at least one plan enumerated");
@@ -234,6 +267,36 @@ mod tests {
             "ROD/OPT = {}",
             rod_ratio / opt_ratio
         );
+    }
+
+    #[test]
+    fn search_with_cache_seeds_scorer_rescoring() {
+        use crate::resilience::ScenarioScorer;
+        use crate::score_cache::ScoreCache;
+
+        let model = LoadModel::derive(&figure4_graph()).unwrap();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let planner = OptimalPlanner::new();
+        let mut cache = ScoreCache::new();
+        let (opt, ratio) = planner
+            .search_with_cache(&model, &cluster, &mut cache)
+            .unwrap();
+        assert!(!cache.is_empty(), "no incumbent was memoised");
+
+        // A scorer over the same point set answers the winner's healthy
+        // score straight from the shared cache.
+        let estimator = VolumeEstimator::new(
+            model.total_coeffs().as_slice(),
+            cluster.total_capacity(),
+            planner.samples,
+            planner.seed,
+        );
+        let mut scorer = ScenarioScorer::from_batch(&model, &cluster, estimator.batch());
+        scorer.swap_cache(cache);
+        let healthy = scorer.healthy_alive(&opt);
+        assert_eq!(healthy as f64 / planner.samples as f64, ratio);
+        assert_eq!(scorer.cache().hits(), 1);
+        assert_eq!(scorer.cache().misses(), 0);
     }
 
     #[test]

@@ -36,7 +36,7 @@
 //! the bound O(1) to read and O(P) to maintain per move instead of
 //! O(P·n·d) to recompute.
 
-use rod_geom::{FeasibleRegion, Matrix, Vector};
+use rod_geom::{FeasibleRegion, Matrix, PointBatch, Vector};
 
 use crate::allocation::{Allocation, WeightMatrix};
 use crate::cluster::Cluster;
@@ -375,13 +375,24 @@ impl SampledFeasibility {
     /// Builds the tracker for `lo` (m×d operator load coefficients),
     /// a shared QMC `points` set, and per-node `caps`.
     pub fn new(lo: &Matrix, points: &[Vector], caps: &[f64]) -> Self {
+        SampledFeasibility::from_batch(lo, &PointBatch::from_points(points), caps)
+    }
+
+    /// [`new`](Self::new) over an already-transposed column store —
+    /// callers holding a [`rod_geom::VolumeEstimator`] can pass its
+    /// [`batch`](rod_geom::VolumeEstimator::batch) and skip the O(P·d)
+    /// re-transpose. The per-operator load table is accumulated
+    /// column-wise via [`PointBatch::dot_into`], which keeps the exact
+    /// per-point operand order of the scalar dot product, so every load —
+    /// and every kill decision derived from one — is bit-identical to the
+    /// row-major construction.
+    pub fn from_batch(lo: &Matrix, batch: &PointBatch, caps: &[f64]) -> Self {
         let m = lo.rows();
-        let p = points.len();
+        let p = batch.num_points();
         let mut op_loads = vec![0.0; m * p];
-        for j in 0..m {
-            let row = lo.row(j);
-            for (pi, point) in points.iter().enumerate() {
-                op_loads[j * p + pi] = row.iter().zip(point.as_slice()).map(|(l, x)| l * x).sum();
+        if p > 0 {
+            for j in 0..m {
+                batch.dot_into(lo.row(j), &mut op_loads[j * p..(j + 1) * p]);
             }
         }
         SampledFeasibility {

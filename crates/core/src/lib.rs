@@ -67,6 +67,7 @@ pub mod obs;
 pub mod operator;
 pub mod resilience;
 pub mod rod;
+pub mod score_cache;
 
 pub use allocation::{Allocation, PlanEvaluator, WeightMatrix};
 pub use baselines::{build_planner, PlannerSpec};
@@ -82,6 +83,7 @@ pub use resilience::{
     FailoverTable, FailureScenario, ResilientPlan, ResilientRodOptions, ResilientRodPlanner,
 };
 pub use rod::{RodOptions, RodPlan, RodPlanner};
+pub use score_cache::ScoreCache;
 
 /// Convenient glob import for downstream users.
 pub mod prelude {
@@ -102,4 +104,5 @@ pub mod prelude {
         FailoverTable, FailureScenario, ResilientPlan, ResilientRodOptions, ResilientRodPlanner,
     };
     pub use crate::rod::{RodOptions, RodPlan, RodPlanner};
+    pub use crate::score_cache::ScoreCache;
 }

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use rod_geom::Vector;
+use rod_geom::{PointBatch, Vector};
 
 use crate::allocation::Allocation;
 use crate::cluster::Cluster;
@@ -10,6 +10,7 @@ use crate::eval::{IncrementalPlanEval, SampledFeasibility};
 use crate::ids::{NodeId, OperatorId};
 use crate::load_model::LoadModel;
 use crate::resilience::FailureScenario;
+use crate::score_cache::ScoreCache;
 
 /// Computes where a scenario's orphaned operators should go: unassign
 /// every failed node's operators from the incremental state, then place
@@ -146,17 +147,45 @@ pub struct ScenarioScorer<'a> {
     model: &'a LoadModel,
     cluster: &'a Cluster,
     feas: SampledFeasibility,
+    /// Memoised alive counts per effective assignment — scoped to this
+    /// scorer's (model, cluster, point set), so sharing is always sound.
+    cache: ScoreCache,
 }
 
 impl<'a> ScenarioScorer<'a> {
     /// A scorer over an explicit point set (typically
     /// `VolumeEstimator::points()`).
     pub fn new(model: &'a LoadModel, cluster: &'a Cluster, points: &[Vector]) -> Self {
+        ScenarioScorer::from_batch(model, cluster, &PointBatch::from_points(points))
+    }
+
+    /// [`new`](Self::new) over an already-transposed column store
+    /// (typically `VolumeEstimator::batch()`), skipping the O(P·d)
+    /// re-transpose.
+    pub fn from_batch(model: &'a LoadModel, cluster: &'a Cluster, batch: &PointBatch) -> Self {
         ScenarioScorer {
             model,
             cluster,
-            feas: SampledFeasibility::new(model.lo(), points, cluster.capacities().as_slice()),
+            feas: SampledFeasibility::from_batch(
+                model.lo(),
+                batch,
+                cluster.capacities().as_slice(),
+            ),
+            cache: ScoreCache::new(),
         }
+    }
+
+    /// The score cache, for hit-rate diagnostics.
+    pub fn cache(&self) -> &ScoreCache {
+        &self.cache
+    }
+
+    /// Replaces the score cache — e.g. with one pre-seeded by an
+    /// [`OptimalPlanner`](crate::baselines::optimal::OptimalPlanner) search over
+    /// the **same model, cluster and point set** (see the scope rule in
+    /// [`crate::score_cache`]). Returns the cache previously installed.
+    pub fn swap_cache(&mut self, cache: ScoreCache) -> ScoreCache {
+        std::mem::replace(&mut self.cache, cache)
     }
 
     /// Total points tracked.
@@ -188,11 +217,14 @@ impl<'a> ScenarioScorer<'a> {
     }
 
     /// Alive count with every operator at its allocation host except the
-    /// redirected ones. Pushes all assignments, reads the count, then
-    /// pops them in LIFO order, leaving the tracker pristine.
+    /// redirected ones. The effective assignment fully determines the
+    /// count (dead nodes carry nothing, so they never kill a point), so
+    /// it doubles as the [`ScoreCache`] key; on a miss, pushes all
+    /// assignments, reads the count, then pops them in LIFO order,
+    /// leaving the tracker pristine.
     fn alive_under(&mut self, alloc: &Allocation, redirects: &[(OperatorId, NodeId)]) -> usize {
         let m = self.model.num_operators();
-        let mut pushed: Vec<(usize, usize)> = Vec::with_capacity(m);
+        let mut key: Vec<u32> = Vec::with_capacity(m);
         for j in 0..m {
             let op = OperatorId(j);
             let dest = redirects
@@ -200,15 +232,23 @@ impl<'a> ScenarioScorer<'a> {
                 .find(|(o, _)| *o == op)
                 .map(|(_, d)| *d)
                 .or_else(|| alloc.node_of(op));
-            if let Some(node) = dest {
-                self.feas.push_assign(j, node.index());
-                pushed.push((j, node.index()));
+            key.push(dest.map_or(crate::score_cache::UNPLACED, |n| n.index() as u32));
+        }
+        if let Some(alive) = self.cache.get(&key) {
+            return alive;
+        }
+        let mut pushed: Vec<(usize, usize)> = Vec::with_capacity(m);
+        for (j, &dest) in key.iter().enumerate() {
+            if dest != crate::score_cache::UNPLACED {
+                self.feas.push_assign(j, dest as usize);
+                pushed.push((j, dest as usize));
             }
         }
         let alive = self.feas.alive_count();
         for &(j, i) in pushed.iter().rev() {
             self.feas.pop_assign(j, i);
         }
+        self.cache.insert(key, alive);
         alive
     }
 }
@@ -326,8 +366,12 @@ mod tests {
             .count();
         assert_eq!(scorer.scenario_alive(&alloc, &scenario), fresh_post);
 
-        // The scorer is reusable: a second healthy query is unchanged.
+        // The scorer is reusable: a second healthy query is unchanged —
+        // and answered from the score cache without re-pushing.
+        let misses = scorer.cache().misses();
         assert_eq!(scorer.healthy_alive(&alloc), fresh);
+        assert_eq!(scorer.cache().misses(), misses);
+        assert!(scorer.cache().hits() > 0);
     }
 
     #[test]

@@ -147,7 +147,7 @@ impl ResilientRodPlanner {
             self.options.samples,
             self.options.seed,
         );
-        let mut scorer = ScenarioScorer::new(model, cluster, estimator.points());
+        let mut scorer = ScenarioScorer::from_batch(model, cluster, estimator.batch());
         if let Some(metrics) = metrics {
             metrics.observe(
                 "resilient_rod.qmc_seconds",
@@ -216,6 +216,12 @@ impl ResilientRodPlanner {
             metrics.add("resilient_rod.iterations", iterations);
             metrics.add("resilient_rod.accepted_moves", moves as u64);
             metrics.add("resilient_rod.candidate_moves", candidate_moves);
+            metrics.add("resilient_rod.score_cache_hits", scorer.cache().hits());
+            metrics.add("resilient_rod.score_cache_misses", scorer.cache().misses());
+            metrics.set_gauge(
+                "resilient_rod.score_cache_entries",
+                scorer.cache().len() as f64,
+            );
         }
 
         let failover = if n >= 2 {

@@ -1,0 +1,153 @@
+//! Shared memoisation of sampled plan scores.
+//!
+//! Every sampled scorer in the workspace — the [`ScenarioScorer`] behind
+//! ResilientRod's hill climb, the [`OptimalPlanner`] branch-and-bound,
+//! and the metrics paths that re-rate a finished plan — ultimately asks
+//! the same question: *how many quasi-Monte-Carlo points stay feasible
+//! under this operator→node assignment?* The answer is a pure function
+//! of the **effective assignment** alone: node loads are sums of the
+//! assigned operators' per-point loads, nodes carrying nothing can never
+//! kill a point, and a point is alive exactly when every node's total
+//! stays within capacity. Failure scenarios enter only through the
+//! failover redirects they induce, so a (plan, scenario) pair collapses
+//! to the post-redirect assignment vector.
+//!
+//! [`ScoreCache`] memoises that mapping. The hill climb re-scores the
+//! accepted candidate of the previous iteration and every move of the
+//! just-moved operator back onto allocations it has already rated;
+//! cross-planner sharing lets a branch-and-bound incumbent seed the
+//! re-rating a benchmark would otherwise recompute from scratch.
+//!
+//! **Scope.** A cached count is only meaningful for a fixed load model,
+//! cluster, and point set: the cache stores no fingerprint of either, so
+//! it must be scoped to one (model, cluster, points) context — exactly
+//! the lifetime of the scorer that owns it. Mixing contexts is a logic
+//! error the cache cannot detect.
+//!
+//! [`ScenarioScorer`]: crate::resilience::ScenarioScorer
+//! [`OptimalPlanner`]: crate::baselines::optimal::OptimalPlanner
+
+use std::collections::HashMap;
+
+use crate::allocation::Allocation;
+
+/// Sentinel key entry for an operator the assignment leaves unplaced.
+pub const UNPLACED: u32 = u32::MAX;
+
+/// Memoised alive-point counts keyed by effective assignment vectors
+/// (`key[j]` = node index of operator `j`, [`UNPLACED`] when absent).
+///
+/// Lookups and insertions are counted so owners can export hit-rate
+/// metrics; see [`ScoreCache::hits`] / [`ScoreCache::misses`].
+#[derive(Clone, Debug, Default)]
+pub struct ScoreCache {
+    map: HashMap<Vec<u32>, usize>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScoreCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ScoreCache::default()
+    }
+
+    /// The cache key of a (possibly partial) allocation.
+    pub fn key_of(alloc: &Allocation) -> Vec<u32> {
+        (0..alloc.num_operators())
+            .map(|j| {
+                alloc
+                    .node_of(crate::ids::OperatorId(j))
+                    .map_or(UNPLACED, |n| n.index() as u32)
+            })
+            .collect()
+    }
+
+    /// The memoised count for `key`, recording a hit or miss.
+    pub fn get(&mut self, key: &[u32]) -> Option<usize> {
+        match self.map.get(key) {
+            Some(&alive) => {
+                self.hits += 1;
+                Some(alive)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoises `alive` for `key`. Re-inserting an existing key replaces
+    /// the stored count (identical by construction when the scope rule
+    /// in the module docs is respected).
+    pub fn insert(&mut self, key: Vec<u32>, alive: usize) {
+        self.map.insert(key, alive);
+    }
+
+    /// Number of distinct assignments memoised.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to be computed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fraction of lookups answered from the cache (0 when untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Drops all entries and counters, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{NodeId, OperatorId};
+
+    #[test]
+    fn get_insert_round_trip_and_counters() {
+        let mut cache = ScoreCache::new();
+        let key = vec![0u32, 1, UNPLACED];
+        assert_eq!(cache.get(&key), None);
+        cache.insert(key.clone(), 42);
+        assert_eq!(cache.get(&key), Some(42));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-15);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn key_of_encodes_partial_allocations() {
+        let mut alloc = Allocation::new(3, 2);
+        alloc.assign(OperatorId(0), NodeId(1));
+        alloc.assign(OperatorId(2), NodeId(0));
+        assert_eq!(ScoreCache::key_of(&alloc), vec![1, UNPLACED, 0]);
+    }
+}

@@ -1,0 +1,431 @@
+//! Batched, cache-friendly feasibility scoring over shared point sets.
+//!
+//! Every planner in the workspace bottlenecks on the same question: *how
+//! many quasi-Monte-Carlo sample points does a candidate plan keep
+//! feasible?* The scalar path answers it one point at a time — each point
+//! a separately heap-allocated [`Vector`], each node constraint a fresh
+//! dot product — which thrashes the cache as soon as the point set no
+//! longer fits in L2.
+//!
+//! [`PointBatch`] stores the same point set column-major (structure of
+//! arrays): one contiguous `f64` slice per input dimension. A node's load
+//! at every point is then a column-wise fused accumulation
+//!
+//! ```text
+//! load[p] += l_ik · col_k[p]        (k = 1..d, p over a block)
+//! ```
+//!
+//! whose inner loop is a straight multiply-add over contiguous slices —
+//! exactly the shape LLVM auto-vectorises into f64 lanes.
+//! [`FeasibilityKernel`] layers *survivor compaction* on top: once a
+//! constraint pass kills more than half the current working set, the
+//! surviving points' coordinates are physically copied into fresh dense
+//! columns, so later node rows run the same vectorised inner loop over a
+//! geometrically shrinking point set. This is the batched analogue of the
+//! scalar walk's per-point early exit — without it a dense kernel does
+//! `n·d` work per point while the scalar path stops at the first violated
+//! constraint; with index-gather compaction instead, the bounds-checked
+//! indexed loads defeat vectorisation and give the win straight back.
+//!
+//! **Bit-identity.** The per-point accumulation order is unchanged: for a
+//! fixed point `p`, loads are summed over `k` ascending starting from
+//! `0.0`, precisely the order of the scalar iterator-`sum` walk in
+//! [`FeasibleRegion::contains`]. IEEE-754 addition is deterministic for a
+//! fixed operand order, so every per-point feasibility decision — and
+//! therefore every count, ratio and placement derived from one — is
+//! bit-identical to the scalar path. The equivalence tests in this module
+//! and the golden suite in `rod-bench` pin this down.
+
+use crate::vector::Vector;
+use crate::volume::FeasibleRegion;
+
+/// A point set stored column-major: one contiguous column per input
+/// dimension, so per-plan node-load dot products accumulate column-wise
+/// over cache-line-friendly slices.
+#[derive(Clone, Debug)]
+pub struct PointBatch {
+    num_points: usize,
+    dim: usize,
+    /// Column-major storage: `cols[k · num_points + p]` is coordinate `k`
+    /// of point `p`.
+    cols: Vec<f64>,
+    /// Per-column minimum (`+inf` for an empty batch), used to skip
+    /// lower-bound columns no point can violate.
+    col_min: Vec<f64>,
+}
+
+impl PointBatch {
+    /// Transposes a row-major point set into columns.
+    pub fn from_points(points: &[Vector]) -> Self {
+        let num_points = points.len();
+        let dim = points.first().map_or(0, Vector::dim);
+        let mut cols = vec![0.0; dim * num_points];
+        for (p, point) in points.iter().enumerate() {
+            assert_eq!(point.dim(), dim, "ragged point set");
+            for (k, &x) in point.as_slice().iter().enumerate() {
+                cols[k * num_points + p] = x;
+            }
+        }
+        let col_min = (0..dim)
+            .map(|k| {
+                cols[k * num_points..(k + 1) * num_points]
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        PointBatch {
+            num_points,
+            dim,
+            cols,
+            col_min,
+        }
+    }
+
+    /// Number of points held.
+    pub fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    /// Dimension of each point.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// One coordinate column, contiguous over all points.
+    pub fn column(&self, k: usize) -> &[f64] {
+        &self.cols[k * self.num_points..(k + 1) * self.num_points]
+    }
+
+    /// Writes `out[p] = Σ_k coeffs[k] · col_k[p]` for every point,
+    /// accumulating columns in ascending `k` — the same per-point operand
+    /// order as a scalar row-times-point dot product, so results are
+    /// bit-identical to `coeffs.iter().zip(point).map(|(c, x)| c * x).sum()`.
+    pub fn dot_into(&self, coeffs: &[f64], out: &mut [f64]) {
+        assert_eq!(coeffs.len(), self.dim, "coefficient row has wrong arity");
+        assert_eq!(out.len(), self.num_points, "output buffer has wrong length");
+        out.fill(0.0);
+        for (k, &c) in coeffs.iter().enumerate() {
+            let col = self.column(k);
+            for (acc, &x) in out.iter_mut().zip(col) {
+                *acc += c * x;
+            }
+        }
+    }
+}
+
+/// Batched feasibility counter over a [`PointBatch`]: scores all sample
+/// points for a candidate plan's [`FeasibleRegion`] in one blocked pass.
+#[derive(Clone, Debug)]
+pub struct FeasibilityKernel {
+    batch: PointBatch,
+}
+
+impl FeasibilityKernel {
+    /// Kernel over a row-major point set (transposed once here).
+    pub fn new(points: &[Vector]) -> Self {
+        FeasibilityKernel {
+            batch: PointBatch::from_points(points),
+        }
+    }
+
+    /// Kernel over an existing batch.
+    pub fn from_batch(batch: PointBatch) -> Self {
+        FeasibilityKernel { batch }
+    }
+
+    /// The underlying column store.
+    pub fn batch(&self) -> &PointBatch {
+        &self.batch
+    }
+
+    /// Number of points feasible for `region` — bit-identical to counting
+    /// [`FeasibleRegion::contains`] over the same points in order.
+    pub fn count_feasible(&self, region: &FeasibleRegion) -> usize {
+        self.count_feasible_range(region, 0, self.batch.num_points)
+    }
+
+    /// [`count_feasible`](Self::count_feasible) restricted to the point
+    /// index range `start..end` — the unit of work handed to each thread
+    /// by the parallel estimator (integer counts merge associatively, so
+    /// any partition of the range sums to the serial count exactly).
+    ///
+    /// The range is processed in cache-sized blocks so every constraint
+    /// pass re-reads the working set from L2 instead of DRAM; see the
+    /// module docs for the blocking + survivor-compaction design.
+    pub fn count_feasible_range(&self, region: &FeasibleRegion, start: usize, end: usize) -> usize {
+        assert!(start <= end && end <= self.batch.num_points);
+        assert_eq!(
+            region.dim(),
+            self.batch.dim,
+            "region dimension must match the point set"
+        );
+        // ~2048 points × d columns × 8 bytes keeps a block's columns,
+        // loads and mask L2-resident for the dimensions ROD uses (d ≤ 16),
+        // so re-streaming them once per node constraint is cheap.
+        const BLOCK: usize = 2048;
+        let mut scratch = Scratch::default();
+        let mut total = 0usize;
+        let mut s = start;
+        while s < end {
+            let e = (s + BLOCK).min(end);
+            total += self.count_block(region, s, e, &mut scratch);
+            s = e;
+        }
+        total
+    }
+
+    /// Scores one cache-resident block of points. Constraints are
+    /// evaluated in node order against a dense working set that starts as
+    /// the raw column range and is physically compacted (surviving
+    /// coordinates copied into fresh dense columns) whenever a pass
+    /// leaves fewer than half the points alive. Dead points therefore
+    /// never cost more than 2× the live work, every inner loop stays a
+    /// zipped-slice multiply-add the compiler can vectorise, and the
+    /// per-point arithmetic order is untouched — so the count is
+    /// bit-identical to the scalar walk. A block whose points all die
+    /// skips the remaining constraints entirely (feasibility is a
+    /// conjunction, so the count is independent of evaluation order).
+    fn count_block(
+        &self,
+        region: &FeasibleRegion,
+        start: usize,
+        end: usize,
+        scr: &mut Scratch,
+    ) -> usize {
+        let d = self.batch.dim;
+        let n = region.constraints();
+        let lb = region.lower_bound.as_slice();
+        let width = end - start;
+
+        // Alive flags over the current working set (initially the raw
+        // column range).
+        scr.mask.clear();
+        scr.mask.resize(width, true);
+        let mut live = width;
+
+        // Lower bound `B ≤ R`, component-wise. Columns whose minimum
+        // already clears the bound are skipped — no point can fail.
+        for (k, &b) in lb.iter().enumerate() {
+            if b <= self.batch.col_min[k] {
+                continue;
+            }
+            let col = &self.batch.column(k)[start..end];
+            live = 0;
+            for (m, &x) in scr.mask.iter_mut().zip(col) {
+                *m &= b <= x;
+                live += *m as usize;
+            }
+        }
+
+        // Node constraints `L^n_i · R ≤ C_i`, accumulated column-wise.
+        // Until the first compaction the original batch columns serve as
+        // the working set; afterwards `scr.work` holds the survivors'
+        // coordinates, column-major with stride `w_len`. Loads for a tile
+        // of `TILE` points accumulate in a stack array small enough to
+        // live in registers, so each constraint row streams every column
+        // exactly once with no load/store traffic on the accumulators.
+        const TILE: usize = 16;
+        let mut compacted = false;
+        let mut w_len = width;
+        // Distance between consecutive columns in `scr.work`; one slot
+        // wider than `w_len` so the branchless compaction below may write
+        // one harmless element past the survivors.
+        let mut w_stride = width;
+        for i in 0..n {
+            if live == 0 {
+                return 0;
+            }
+            let row = region.coefficients.row(i);
+            // Same tolerance as the scalar `contains` walk.
+            let cap = region.capacities[i] + 1e-12;
+            let tiled = w_len - w_len % TILE;
+            let mut t = 0;
+            live = 0;
+            while t < tiled {
+                let mut acc = [0.0f64; TILE];
+                for (k, &c) in row.iter().enumerate() {
+                    let col: &[f64] = if compacted {
+                        &scr.work[k * w_stride..k * w_stride + w_len]
+                    } else {
+                        &self.batch.column(k)[start..end]
+                    };
+                    let src = &col[t..t + TILE];
+                    for (a, &x) in acc.iter_mut().zip(src) {
+                        *a += c * x;
+                    }
+                }
+                for (m, &load) in scr.mask[t..t + TILE].iter_mut().zip(&acc) {
+                    *m &= load <= cap;
+                    live += *m as usize;
+                }
+                t += TILE;
+            }
+            // Ragged tail, one point at a time (same k-ascending order).
+            for p in tiled..w_len {
+                let mut acc = 0.0f64;
+                for (k, &c) in row.iter().enumerate() {
+                    let col: &[f64] = if compacted {
+                        &scr.work[k * w_stride..k * w_stride + w_len]
+                    } else {
+                        &self.batch.column(k)[start..end]
+                    };
+                    acc += c * col[p];
+                }
+                let m = &mut scr.mask[p];
+                *m &= acc <= cap;
+                live += *m as usize;
+            }
+            // Compact below half occupancy (pointless after the last row).
+            if i + 1 < n && live * 2 < w_len {
+                // Branchless compress: always write, advance the cursor
+                // only on keep. A ~50% kill rate is the worst case for a
+                // branch predictor, so a data-dependent `if` here costs
+                // more than the occasional dead store; the extra stride
+                // slot makes the trailing dead store safe.
+                let stride = live + 1;
+                scr.next.clear();
+                scr.next.resize(d * stride, 0.0);
+                for k in 0..d {
+                    let col: &[f64] = if compacted {
+                        &scr.work[k * w_stride..k * w_stride + w_len]
+                    } else {
+                        &self.batch.column(k)[start..end]
+                    };
+                    let dst = &mut scr.next[k * stride..(k + 1) * stride];
+                    let mut w = 0usize;
+                    for (&m, &x) in scr.mask.iter().zip(col) {
+                        dst[w] = x;
+                        w += m as usize;
+                    }
+                }
+                std::mem::swap(&mut scr.work, &mut scr.next);
+                compacted = true;
+                w_len = live;
+                w_stride = stride;
+                scr.mask.clear();
+                scr.mask.resize(live, true);
+            }
+        }
+        live
+    }
+}
+
+/// Reusable per-call buffers so blocked scoring allocates once per range,
+/// not once per block.
+#[derive(Default)]
+struct Scratch {
+    /// Alive flag per point of the current working set.
+    mask: Vec<bool>,
+    /// Compacted survivor columns (column-major, stride = live count).
+    work: Vec<f64>,
+    /// Target buffer for the next compaction, swapped with `work`.
+    next: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::qmc::HaltonSeq;
+    use crate::simplex::SimplexSampler;
+
+    fn halton_points(dim: usize, n: usize, seed: u64) -> Vec<Vector> {
+        let sampler = SimplexSampler::new(&vec![1.0; dim], 1.0);
+        let mut seq = HaltonSeq::shifted(dim, seed);
+        (0..n)
+            .map(|_| sampler.map_cube_point(&seq.next_point()))
+            .collect()
+    }
+
+    fn scalar_count(points: &[Vector], region: &FeasibleRegion) -> usize {
+        points.iter().filter(|p| region.contains(p)).count()
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let points = halton_points(3, 257, 5);
+        let batch = PointBatch::from_points(&points);
+        assert_eq!(batch.num_points(), 257);
+        assert_eq!(batch.dim(), 3);
+        for (p, point) in points.iter().enumerate() {
+            for k in 0..3 {
+                assert_eq!(batch.column(k)[p].to_bits(), point[k].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn dot_into_is_bit_identical_to_scalar_dot() {
+        let points = halton_points(4, 1_000, 9);
+        let batch = PointBatch::from_points(&points);
+        let coeffs = [0.3, 1.7, 0.0, 2.5];
+        let mut out = vec![0.0; points.len()];
+        batch.dot_into(&coeffs, &mut out);
+        for (p, point) in points.iter().enumerate() {
+            let scalar: f64 = coeffs
+                .iter()
+                .zip(point.as_slice())
+                .map(|(c, x)| c * x)
+                .sum();
+            assert_eq!(out[p].to_bits(), scalar.to_bits(), "point {p}");
+        }
+    }
+
+    #[test]
+    fn kernel_count_matches_scalar_contains() {
+        // Enough points that several compaction passes fire.
+        let points = halton_points(3, 8329, 3);
+        let kernel = FeasibilityKernel::new(&points);
+        let region = FeasibleRegion::new(
+            Matrix::from_rows(&[&[2.0, 1.0, 0.5], &[0.5, 2.5, 1.0], &[1.0, 0.7, 2.0]]),
+            Vector::from([0.4, 0.5, 0.45]),
+        );
+        assert_eq!(
+            kernel.count_feasible(&region),
+            scalar_count(&points, &region)
+        );
+    }
+
+    #[test]
+    fn kernel_respects_lower_bounds() {
+        let points = halton_points(2, 5_000, 7);
+        let kernel = FeasibilityKernel::new(&points);
+        let region = FeasibleRegion::with_lower_bound(
+            Matrix::from_rows(&[&[1.0, 1.0]]),
+            Vector::from([0.8]),
+            Vector::from([0.05, 0.1]),
+        );
+        let expected = scalar_count(&points, &region);
+        assert!(expected > 0, "degenerate test instance");
+        assert_eq!(kernel.count_feasible(&region), expected);
+    }
+
+    #[test]
+    fn range_counts_partition_the_total() {
+        let points = halton_points(3, 10_000, 11);
+        let kernel = FeasibilityKernel::new(&points);
+        let region = FeasibleRegion::new(
+            Matrix::from_rows(&[&[1.5, 0.5, 1.0], &[0.5, 1.5, 1.0]]),
+            Vector::from([0.45, 0.45]),
+        );
+        let total = kernel.count_feasible(&region);
+        for splits in [2usize, 3, 7] {
+            let chunk = points.len().div_ceil(splits);
+            let mut sum = 0;
+            let mut s = 0;
+            while s < points.len() {
+                let e = (s + chunk).min(points.len());
+                sum += kernel.count_feasible_range(&region, s, e);
+                s = e;
+            }
+            assert_eq!(sum, total, "splits = {splits}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_counts_zero() {
+        let kernel = FeasibilityKernel::new(&[]);
+        assert_eq!(kernel.batch().num_points(), 0);
+    }
+}

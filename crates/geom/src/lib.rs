@@ -20,6 +20,7 @@
 //! both clear and fast.
 
 #![warn(missing_docs)]
+pub mod batch;
 pub mod hyperplane;
 pub mod matrix;
 pub mod polygon;
@@ -31,6 +32,7 @@ pub mod stats;
 pub mod vector;
 pub mod volume;
 
+pub use batch::{FeasibilityKernel, PointBatch};
 pub use hyperplane::Hyperplane;
 pub use matrix::Matrix;
 pub use polygon::Polygon;

@@ -15,6 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::batch::{FeasibilityKernel, PointBatch};
 use crate::hyperplane::Hyperplane;
 use crate::matrix::Matrix;
 use crate::qmc::HaltonSeq;
@@ -214,6 +215,7 @@ fn projected_ideal_volume(total_coeffs: &[f64], total_cap: f64) -> f64 {
 #[derive(Clone, Debug)]
 pub struct VolumeEstimator {
     points: Vec<Vector>,
+    kernel: FeasibilityKernel,
     ideal_volume: f64,
 }
 
@@ -229,10 +231,11 @@ impl VolumeEstimator {
     pub fn new(total_coeffs: &[f64], total_cap: f64, samples: usize, seed: u64) -> Self {
         let sampler = SimplexSampler::new(total_coeffs, total_cap);
         let mut seq = HaltonSeq::shifted(total_coeffs.len(), seed);
-        let points = (0..samples)
+        let points: Vec<Vector> = (0..samples)
             .map(|_| sampler.map_cube_point(&seq.next_point()))
             .collect();
         VolumeEstimator {
+            kernel: FeasibilityKernel::new(&points),
             points,
             ideal_volume: projected_ideal_volume(total_coeffs, total_cap),
         }
@@ -244,10 +247,11 @@ impl VolumeEstimator {
     pub fn with_sobol(total_coeffs: &[f64], total_cap: f64, samples: usize, seed: u64) -> Self {
         let sampler = SimplexSampler::new(total_coeffs, total_cap);
         let mut seq = crate::sobol::SobolSeq::shifted(total_coeffs.len(), seed);
-        let points = (0..samples)
+        let points: Vec<Vector> = (0..samples)
             .map(|_| sampler.map_cube_point(&seq.next_point()))
             .collect();
         VolumeEstimator {
+            kernel: FeasibilityKernel::new(&points),
             points,
             ideal_volume: projected_ideal_volume(total_coeffs, total_cap),
         }
@@ -269,22 +273,31 @@ impl VolumeEstimator {
         &self.points
     }
 
+    /// The same points as a column-major [`PointBatch`] — the layout the
+    /// batched scoring paths (e.g. `SampledFeasibility` precomputes) want.
+    pub fn batch(&self) -> &PointBatch {
+        self.kernel.batch()
+    }
+
     /// Estimates the volume of `region` (which must live in the same rate
     /// space — same `d`, and be contained in the ideal simplex, which holds
     /// for every region generated from an allocation of the same graph).
     ///
-    /// The point set is partitioned across up to
-    /// `std::thread::available_parallelism()` scoped workers; each chunk's
-    /// integer hit count is merged in chunk order, so the result is
-    /// bit-identical to the serial scan regardless of thread count.
+    /// Scoring runs through the batched [`FeasibilityKernel`] — one
+    /// column-wise pass over the structure-of-arrays point store — and the
+    /// point range is partitioned across up to
+    /// `std::thread::available_parallelism()` scoped workers; each range's
+    /// integer hit count is merged in range order, so the result is
+    /// bit-identical to the serial scalar scan regardless of thread count.
     pub fn estimate(&self, region: &FeasibleRegion) -> VolumeEstimate {
         let threads = std::thread::available_parallelism().map_or(1, usize::from);
         self.estimate_with_threads(region, threads)
     }
 
     /// [`VolumeEstimator::estimate`] with an explicit worker count
-    /// (clamped to at least 1; small point sets fall back to the serial
-    /// scan since spawning would cost more than counting).
+    /// (clamped to at least 1; small point sets fall back to the
+    /// single-threaded kernel since spawning would cost more than
+    /// counting).
     pub fn estimate_with_threads(&self, region: &FeasibleRegion, threads: usize) -> VolumeEstimate {
         assert_eq!(region.dim(), self.points.first().map_or(0, Vector::dim));
         // Below ~4k points a thread spawn outweighs the counting work.
@@ -293,18 +306,19 @@ impl VolumeEstimator {
             .max(1)
             .min(self.points.len().div_ceil(MIN_POINTS_PER_THREAD).max(1));
         let hits = if threads == 1 {
-            self.points.iter().filter(|p| region.contains(p)).count()
+            self.kernel.count_feasible(region)
         } else {
             let chunk = self.points.len().div_ceil(threads);
             std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .points
-                    .chunks(chunk)
-                    .map(|part| {
-                        scope.spawn(move || part.iter().filter(|p| region.contains(p)).count())
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let start = t * chunk;
+                        let end = ((t + 1) * chunk).min(self.points.len());
+                        let kernel = &self.kernel;
+                        scope.spawn(move || kernel.count_feasible_range(region, start, end))
                     })
                     .collect();
-                // Ordered merge: chunk counts are summed in chunk order.
+                // Ordered merge: range counts are summed in range order.
                 // Integer addition is associative, so the total equals
                 // the serial count exactly.
                 handles
@@ -313,6 +327,20 @@ impl VolumeEstimator {
                     .sum()
             })
         };
+        self.estimate_from_hits(hits)
+    }
+
+    /// The retired point-at-a-time scan, kept as the reference
+    /// implementation: the batched kernel must agree with it bit for bit
+    /// (asserted by the equivalence tests here and the golden suite in
+    /// `rod-bench`), and `perf_planner` times both to track the speedup.
+    pub fn estimate_scalar(&self, region: &FeasibleRegion) -> VolumeEstimate {
+        assert_eq!(region.dim(), self.points.first().map_or(0, Vector::dim));
+        let hits = self.points.iter().filter(|p| region.contains(p)).count();
+        self.estimate_from_hits(hits)
+    }
+
+    fn estimate_from_hits(&self, hits: usize) -> VolumeEstimate {
         let ratio = hits as f64 / self.points.len() as f64;
         VolumeEstimate {
             ratio_to_ideal: ratio,
@@ -517,6 +545,46 @@ mod tests {
         assert_eq!(
             serial.ratio_to_ideal.to_bits(),
             requested_many.ratio_to_ideal.to_bits()
+        );
+    }
+
+    #[test]
+    fn batched_kernel_estimate_is_bit_identical_to_scalar() {
+        // A spread of region shapes: loose, tight, lower-bounded, and
+        // higher-dimensional — the kernel must agree with the retired
+        // per-point walk bit for bit on every one.
+        let est2 = VolumeEstimator::new(&[10.0, 11.0], 2.0, 30_000, 7);
+        let est5 = VolumeEstimator::with_sobol(&[1.0; 5], 1.0, 30_000, 13);
+        let regions2 = [
+            region(&[&[4.0, 2.0], &[6.0, 9.0]], &[1.0, 1.0]),
+            region(&[&[10.0, 11.0]], &[2.0]),
+            FeasibleRegion::with_lower_bound(
+                Matrix::from_rows(&[&[4.0, 2.0], &[6.0, 9.0]]),
+                Vector::from([1.0, 1.0]),
+                Vector::from([0.01, 0.01]),
+            ),
+        ];
+        for (i, reg) in regions2.iter().enumerate() {
+            let batched = est2.estimate(reg);
+            let scalar = est2.estimate_scalar(reg);
+            assert_eq!(
+                batched.ratio_to_ideal.to_bits(),
+                scalar.ratio_to_ideal.to_bits(),
+                "2-d region {i}"
+            );
+            assert_eq!(batched.absolute.to_bits(), scalar.absolute.to_bits());
+        }
+        let reg5 = region(
+            &[
+                &[0.5, 0.2, 0.2, 0.2, 0.2],
+                &[0.2, 0.5, 0.2, 0.2, 0.2],
+                &[0.2, 0.2, 0.5, 0.2, 0.2],
+            ],
+            &[0.4, 0.4, 0.4],
+        );
+        assert_eq!(
+            est5.estimate(&reg5).ratio_to_ideal.to_bits(),
+            est5.estimate_scalar(&reg5).ratio_to_ideal.to_bits()
         );
     }
 
