@@ -88,6 +88,69 @@ fn bench_kernel_vs_scalar(c: &mut Criterion) {
     group.finish();
 }
 
+/// Persistent-pool parallel estimation vs the retired per-call
+/// `thread::scope` dispatch it replaced. Both partition the point range
+/// with [`rod_pool::chunks`] and sum per-range counts in range order, so
+/// they are exact — the difference under the timer is purely thread
+/// startup: the scope path pays a spawn + join per estimate, the pool
+/// path reuses workers that already exist.
+fn bench_pool_vs_scope(c: &mut Criterion) {
+    const THREADS: usize = 4;
+    let graph = RandomTreeGenerator::paper_default(6, 16).generate(5);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(16, 1.0);
+    let ev = PlanEvaluator::new(&model, &cluster);
+    let alloc = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    let region = ev.feasible_region(&alloc);
+    let estimator = make_estimator(&model, &cluster, 80_000, 1);
+    let kernel = rod_geom::FeasibilityKernel::from_batch(estimator.batch().clone());
+    let ranges = rod_pool::chunks(estimator.points().len(), THREADS);
+
+    let scope_count = |region: &rod_geom::FeasibleRegion| {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|r| {
+                    let kernel = &kernel;
+                    s.spawn(move || kernel.count_feasible_range(region, r.start, r.end))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+    };
+    assert_eq!(
+        scope_count(&region),
+        kernel.count_feasible(&region),
+        "scope reference diverged from the serial count"
+    );
+    assert_eq!(
+        estimator
+            .estimate_with_threads(&region, THREADS)
+            .ratio_to_ideal
+            .to_bits(),
+        estimator
+            .estimate_with_threads(&region, 1)
+            .ratio_to_ideal
+            .to_bits(),
+        "pooled estimate diverged from serial"
+    );
+
+    let mut group = c.benchmark_group("pool_vs_scope");
+    group.bench_function("pool", |b| {
+        b.iter(|| estimator.estimate_with_threads(&region, THREADS));
+    });
+    group.bench_function("scope", |b| {
+        b.iter(|| scope_count(&region));
+    });
+    group.finish();
+}
+
 fn bench_point_generation(c: &mut Criterion) {
     c.bench_function("estimator_build_20k_d5", |b| {
         let graph = RandomTreeGenerator::paper_default(5, 20).generate(6);
@@ -102,6 +165,7 @@ criterion_group!(
     bench_samples,
     bench_dimensions,
     bench_kernel_vs_scalar,
+    bench_pool_vs_scope,
     bench_point_generation
 );
 criterion_main!(benches);

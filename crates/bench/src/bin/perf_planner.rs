@@ -18,15 +18,25 @@
 //! run aborts otherwise, so the perf numbers can never silently come
 //! from a kernel that changed the numerics.
 //!
+//! Since schema v2 each cell also times the ResilientRod hill climb
+//! twice — neighborhood scan serial (`threads: 1`) and pooled
+//! (`threads: 4`) — and records `resilient_speedup` as their ratio.
+//! The two placements are asserted bit-identical every repetition (the
+//! pool's ordered-reduction contract), so the speedup column can never
+//! come from a scan that changed the plan.
+//!
 //! Results go to `BENCH_planner.json` at the repo root (see
 //! `docs/benchmarks.md` for the schema). Flags:
 //!
 //! * `--quick` — subset of the grid, fewer repeats (CI smoke mode);
 //! * `--out FILE` — write somewhere else (CI writes a scratch copy);
 //! * `--check FILE` — compare against a committed baseline and exit
-//!   non-zero when any cell's kernel speedup regressed by more than 2×
+//!   non-zero when any cell's kernel speedup — or, against a v2
+//!   baseline, resilient speedup — regressed by more than 2×
 //!   (speedups are machine-relative ratios, so the check is stable
-//!   across runner hardware, unlike absolute times).
+//!   across runner hardware, unlike absolute times). v1 baselines are
+//!   still accepted: the checker reads them through a trimmed legacy
+//!   view and skips the columns they predate.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -38,13 +48,21 @@ use rod_bench::output::{arg_value, fmt, print_table};
 use rod_core::allocation::PlanEvaluator;
 use rod_core::cluster::Cluster;
 use rod_core::load_model::LoadModel;
+use rod_core::resilience::{ResilientRodOptions, ResilientRodPlanner};
 use rod_core::rod::RodPlanner;
 use rod_geom::VolumeEstimator;
 use rod_workloads::random_graphs::RandomTreeGenerator;
 
 /// Schema version of `BENCH_planner.json`; bump on breaking layout
 /// changes and teach `--check` the migration.
-const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 (this version) added per-cell ResilientRod hill-climb timings:
+/// `threads`, `resilient_serial_seconds`, `resilient_pooled_seconds`,
+/// `resilient_speedup`.
+const SCHEMA_VERSION: u32 = 2;
+
+/// Chunk count for the pooled ResilientRod timing leg.
+const RESILIENT_THREADS: usize = 4;
 
 /// Workload seed — fixed so the trajectory tracks code, not instances.
 const WORKLOAD_SEED: u64 = 42;
@@ -111,6 +129,11 @@ struct CellResult {
     kernel_estimate_seconds: f64,
     kernel_speedup: f64,
     feasible_ratio: f64,
+    /// Chunk count of the pooled ResilientRod leg (schema v2).
+    threads: usize,
+    resilient_serial_seconds: f64,
+    resilient_pooled_seconds: f64,
+    resilient_speedup: f64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -191,8 +214,50 @@ fn run_cell(cell: &Cell, repeats: usize) -> CellResult {
         ratio = kernel.ratio_to_ideal;
     }
 
+    // ResilientRod hill climb, serial vs pooled neighborhood scan.
+    // Reduced budgets keep the full grid affordable; what matters for
+    // the trajectory is the serial/pooled *ratio* on identical work,
+    // and the bit-identity assert keeps that work honest.
+    let resilient_opts = ResilientRodOptions {
+        samples: 1_500,
+        seed: 2006,
+        max_failures: 1,
+        max_moves: 3,
+        threads: 1,
+    };
+    let resilient_repeats = repeats.min(3);
+    let mut serial_times = Vec::with_capacity(resilient_repeats);
+    let mut pooled_times = Vec::with_capacity(resilient_repeats);
+    for _ in 0..resilient_repeats {
+        let t = Instant::now();
+        let serial = ResilientRodPlanner::with_options(resilient_opts.clone())
+            .place(&model, &cluster)
+            .expect("ResilientRod plans");
+        serial_times.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let pooled = ResilientRodPlanner::with_options(ResilientRodOptions {
+            threads: RESILIENT_THREADS,
+            ..resilient_opts.clone()
+        })
+        .place(&model, &cluster)
+        .expect("ResilientRod plans");
+        pooled_times.push(t.elapsed().as_secs_f64());
+        assert_eq!(
+            serial.allocation, pooled.allocation,
+            "{}: pooled neighborhood scan diverged from serial",
+            cell.name
+        );
+        assert_eq!(
+            serial.worst_alive, pooled.worst_alive,
+            "{}: pooled worst-case score diverged from serial",
+            cell.name
+        );
+    }
+
     let scalar_s = median(&mut scalar_times);
     let kernel_s = median(&mut kernel_times);
+    let serial_s = median(&mut serial_times);
+    let pooled_s = median(&mut pooled_times);
     CellResult {
         name: cell.name.to_string(),
         inputs: cell.inputs,
@@ -204,17 +269,55 @@ fn run_cell(cell: &Cell, repeats: usize) -> CellResult {
         kernel_estimate_seconds: kernel_s,
         kernel_speedup: scalar_s / kernel_s,
         feasible_ratio: ratio,
+        threads: RESILIENT_THREADS,
+        resilient_serial_seconds: serial_s,
+        resilient_pooled_seconds: pooled_s,
+        resilient_speedup: serial_s / pooled_s,
     }
 }
 
+/// Trimmed view of a baseline cell: only the machine-relative ratios
+/// the checker compares. Parsing through this view (the vendored serde
+/// shim ignores unknown fields) makes `--check` forward-compatible with
+/// any baseline that still carries these columns — v1 files included.
+#[derive(Deserialize)]
+struct BaselineCell {
+    name: String,
+    kernel_speedup: f64,
+}
+
+#[derive(Deserialize)]
+struct BaselineFile {
+    schema_version: u32,
+    grid: Vec<BaselineCell>,
+}
+
+/// v2-only baseline columns, read in a second pass when the baseline's
+/// schema version says they exist.
+#[derive(Deserialize)]
+struct BaselineCellV2 {
+    name: String,
+    resilient_speedup: f64,
+}
+
+#[derive(Deserialize)]
+struct BaselineFileV2 {
+    grid: Vec<BaselineCellV2>,
+}
+
 /// Compares against a baseline file; returns the regressed cell names.
+///
+/// A cell regresses when `baseline_ratio / current_ratio > 2.0` for the
+/// kernel speedup or (v2 baselines only) the resilient speedup. Both
+/// are same-machine ratios, so the gate holds on any runner hardware.
 fn regressions(current: &BenchFile, baseline_path: &Path) -> Vec<String> {
     let text = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("read baseline {}: {e}", baseline_path.display()));
-    let baseline: BenchFile = serde_json::from_str(&text).expect("baseline parses");
-    assert_eq!(
-        baseline.schema_version, SCHEMA_VERSION,
-        "baseline schema version mismatch"
+    let baseline: BaselineFile = serde_json::from_str(&text).expect("baseline parses");
+    assert!(
+        baseline.schema_version >= 1 && baseline.schema_version <= SCHEMA_VERSION,
+        "baseline schema version {} is not supported (expected 1..={SCHEMA_VERSION})",
+        baseline.schema_version
     );
     let mut bad = Vec::new();
     for cur in &current.grid {
@@ -223,9 +326,23 @@ fn regressions(current: &BenchFile, baseline_path: &Path) -> Vec<String> {
         };
         if base.kernel_speedup / cur.kernel_speedup > 2.0 {
             bad.push(format!(
-                "{}: speedup {:.2}x vs baseline {:.2}x",
+                "{}: kernel speedup {:.2}x vs baseline {:.2}x",
                 cur.name, cur.kernel_speedup, base.kernel_speedup
             ));
+        }
+    }
+    if baseline.schema_version >= 2 {
+        let v2: BaselineFileV2 = serde_json::from_str(&text).expect("v2 baseline parses");
+        for cur in &current.grid {
+            let Some(base) = v2.grid.iter().find(|b| b.name == cur.name) else {
+                continue;
+            };
+            if base.resilient_speedup / cur.resilient_speedup > 2.0 {
+                bad.push(format!(
+                    "{}: resilient speedup {:.2}x vs baseline {:.2}x",
+                    cur.name, cur.resilient_speedup, base.resilient_speedup
+                ));
+            }
         }
     }
     bad
@@ -275,6 +392,9 @@ fn main() {
                 format!("{:.3}", c.scalar_estimate_seconds * 1e3),
                 format!("{:.3}", c.kernel_estimate_seconds * 1e3),
                 format!("{:.2}x", c.kernel_speedup),
+                format!("{:.1}", c.resilient_serial_seconds * 1e3),
+                format!("{:.1}", c.resilient_pooled_seconds * 1e3),
+                format!("{:.2}x", c.resilient_speedup),
                 fmt(c.feasible_ratio),
             ]
         })
@@ -290,6 +410,9 @@ fn main() {
             "scalar ms",
             "kernel ms",
             "speedup",
+            "res-ser ms",
+            "res-pool ms",
+            "res-speedup",
             "ratio",
         ],
         &rows,

@@ -31,6 +31,11 @@ pub struct OptimalPlanner {
     pub seed: u64,
     /// Refuse instances whose plan count exceeds this bound.
     pub max_plans: u64,
+    /// Worker chunks for the parallel branch-and-bound frontier; `0`
+    /// means the [`rod_pool::global`] pool size. The winner is
+    /// bit-identical for every value (deterministic incumbent update;
+    /// see [`Self::search`]).
+    pub threads: usize,
 }
 
 impl Default for OptimalPlanner {
@@ -39,6 +44,7 @@ impl Default for OptimalPlanner {
             samples: 20_000,
             seed: 1,
             max_plans: 5_000_000,
+            threads: 0,
         }
     }
 }
@@ -129,7 +135,7 @@ impl OptimalPlanner {
         &self,
         model: &LoadModel,
         cluster: &Cluster,
-        cache: Option<&mut crate::score_cache::ScoreCache>,
+        mut cache: Option<&mut crate::score_cache::ScoreCache>,
     ) -> Result<(Allocation, f64), PlacementError> {
         check_inputs(model, cluster)?;
         let m = model.num_operators();
@@ -202,16 +208,106 @@ impl OptimalPlanner {
                 }
             }
         }
-        let mut search = Search {
-            feas: SampledFeasibility::from_batch(model.lo(), estimator.batch(), caps.as_slice()),
-            n,
-            homogeneous,
-            best: None,
-            assignment: vec![0; m],
-            cache,
+        let base_feas =
+            SampledFeasibility::from_batch(model.lo(), estimator.batch(), caps.as_slice());
+        let threads = match self.threads {
+            0 => rod_pool::global().size(),
+            t => t,
         };
-        search.recurse(0, 0);
-        let (assignment, hits) = search.best.expect("at least one plan enumerated");
+
+        // Parallel plan: expand the DFS prefix frontier (lexicographic =
+        // DFS visit order) until there are enough independent subtrees
+        // to deal out, then give each worker chunk its own tracker clone
+        // and a chunk-local incumbent. A local incumbent can only prune
+        // subtrees whose bound says "no leaf here strictly beats an
+        // *earlier* leaf" — exactly the serial rule — so each chunk
+        // reports the first strict maximum of its range, and the ordered
+        // strict-`>` merge below reproduces the serial winner (first
+        // strict maximum in full DFS order) for every chunk count.
+        let frontier: Vec<(Vec<usize>, usize)> = if threads > 1 && m > 1 {
+            let target = threads.saturating_mul(3);
+            let mut frontier = vec![(Vec::new(), 0usize)];
+            let mut depth = 0;
+            while depth < m - 1 && frontier.len() < target {
+                let mut next = Vec::with_capacity(frontier.len() * n);
+                for (prefix, used) in &frontier {
+                    let limit = if homogeneous { (used + 1).min(n) } else { n };
+                    for node in 0..limit {
+                        let mut longer = prefix.clone();
+                        longer.push(node);
+                        next.push((longer, (*used).max(node + 1)));
+                    }
+                }
+                frontier = next;
+                depth += 1;
+            }
+            frontier
+        } else {
+            Vec::new()
+        };
+
+        let (best, chunk_caches) = if frontier.len() > 1 {
+            let want_cache = cache.is_some();
+            // More chunks than subtrees would idle (`chunks` clamps).
+            let ranges = rod_pool::chunks(frontier.len(), threads);
+            rod_pool::global().map_reduce(
+                ranges.len(),
+                |c| {
+                    let mut local_cache = want_cache.then(crate::score_cache::ScoreCache::new);
+                    let mut search = Search {
+                        feas: base_feas.clone(),
+                        n,
+                        homogeneous,
+                        best: None,
+                        assignment: vec![0; m],
+                        cache: local_cache.as_mut(),
+                    };
+                    for idx in ranges[c].clone() {
+                        let (prefix, used) = &frontier[idx];
+                        for (j, &node) in prefix.iter().enumerate() {
+                            search.assignment[j] = node;
+                            search.feas.push_assign(j, node);
+                        }
+                        search.recurse(prefix.len(), *used);
+                        for (j, &node) in prefix.iter().enumerate().rev() {
+                            search.feas.pop_assign(j, node);
+                        }
+                    }
+                    let best = search.best.take();
+                    drop(search);
+                    (best, local_cache)
+                },
+                (None::<(Vec<usize>, usize)>, Vec::new()),
+                // Ordered reduction: chunk winners arrive in range order;
+                // strict `>` keeps the earliest on ties.
+                |(mut best, mut caches), (chunk_best, chunk_cache)| {
+                    if let Some((assignment, hits)) = chunk_best {
+                        if best.as_ref().map_or(true, |&(_, b)| hits > b) {
+                            best = Some((assignment, hits));
+                        }
+                    }
+                    caches.extend(chunk_cache);
+                    (best, caches)
+                },
+            )
+        } else {
+            let mut search = Search {
+                feas: base_feas,
+                n,
+                homogeneous,
+                best: None,
+                assignment: vec![0; m],
+                cache: cache.as_deref_mut(),
+            };
+            search.recurse(0, 0);
+            (search.best, Vec::new())
+        };
+        if let Some(cache) = cache {
+            for chunk in chunk_caches {
+                cache.absorb(chunk);
+            }
+        }
+        let (assignment, hits) = best.expect("at least one plan enumerated");
         let ratio = hits as f64 / estimator.samples() as f64;
         let mut alloc = Allocation::new(m, n);
         for (j, node) in assignment.into_iter().enumerate() {
@@ -228,6 +324,29 @@ impl Planner for OptimalPlanner {
 
     fn plan(&self, model: &LoadModel, cluster: &Cluster) -> Result<Allocation, PlacementError> {
         self.search(model, cluster).map(|(a, _)| a)
+    }
+
+    fn plan_with_metrics(
+        &self,
+        model: &LoadModel,
+        cluster: &Cluster,
+        metrics: &crate::obs::MetricsRegistry,
+    ) -> Result<Allocation, PlacementError> {
+        let pool_before = rod_pool::global().stats();
+        let start = std::time::Instant::now();
+        let result = self.plan(model, cluster);
+        let wall = start.elapsed().as_secs_f64();
+        metrics.observe("Optimal.plan_seconds", wall);
+        let pool_after = rod_pool::global().stats();
+        crate::obs::record_pool_delta(metrics, &pool_before, &pool_after);
+        let busy_delta = pool_after.busy_seconds - pool_before.busy_seconds;
+        let speedup = if wall > 0.0 && busy_delta > 0.0 {
+            busy_delta / wall
+        } else {
+            1.0
+        };
+        metrics.set_gauge("Optimal.parallel_speedup_estimate", speedup);
+        result
     }
 }
 
@@ -295,8 +414,53 @@ mod tests {
         scorer.swap_cache(cache);
         let healthy = scorer.healthy_alive(&opt);
         assert_eq!(healthy as f64 / planner.samples as f64, ratio);
-        assert_eq!(scorer.cache().hits(), 1);
-        assert_eq!(scorer.cache().misses(), 0);
+        assert_eq!(scorer.cache_hits(), 1);
+        assert_eq!(scorer.cache_misses(), 0);
+    }
+
+    /// The parallel frontier search must return the serial winner bit
+    /// for bit — same assignment, same hit count — at every chunk
+    /// count, and the winner must be memoised whichever path ran.
+    #[test]
+    fn incumbents_are_bit_identical_across_thread_counts() {
+        use crate::score_cache::ScoreCache;
+
+        let model = LoadModel::derive(&figure4_graph()).unwrap();
+        for cluster in [
+            Cluster::homogeneous(3, 1.0),
+            Cluster::heterogeneous(vec![1.5, 0.5]),
+        ] {
+            let serial = OptimalPlanner {
+                samples: 4_000,
+                seed: 9,
+                threads: 1,
+                ..OptimalPlanner::new()
+            };
+            let (base_alloc, base_ratio) = serial.search(&model, &cluster).unwrap();
+            for threads in [2usize, 4, 7] {
+                let planner = OptimalPlanner {
+                    threads,
+                    ..serial.clone()
+                };
+                let mut cache = ScoreCache::new();
+                let (alloc, ratio) = planner
+                    .search_with_cache(&model, &cluster, &mut cache)
+                    .unwrap();
+                assert_eq!(
+                    alloc, base_alloc,
+                    "threads={threads}: winner diverged from serial"
+                );
+                assert_eq!(ratio.to_bits(), base_ratio.to_bits());
+                let key: Vec<u32> = (0..model.num_operators())
+                    .map(|j| alloc.node_of(OperatorId(j)).unwrap().0 as u32)
+                    .collect();
+                assert_eq!(
+                    cache.get(&key),
+                    Some((ratio * planner.samples as f64).round() as usize),
+                    "threads={threads}: winner missing from the merged cache"
+                );
+            }
+        }
     }
 
     #[test]
@@ -354,7 +518,7 @@ mod tests {
                     })
                 })
                 .count();
-            if best.as_ref().is_none_or(|(_, b)| hits > *b) {
+            if best.as_ref().map_or(true, |(_, b)| hits > *b) {
                 best = Some((assignment.to_vec(), hits));
             }
         });

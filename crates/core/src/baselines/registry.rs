@@ -53,6 +53,9 @@ pub enum PlannerSpec {
         seed: u64,
         /// Plan against every loss of up to this many nodes.
         max_failures: usize,
+        /// Worker chunks for the parallel neighborhood scan (0 = the
+        /// global pool size); placements are identical for every value.
+        threads: usize,
     },
     /// Brute-force optimum by feasible-set volume (§7.3.1).
     Optimal {
@@ -62,6 +65,10 @@ pub enum PlannerSpec {
         seed: u64,
         /// Refuse instances whose plan count exceeds this bound.
         max_plans: u64,
+        /// Worker chunks for the parallel branch-and-bound frontier
+        /// (0 = the global pool size); the winner is identical for
+        /// every value.
+        threads: usize,
     },
 }
 
@@ -105,14 +112,16 @@ impl PlannerSpec {
 
     /// Parses a CLI algorithm name into a spec. `rates` feeds the
     /// single-point balancers (and the synthetic correlation history),
-    /// `seed` the random planner, and `samples`/`max_plans` the optimal
-    /// search budget.
+    /// `seed` the random planner, `samples`/`max_plans` the optimal
+    /// search budget, and `threads` the parallel scan width for the
+    /// planners that have one (0 = the global pool size).
     pub fn from_cli(
         algorithm: &str,
         rates: &[f64],
         seed: u64,
         samples: usize,
         max_plans: u64,
+        threads: usize,
     ) -> Result<PlannerSpec, String> {
         match algorithm {
             "rod" => Ok(PlannerSpec::Rod),
@@ -128,11 +137,13 @@ impl PlannerSpec {
                 samples,
                 seed,
                 max_failures: 1,
+                threads,
             }),
             "optimal" => Ok(PlannerSpec::Optimal {
                 samples,
                 seed,
                 max_plans,
+                threads,
             }),
             other => Err(format!("--algorithm: unknown '{other}'")),
         }
@@ -151,20 +162,24 @@ pub fn build_planner(spec: &PlannerSpec) -> Box<dyn Planner> {
             samples,
             seed,
             max_failures,
+            threads,
         } => Box::new(ResilientRodPlanner::with_options(ResilientRodOptions {
             samples: *samples,
             seed: *seed,
             max_failures: *max_failures,
+            threads: *threads,
             ..ResilientRodOptions::default()
         })),
         PlannerSpec::Optimal {
             samples,
             seed,
             max_plans,
+            threads,
         } => Box::new(OptimalPlanner {
             samples: *samples,
             seed: *seed,
             max_plans: *max_plans,
+            threads: *threads,
         }),
     }
 }
@@ -190,11 +205,13 @@ mod tests {
                 samples: 500,
                 seed: 7,
                 max_failures: 1,
+                threads: 2,
             },
             PlannerSpec::Optimal {
                 samples: 2_000,
                 seed: 1,
                 max_plans: 5_000_000,
+                threads: 2,
             },
         ]
     }
@@ -231,10 +248,10 @@ mod tests {
             "resilientrod",
             "optimal",
         ] {
-            let spec = PlannerSpec::from_cli(name, &[1.0], 3, 100, 1_000).unwrap();
+            let spec = PlannerSpec::from_cli(name, &[1.0], 3, 100, 1_000, 0).unwrap();
             assert_eq!(spec.name().to_lowercase(), name);
         }
-        assert!(PlannerSpec::from_cli("nonsense", &[], 0, 0, 0).is_err());
+        assert!(PlannerSpec::from_cli("nonsense", &[], 0, 0, 0, 0).is_err());
     }
 
     #[test]

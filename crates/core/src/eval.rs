@@ -355,6 +355,16 @@ impl<'a> IncrementalPlanEval<'a> {
 /// points it killed so the matching
 /// [`pop_assign`](SampledFeasibility::pop_assign) revives them — frames
 /// must nest LIFO, which is precisely the shape of a depth-first search.
+///
+/// Pops restore the touched node's load row from a saved byte-exact
+/// copy rather than subtracting the deltas back out: floating-point
+/// subtraction is not an exact inverse of addition (`(a+d)-d ≠ a` in
+/// general), so a subtract-based unwind would leave history-dependent
+/// residues in `node_loads`. With exact restore, the tracker state is a
+/// pure function of the active frame stack — two instances that pushed
+/// the same frames hold bit-identical state regardless of what either
+/// explored and unwound in between, which is what lets parallel workers
+/// on cloned trackers stay bit-identical to the serial search.
 #[derive(Clone, Debug)]
 pub struct SampledFeasibility {
     num_points: usize,
@@ -369,6 +379,12 @@ pub struct SampledFeasibility {
     /// Indices of killed points, partitioned into frames by `marks`.
     killed: Vec<u32>,
     marks: Vec<usize>,
+    /// `(op, node)` of each active frame, for LIFO discipline checks.
+    frames: Vec<(u32, u32)>,
+    /// Stack of saved P-float node-load rows, one per active frame —
+    /// the pre-push contents of the pushed node's row, restored
+    /// verbatim on pop.
+    saved_rows: Vec<f64>,
 }
 
 impl SampledFeasibility {
@@ -404,6 +420,8 @@ impl SampledFeasibility {
             alive_count: p,
             killed: Vec::new(),
             marks: Vec::new(),
+            frames: Vec::new(),
+            saved_rows: Vec::new(),
         }
     }
 
@@ -422,7 +440,10 @@ impl SampledFeasibility {
     /// the move pushes over capacity. O(P).
     pub fn push_assign(&mut self, op: usize, node: usize) {
         self.marks.push(self.killed.len());
+        self.frames.push((op as u32, node as u32));
         let p = self.num_points;
+        self.saved_rows
+            .extend_from_slice(&self.node_loads[node * p..(node + 1) * p]);
         let cap = self.caps[node] + 1e-12;
         let loads = &mut self.node_loads[node * p..(node + 1) * p];
         let deltas = &self.op_loads[op * p..(op + 1) * p];
@@ -438,20 +459,26 @@ impl SampledFeasibility {
 
     /// Reverts the most recent un-popped [`push_assign`](Self::push_assign)
     /// (which must have been for the same `op`/`node` — frames are LIFO),
-    /// reviving exactly the points that move killed. O(P).
+    /// reviving exactly the points that move killed and restoring the
+    /// node's load row to its exact pre-push bits (see the type docs for
+    /// why restore beats subtracting the deltas back out). O(P).
     pub fn pop_assign(&mut self, op: usize, node: usize) {
         let mark = self.marks.pop().expect("pop without matching push");
+        let frame = self.frames.pop().expect("pop without matching push");
+        assert_eq!(
+            frame,
+            (op as u32, node as u32),
+            "pop_assign must mirror push_assign LIFO"
+        );
         for &pi in &self.killed[mark..] {
             self.alive[pi as usize] = true;
             self.alive_count += 1;
         }
         self.killed.truncate(mark);
         let p = self.num_points;
-        let loads = &mut self.node_loads[node * p..(node + 1) * p];
-        let deltas = &self.op_loads[op * p..(op + 1) * p];
-        for pi in 0..p {
-            loads[pi] -= deltas[pi];
-        }
+        let saved_at = self.saved_rows.len() - p;
+        self.node_loads[node * p..(node + 1) * p].copy_from_slice(&self.saved_rows[saved_at..]);
+        self.saved_rows.truncate(saved_at);
     }
 }
 
@@ -611,5 +638,58 @@ mod tests {
         feas.pop_assign(1, 0);
         feas.pop_assign(2, 1);
         assert_eq!(feas.alive_count(), 4_000);
+    }
+
+    /// Unwinding must leave the tracker *bit-identical* to one that
+    /// never explored at all — `(a+d)-d ≠ a` in floating point, so this
+    /// only holds because `pop_assign` restores saved rows instead of
+    /// subtracting deltas. Parallel planner workers rely on it: each
+    /// clones a pristine tracker and must stay interchangeable with the
+    /// serial one between neighborhood scans.
+    #[test]
+    fn pop_assign_restores_pristine_bits() {
+        let (model, cluster) = setup();
+        let estimator = VolumeEstimator::new(
+            model.total_coeffs().as_slice(),
+            cluster.total_capacity(),
+            2_000,
+            3,
+        );
+        let caps = cluster.capacities();
+        let mut feas = SampledFeasibility::new(model.lo(), estimator.points(), caps.as_slice());
+        let pristine = feas.clone();
+        for _ in 0..3 {
+            feas.push_assign(2, 1);
+            feas.push_assign(1, 1);
+            feas.push_assign(0, 0);
+            feas.pop_assign(0, 0);
+            feas.pop_assign(1, 1);
+            feas.pop_assign(2, 1);
+        }
+        assert_eq!(feas.alive_count(), pristine.alive_count());
+        assert_eq!(feas.alive, pristine.alive);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&feas.node_loads),
+            bits(&pristine.node_loads),
+            "unwind left floating-point residue in node_loads"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "LIFO")]
+    fn pop_assign_rejects_out_of_order_frames() {
+        let (model, cluster) = setup();
+        let estimator = VolumeEstimator::new(
+            model.total_coeffs().as_slice(),
+            cluster.total_capacity(),
+            100,
+            3,
+        );
+        let caps = cluster.capacities();
+        let mut feas = SampledFeasibility::new(model.lo(), estimator.points(), caps.as_slice());
+        feas.push_assign(0, 0);
+        feas.push_assign(1, 1);
+        feas.pop_assign(0, 0);
     }
 }

@@ -301,9 +301,57 @@ impl MetricsSnapshot {
     }
 }
 
+/// Attributes thread-pool work to one phase by diffing two
+/// [`rod_pool::PoolStats`] snapshots taken around it: `pool.tasks_executed`
+/// (counter, jobs run during the phase), `pool.worker_busy_seconds`
+/// (gauge, summed worker wall-clock inside jobs — can exceed elapsed
+/// time when several workers run), `pool.workers` and `pool.queue_peak`
+/// (gauges, pool-lifetime values). All surface through
+/// [`MetricsSnapshot::render`] like every other metric.
+pub fn record_pool_delta(
+    metrics: &MetricsRegistry,
+    before: &rod_pool::PoolStats,
+    after: &rod_pool::PoolStats,
+) {
+    metrics.add(
+        "pool.tasks_executed",
+        after.tasks_executed.saturating_sub(before.tasks_executed),
+    );
+    metrics.set_gauge(
+        "pool.worker_busy_seconds",
+        (after.busy_seconds - before.busy_seconds).max(0.0),
+    );
+    metrics.set_gauge("pool.workers", after.workers as f64);
+    metrics.set_gauge("pool.queue_peak", after.queue_peak as f64);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pool_delta_surfaces_through_render() {
+        let m = MetricsRegistry::new();
+        let before = rod_pool::PoolStats {
+            workers: 2,
+            tasks_executed: 10,
+            busy_seconds: 1.0,
+            queue_peak: 3,
+        };
+        let after = rod_pool::PoolStats {
+            workers: 2,
+            tasks_executed: 16,
+            busy_seconds: 1.5,
+            queue_peak: 4,
+        };
+        record_pool_delta(&m, &before, &after);
+        assert_eq!(m.counter("pool.tasks_executed"), 6);
+        assert!((m.gauge("pool.worker_busy_seconds").unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(m.gauge("pool.workers"), Some(2.0));
+        let rendered = m.snapshot().render();
+        assert!(rendered.contains("pool.tasks_executed"));
+        assert!(rendered.contains("pool.worker_busy_seconds"));
+    }
 
     #[test]
     fn counters_accumulate() {

@@ -1,5 +1,7 @@
 //! Precomputed failover assignments and survivor feasible-set scoring.
 
+use std::sync::{Arc, Mutex};
+
 use serde::{Deserialize, Serialize};
 
 use rod_geom::{PointBatch, Vector};
@@ -143,13 +145,22 @@ impl FailoverTable {
 /// Built on [`SampledFeasibility`], so one scenario evaluation costs
 /// O(m·P) pushes/pops instead of an O(P·n·d) from-scratch region test,
 /// and every plan is judged on the same points (noise-free comparisons).
+///
+/// A scorer can be [`fork`](ScenarioScorer::fork)ed for parallel
+/// neighborhood scans: forks carry their own feasibility tracker (the
+/// mutable part) but share one memoisation cache behind a mutex, so
+/// `score_cache_*` metrics stay exact totals across workers.
 pub struct ScenarioScorer<'a> {
     model: &'a LoadModel,
     cluster: &'a Cluster,
     feas: SampledFeasibility,
     /// Memoised alive counts per effective assignment — scoped to this
-    /// scorer's (model, cluster, point set), so sharing is always sound.
-    cache: ScoreCache,
+    /// scorer's (model, cluster, point set), so sharing is always
+    /// sound. Shared across forks; entries are pure (the key fully
+    /// determines the count), so concurrent interleavings can change
+    /// only *when* a value is cached, never the value — results stay
+    /// deterministic, and the lock is uncontended in the serial case.
+    cache: Arc<Mutex<ScoreCache>>,
 }
 
 impl<'a> ScenarioScorer<'a> {
@@ -171,21 +182,51 @@ impl<'a> ScenarioScorer<'a> {
                 batch,
                 cluster.capacities().as_slice(),
             ),
-            cache: ScoreCache::new(),
+            cache: Arc::new(Mutex::new(ScoreCache::new())),
         }
     }
 
-    /// The score cache, for hit-rate diagnostics.
-    pub fn cache(&self) -> &ScoreCache {
-        &self.cache
+    /// A worker-side copy for parallel neighborhood scans: its own
+    /// feasibility tracker (cloned pristine — `SampledFeasibility`
+    /// unwinds to exact bits between scores), the *same* shared score
+    /// cache. Scoring through a fork is bit-identical to scoring
+    /// through the original.
+    pub fn fork(&self) -> ScenarioScorer<'a> {
+        ScenarioScorer {
+            model: self.model,
+            cluster: self.cluster,
+            feas: self.feas.clone(),
+            cache: Arc::clone(&self.cache),
+        }
+    }
+
+    fn cache_lock(&self) -> std::sync::MutexGuard<'_, ScoreCache> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Cache lookups that were served from memory (exact total across
+    /// all forks sharing this cache).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_lock().hits()
+    }
+
+    /// Cache lookups that had to recompute (exact total across forks).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_lock().misses()
+    }
+
+    /// Number of memoised assignments.
+    pub fn cache_len(&self) -> usize {
+        self.cache_lock().len()
     }
 
     /// Replaces the score cache — e.g. with one pre-seeded by an
     /// [`OptimalPlanner`](crate::baselines::optimal::OptimalPlanner) search over
     /// the **same model, cluster and point set** (see the scope rule in
     /// [`crate::score_cache`]). Returns the cache previously installed.
+    /// Forks share the cache, so the swap is visible to all of them.
     pub fn swap_cache(&mut self, cache: ScoreCache) -> ScoreCache {
-        std::mem::replace(&mut self.cache, cache)
+        std::mem::replace(&mut *self.cache_lock(), cache)
     }
 
     /// Total points tracked.
@@ -234,7 +275,7 @@ impl<'a> ScenarioScorer<'a> {
                 .or_else(|| alloc.node_of(op));
             key.push(dest.map_or(crate::score_cache::UNPLACED, |n| n.index() as u32));
         }
-        if let Some(alive) = self.cache.get(&key) {
+        if let Some(alive) = self.cache_lock().get(&key) {
             return alive;
         }
         let mut pushed: Vec<(usize, usize)> = Vec::with_capacity(m);
@@ -248,7 +289,7 @@ impl<'a> ScenarioScorer<'a> {
         for &(j, i) in pushed.iter().rev() {
             self.feas.pop_assign(j, i);
         }
-        self.cache.insert(key, alive);
+        self.cache_lock().insert(key, alive);
         alive
     }
 }
@@ -368,10 +409,37 @@ mod tests {
 
         // The scorer is reusable: a second healthy query is unchanged —
         // and answered from the score cache without re-pushing.
-        let misses = scorer.cache().misses();
+        let misses = scorer.cache_misses();
         assert_eq!(scorer.healthy_alive(&alloc), fresh);
-        assert_eq!(scorer.cache().misses(), misses);
-        assert!(scorer.cache().hits() > 0);
+        assert_eq!(scorer.cache_misses(), misses);
+        assert!(scorer.cache_hits() > 0);
+    }
+
+    /// Forks score identically to the original and share one cache: a
+    /// query answered by the original is a pure hit through any fork.
+    #[test]
+    fn forked_scorers_share_the_cache_and_agree_bit_for_bit() {
+        let (model, cluster) = setup();
+        let alloc = rod_plan(&model, &cluster);
+        let estimator = VolumeEstimator::new(
+            model.total_coeffs().as_slice(),
+            cluster.total_capacity(),
+            2_000,
+            3,
+        );
+        let mut scorer = ScenarioScorer::new(&model, &cluster, estimator.points());
+        let healthy = scorer.healthy_alive(&alloc);
+        let mut fork = scorer.fork();
+        let misses = fork.cache_misses();
+        assert_eq!(fork.healthy_alive(&alloc), healthy);
+        assert_eq!(fork.cache_misses(), misses, "fork re-computed a cached key");
+        // A fresh query through the fork lands in the shared cache and
+        // is then a hit for the original.
+        let scenario = FailureScenario::single(NodeId(1));
+        let via_fork = fork.scenario_alive(&alloc, &scenario);
+        let hits = scorer.cache_hits();
+        assert_eq!(scorer.scenario_alive(&alloc, &scenario), via_fork);
+        assert!(scorer.cache_hits() > hits);
     }
 
     #[test]

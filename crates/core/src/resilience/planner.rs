@@ -1,5 +1,6 @@
 //! ResilientRod: maximise the worst-case survivor feasible set.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -28,6 +29,12 @@ pub struct ResilientRodOptions {
     pub max_failures: usize,
     /// Hill-climb budget: stop after this many accepted moves.
     pub max_moves: usize,
+    /// Worker chunks for the parallel neighborhood scan; `0` means the
+    /// [`rod_pool::global`] pool size (`ROD_THREADS` or hardware
+    /// parallelism). Clamped to the candidate-move count; placements
+    /// are bit-identical for every value (see the ordered-reduction
+    /// contract in `rod_pool`).
+    pub threads: usize,
 }
 
 impl Default for ResilientRodOptions {
@@ -37,6 +44,7 @@ impl Default for ResilientRodOptions {
             seed: 2006,
             max_failures: 1,
             max_moves: 64,
+            threads: 0,
         }
     }
 }
@@ -83,7 +91,12 @@ impl ResilientPlan {
 ///
 /// Each candidate move costs one scenario sweep, O(|scenarios|·m·P)
 /// feasibility pushes on the shared point set, so the climb is polynomial
-/// and deterministic for a fixed seed.
+/// and deterministic for a fixed seed. The neighborhood scan — the
+/// planner's hot loop — is dealt out in contiguous candidate chunks to
+/// the persistent [`rod_pool::global`] workers
+/// ([`ResilientRodOptions::threads`]); the ordered reduction keeps the
+/// chosen move, and therefore the whole placement, bit-identical to the
+/// serial scan at any thread count.
 #[derive(Clone, Debug, Default)]
 pub struct ResilientRodPlanner {
     options: ResilientRodOptions,
@@ -163,36 +176,106 @@ impl ResilientRodPlanner {
         let mut moves = 0;
         let mut iterations = 0u64;
         let mut candidate_moves = 0u64;
+
+        // Parallelism degree for the neighborhood scan, clamped to the
+        // largest neighborhood this instance can ever have — extra
+        // workers would only hold idle tracker clones.
+        let threads = match self.options.threads {
+            0 => rod_pool::global().size(),
+            t => t,
+        }
+        .clamp(1, (m * n.saturating_sub(1)).max(1));
+        // One forked scorer per chunk, built once and reused across
+        // iterations; forks share the memoisation cache, so the
+        // score_cache_* metrics below stay exact totals.
+        let worker_scorers: Vec<Mutex<ScenarioScorer>> = if threads > 1 {
+            (0..threads).map(|_| Mutex::new(scorer.fork())).collect()
+        } else {
+            Vec::new()
+        };
+        let pool_before = rod_pool::global().stats();
         let climb_start = Instant::now();
 
         // Steepest-ascent over all (operator, destination) single moves;
         // ties broken by scan order (lowest operator, then lowest node),
-        // so runs are deterministic.
+        // so runs are deterministic — the parallel path preserves this
+        // exactly: each worker scans a contiguous candidate slice and
+        // reports its first strict maximum, and the ordered strict-`>`
+        // merge across slices reproduces the serial scan's winner for
+        // every chunk count.
+        let mut candidates: Vec<(OperatorId, NodeId)> = Vec::new();
         while moves < self.options.max_moves {
             iterations += 1;
             let iter_start = Instant::now();
-            let mut improved: Option<(OperatorId, NodeId, (usize, usize))> = None;
+            candidates.clear();
             for j in 0..m {
                 let op = OperatorId(j);
                 let home = alloc.node_of(op).expect("ROD plans are complete");
                 for i in 0..n {
                     let dest = NodeId(i);
-                    if dest == home {
-                        continue;
-                    }
-                    candidate_moves += 1;
-                    alloc.assign(op, dest);
-                    let score = (
-                        scorer.worst_case_alive(&alloc, &scenarios),
-                        scorer.healthy_alive(&alloc),
-                    );
-                    alloc.assign(op, home);
-                    let target = improved.as_ref().map_or(best, |(_, _, s)| *s);
-                    if score > target {
-                        improved = Some((op, dest, score));
+                    if dest != home {
+                        candidates.push((op, dest));
                     }
                 }
             }
+            candidate_moves += candidates.len() as u64;
+
+            let improved: Option<(OperatorId, NodeId, (usize, usize))> =
+                if threads > 1 && candidates.len() > 1 {
+                    let ranges = rod_pool::chunks(candidates.len(), threads);
+                    let winner = rod_pool::global().map_reduce(
+                        ranges.len(),
+                        |c| {
+                            let mut scorer =
+                                worker_scorers[c].lock().unwrap_or_else(|e| e.into_inner());
+                            let mut probe = alloc.clone();
+                            let mut local: Option<(usize, (usize, usize))> = None;
+                            for idx in ranges[c].clone() {
+                                let (op, dest) = candidates[idx];
+                                let home = probe.node_of(op).expect("ROD plans are complete");
+                                probe.assign(op, dest);
+                                let score = (
+                                    scorer.worst_case_alive(&probe, &scenarios),
+                                    scorer.healthy_alive(&probe),
+                                );
+                                probe.assign(op, home);
+                                let target = local.as_ref().map_or(best, |&(_, s)| s);
+                                if score > target {
+                                    local = Some((idx, score));
+                                }
+                            }
+                            local
+                        },
+                        None::<(usize, (usize, usize))>,
+                        // Ordered merge, strict `>`: equal scores keep the
+                        // earlier chunk's (lower-index) winner.
+                        |acc, win| match (acc, win) {
+                            (acc, None) => acc,
+                            (None, some) => some,
+                            (Some(a), Some(w)) => Some(if w.1 > a.1 { w } else { a }),
+                        },
+                    );
+                    winner.map(|(idx, score)| {
+                        let (op, dest) = candidates[idx];
+                        (op, dest, score)
+                    })
+                } else {
+                    let mut improved = None;
+                    for &(op, dest) in &candidates {
+                        let home = alloc.node_of(op).expect("ROD plans are complete");
+                        alloc.assign(op, dest);
+                        let score = (
+                            scorer.worst_case_alive(&alloc, &scenarios),
+                            scorer.healthy_alive(&alloc),
+                        );
+                        alloc.assign(op, home);
+                        let target = improved.as_ref().map_or(best, |(_, _, s)| *s);
+                        if score > target {
+                            improved = Some((op, dest, score));
+                        }
+                    }
+                    improved
+                };
             if let Some(metrics) = metrics {
                 metrics.observe(
                     "resilient_rod.iteration_seconds",
@@ -209,19 +292,29 @@ impl ResilientRodPlanner {
             }
         }
         if let Some(metrics) = metrics {
-            metrics.observe(
-                "resilient_rod.hill_climb_seconds",
-                climb_start.elapsed().as_secs_f64(),
-            );
+            let climb_wall = climb_start.elapsed().as_secs_f64();
+            metrics.observe("resilient_rod.hill_climb_seconds", climb_wall);
             metrics.add("resilient_rod.iterations", iterations);
             metrics.add("resilient_rod.accepted_moves", moves as u64);
             metrics.add("resilient_rod.candidate_moves", candidate_moves);
-            metrics.add("resilient_rod.score_cache_hits", scorer.cache().hits());
-            metrics.add("resilient_rod.score_cache_misses", scorer.cache().misses());
+            metrics.add("resilient_rod.score_cache_hits", scorer.cache_hits());
+            metrics.add("resilient_rod.score_cache_misses", scorer.cache_misses());
             metrics.set_gauge(
                 "resilient_rod.score_cache_entries",
-                scorer.cache().len() as f64,
+                scorer.cache_len() as f64,
             );
+            metrics.set_gauge("resilient_rod.threads", threads as f64);
+            let pool_after = rod_pool::global().stats();
+            crate::obs::record_pool_delta(metrics, &pool_before, &pool_after);
+            // Worker busy-time over wall-time ≈ how many cores the scan
+            // actually kept busy — 1.0 when serial or on one core.
+            let busy_delta = pool_after.busy_seconds - pool_before.busy_seconds;
+            let speedup = if threads > 1 && climb_wall > 0.0 && busy_delta > 0.0 {
+                busy_delta / climb_wall
+            } else {
+                1.0
+            };
+            metrics.set_gauge("resilient_rod.parallel_speedup_estimate", speedup);
         }
 
         let failover = if n >= 2 {
@@ -280,6 +373,7 @@ mod tests {
             seed: 11,
             max_failures: 1,
             max_moves: 16,
+            threads: 1,
         }
     }
 
@@ -323,6 +417,35 @@ mod tests {
         assert_eq!(a.allocation, b.allocation);
         assert_eq!(a.worst_alive, b.worst_alive);
         assert_eq!(a.failover, b.failover);
+    }
+
+    /// The parallel neighborhood scan must reproduce the serial
+    /// placement bit for bit, including for oversized thread requests
+    /// (clamped to the candidate count, never an error).
+    #[test]
+    fn placements_are_bit_identical_across_thread_counts() {
+        for n in [2, 3] {
+            let (model, cluster) = setup(n);
+            let serial = ResilientRodPlanner::with_options(small_options())
+                .place(&model, &cluster)
+                .unwrap();
+            for threads in [2usize, 4, 7, 1000] {
+                let opts = ResilientRodOptions {
+                    threads,
+                    ..small_options()
+                };
+                let parallel = ResilientRodPlanner::with_options(opts)
+                    .place(&model, &cluster)
+                    .unwrap();
+                assert_eq!(
+                    parallel.allocation, serial.allocation,
+                    "n={n} threads={threads}: placement diverged from serial"
+                );
+                assert_eq!(parallel.worst_alive, serial.worst_alive);
+                assert_eq!(parallel.healthy_alive, serial.healthy_alive);
+                assert_eq!(parallel.moves, serial.moves);
+            }
+        }
     }
 
     #[test]

@@ -84,6 +84,17 @@ impl ScoreCache {
         self.map.insert(key, alive);
     }
 
+    /// Folds another cache's entries (and lookup counters) into this
+    /// one — used to merge worker-local caches after a parallel search.
+    /// Both caches must be scoped to the same (model, cluster, point
+    /// set); entries are pure under that scope, so on a duplicate key
+    /// either value is the same value.
+    pub fn absorb(&mut self, other: ScoreCache) {
+        self.map.extend(other.map);
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+
     /// Number of distinct assignments memoised.
     pub fn len(&self) -> usize {
         self.map.len()

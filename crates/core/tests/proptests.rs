@@ -365,12 +365,89 @@ proptest! {
                 seed: 7,
                 max_failures: 1,
                 max_moves: 2,
+                threads: 2,
             })),
         ];
         for planner in &planners {
             let alloc = planner.plan(&model, &cluster);
             prop_assert!(alloc.is_ok(), "{} failed: {:?}", planner.name(), alloc.err());
             prop_assert!(alloc.unwrap().is_complete(), "{} incomplete", planner.name());
+        }
+    }
+
+    #[test]
+    fn parallel_planners_are_bit_identical_across_thread_counts(
+        inputs in 1usize..3,
+        ops in prop::collection::vec((0usize..100, 1u16..1000, 1u16..1000), 1..6),
+        nodes in 2usize..4,
+    ) {
+        // The pool's ordered-reduction contract, checked end to end on
+        // random instances: for BOTH parallel planners, any chunk count
+        // must reproduce the serial result exactly — same placement,
+        // same worst-case survivor count, same incumbent bits.
+        use rod_core::baselines::optimal::OptimalPlanner;
+        use rod_core::resilience::{ResilientRodOptions, ResilientRodPlanner};
+
+        let mut b = GraphBuilder::new();
+        let mut streams: Vec<StreamId> = (0..inputs).map(|_| b.add_input()).collect();
+        for (j, &(parent, cost, sel)) in ops.iter().enumerate() {
+            let cost = cost as f64 / 1000.0;
+            let sel = sel as f64 / 1000.0;
+            let p = streams[parent % streams.len()];
+            let (_, out) = b
+                .add_operator(format!("p{j}"), OperatorKind::delay(cost, sel), &[p])
+                .unwrap();
+            streams.push(out);
+        }
+        let graph = b.build().unwrap();
+        let model = LoadModel::derive(&graph).unwrap();
+        let cluster = Cluster::homogeneous(nodes, 1.0);
+
+        let resilient = |threads: usize| {
+            ResilientRodPlanner::with_options(ResilientRodOptions {
+                samples: 300,
+                seed: 11,
+                max_failures: 1,
+                max_moves: 3,
+                threads,
+            })
+            .place(&model, &cluster)
+            .unwrap()
+        };
+        let serial = resilient(1);
+        for threads in [2usize, 4, 7] {
+            let pooled = resilient(threads);
+            prop_assert_eq!(
+                &serial.allocation, &pooled.allocation,
+                "ResilientRod placement drifted at threads={}", threads
+            );
+            prop_assert_eq!(
+                serial.worst_alive, pooled.worst_alive,
+                "ResilientRod worst-case score drifted at threads={}", threads
+            );
+        }
+
+        let optimal = |threads: usize| {
+            OptimalPlanner {
+                samples: 300,
+                seed: 11,
+                threads,
+                ..OptimalPlanner::new()
+            }
+            .search(&model, &cluster)
+            .unwrap()
+        };
+        let (serial_alloc, serial_ratio) = optimal(1);
+        for threads in [2usize, 4, 7] {
+            let (alloc, ratio) = optimal(threads);
+            prop_assert_eq!(
+                &serial_alloc, &alloc,
+                "Optimal incumbent drifted at threads={}", threads
+            );
+            prop_assert_eq!(
+                serial_ratio.to_bits(), ratio.to_bits(),
+                "Optimal incumbent score drifted at threads={}", threads
+            );
         }
     }
 

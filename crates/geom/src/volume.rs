@@ -285,22 +285,24 @@ impl VolumeEstimator {
     ///
     /// Scoring runs through the batched [`FeasibilityKernel`] — one
     /// column-wise pass over the structure-of-arrays point store — and the
-    /// point range is partitioned across up to
-    /// `std::thread::available_parallelism()` scoped workers; each range's
-    /// integer hit count is merged in range order, so the result is
-    /// bit-identical to the serial scalar scan regardless of thread count.
+    /// point range is partitioned across the persistent
+    /// [`rod_pool::global`] worker pool (default size: `ROD_THREADS` or
+    /// `std::thread::available_parallelism()`); each range's integer hit
+    /// count is merged in range order, so the result is bit-identical to
+    /// the serial scalar scan regardless of thread count.
     pub fn estimate(&self, region: &FeasibleRegion) -> VolumeEstimate {
-        let threads = std::thread::available_parallelism().map_or(1, usize::from);
-        self.estimate_with_threads(region, threads)
+        self.estimate_with_threads(region, rod_pool::global().size())
     }
 
-    /// [`VolumeEstimator::estimate`] with an explicit worker count
+    /// [`VolumeEstimator::estimate`] with an explicit chunk count
     /// (clamped to at least 1; small point sets fall back to the
-    /// single-threaded kernel since spawning would cost more than
-    /// counting).
+    /// single-threaded kernel since dispatch would cost more than
+    /// counting). Chunks run on the persistent [`rod_pool::global`]
+    /// pool — no per-call thread spawn.
     pub fn estimate_with_threads(&self, region: &FeasibleRegion, threads: usize) -> VolumeEstimate {
         assert_eq!(region.dim(), self.points.first().map_or(0, Vector::dim));
-        // Below ~4k points a thread spawn outweighs the counting work.
+        // Below ~4k points per chunk, dispatch outweighs the counting
+        // work (clamps oversized thread requests on tiny point sets).
         const MIN_POINTS_PER_THREAD: usize = 4_096;
         let threads = threads
             .max(1)
@@ -308,24 +310,19 @@ impl VolumeEstimator {
         let hits = if threads == 1 {
             self.kernel.count_feasible(region)
         } else {
-            let chunk = self.points.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|t| {
-                        let start = t * chunk;
-                        let end = ((t + 1) * chunk).min(self.points.len());
-                        let kernel = &self.kernel;
-                        scope.spawn(move || kernel.count_feasible_range(region, start, end))
-                    })
-                    .collect();
-                // Ordered merge: range counts are summed in range order.
-                // Integer addition is associative, so the total equals
-                // the serial count exactly.
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("volume worker panicked"))
-                    .sum()
-            })
+            let ranges = rod_pool::chunks(self.points.len(), threads);
+            // Ordered reduction: range counts are summed in range order.
+            // Integer addition is associative, so the total equals the
+            // serial count exactly, whatever the pool's worker count.
+            rod_pool::global().map_reduce(
+                ranges.len(),
+                |t| {
+                    let r = &ranges[t];
+                    self.kernel.count_feasible_range(region, r.start, r.end)
+                },
+                0usize,
+                |acc, part| acc + part,
+            )
         };
         self.estimate_from_hits(hits)
     }

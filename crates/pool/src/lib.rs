@@ -1,0 +1,528 @@
+//! Persistent deterministic thread pool with **ordered reduction**.
+//!
+//! The planners and the QMC volume estimator issue thousands of small,
+//! embarrassingly parallel batches per plan invocation. Spawning a
+//! [`std::thread::scope`] for every batch pays thread start-up each
+//! time; this crate keeps a fixed set of workers alive for the process
+//! lifetime and deals work to them in *static contiguous chunks*
+//! ([`chunks`]) rather than via work stealing.
+//!
+//! Two properties make the pool safe to drop into code that pins exact
+//! outputs (golden tests, CI byte-diffs):
+//!
+//! * **Ordered reduction** — [`ThreadPool::map_reduce`] merges task
+//!   results strictly in submission (task-index) order on the calling
+//!   thread, regardless of the order workers finish in. A reduction
+//!   over chunked partial results is therefore bit-identical to the
+//!   serial left fold over the same chunks.
+//! * **Chunk-dealing, not work stealing** — which items form a task is
+//!   a pure function of `(total, parts)`, never of runtime timing. Work
+//!   stealing balances load better on skewed tasks but makes the
+//!   *shape* of the computation scheduler-dependent; deterministic
+//!   shape is what lets callers reason "parallel ≡ serial" locally.
+//!
+//! Zero external dependencies: only `std` primitives (`Mutex`,
+//! `Condvar`, atomics).
+//!
+//! # Example
+//!
+//! ```
+//! let pool = rod_pool::ThreadPool::new(4);
+//! let data: Vec<u64> = (0..10_000).collect();
+//! let ranges = rod_pool::chunks(data.len(), 4);
+//! let sum = pool.map_reduce(
+//!     ranges.len(),
+//!     |t| data[ranges[t].clone()].iter().sum::<u64>(),
+//!     0u64,
+//!     |acc, part| acc + part,
+//! );
+//! assert_eq!(sum, data.iter().sum::<u64>());
+//! ```
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// A unit of work handed to a worker thread.
+///
+/// Jobs are `'static` at the type level; `map_reduce` submits borrowed
+/// closures by erasing their lifetime, which is sound because it blocks
+/// on a completion latch until every submitted job has run.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Set on pool worker threads so nested `map_reduce` calls fall
+    /// back to inline serial execution instead of deadlocking on a
+    /// queue their own worker can never drain.
+    static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Ignores mutex poisoning: pool state stays consistent because jobs
+/// never unwind into the worker loop (each is wrapped in
+/// `catch_unwind`), so a poisoned lock only means some *other* thread
+/// panicked while holding it mid-update of a counter.
+fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Queue shared between the submitting threads and the workers.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    /// Total jobs executed by workers over the pool's lifetime.
+    tasks_executed: AtomicU64,
+    /// Total wall-nanoseconds workers spent inside jobs.
+    busy_nanos: AtomicU64,
+    /// Deepest the queue has ever been at submission time.
+    queue_peak: AtomicUsize,
+}
+
+/// Point-in-time counters for a pool, cheap to snapshot. Callers diff
+/// two snapshots to attribute pool work to one phase (see
+/// `rod_core::obs`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PoolStats {
+    /// Number of worker threads (fixed at construction).
+    pub workers: usize,
+    /// Jobs executed since the pool was built.
+    pub tasks_executed: u64,
+    /// Seconds of worker wall-clock spent inside jobs since the pool
+    /// was built (sums across workers, so it can exceed elapsed time).
+    pub busy_seconds: f64,
+    /// Deepest the job queue has been at any submission.
+    pub queue_peak: usize,
+}
+
+/// Fixed-size persistent worker pool. See the crate docs for the
+/// determinism contract.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    size: usize,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` persistent workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero — a pool with no workers could never
+    /// drain its queue.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "thread pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            tasks_executed: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            queue_peak: AtomicUsize::new(0),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rod-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            size: threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.size,
+            tasks_executed: self.shared.tasks_executed.load(Ordering::Relaxed),
+            busy_seconds: self.shared.busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            queue_peak: self.shared.queue_peak.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `tasks` closures (`f(0)..f(tasks-1)`) on the pool and folds
+    /// their results with `merge` **strictly in task-index order** on
+    /// the calling thread, starting from `init`.
+    ///
+    /// Equivalent to `(0..tasks).fold(init, |acc, i| merge(acc, f(i)))`
+    /// — bit-identical, whatever the workers' completion order — and
+    /// the pool falls back to exactly that serial fold when it cannot
+    /// help (single-worker pool, zero or one task, or when called from
+    /// inside a pool job, where queueing to ourselves would deadlock).
+    ///
+    /// If any task panics, the panic is re-raised on the calling thread
+    /// (the first panicking task in index order wins) after *all* tasks
+    /// have finished, so borrowed data is never still in use when this
+    /// returns.
+    pub fn map_reduce<T, R, F, M>(&self, tasks: usize, f: F, init: R, mut merge: M) -> R
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        M: FnMut(R, T) -> R,
+    {
+        if tasks == 0 {
+            return init;
+        }
+        let inline = self.size == 1 || tasks == 1 || IN_POOL_WORKER.with(|w| w.get());
+        if inline {
+            return (0..tasks).fold(init, |acc, i| merge(acc, f(i)));
+        }
+
+        // One result slot per task, filled by whichever worker runs it.
+        let slots: Vec<Mutex<Option<std::thread::Result<T>>>> =
+            (0..tasks).map(|_| Mutex::new(None)).collect();
+        let latch = Latch::new(tasks);
+        {
+            let f = &f;
+            let latch = &latch;
+            let mut q = lock_ignoring_poison(&self.shared.queue);
+            for (i, slot) in slots.iter().enumerate() {
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let out = catch_unwind(AssertUnwindSafe(|| f(i)));
+                    *lock_ignoring_poison(slot) = Some(out);
+                    latch.count_down();
+                });
+                // SAFETY: the job borrows `f`, its slot and `latch`,
+                // which all outlive this call — `latch.wait()` below
+                // does not return until every job has run (count_down
+                // is the last thing a job does, panics included via
+                // catch_unwind), so no worker touches the borrows after
+                // `map_reduce` returns.
+                let job: Job =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+                q.jobs.push_back(job);
+            }
+            self.shared
+                .queue_peak
+                .fetch_max(q.jobs.len(), Ordering::Relaxed);
+            drop(q);
+            self.shared.available.notify_all();
+        }
+        latch.wait();
+
+        // Ordered reduction: strictly ascending task index.
+        let mut acc = init;
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for slot in slots {
+            let result = lock_ignoring_poison(&slot)
+                .take()
+                .expect("latch released before every slot was filled");
+            match result {
+                Ok(value) => {
+                    if first_panic.is_none() {
+                        acc = merge(acc, value);
+                    }
+                }
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        acc
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        lock_ignoring_poison(&self.shared.queue).shutdown = true;
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    IN_POOL_WORKER.with(|w| w.set(true));
+    loop {
+        let job = {
+            let mut q = lock_ignoring_poison(&shared.queue);
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Some(job);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(job) = job else { return };
+        let start = Instant::now();
+        job();
+        shared.busy_nanos.fetch_add(
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Counts completed tasks down to zero and wakes the submitter.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = lock_ignoring_poison(&self.remaining);
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = lock_ignoring_poison(&self.remaining);
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Splits `0..total` into at most `parts` contiguous, non-empty ranges
+/// whose sizes differ by at most one (earlier ranges get the remainder).
+///
+/// The split is a pure function of `(total, parts)` — this is the
+/// "chunk-dealing" half of the determinism contract. Degenerate inputs
+/// are clamped rather than rejected: `parts` is raised to 1 and capped
+/// at `total` (never hand out empty chunks), and `total == 0` yields no
+/// chunks at all.
+pub fn chunks(total: usize, parts: usize) -> Vec<Range<usize>> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, total);
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, total);
+    out
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// Default worker count: the `ROD_THREADS` environment variable when
+/// set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    match std::env::var("ROD_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map_or(1, usize::from),
+    }
+}
+
+/// The process-global pool, created on first use with
+/// [`default_threads`] workers. All library callers (the volume
+/// estimator, the planners) share this pool so worker threads are
+/// spawned once per process, not once per call.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+/// Sizes the global pool explicitly (e.g. from `rodctl --threads`).
+/// The first sizing wins for the process lifetime: if the global pool
+/// already exists its size cannot change, and the existing pool is
+/// returned. Returns the pool's actual size.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero; CLI layers validate first and report a
+/// proper error.
+pub fn configure_global(threads: usize) -> usize {
+    assert!(threads >= 1, "thread pool needs at least one worker");
+    GLOBAL.get_or_init(|| ThreadPool::new(threads)).size()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn map_reduce_matches_serial_fold_for_every_chunking() {
+        let data: Vec<u64> = (0..9_973).map(|i| i * 2654435761 % 4093).collect();
+        let expected: u64 = data.iter().sum();
+        let pool = ThreadPool::new(4);
+        for parts in [1usize, 2, 3, 4, 7, 64, 10_000] {
+            let ranges = chunks(data.len(), parts);
+            let total = pool.map_reduce(
+                ranges.len(),
+                |t| data[ranges[t].clone()].iter().sum::<u64>(),
+                0u64,
+                |acc, part| acc + part,
+            );
+            assert_eq!(total, expected, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn reduction_order_is_submission_order() {
+        let pool = ThreadPool::new(4);
+        // Deliberately skew task cost so completion order differs from
+        // submission order; the merged sequence must still be 0..32.
+        let order = pool.map_reduce(
+            32,
+            |i| {
+                if i % 3 == 0 {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                i
+            },
+            Vec::new(),
+            |mut acc, i| {
+                acc.push(i);
+                acc
+            },
+        );
+        assert_eq!(order, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_cover_exactly_and_clamp_degenerate_parts() {
+        assert!(chunks(0, 4).is_empty());
+        assert_eq!(chunks(5, 0), chunks(5, 1), "parts=0 clamps to 1");
+        assert_eq!(chunks(5, 1), vec![0..5]);
+        // More parts than items: capped at one item per chunk.
+        assert_eq!(chunks(3, 10), vec![0..1, 1..2, 2..3]);
+        for (total, parts) in [(10, 3), (11, 4), (1, 1), (100, 7)] {
+            let ranges = chunks(total, parts);
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "contiguous");
+                next = r.end;
+            }
+            assert_eq!(next, total, "covers 0..total");
+            let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "balanced: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn zero_tasks_returns_init() {
+        let pool = ThreadPool::new(2);
+        assert_eq!(pool.map_reduce(0, |_| 1, 41, |a, b| a + b), 41);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller_after_all_tasks_finish() {
+        let pool = ThreadPool::new(2);
+        let finished = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.map_reduce(
+                8,
+                |i| {
+                    if i == 3 {
+                        panic!("task 3 exploded");
+                    }
+                    finished.fetch_add(1, Ordering::SeqCst);
+                    i
+                },
+                0usize,
+                |a, b| a + b,
+            )
+        }));
+        assert!(caught.is_err());
+        // All non-panicking tasks ran to completion before the panic
+        // resurfaced — nothing was abandoned mid-borrow.
+        assert_eq!(finished.load(Ordering::SeqCst), 7);
+        // The pool survives a panicking batch.
+        assert_eq!(pool.map_reduce(4, |i| i, 0, |a, b| a + b), 6);
+    }
+
+    #[test]
+    fn nested_map_reduce_runs_inline_without_deadlock() {
+        let pool = ThreadPool::new(2);
+        // Outer tasks saturate both workers; inner calls must not queue.
+        let total = pool.map_reduce(
+            4,
+            |i| pool.map_reduce(4, |j| i * 10 + j, 0usize, |a, b| a + b),
+            0usize,
+            |a, b| a + b,
+        );
+        let expected: usize = (0..4)
+            .map(|i| (0..4).map(|j| i * 10 + j).sum::<usize>())
+            .sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn stats_track_tasks_and_busy_time() {
+        let pool = ThreadPool::new(2);
+        let before = pool.stats();
+        assert_eq!(before.workers, 2);
+        pool.map_reduce(
+            6,
+            |_| std::thread::sleep(Duration::from_millis(1)),
+            (),
+            |(), ()| (),
+        );
+        let after = pool.stats();
+        assert_eq!(after.tasks_executed - before.tasks_executed, 6);
+        assert!(after.busy_seconds > before.busy_seconds);
+        assert!(after.queue_peak >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_sized_pool_is_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn single_worker_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let out = pool.map_reduce(5, |i| i * i, 0usize, |a, b| a + b);
+        assert_eq!(out, 30);
+        // Inline execution bypasses the queue entirely.
+        assert_eq!(pool.stats().tasks_executed, 0);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

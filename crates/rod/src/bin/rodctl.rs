@@ -92,7 +92,7 @@ fn usage() -> String {
      generate --kind tree|traffic|financial|joins [--inputs N] [--ops-per-tree N] [--seed N]\n\
      plan     --graph FILE --nodes N [--capacity C]\n\
      \u{20}        [--algorithm rod|resilient|llf|connected|correlation|random|optimal]\n\
-     \u{20}        [--rates r1,r2,...] [--seed N] [--out FILE] [--timings]\n\
+     \u{20}        [--rates r1,r2,...] [--seed N] [--out FILE] [--timings] [--threads N]\n\
      \u{20}        (optimal only: [--samples N] [--max-plans N])\n\
      evaluate --graph FILE --plan FILE --nodes N [--capacity C] [--samples N]\n\
      explain  --graph FILE --plan FILE --nodes N [--capacity C]\n\
@@ -102,7 +102,7 @@ fn usage() -> String {
      \u{20}        (--rates r1,r2,... | --traces a.csv,b.csv,...)\n\
      \u{20}        [--outage NODE:START:END]... [--failover DETECTION_DELAY]\n\
      \u{20}        [--scheduling fifo|rr|lqf] [--op-queue-bound N]\n\
-     \u{20}        [--trace-out FILE] [--metrics-interval T]\n\
+     \u{20}        [--trace-out FILE] [--metrics-interval T] [--threads N]\n\
      \u{20}        (--fault-tolerance is an alias for --failover)\n\
      trace    --kind pkt|tcp|http|poisson [--bins-log2 N] [--mean R] [--seed N] [--out FILE]"
         .to_string()
@@ -177,6 +177,26 @@ fn cmd_generate(flags: &Flags) -> Result<String, String> {
     serde_json::to_string_pretty(&graph).map_err(|e| e.to_string())
 }
 
+/// Parses `--threads`: a positive worker count for the persistent
+/// planning pool. Absent means 0 ("auto": `ROD_THREADS` or hardware
+/// parallelism). Degenerate values get specific errors; oversized
+/// values are legal — the planners clamp to the available work, and
+/// results are identical at every thread count.
+fn parse_threads(flags: &Flags) -> Result<usize, String> {
+    let Some(v) = flags.get("threads") else {
+        return Ok(0);
+    };
+    let n: usize = v
+        .parse()
+        .map_err(|_| format!("--threads: bad value '{v}' (expected a positive integer)"))?;
+    if n == 0 {
+        return Err(
+            "--threads: must be at least 1 (a pool with zero workers can never run)".into(),
+        );
+    }
+    Ok(n)
+}
+
 fn cmd_plan(flags: &Flags) -> Result<String, String> {
     let graph = load_graph(flags)?;
     let cluster = load_cluster(flags)?;
@@ -188,12 +208,20 @@ fn cmd_plan(flags: &Flags) -> Result<String, String> {
     };
     let samples: usize = flags.parse_num("samples", 20_000)?;
     let max_plans: u64 = flags.parse_num("max-plans", 5_000_000)?;
+    let threads = parse_threads(flags)?;
+    if threads > 0 {
+        // First sizing wins for the process; the planners additionally
+        // receive the count through their specs, so even when the pool
+        // was already sized differently the scan width is honoured.
+        rod_pool::configure_global(threads);
+    }
     let spec = PlannerSpec::from_cli(
         flags.get_or("algorithm", "rod"),
         &rates,
         seed,
         samples,
         max_plans,
+        threads,
     )?;
     let planner = build_planner(&spec);
     // --timings routes through plan_with_metrics and prints the phase
@@ -413,6 +441,12 @@ fn cmd_simulate(flags: &Flags) -> Result<String, String> {
     let graph = load_graph(flags)?;
     let cluster = load_cluster(flags)?;
     let plan = load_plan(flags)?;
+    let threads = parse_threads(flags)?;
+    if threads > 0 {
+        // Sizes the planning pool used by failover-table precomputation
+        // and any volume estimation the run performs.
+        rod_pool::configure_global(threads);
+    }
     let horizon: f64 = flags.parse_num("horizon", 30.0)?;
     let seed: u64 = flags.parse_num("seed", 0)?;
     let scheduling = parse_scheduling(flags.get_or("scheduling", "fifo"))?;
@@ -1250,6 +1284,88 @@ mod tests {
         ]))
         .unwrap();
         assert!(cmd_plan(&f).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn threads_flag_rejects_degenerate_values_with_specific_errors() {
+        // Absent flag means "auto" — the pool picks its own width.
+        let f = Flags::parse(&strings(&[])).unwrap();
+        assert_eq!(parse_threads(&f).unwrap(), 0);
+        // Zero workers can never make progress.
+        let f = Flags::parse(&strings(&["--threads", "0"])).unwrap();
+        let err = parse_threads(&f).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        // Non-numeric and negative counts name the offending value.
+        for bad in ["x", "-1", "2.5", ""] {
+            let f = Flags::parse(&strings(&["--threads", bad])).unwrap();
+            let err = parse_threads(&f).unwrap_err();
+            assert!(err.contains("bad value"), "'{bad}': {err}");
+            assert!(err.contains(bad), "'{bad}': {err}");
+        }
+    }
+
+    #[test]
+    fn plan_json_is_byte_identical_across_thread_counts() {
+        // An oversized --threads (beyond the candidate count of this tiny
+        // instance) is clamped by the planner and must not perturb a
+        // single byte of the emitted plan relative to serial.
+        let dir = std::env::temp_dir().join(format!("rodctl-threads-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("graph.json");
+        let f = Flags::parse(&strings(&[
+            "--kind", "tree", "--inputs", "2", "--seed", "7",
+        ]))
+        .unwrap();
+        fs::write(&graph_path, cmd_generate(&f).unwrap()).unwrap();
+        let mut outputs = Vec::new();
+        for threads in ["1", "64"] {
+            let f = Flags::parse(&strings(&[
+                "--graph",
+                graph_path.to_str().unwrap(),
+                "--nodes",
+                "3",
+                "--algorithm",
+                "resilient",
+                "--samples",
+                "2000",
+                "--threads",
+                threads,
+            ]))
+            .unwrap();
+            outputs.push(cmd_plan(&f).unwrap());
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "plan JSON must not depend on --threads"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_accepts_threads_and_rejects_zero() {
+        let (dir, graph_path, plan_path) = graph_and_plan("simthreads");
+        let base = [
+            "--graph",
+            graph_path.as_str(),
+            "--plan",
+            plan_path.as_str(),
+            "--nodes",
+            "2",
+            "--rates",
+            "10,10",
+            "--horizon",
+            "5",
+        ];
+        let mut ok_args: Vec<&str> = base.to_vec();
+        ok_args.extend(["--threads", "2"]);
+        let f = Flags::parse(&strings(&ok_args)).unwrap();
+        assert!(cmd_simulate(&f).unwrap().contains("node utilisations"));
+        let mut bad_args: Vec<&str> = base.to_vec();
+        bad_args.extend(["--threads", "0"]);
+        let f = Flags::parse(&strings(&bad_args)).unwrap();
+        let err = cmd_simulate(&f).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
         fs::remove_dir_all(&dir).ok();
     }
 }
