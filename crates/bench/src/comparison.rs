@@ -92,7 +92,8 @@ where
 }
 
 /// Runs the full §7.2 algorithm set on one model + cluster. Returns
-/// results in a fixed order: ROD, Correlation, LLF, Random, Connected.
+/// results in a fixed order: ROD, Hierarchical, Correlation, LLF,
+/// Random, Connected.
 pub fn compare_algorithms(
     model: &LoadModel,
     cluster: &Cluster,
@@ -121,6 +122,22 @@ pub fn compare_algorithms(
         let pd = ev.min_plane_distance(&alloc);
         results.push(AlgorithmResult {
             name: "ROD".into(),
+            mean_ratio: ratio,
+            std_ratio: 0.0,
+            mean_plane_distance: pd,
+            reps: 1,
+        });
+    }
+
+    // Hierarchical ROD (auto √n racks): deterministic, run once.
+    {
+        let alloc = build_planner(&PlannerSpec::Hierarchical { racks: vec![] })
+            .plan(model, cluster)
+            .expect("hierarchical placement");
+        let ratio = feasible_ratio(&ev, &estimator, &alloc);
+        let pd = ev.min_plane_distance(&alloc);
+        results.push(AlgorithmResult {
+            name: "Hierarchical".into(),
             mean_ratio: ratio,
             std_ratio: 0.0,
             mean_plane_distance: pd,
@@ -195,10 +212,13 @@ mod tests {
                 ..ComparisonConfig::default()
             },
         );
-        assert_eq!(results.len(), 5);
+        assert_eq!(results.len(), 6);
         let rod = &results[0];
         assert_eq!(rod.name, "ROD");
-        for other in &results[1..] {
+        let hier = &results[1];
+        assert_eq!(hier.name, "Hierarchical");
+        assert!(hier.mean_ratio > 0.0);
+        for other in &results[2..] {
             assert!(
                 rod.mean_ratio >= other.mean_ratio * 0.98,
                 "ROD {} should not lose to {} {}",

@@ -12,13 +12,15 @@
 //! call the change out in the commit message; a re-pin is an API-break
 //! level event for downstream experiment reproducibility.
 
-use rod_core::allocation::PlanEvaluator;
+use rod_core::allocation::{Allocation, PlanEvaluator};
 use rod_core::cluster::Cluster;
+use rod_core::hierarchical::HierarchicalRod;
 use rod_core::ids::OperatorId;
 use rod_core::load_model::LoadModel;
 use rod_core::rod::RodPlanner;
 use rod_geom::VolumeEstimator;
 use rod_workloads::random_graphs::RandomTreeGenerator;
+use rod_workloads::sparse_graphs::SparseGraphGenerator;
 
 /// One frozen scenario: the paper-default random tree workload on a
 /// homogeneous cluster, mirroring the `perf_planner` grid cells.
@@ -105,6 +107,62 @@ fn golden_placements_and_volumes_are_stable() {
             f64::from_bits(case.ratio_bits)
         );
     }
+}
+
+/// FNV-1a over the op→node vector: a 5000-element placement is too big
+/// to inline as a literal, so the large-sparse pins freeze its hash.
+fn placement_fingerprint(alloc: &Allocation) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for op in 0..alloc.num_operators() {
+        let node = alloc.node_of(OperatorId(op)).expect("complete placement").0 as u64;
+        for byte in node.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// The large-sparse scaling scenario (the `perf_planner` v3 regime in
+/// miniature): 64 inputs, 5000 operators with ≤ 4-nonzero load rows, 64
+/// nodes. QMC volume is unavailable past 16 dimensions, so the pins are
+/// the placement fingerprints of the flat (pruned) and hierarchical
+/// planners, plus the pruned scan's exact probe count — any change to
+/// the pruning logic, the sparse evaluation order, or the two-level
+/// split shows up here as a bit-level diff.
+#[test]
+fn golden_large_sparse_placements_are_stable() {
+    let graph = SparseGraphGenerator::sized(64, 5_000).generate(42);
+    let model = LoadModel::derive(&graph).expect("model derives");
+    assert_eq!(model.nnz(), 15_732, "workload generator drifted");
+    let cluster = Cluster::homogeneous(64, 1.0);
+
+    let flat = RodPlanner::new()
+        .place(&model, &cluster)
+        .expect("ROD plans");
+    assert_eq!(
+        placement_fingerprint(&flat.allocation),
+        0xfaf3657c2dd7b498,
+        "flat placement drifted (got {:#018x}) — if intentional, re-pin \
+         and document in the commit message",
+        placement_fingerprint(&flat.allocation)
+    );
+    assert_eq!(
+        flat.candidates_scored, 228_772,
+        "pruned-scan probe count drifted — if intentional, re-pin and \
+         document in the commit message"
+    );
+
+    let hier = HierarchicalRod::new()
+        .place(&model, &cluster)
+        .expect("hierarchical ROD plans");
+    assert_eq!(
+        placement_fingerprint(&hier.allocation),
+        0x6f484cb9b6a3c602,
+        "hierarchical placement drifted (got {:#018x}) — if intentional, \
+         re-pin and document in the commit message",
+        placement_fingerprint(&hier.allocation)
+    );
 }
 
 /// The batched kernel, the scalar reference walk, and the threaded path

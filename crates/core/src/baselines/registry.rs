@@ -15,8 +15,10 @@ use crate::baselines::{
     connected::ConnectedPlanner, correlation::CorrelationPlanner, llf::LlfPlanner,
     optimal::OptimalPlanner, random::RandomPlanner, Planner,
 };
+use crate::cluster::Topology;
+use crate::hierarchical::HierarchicalRod;
 use crate::resilience::{ResilientRodOptions, ResilientRodPlanner};
-use crate::rod::RodPlanner;
+use crate::rod::{RodOptions, RodPlanner};
 
 /// A self-contained, serialisable description of a planner instance.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -57,6 +59,13 @@ pub enum PlannerSpec {
         /// global pool size); placements are identical for every value.
         threads: usize,
     },
+    /// Two-level ROD: across rack aggregates, then within each rack
+    /// (`crate::hierarchical`). An empty rack list means the automatic
+    /// `⌈√n⌉`-rack contiguous split.
+    Hierarchical {
+        /// Rack member lists (node indices); empty = automatic topology.
+        racks: Vec<Vec<usize>>,
+    },
     /// Brute-force optimum by feasible-set volume (§7.3.1).
     Optimal {
         /// QMC sample points used to score each candidate plan.
@@ -82,6 +91,7 @@ impl PlannerSpec {
             PlannerSpec::Correlation { .. } => "Correlation",
             PlannerSpec::Random { .. } => "Random",
             PlannerSpec::ResilientRod { .. } => "ResilientRod",
+            PlannerSpec::Hierarchical { .. } => "Hierarchical",
             PlannerSpec::Optimal { .. } => "Optimal",
         }
     }
@@ -113,8 +123,9 @@ impl PlannerSpec {
     /// Parses a CLI algorithm name into a spec. `rates` feeds the
     /// single-point balancers (and the synthetic correlation history),
     /// `seed` the random planner, `samples`/`max_plans` the optimal
-    /// search budget, and `threads` the parallel scan width for the
-    /// planners that have one (0 = the global pool size).
+    /// search budget, `threads` the parallel scan width for the planners
+    /// that have one (0 = the global pool size), and `racks` the
+    /// hierarchical planner's topology (empty = automatic).
     pub fn from_cli(
         algorithm: &str,
         rates: &[f64],
@@ -122,9 +133,13 @@ impl PlannerSpec {
         samples: usize,
         max_plans: u64,
         threads: usize,
+        racks: &[Vec<usize>],
     ) -> Result<PlannerSpec, String> {
         match algorithm {
             "rod" => Ok(PlannerSpec::Rod),
+            "hier" | "hierarchical" => Ok(PlannerSpec::Hierarchical {
+                racks: racks.to_vec(),
+            }),
             "llf" => Ok(PlannerSpec::Llf {
                 rates: rates.to_vec(),
             }),
@@ -158,6 +173,11 @@ pub fn build_planner(spec: &PlannerSpec) -> Box<dyn Planner> {
         PlannerSpec::Connected { rates } => Box::new(ConnectedPlanner::new(rates.clone())),
         PlannerSpec::Correlation { history } => Box::new(CorrelationPlanner::new(history.clone())),
         PlannerSpec::Random { seed } => Box::new(RandomPlanner::new(*seed)),
+        PlannerSpec::Hierarchical { racks } => Box::new(if racks.is_empty() {
+            HierarchicalRod::new()
+        } else {
+            HierarchicalRod::with_options(RodOptions::default(), Some(Topology::new(racks.clone())))
+        }),
         PlannerSpec::ResilientRod {
             samples,
             seed,
@@ -201,6 +221,10 @@ mod tests {
             },
             PlannerSpec::correlation_from_rates(&[1.0, 2.0]),
             PlannerSpec::Random { seed: 7 },
+            PlannerSpec::Hierarchical { racks: vec![] },
+            PlannerSpec::Hierarchical {
+                racks: vec![vec![0], vec![1]],
+            },
             PlannerSpec::ResilientRod {
                 samples: 500,
                 seed: 7,
@@ -246,12 +270,22 @@ mod tests {
             "correlation",
             "random",
             "resilientrod",
+            "hierarchical",
             "optimal",
         ] {
-            let spec = PlannerSpec::from_cli(name, &[1.0], 3, 100, 1_000, 0).unwrap();
+            let spec = PlannerSpec::from_cli(name, &[1.0], 3, 100, 1_000, 0, &[]).unwrap();
             assert_eq!(spec.name().to_lowercase(), name);
         }
-        assert!(PlannerSpec::from_cli("nonsense", &[], 0, 0, 0, 0).is_err());
+        // "hier" is the short CLI alias; explicit racks pass through.
+        let spec = PlannerSpec::from_cli("hier", &[1.0], 3, 100, 1_000, 0, &[vec![0, 1], vec![2]])
+            .unwrap();
+        assert_eq!(
+            spec,
+            PlannerSpec::Hierarchical {
+                racks: vec![vec![0, 1], vec![2]],
+            }
+        );
+        assert!(PlannerSpec::from_cli("nonsense", &[], 0, 0, 0, 0, &[]).is_err());
     }
 
     #[test]

@@ -79,6 +79,115 @@ impl Cluster {
     }
 }
 
+/// A rack-level grouping of a cluster's nodes, for hierarchical placement
+/// (`crate::hierarchical`): racks partition the node set — every node in
+/// exactly one rack, no rack empty.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    racks: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// A topology from explicit rack member lists. Call
+    /// [`validate`](Self::validate) against the target cluster before
+    /// planning with it.
+    pub fn new(racks: Vec<Vec<usize>>) -> Topology {
+        Topology { racks }
+    }
+
+    /// Partitions `num_nodes` nodes into `num_racks` contiguous racks of
+    /// near-equal size (the first `num_nodes % num_racks` racks get one
+    /// extra node). Panics if either count is zero or there are fewer
+    /// nodes than racks.
+    pub fn uniform(num_nodes: usize, num_racks: usize) -> Topology {
+        assert!(num_racks > 0, "need at least one rack");
+        assert!(
+            num_nodes >= num_racks,
+            "cannot split {num_nodes} nodes into {num_racks} racks"
+        );
+        let base = num_nodes / num_racks;
+        let extra = num_nodes % num_racks;
+        let mut racks = Vec::with_capacity(num_racks);
+        let mut next = 0;
+        for r in 0..num_racks {
+            let len = base + usize::from(r < extra);
+            racks.push((next..next + len).collect());
+            next += len;
+        }
+        Topology { racks }
+    }
+
+    /// Number of racks.
+    pub fn num_racks(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// Member node indices of one rack.
+    pub fn rack(&self, r: usize) -> &[usize] {
+        &self.racks[r]
+    }
+
+    /// All racks.
+    pub fn racks(&self) -> &[Vec<usize>] {
+        &self.racks
+    }
+
+    /// Checks that the racks exactly partition the cluster's nodes,
+    /// reporting the first violation: an empty topology, an empty rack, a
+    /// rack member outside the cluster, a node claimed twice, or a node
+    /// no rack covers.
+    pub fn validate(&self, cluster: &Cluster) -> Result<(), PlacementError> {
+        if self.racks.is_empty() {
+            return Err(PlacementError::EmptyTopology);
+        }
+        let n = cluster.num_nodes();
+        let mut seen = vec![false; n];
+        for (r, members) in self.racks.iter().enumerate() {
+            if members.is_empty() {
+                return Err(PlacementError::EmptyRack { rack: r });
+            }
+            for &node in members {
+                if node >= n {
+                    return Err(PlacementError::RackNodeOutOfRange {
+                        rack: r,
+                        node,
+                        nodes: n,
+                    });
+                }
+                if seen[node] {
+                    return Err(PlacementError::DuplicateRackNode { node });
+                }
+                seen[node] = true;
+            }
+        }
+        if let Some(node) = seen.iter().position(|covered| !covered) {
+            return Err(PlacementError::UncoveredNode { node });
+        }
+        Ok(())
+    }
+
+    /// The rack-aggregate cluster: one "node" per rack whose capacity is
+    /// the sum of its members' capacities, accumulated in member order.
+    pub fn aggregate_cluster(&self, cluster: &Cluster) -> Cluster {
+        Cluster::heterogeneous(
+            self.racks
+                .iter()
+                .map(|members| members.iter().map(|&i| cluster.capacity(NodeId(i))).sum())
+                .collect(),
+        )
+    }
+
+    /// The sub-cluster of one rack's members, in member order.
+    pub fn rack_cluster(&self, cluster: &Cluster, r: usize) -> Cluster {
+        Cluster::heterogeneous(
+            self.racks[r]
+                .iter()
+                .map(|&i| cluster.capacity(NodeId(i)))
+                .collect(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +221,59 @@ mod tests {
         let c = Cluster::homogeneous(3, 1.0);
         let ids: Vec<_> = c.nodes().collect();
         assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn uniform_topology_partitions_evenly() {
+        let t = Topology::uniform(7, 3);
+        assert_eq!(t.num_racks(), 3);
+        assert_eq!(t.rack(0), &[0, 1, 2]);
+        assert_eq!(t.rack(1), &[3, 4]);
+        assert_eq!(t.rack(2), &[5, 6]);
+        assert!(t.validate(&Cluster::homogeneous(7, 1.0)).is_ok());
+    }
+
+    #[test]
+    fn topology_validation_reports_each_violation() {
+        let cluster = Cluster::homogeneous(4, 1.0);
+        assert_eq!(
+            Topology::new(vec![]).validate(&cluster),
+            Err(PlacementError::EmptyTopology)
+        );
+        assert_eq!(
+            Topology::new(vec![vec![0, 1], vec![]]).validate(&cluster),
+            Err(PlacementError::EmptyRack { rack: 1 })
+        );
+        assert_eq!(
+            Topology::new(vec![vec![0, 9], vec![1, 2, 3]]).validate(&cluster),
+            Err(PlacementError::RackNodeOutOfRange {
+                rack: 0,
+                node: 9,
+                nodes: 4
+            })
+        );
+        assert_eq!(
+            Topology::new(vec![vec![0, 1], vec![1, 2, 3]]).validate(&cluster),
+            Err(PlacementError::DuplicateRackNode { node: 1 })
+        );
+        assert_eq!(
+            Topology::new(vec![vec![0, 1], vec![3]]).validate(&cluster),
+            Err(PlacementError::UncoveredNode { node: 2 })
+        );
+        assert!(Topology::new(vec![vec![0, 1], vec![2, 3]])
+            .validate(&cluster)
+            .is_ok());
+    }
+
+    #[test]
+    fn aggregate_and_rack_clusters() {
+        let cluster = Cluster::heterogeneous(vec![1.0, 2.0, 4.0, 8.0]);
+        let t = Topology::new(vec![vec![0, 3], vec![1, 2]]);
+        let agg = t.aggregate_cluster(&cluster);
+        assert_eq!(agg.num_nodes(), 2);
+        assert_eq!(agg.capacity(NodeId(0)), 9.0);
+        assert_eq!(agg.capacity(NodeId(1)), 6.0);
+        let r0 = t.rack_cluster(&cluster, 0);
+        assert_eq!(r0.capacities().as_slice(), &[1.0, 8.0]);
     }
 }

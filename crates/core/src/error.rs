@@ -107,6 +107,33 @@ pub enum PlacementError {
         /// Nodes in the cluster.
         nodes: usize,
     },
+    /// A rack of a [`crate::cluster::Topology`] names a node outside the
+    /// cluster.
+    RackNodeOutOfRange {
+        /// Index of the offending rack.
+        rack: usize,
+        /// The offending node index.
+        node: usize,
+        /// Nodes in the cluster.
+        nodes: usize,
+    },
+    /// A rack of a topology contains no nodes.
+    EmptyRack {
+        /// Index of the offending rack.
+        rack: usize,
+    },
+    /// A node appears in more than one rack of a topology.
+    DuplicateRackNode {
+        /// The node listed twice.
+        node: usize,
+    },
+    /// A cluster node is not covered by any rack of a topology.
+    UncoveredNode {
+        /// The node no rack claims.
+        node: usize,
+    },
+    /// A topology has no racks at all.
+    EmptyTopology,
 }
 
 impl fmt::Display for PlacementError {
@@ -131,6 +158,18 @@ impl fmt::Display for PlacementError {
                     "scenario kills all {nodes} nodes; no survivors to plan for"
                 )
             }
+            PlacementError::RackNodeOutOfRange { rack, node, nodes } => write!(
+                f,
+                "rack {rack} names node {node}, out of range for a {nodes}-node cluster"
+            ),
+            PlacementError::EmptyRack { rack } => write!(f, "rack {rack} contains no nodes"),
+            PlacementError::DuplicateRackNode { node } => {
+                write!(f, "node {node} appears in more than one rack")
+            }
+            PlacementError::UncoveredNode { node } => {
+                write!(f, "node {node} is not covered by any rack")
+            }
+            PlacementError::EmptyTopology => write!(f, "topology has no racks"),
         }
     }
 }

@@ -21,10 +21,23 @@
 //! [`assign`](IncrementalPlanEval::assign) /
 //! [`unassign`](IncrementalPlanEval::unassign), while
 //! [`score_candidate`](IncrementalPlanEval::score_candidate) answers the
-//! what-if question in O(d) without mutating anything. A
+//! what-if question without mutating anything. A
 //! [`snapshot`](IncrementalPlanEval::snapshot) materialises the exact
 //! same [`WeightMatrix`] / [`FeasibleRegion`] the from-scratch path
 //! produces, so downstream geometry is unchanged.
+//!
+//! **Sparsity.** Operator load rows come from the model's
+//! [`rod_geom::SparseRow`] storage, and each node tracks the sorted
+//! *support* of its load row — the columns currently holding a nonzero.
+//! Assign, unassign, and candidate scoring then cost O(nnz) instead of
+//! O(d'), while staying bit-identical to the dense loops: a column outside
+//! the support holds exactly `0.0`, its weight is exactly `+0.0`, and a
+//! `+0.0` term never changes an IEEE-754 accumulation that started at
+//! `+0.0`. Membership is decided by the *value* of the load cell, not by
+//! bookkeeping counts: after an unassign a cell may keep a tiny
+//! floating-point residue (`(a+b)−b ≠ a` in general), and the dense
+//! reference would fold that residue's weight into the norm — so the
+//! support keeps exactly the cells that are nonzero, residues included.
 //!
 //! [`SampledFeasibility`] is the sampled counterpart for branch-and-bound
 //! searches: it tracks, per quasi-Monte-Carlo point, whether any node is
@@ -86,6 +99,9 @@ pub struct IncrementalPlanEval<'a> {
     plane: Vec<f64>,
     /// Per-node largest weight `max_k w_ik` (0 for an empty node).
     max_w: Vec<f64>,
+    /// Per-node sorted column support: exactly the `k` with
+    /// `ln[i·d + k] != 0.0`.
+    support: Vec<Vec<u32>>,
     /// Normalised §6.1 lower-bound point `B̃`, if configured.
     lower_bound: Option<Vector>,
     alloc: Allocation,
@@ -110,6 +126,7 @@ impl<'a> IncrementalPlanEval<'a> {
             w: vec![0.0; n * d],
             plane: vec![f64::INFINITY; n],
             max_w: vec![0.0; n],
+            support: vec![Vec::new(); n],
             lower_bound: None,
             alloc: Allocation::new(model.num_operators(), n),
         }
@@ -189,6 +206,16 @@ impl<'a> IncrementalPlanEval<'a> {
     }
 
     /// Plane distance `1/‖W_i‖₂` of one node (`+inf` when empty).
+    ///
+    /// This is also a rigorous upper bound — in IEEE-754 round-to-nearest,
+    /// not merely in exact arithmetic — on the `plane_distance` that
+    /// [`Self::score_candidate`] can report for *any* operator on this
+    /// node, in both distance modes: candidate weights dominate current
+    /// weights componentwise (loads only grow, and every float operation
+    /// involved is monotone), so the candidate norm dominates the current
+    /// norm, and under a §6.1 bound the numerator `1 − W'·B̃ ≤ 1`. The
+    /// pruned phase-2 scan relies on this to skip nodes without scoring
+    /// them.
     pub fn plane_distance(&self, node: NodeId) -> f64 {
         self.plane[node.index()]
     }
@@ -214,26 +241,51 @@ impl<'a> IncrementalPlanEval<'a> {
         self.max_w.iter().copied().fold(0.0, f64::max)
     }
 
-    /// Assigns `op` to `node`, updating only that node's row (O(d)).
-    /// Panics if `op` is already placed — use
-    /// [`unassign`](Self::unassign) first to model a move.
+    /// Largest cached weight of one node (`0` when it carries nothing) —
+    /// the cheap Class-I pre-filter of the pruned phase-2 scan: adding an
+    /// operator never shrinks a weight, so a node whose current maximum
+    /// already exceeds `1 + 1e-12` cannot yield a Class-I candidate.
+    pub fn max_weight_of(&self, node: NodeId) -> f64 {
+        self.max_w[node.index()]
+    }
+
+    /// True when the node's load row is entirely zero (empty support).
+    /// All such nodes of equal relative capacity produce identical
+    /// candidate scores for a given operator — the pruned phase-2 scan
+    /// memoises on this.
+    pub fn node_is_unloaded(&self, node: NodeId) -> bool {
+        self.support[node.index()].is_empty()
+    }
+
+    /// The node's relative capacity `C_i / C_T` exactly as the weight
+    /// normalisation uses it — the memo key for unloaded-node candidate
+    /// scores, which are a pure function of `(operator, C_i/C_T)`.
+    pub fn relative_capacity_of(&self, node: NodeId) -> f64 {
+        self.rel[node.index()]
+    }
+
+    /// Assigns `op` to `node`, updating only the touched columns of that
+    /// node's row (O(nnz of the operator + node support)). Panics if `op`
+    /// is already placed — use [`unassign`](Self::unassign) first to model
+    /// a move.
     pub fn assign(&mut self, op: OperatorId, node: NodeId) {
         assert!(
             self.alloc.node_of(op).is_none(),
             "operator {op:?} already assigned"
         );
         let i = node.index();
-        let lo_row = self.model.operator_row(op);
-        let row = &mut self.ln[i * self.d..(i + 1) * self.d];
-        for (cell, &v) in row.iter_mut().zip(lo_row) {
-            *cell += v;
+        let row = self.model.operator_sparse_row(op);
+        for t in 0..row.nnz() {
+            let (k, v) = (row.terms()[t].0 as usize, row.terms()[t].1);
+            self.apply_delta(i, k, v);
         }
         self.alloc.assign(op, node);
         self.refresh_node(i);
     }
 
-    /// Removes `op` from `node`, updating only that node's row (O(d)).
-    /// Panics unless `op` currently sits on `node`.
+    /// Removes `op` from `node`, updating only the touched columns of
+    /// that node's row (O(nnz of the operator + node support)). Panics
+    /// unless `op` currently sits on `node`.
     pub fn unassign(&mut self, op: OperatorId, node: NodeId) {
         assert_eq!(
             self.alloc.node_of(op),
@@ -241,32 +293,80 @@ impl<'a> IncrementalPlanEval<'a> {
             "operator {op:?} is not on node {node:?}"
         );
         let i = node.index();
-        let lo_row = self.model.operator_row(op);
-        let row = &mut self.ln[i * self.d..(i + 1) * self.d];
-        for (cell, &v) in row.iter_mut().zip(lo_row) {
-            *cell -= v;
+        let row = self.model.operator_sparse_row(op);
+        for t in 0..row.nnz() {
+            let (k, v) = (row.terms()[t].0 as usize, row.terms()[t].1);
+            self.apply_delta(i, k, -v);
         }
         self.alloc.unassign(op);
         self.refresh_node(i);
     }
 
+    /// Adds `delta` to load cell `(i, k)`, recomputes its cached weight,
+    /// and keeps the support sorted by cell value (a cell is in the
+    /// support iff it is nonzero — including unassign residues, which the
+    /// dense reference would also fold into the norm).
+    fn apply_delta(&mut self, i: usize, k: usize, delta: f64) {
+        let cell = &mut self.ln[i * self.d + k];
+        let was_zero = *cell == 0.0;
+        *cell += delta;
+        let now_zero = *cell == 0.0;
+        let lk = self.model.total_coeffs()[k];
+        self.w[i * self.d + k] = if lk > 0.0 {
+            (*cell / lk) / self.rel[i]
+        } else {
+            0.0
+        };
+        let sup = &mut self.support[i];
+        if was_zero && !now_zero {
+            let pos = sup.partition_point(|&c| (c as usize) < k);
+            sup.insert(pos, k as u32);
+        } else if !was_zero && now_zero {
+            let pos = sup.partition_point(|&c| (c as usize) < k);
+            debug_assert_eq!(sup.get(pos), Some(&(k as u32)));
+            sup.remove(pos);
+        }
+    }
+
     /// Scores the hypothetical assignment of `op` to `node` without
     /// mutating anything: the candidate weight row
-    /// `w'_ik = ((l^n_ik + l^o_jk)/l_k)/(C_i/C_T)` is folded in one O(d)
-    /// pass into the Class-I membership test and the candidate plane
-    /// distance (measured from the §6.1 lower bound when one is set).
+    /// `w'_ik = ((l^n_ik + l^o_jk)/l_k)/(C_i/C_T)` is folded — in one
+    /// merged ascending walk over the node's support and the operator's
+    /// sparse row, O(nnz) — into the Class-I membership test and the
+    /// candidate plane distance (measured from the §6.1 lower bound when
+    /// one is set). Columns outside both sets would contribute an exact
+    /// `+0.0` to every accumulator, so skipping them is bit-identical to
+    /// the dense O(d') loop.
     pub fn score_candidate(&self, op: OperatorId, node: NodeId) -> CandidateScore {
         let i = node.index();
         let rel = self.rel[i];
         let totals = self.model.total_coeffs();
-        let lo_row = self.model.operator_row(op);
+        let sup = &self.support[i];
+        let terms = self.model.operator_sparse_row(op).terms();
         let mut sumsq = 0.0;
         let mut wb = 0.0;
         let mut class_one = true;
-        for k in 0..self.d {
+        let (mut a, mut b) = (0usize, 0usize);
+        loop {
+            let k = match (sup.get(a), terms.get(b)) {
+                (Some(&ks), Some(&(kt, _))) => (ks as usize).min(kt as usize),
+                (Some(&ks), None) => ks as usize,
+                (None, Some(&(kt, _))) => kt as usize,
+                (None, None) => break,
+            };
+            if sup.get(a) == Some(&(k as u32)) {
+                a += 1;
+            }
+            let mut lo_v = 0.0;
+            if let Some(&(kt, v)) = terms.get(b) {
+                if kt as usize == k {
+                    lo_v = v;
+                    b += 1;
+                }
+            }
             let lk = totals[k];
             let w = if lk > 0.0 {
-                ((self.ln[i * self.d + k] + lo_row[k]) / lk) / rel
+                ((self.ln[i * self.d + k] + lo_v) / lk) / rel
             } else {
                 0.0
             };
@@ -274,8 +374,8 @@ impl<'a> IncrementalPlanEval<'a> {
                 class_one = false;
             }
             sumsq += w * w;
-            if let Some(b) = &self.lower_bound {
-                wb += w * b[k];
+            if let Some(bnd) = &self.lower_bound {
+                wb += w * bnd[k];
             }
         }
         let norm = sumsq.sqrt();
@@ -314,21 +414,16 @@ impl<'a> IncrementalPlanEval<'a> {
         PlanSnapshot { weights, region }
     }
 
-    /// Rebuilds the cached weight row, plane distance, and max weight of
-    /// one node from its current load row (O(d)).
+    /// Rebuilds the cached plane distance and max weight of one node from
+    /// its current weight row, walking the support columns ascending
+    /// (O(support)). Weights outside the support are exactly `+0.0`, so
+    /// their squared terms never change the accumulation and the result
+    /// is bit-identical to the dense O(d) sweep.
     fn refresh_node(&mut self, i: usize) {
-        let rel = self.rel[i];
-        let totals = self.model.total_coeffs();
         let mut sumsq = 0.0;
         let mut max_w = 0.0f64;
-        for k in 0..self.d {
-            let lk = totals[k];
-            let w = if lk > 0.0 {
-                (self.ln[i * self.d + k] / lk) / rel
-            } else {
-                0.0
-            };
-            self.w[i * self.d + k] = w;
+        for &k in &self.support[i] {
+            let w = self.w[i * self.d + k as usize];
             sumsq += w * w;
             max_w = max_w.max(w);
         }
@@ -564,6 +659,115 @@ mod tests {
                 assert_eq!(score.class_one, committed_max <= 1.0 + 1e-12);
             }
         }
+    }
+
+    /// The dense O(d') reference loop the sparse merged walk replaced —
+    /// kept verbatim so the bit-identity claim stays executable.
+    fn dense_reference_score(
+        eval: &IncrementalPlanEval<'_>,
+        op: OperatorId,
+        node: NodeId,
+    ) -> CandidateScore {
+        let i = node.index();
+        let rel = eval.rel[i];
+        let totals = eval.model.total_coeffs();
+        let lo_row = eval.model.operator_row(op);
+        let mut sumsq = 0.0;
+        let mut wb = 0.0;
+        let mut class_one = true;
+        for k in 0..eval.d {
+            let lk = totals[k];
+            let w = if lk > 0.0 {
+                ((eval.ln[i * eval.d + k] + lo_row[k]) / lk) / rel
+            } else {
+                0.0
+            };
+            if w > 1.0 + 1e-12 {
+                class_one = false;
+            }
+            sumsq += w * w;
+            if let Some(b) = &eval.lower_bound {
+                wb += w * b[k];
+            }
+        }
+        let norm = sumsq.sqrt();
+        let plane_distance = if norm == 0.0 {
+            f64::INFINITY
+        } else {
+            match &eval.lower_bound {
+                None => 1.0 / norm,
+                Some(_) => (1.0 - wb) / norm,
+            }
+        };
+        CandidateScore {
+            plane_distance,
+            class_one,
+        }
+    }
+
+    #[test]
+    fn sparse_score_matches_dense_reference_bitwise() {
+        // Drive both graphs (pure linear and join/variable-selectivity)
+        // through assign/unassign churn, comparing the sparse merged walk
+        // against the dense reference at every (op, node) — including
+        // after unassigns, which may leave floating-point residues in the
+        // load cells.
+        for (graph, caps) in [
+            (figure4_graph(), vec![1.0, 1.0, 1.0]),
+            (crate::examples_paper::example3_graph(), vec![2.0, 1.0, 0.5]),
+        ] {
+            let model = LoadModel::derive(&graph).unwrap();
+            let cluster = Cluster::heterogeneous(caps);
+            let m = model.num_operators();
+            let n = cluster.num_nodes();
+            for bounded in [false, true] {
+                let mut eval = IncrementalPlanEval::new(&model, &cluster);
+                if bounded {
+                    eval.set_input_lower_bound(&vec![0.01; model.num_inputs()]);
+                }
+                let check_all = |eval: &IncrementalPlanEval<'_>| {
+                    for j in 0..m {
+                        for i in 0..n {
+                            if eval.allocation().node_of(OperatorId(j)).is_some() {
+                                continue;
+                            }
+                            let got = eval.score_candidate(OperatorId(j), NodeId(i));
+                            let want = dense_reference_score(eval, OperatorId(j), NodeId(i));
+                            assert_eq!(
+                                got.plane_distance.to_bits(),
+                                want.plane_distance.to_bits(),
+                                "op {j} node {i} bounded {bounded}"
+                            );
+                            assert_eq!(got.class_one, want.class_one);
+                        }
+                    }
+                };
+                check_all(&eval);
+                for j in 0..m {
+                    eval.assign(OperatorId(j), NodeId(j % n));
+                    check_all(&eval);
+                }
+                for j in (0..m).step_by(2) {
+                    eval.unassign(OperatorId(j), NodeId(j % n));
+                    check_all(&eval);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn support_tracks_nonzero_cells_and_unload_flag() {
+        let (model, cluster) = setup();
+        let mut eval = IncrementalPlanEval::new(&model, &cluster);
+        assert!(eval.node_is_unloaded(NodeId(0)));
+        eval.assign(OperatorId(0), NodeId(0));
+        assert!(!eval.node_is_unloaded(NodeId(0)));
+        assert_eq!(eval.support[0], vec![0]);
+        assert_eq!(eval.max_weight_of(NodeId(0)), eval.weight_row(NodeId(0))[0]);
+        eval.unassign(OperatorId(0), NodeId(0));
+        // Integer loads cancel exactly, so the support empties again.
+        assert!(eval.node_is_unloaded(NodeId(0)));
+        assert_eq!(eval.max_weight_of(NodeId(0)), 0.0);
     }
 
     #[test]

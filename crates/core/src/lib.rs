@@ -59,6 +59,7 @@ pub mod examples_paper;
 pub mod explain;
 pub mod graph;
 pub mod headroom;
+pub mod hierarchical;
 pub mod ids;
 pub mod linearize;
 pub mod load_model;
@@ -71,10 +72,11 @@ pub mod score_cache;
 
 pub use allocation::{Allocation, PlanEvaluator, WeightMatrix};
 pub use baselines::{build_planner, PlannerSpec};
-pub use cluster::Cluster;
+pub use cluster::{Cluster, Topology};
 pub use error::{GraphError, PlacementError};
 pub use eval::{CandidateScore, IncrementalPlanEval, PlanSnapshot, SampledFeasibility};
 pub use graph::{GraphBuilder, QueryGraph};
+pub use hierarchical::{HierPlan, HierarchicalRod};
 pub use ids::{InputId, NodeId, OperatorId, StreamId, VarId};
 pub use load_model::{LoadModel, RateExpr};
 pub use obs::{MetricsRegistry, MetricsSnapshot};
@@ -92,10 +94,11 @@ pub mod prelude {
         build_planner, connected::ConnectedPlanner, correlation::CorrelationPlanner,
         llf::LlfPlanner, optimal::OptimalPlanner, random::RandomPlanner, Planner, PlannerSpec,
     };
-    pub use crate::cluster::Cluster;
+    pub use crate::cluster::{Cluster, Topology};
     pub use crate::error::{GraphError, PlacementError};
     pub use crate::eval::{CandidateScore, IncrementalPlanEval, PlanSnapshot, SampledFeasibility};
     pub use crate::graph::{GraphBuilder, QueryGraph};
+    pub use crate::hierarchical::{HierPlan, HierarchicalRod};
     pub use crate::ids::{InputId, NodeId, OperatorId, StreamId, VarId};
     pub use crate::load_model::{LoadModel, RateExpr};
     pub use crate::obs::{MetricsRegistry, MetricsSnapshot};

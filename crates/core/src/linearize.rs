@@ -128,6 +128,21 @@ impl RateExpr {
         }
         row
     }
+
+    /// Number of nonzero coefficients.
+    pub fn nnz(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Converts into a [`rod_geom::SparseRow`] of width `num_vars` — the
+    /// expression already *is* sparse (sorted terms, no zeros), so this is
+    /// a direct re-labelling, not a compression pass.
+    pub fn to_sparse_row(&self, num_vars: usize) -> rod_geom::SparseRow {
+        rod_geom::SparseRow::from_terms(
+            num_vars,
+            self.terms.iter().map(|&(v, c)| (v.index() as u32, c)),
+        )
+    }
 }
 
 /// Output of the linearisation pass.

@@ -4,10 +4,21 @@
 //! `m × d'` operator load-coefficient matrix over the `d'` rate variables
 //! produced by [`crate::linearize`] (for purely linear graphs,
 //! `d' = d` and the variables *are* the system input rates).
+//!
+//! The matrix is stored **sparse**: each operator touches only the few
+//! streams it actually consumes, so its row has a handful of nonzeros out
+//! of `d'` columns — at production scale (tens of thousands of operators
+//! over hundreds of streams) the dense matrix would be almost entirely
+//! zeros. The dense [`LoadModel::lo`] view is materialised lazily for the
+//! geometry paths that still want flat rows; every derived quantity
+//! (column totals, row norms) is accumulated in the same index-ascending
+//! order as the dense code so the bits are identical either way.
 
-use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
-use rod_geom::{Matrix, Vector};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use rod_geom::{Matrix, SparseLoadMatrix, SparseRow, Vector};
 
 use crate::error::GraphError;
 use crate::graph::QueryGraph;
@@ -17,14 +28,19 @@ use crate::linearize::{Linearization, VarInfo};
 pub use crate::linearize::RateExpr;
 
 /// A query graph together with its derived linear load model.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LoadModel {
     graph: QueryGraph,
     linearization: Linearization,
-    /// `L^o`: one row per operator, one column per rate variable.
-    lo: Matrix,
+    /// `L^o` stored sparse: one row per operator over the rate variables.
+    sparse: SparseLoadMatrix,
     /// Column sums `l_k = Σ_j l^o_{jk}` (paper Table 1).
     total_coeffs: Vector,
+    /// Per-operator row norms — the Phase-1 ordering keys, precomputed in
+    /// the dense accumulation order.
+    norms: Vec<f64>,
+    /// Dense `L^o`, materialised on first use by [`LoadModel::lo`].
+    dense: OnceLock<Matrix>,
 }
 
 impl LoadModel {
@@ -33,19 +49,32 @@ impl LoadModel {
         graph.validate()?;
         let linearization = Linearization::run(graph);
         let d = linearization.num_vars();
-        let m = graph.num_operators();
-        let mut lo = Matrix::zeros(m, d);
-        for (j, expr) in linearization.op_load_exprs.iter().enumerate() {
-            let row = expr.to_dense(d);
-            lo.row_mut(j).copy_from_slice(&row);
-        }
-        let total_coeffs = lo.col_sums();
-        Ok(LoadModel {
-            graph: graph.clone(),
+        let rows: Vec<SparseRow> = linearization
+            .op_load_exprs
+            .iter()
+            .map(|expr| expr.to_sparse_row(d))
+            .collect();
+        let sparse = SparseLoadMatrix::from_rows(d, rows);
+        Ok(LoadModel::from_parts(graph.clone(), linearization, sparse))
+    }
+
+    /// Assembles a model from already-derived parts, recomputing the
+    /// cached totals and norms (used by `derive` and deserialisation).
+    fn from_parts(
+        graph: QueryGraph,
+        linearization: Linearization,
+        sparse: SparseLoadMatrix,
+    ) -> LoadModel {
+        let total_coeffs = Vector::new(sparse.col_sums());
+        let norms = sparse.rows().iter().map(SparseRow::norm).collect();
+        LoadModel {
+            graph,
             linearization,
-            lo,
+            sparse,
             total_coeffs,
-        })
+            norms,
+            dense: OnceLock::new(),
+        }
     }
 
     /// The underlying graph.
@@ -60,12 +89,12 @@ impl LoadModel {
 
     /// Number of operators `m`.
     pub fn num_operators(&self) -> usize {
-        self.lo.rows()
+        self.sparse.num_rows()
     }
 
     /// Number of rate variables `d'`.
     pub fn num_vars(&self) -> usize {
-        self.lo.cols()
+        self.sparse.num_cols()
     }
 
     /// Number of *system* input streams `d` (≤ [`Self::num_vars`]).
@@ -73,20 +102,51 @@ impl LoadModel {
         self.graph.num_inputs()
     }
 
-    /// The full `L^o` matrix.
-    pub fn lo(&self) -> &Matrix {
-        &self.lo
+    /// The sparse `L^o` matrix — the primary representation.
+    pub fn sparse_lo(&self) -> &SparseLoadMatrix {
+        &self.sparse
     }
 
-    /// Load-coefficient row of one operator.
+    /// Total stored nonzeros in `L^o` — `Σ_j nnz(L^o_j) ≤ m·d'`.
+    pub fn nnz(&self) -> usize {
+        self.sparse.nnz()
+    }
+
+    /// The full dense `L^o` matrix, materialised from the sparse rows on
+    /// first call and cached. Dense-path consumers (sampled feasibility
+    /// tables, exact snapshots) keep working unchanged; sparse-aware
+    /// callers should prefer [`Self::sparse_lo`] /
+    /// [`Self::operator_sparse_row`].
+    pub fn lo(&self) -> &Matrix {
+        self.dense.get_or_init(|| {
+            let m = self.sparse.num_rows();
+            let d = self.sparse.num_cols();
+            let mut lo = Matrix::zeros(m, d);
+            for (j, row) in self.sparse.rows().iter().enumerate() {
+                for (k, v) in row.iter() {
+                    lo.row_mut(j)[k] = v;
+                }
+            }
+            lo
+        })
+    }
+
+    /// Load-coefficient row of one operator (dense view; materialises the
+    /// dense matrix on first call).
     pub fn operator_row(&self, j: OperatorId) -> &[f64] {
-        self.lo.row(j.index())
+        self.lo().row(j.index())
+    }
+
+    /// Sparse load-coefficient row of one operator — O(nnz) iteration
+    /// without touching the dense fallback.
+    pub fn operator_sparse_row(&self, j: OperatorId) -> &SparseRow {
+        self.sparse.row(j.index())
     }
 
     /// The operator's load-vector L2 norm — the Phase-1 ordering key of
     /// the ROD algorithm.
     pub fn operator_norm(&self, j: OperatorId) -> f64 {
-        self.lo.row_vector(j.index()).norm()
+        self.norms[j.index()]
     }
 
     /// Total load coefficients `l_k` per variable.
@@ -127,6 +187,37 @@ impl LoadModel {
     }
 }
 
+// The dense cache is derived state, so (de)serialisation carries the
+// sparse representation only; totals and norms are recomputed on load.
+impl Serialize for LoadModel {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("graph".to_string(), self.graph.to_value()),
+            ("linearization".to_string(), self.linearization.to_value()),
+            ("sparse".to_string(), self.sparse.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for LoadModel {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let pairs = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        let graph: QueryGraph = serde::field(pairs, "graph", "LoadModel")?;
+        let linearization: Linearization = serde::field(pairs, "linearization", "LoadModel")?;
+        let sparse: SparseLoadMatrix = serde::field(pairs, "sparse", "LoadModel")?;
+        if sparse.num_rows() != graph.num_operators() {
+            return Err(DeError::custom(format!(
+                "LoadModel sparse matrix has {} rows for {} operators",
+                sparse.num_rows(),
+                graph.num_operators()
+            )));
+        }
+        Ok(LoadModel::from_parts(graph, linearization, sparse))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +235,12 @@ mod tests {
         assert_eq!(model.lo().row(3), &[0.0, 2.0]);
         // l_1 = 10, l_2 = 11 — the ideal hyperplane of Figure 6.
         assert_eq!(model.total_coeffs().as_slice(), &[10.0, 11.0]);
+        // The sparse rows hold one entry per operator here.
+        assert_eq!(model.nnz(), 4);
+        assert_eq!(
+            model.operator_sparse_row(OperatorId(2)).terms(),
+            &[(1, 9.0)]
+        );
     }
 
     #[test]
@@ -151,6 +248,42 @@ mod tests {
         let model = LoadModel::derive(&figure4_graph()).unwrap();
         assert_eq!(model.operator_norm(OperatorId(2)), 9.0);
         assert_eq!(model.operator_norm(OperatorId(0)), 4.0);
+    }
+
+    #[test]
+    fn dense_view_matches_sparse_rows_bitwise() {
+        let model = LoadModel::derive(&example3_graph()).unwrap();
+        for j in 0..model.num_operators() {
+            let op = OperatorId(j);
+            let dense = model.operator_row(op);
+            assert_eq!(model.operator_sparse_row(op).to_dense(), dense);
+            let dense_norm = model.lo().row_vector(j).norm();
+            assert_eq!(
+                model.operator_norm(op).to_bits(),
+                dense_norm.to_bits(),
+                "norm of operator {j}"
+            );
+        }
+        // And the cached totals match a dense column sum bit-for-bit.
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(model.total_coeffs().as_slice()),
+            bits(model.lo().col_sums().as_slice())
+        );
+    }
+
+    #[test]
+    fn serde_round_trips_through_sparse_form() {
+        let model = LoadModel::derive(&example3_graph()).unwrap();
+        let back = LoadModel::from_value(&model.to_value()).unwrap();
+        assert_eq!(back.num_operators(), model.num_operators());
+        assert_eq!(back.sparse_lo(), model.sparse_lo());
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(back.total_coeffs().as_slice()),
+            bits(model.total_coeffs().as_slice())
+        );
+        assert_eq!(bits(&back.norms), bits(&model.norms));
     }
 
     #[test]

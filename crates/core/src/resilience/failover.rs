@@ -200,6 +200,32 @@ impl<'a> ScenarioScorer<'a> {
         }
     }
 
+    /// Like [`fork`](Self::fork), but with a **private, initially empty**
+    /// score cache instead of the shared one — a cache *shard*. Long
+    /// parallel scans hammer the shared mutex on every candidate score;
+    /// a detached fork never contends, at the cost of re-computing keys
+    /// another worker already saw. Entries are pure (the key fully
+    /// determines the count), so detached scoring is still bit-identical
+    /// to shared scoring. After the scan, drain each shard with
+    /// [`swap_cache`](Self::swap_cache) and fold it into the parent via
+    /// [`absorb_cache`](Self::absorb_cache) so the parent's
+    /// `score_cache_*` counters are exact totals of all lookups anywhere.
+    pub fn fork_detached(&self) -> ScenarioScorer<'a> {
+        ScenarioScorer {
+            model: self.model,
+            cluster: self.cluster,
+            feas: self.feas.clone(),
+            cache: Arc::new(Mutex::new(ScoreCache::new())),
+        }
+    }
+
+    /// Folds another cache (typically a detached fork's shard) into this
+    /// scorer's cache: entries union (pure values, so collisions agree)
+    /// and hit/miss counters add, keeping the totals exact.
+    pub fn absorb_cache(&self, other: ScoreCache) {
+        self.cache_lock().absorb(other);
+    }
+
     fn cache_lock(&self) -> std::sync::MutexGuard<'_, ScoreCache> {
         self.cache.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -439,6 +465,46 @@ mod tests {
         let via_fork = fork.scenario_alive(&alloc, &scenario);
         let hits = scorer.cache_hits();
         assert_eq!(scorer.scenario_alive(&alloc, &scenario), via_fork);
+        assert!(scorer.cache_hits() > hits);
+    }
+
+    /// Detached forks score bit-identically from a cold private shard,
+    /// and absorbing the shard makes the parent's counters the exact sum
+    /// of all lookups while turning the shard's keys into parent hits.
+    #[test]
+    fn detached_forks_score_identically_and_merge_exactly() {
+        let (model, cluster) = setup();
+        let alloc = rod_plan(&model, &cluster);
+        let estimator = VolumeEstimator::new(
+            model.total_coeffs().as_slice(),
+            cluster.total_capacity(),
+            2_000,
+            3,
+        );
+        let mut scorer = ScenarioScorer::new(&model, &cluster, estimator.points());
+        let healthy = scorer.healthy_alive(&alloc);
+        let parent_hits = scorer.cache_hits();
+        let parent_misses = scorer.cache_misses();
+
+        let mut shard_scorer = scorer.fork_detached();
+        // Cold shard: the healthy key is recomputed (a miss), and the
+        // parent's counters don't move.
+        assert_eq!(shard_scorer.healthy_alive(&alloc), healthy);
+        assert_eq!(shard_scorer.cache_misses(), 1);
+        assert_eq!(scorer.cache_misses(), parent_misses);
+
+        let scenario = FailureScenario::single(NodeId(1));
+        let via_shard = shard_scorer.scenario_alive(&alloc, &scenario);
+        let shard_hits = shard_scorer.cache_hits();
+        let shard_misses = shard_scorer.cache_misses();
+
+        let shard = shard_scorer.swap_cache(ScoreCache::new());
+        scorer.absorb_cache(shard);
+        assert_eq!(scorer.cache_hits(), parent_hits + shard_hits);
+        assert_eq!(scorer.cache_misses(), parent_misses + shard_misses);
+        // The shard's scenario key is now a pure hit through the parent.
+        let hits = scorer.cache_hits();
+        assert_eq!(scorer.scenario_alive(&alloc, &scenario), via_shard);
         assert!(scorer.cache_hits() > hits);
     }
 

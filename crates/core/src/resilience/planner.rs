@@ -186,10 +186,15 @@ impl ResilientRodPlanner {
         }
         .clamp(1, (m * n.saturating_sub(1)).max(1));
         // One forked scorer per chunk, built once and reused across
-        // iterations; forks share the memoisation cache, so the
-        // score_cache_* metrics below stay exact totals.
+        // iterations. Each fork carries its own *detached* cache shard —
+        // a shared cache would serialise every candidate score on one
+        // mutex. Entries are pure, so shards change nothing about the
+        // chosen moves; the shards are folded back into the parent after
+        // the climb so score_cache_* metrics stay exact lookup totals.
         let worker_scorers: Vec<Mutex<ScenarioScorer>> = if threads > 1 {
-            (0..threads).map(|_| Mutex::new(scorer.fork())).collect()
+            (0..threads)
+                .map(|_| Mutex::new(scorer.fork_detached()))
+                .collect()
         } else {
             Vec::new()
         };
@@ -290,6 +295,17 @@ impl ResilientRodPlanner {
                 }
                 None => break,
             }
+        }
+        // Fold every worker's cache shard back into the parent: the
+        // merged map is the union of all memoised keys and the hit/miss
+        // counters sum, so the metrics below count every lookup made
+        // anywhere — exactly as the old single shared cache did.
+        for worker in &worker_scorers {
+            let shard = worker
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .swap_cache(crate::score_cache::ScoreCache::new());
+            scorer.absorb_cache(shard);
         }
         if let Some(metrics) = metrics {
             let climb_wall = climb_start.elapsed().as_secs_f64();

@@ -20,6 +20,31 @@
 //! candidate plane distance `1/‖W_i‖` (the MMPD heuristic) — or, under the
 //! §6.1 extension, the largest distance measured from the known
 //! lower-bound point.
+//!
+//! # Candidate pruning
+//!
+//! Scoring every node for every operator costs O(n) probes per step —
+//! prohibitive at n ≈ 1000 nodes and m ≈ 50 000 operators. The default
+//! scan therefore skips nodes it can prove irrelevant, using three facts:
+//!
+//! 1. A node's **current** plane distance upper-bounds every candidate
+//!    distance it can produce (weights only grow under assignment; see
+//!    [`IncrementalPlanEval::plane_distance`] — the bound holds bitwise in
+//!    IEEE-754, not just in exact arithmetic). A node whose bound cannot
+//!    beat the incumbent under the `best_by` replacement rule
+//!    (`s > best + 1e-15`) is skipped without scoring.
+//! 2. A node whose current maximum weight already exceeds `1 + 1e-12` can
+//!    never be Class I ([`IncrementalPlanEval::max_weight_of`]), so once
+//!    any Class-I node is in hand, such nodes are skipped outright.
+//! 3. All **unloaded** nodes of equal relative capacity yield bitwise
+//!    identical candidate scores, so one probe is memoised per capacity
+//!    class per step.
+//!
+//! Every skip is justified by an inequality on the exact floating-point
+//! values the full scan would have computed, so the pruned scan chooses
+//! the *same node* as the exhaustive reference — including the
+//! lowest-index tie-break — for every policy. The exhaustive scan is kept
+//! behind [`RodPlanner::with_exhaustive_scan`] as the test oracle.
 
 use serde::{Deserialize, Serialize};
 
@@ -123,6 +148,10 @@ pub struct RodPlan {
     pub order: Vec<OperatorId>,
     /// Class used at each step, parallel to `order`.
     pub step_classes: Vec<StepClass>,
+    /// Number of `score_candidate` probes Phase 2 actually issued. The
+    /// exhaustive scan always issues `m·n`; the pruned scan typically far
+    /// fewer.
+    pub candidates_scored: u64,
 }
 
 impl RodPlan {
@@ -143,6 +172,9 @@ impl RodPlan {
 #[derive(Clone, Debug, Default)]
 pub struct RodPlanner {
     options: RodOptions,
+    /// Score every node at every step instead of pruning — the reference
+    /// oracle the pruned scan is tested against.
+    exhaustive_scan: bool,
 }
 
 impl RodPlanner {
@@ -153,7 +185,19 @@ impl RodPlanner {
 
     /// Planner with explicit options.
     pub fn with_options(options: RodOptions) -> Self {
-        RodPlanner { options }
+        RodPlanner {
+            options,
+            exhaustive_scan: false,
+        }
+    }
+
+    /// Switches between the pruned Phase-2 scan (default) and the
+    /// exhaustive all-nodes reference scan. Both choose identical nodes;
+    /// the exhaustive scan exists as the oracle for equivalence tests and
+    /// ablation timings.
+    pub fn with_exhaustive_scan(mut self, exhaustive: bool) -> Self {
+        self.exhaustive_scan = exhaustive;
+        self
     }
 
     /// Runs ROD and returns the plan with diagnostics.
@@ -220,70 +264,17 @@ impl RodPlanner {
 
         // ---- Phase 2: greedy assignment. ----
         let phase2_start = Instant::now();
-        let adjacency = match self.options.class_one_policy {
-            ClassOnePolicy::MinCommunication => model.graph().adjacency(),
-            _ => Vec::new(),
-        };
+        let mut selector = Phase2Selector::new(&self.options, model, self.exhaustive_scan);
         let mut step_classes = Vec::with_capacity(m);
-        let mut rng = match self.options.class_one_policy {
-            ClassOnePolicy::Random { seed } => Some(seeded_rng(seed)),
-            _ => None,
-        };
-
-        let mut scores: Vec<CandidateScore> = Vec::with_capacity(n);
-        let mut class_one: Vec<usize> = Vec::with_capacity(n);
-
         for &op in &order {
-            // Classify nodes by their candidate hyperplane — one O(d)
-            // probe per node against the incremental state.
-            scores.clear();
-            class_one.clear();
-            for i in 0..n {
-                let score = eval.score_candidate(op, NodeId(i));
-                if score.class_one {
-                    class_one.push(i);
-                }
-                scores.push(score);
-            }
-
-            let candidate_distance = |i: usize| scores[i].plane_distance;
-
-            let (dest, class) = if self.options.use_class_one && !class_one.is_empty() {
-                let dest = match self.options.class_one_policy {
-                    ClassOnePolicy::FirstFit => class_one[0],
-                    ClassOnePolicy::Random { .. } => *class_one
-                        .choose(rng.as_mut().expect("rng for Random policy"))
-                        .expect("non-empty class one"),
-                    ClassOnePolicy::MaxPlaneDistance => best_by(&class_one, candidate_distance),
-                    ClassOnePolicy::MinCommunication => {
-                        let neighbours = |i: usize| -> usize {
-                            adjacency[op.index()]
-                                .iter()
-                                .filter(|nb| eval.allocation().node_of(**nb) == Some(NodeId(i)))
-                                .count()
-                        };
-                        // Most already-placed neighbours first; plane
-                        // distance breaks ties.
-                        let max_nb = class_one.iter().map(|&i| neighbours(i)).max().unwrap_or(0);
-                        let tied: Vec<usize> = class_one
-                            .iter()
-                            .copied()
-                            .filter(|&i| neighbours(i) == max_nb)
-                            .collect();
-                        best_by(&tied, candidate_distance)
-                    }
-                };
-                (dest, StepClass::ClassOne)
-            } else {
-                let all: Vec<usize> = (0..n).collect();
-                (best_by(&all, candidate_distance), StepClass::ClassTwo)
-            };
-
+            let (dest, class) = selector.select(&eval, op);
             eval.assign(op, NodeId(dest));
             step_classes.push(class);
         }
+        let candidates_scored = selector.candidates_scored;
         if let Some(metrics) = metrics {
             metrics.observe("rod.phase2_seconds", phase2_start.elapsed().as_secs_f64());
+            metrics.add("rod.candidates_scored", candidates_scored);
             metrics.add(
                 "rod.steps_class_one",
                 step_classes
@@ -304,7 +295,283 @@ impl RodPlanner {
             allocation: eval.into_allocation(),
             order,
             step_classes,
+            candidates_scored,
         })
+    }
+}
+
+/// Phase-2 destination selection shared by [`RodPlanner::place`] and
+/// [`RodPlanner::extend`] — either the exhaustive all-nodes scan or the
+/// pruned scan described in the module docs. Both are guaranteed to pick
+/// the same node at every step.
+pub(crate) struct Phase2Selector<'o> {
+    options: &'o RodOptions,
+    exhaustive: bool,
+    /// Graph adjacency, built only for the MinCommunication policy.
+    adjacency: Vec<Vec<OperatorId>>,
+    /// Seeded RNG, built only for the Random policy.
+    rng: Option<rod_geom::rng::Rng>,
+    /// Per-step memo of unloaded-node candidate scores keyed by the
+    /// node's relative-capacity bits (cleared at each step).
+    memo: Vec<(u64, CandidateScore)>,
+    /// Class-I members (node, score) collected when the policy needs the
+    /// full set (Random, MinCommunication); reused scratch.
+    members: Vec<(usize, CandidateScore)>,
+    /// Total `score_candidate` probes issued.
+    pub(crate) candidates_scored: u64,
+}
+
+impl<'o> Phase2Selector<'o> {
+    pub(crate) fn new(options: &'o RodOptions, model: &LoadModel, exhaustive: bool) -> Self {
+        let adjacency = match options.class_one_policy {
+            ClassOnePolicy::MinCommunication => model.graph().adjacency(),
+            _ => Vec::new(),
+        };
+        let rng = match options.class_one_policy {
+            ClassOnePolicy::Random { seed } => Some(seeded_rng(seed)),
+            _ => None,
+        };
+        Phase2Selector {
+            options,
+            exhaustive,
+            adjacency,
+            rng,
+            memo: Vec::new(),
+            members: Vec::new(),
+            candidates_scored: 0,
+        }
+    }
+
+    /// Picks the destination node for `op` under the current state.
+    pub(crate) fn select(
+        &mut self,
+        eval: &IncrementalPlanEval<'_>,
+        op: OperatorId,
+    ) -> (usize, StepClass) {
+        if self.exhaustive {
+            self.select_exhaustive(eval, op)
+        } else {
+            self.select_pruned(eval, op)
+        }
+    }
+
+    /// The original all-nodes scan, kept verbatim as the reference oracle.
+    fn select_exhaustive(
+        &mut self,
+        eval: &IncrementalPlanEval<'_>,
+        op: OperatorId,
+    ) -> (usize, StepClass) {
+        let n = eval.num_nodes();
+        let mut scores: Vec<CandidateScore> = Vec::with_capacity(n);
+        let mut class_one: Vec<usize> = Vec::new();
+        for i in 0..n {
+            let score = eval.score_candidate(op, NodeId(i));
+            self.candidates_scored += 1;
+            if score.class_one {
+                class_one.push(i);
+            }
+            scores.push(score);
+        }
+        let candidate_distance = |i: usize| scores[i].plane_distance;
+
+        if self.options.use_class_one && !class_one.is_empty() {
+            let dest = match self.options.class_one_policy {
+                ClassOnePolicy::FirstFit => class_one[0],
+                ClassOnePolicy::Random { .. } => *class_one
+                    .choose(self.rng.as_mut().expect("rng for Random policy"))
+                    .expect("non-empty class one"),
+                ClassOnePolicy::MaxPlaneDistance => best_by(&class_one, candidate_distance),
+                ClassOnePolicy::MinCommunication => {
+                    let adjacency = &self.adjacency;
+                    let neighbours = |i: usize| -> usize {
+                        adjacency[op.index()]
+                            .iter()
+                            .filter(|nb| eval.allocation().node_of(**nb) == Some(NodeId(i)))
+                            .count()
+                    };
+                    // Most already-placed neighbours first; plane
+                    // distance breaks ties.
+                    let max_nb = class_one.iter().map(|&i| neighbours(i)).max().unwrap_or(0);
+                    let tied: Vec<usize> = class_one
+                        .iter()
+                        .copied()
+                        .filter(|&i| neighbours(i) == max_nb)
+                        .collect();
+                    best_by(&tied, candidate_distance)
+                }
+            };
+            (dest, StepClass::ClassOne)
+        } else {
+            let all: Vec<usize> = (0..n).collect();
+            (best_by(&all, candidate_distance), StepClass::ClassTwo)
+        }
+    }
+
+    /// Scores `op` on node `i`, memoising unloaded nodes by their
+    /// relative-capacity bits: an unloaded node's candidate score is a
+    /// pure function of `(op, C_i/C_T)`, so the memoised value is bitwise
+    /// the score a fresh probe would return.
+    fn probe(
+        &mut self,
+        eval: &IncrementalPlanEval<'_>,
+        op: OperatorId,
+        i: usize,
+    ) -> CandidateScore {
+        if eval.node_is_unloaded(NodeId(i)) {
+            let key = eval.relative_capacity_of(NodeId(i)).to_bits();
+            if let Some(&(_, s)) = self.memo.iter().find(|(k, _)| *k == key) {
+                return s;
+            }
+            let s = eval.score_candidate(op, NodeId(i));
+            self.candidates_scored += 1;
+            self.memo.push((key, s));
+            return s;
+        }
+        self.candidates_scored += 1;
+        eval.score_candidate(op, NodeId(i))
+    }
+
+    /// The pruned scan. Invariants replicated from the exhaustive oracle:
+    ///
+    /// * `best_by` visits candidates in ascending node order, seeds the
+    ///   incumbent with the first member unconditionally, and replaces
+    ///   only when `s > best + 1e-15`. The scan below visits nodes
+    ///   ascending and applies the same seeding and replacement, so any
+    ///   node skipped under `bound ≤ best + 1e-15` provably could not
+    ///   have replaced the incumbent (its true score is ≤ the bound).
+    /// * Class-I membership of a node with `max_weight_of > 1 + 1e-12` is
+    ///   impossible, so such nodes only matter for the Class-II fallback
+    ///   track — and not at all once a Class-I node exists.
+    /// * The Random / MinCommunication policies inspect the *full*
+    ///   Class-I set, so every possibly-Class-I node is probed for them;
+    ///   definite-Class-II nodes are still skippable.
+    fn select_pruned(
+        &mut self,
+        eval: &IncrementalPlanEval<'_>,
+        op: OperatorId,
+    ) -> (usize, StepClass) {
+        let n = eval.num_nodes();
+        let needs_full_set = self.options.use_class_one
+            && matches!(
+                self.options.class_one_policy,
+                ClassOnePolicy::Random { .. } | ClassOnePolicy::MinCommunication
+            );
+        self.memo.clear();
+        self.members.clear();
+        // Fallback (Class II) incumbent: (node, plane distance).
+        let mut best_all: Option<(usize, f64)> = None;
+        // Class-I incumbent for single-winner policies.
+        let mut best_c1: Option<(usize, f64)> = None;
+
+        for i in 0..n {
+            let any_c1 = best_c1.is_some() || !self.members.is_empty();
+            let possibly_c1 =
+                self.options.use_class_one && eval.max_weight_of(NodeId(i)) <= 1.0 + 1e-12;
+            if !possibly_c1 {
+                // Definitely Class II: irrelevant once Class I is
+                // non-empty, otherwise only feeds the fallback track.
+                if any_c1 {
+                    continue;
+                }
+                if let Some((_, bs)) = best_all {
+                    if eval.plane_distance(NodeId(i)) <= bs + 1e-15 {
+                        continue;
+                    }
+                }
+                let s = self.probe(eval, op, i);
+                match best_all {
+                    None => best_all = Some((i, s.plane_distance)),
+                    Some((_, bs)) if s.plane_distance > bs + 1e-15 => {
+                        best_all = Some((i, s.plane_distance))
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            // Possibly Class I. For single-winner policies an incumbent
+            // Class-I node lets us skip by bound; full-set policies must
+            // resolve membership.
+            if any_c1 && !needs_full_set {
+                let (_, bs) = best_c1.expect("any_c1 implies incumbent for single-winner");
+                if eval.plane_distance(NodeId(i)) <= bs + 1e-15 {
+                    continue;
+                }
+            }
+            let s = self.probe(eval, op, i);
+            if s.class_one {
+                if needs_full_set {
+                    self.members.push((i, s));
+                } else if matches!(self.options.class_one_policy, ClassOnePolicy::FirstFit) {
+                    return (i, StepClass::ClassOne);
+                } else {
+                    match best_c1 {
+                        None => best_c1 = Some((i, s.plane_distance)),
+                        Some((_, bs)) if s.plane_distance > bs + 1e-15 => {
+                            best_c1 = Some((i, s.plane_distance))
+                        }
+                        _ => {}
+                    }
+                }
+            } else if !any_c1 {
+                match best_all {
+                    None => best_all = Some((i, s.plane_distance)),
+                    Some((_, bs)) if s.plane_distance > bs + 1e-15 => {
+                        best_all = Some((i, s.plane_distance))
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        if let Some((dest, _)) = best_c1 {
+            return (dest, StepClass::ClassOne);
+        }
+        if !self.members.is_empty() {
+            let dest = match self.options.class_one_policy {
+                ClassOnePolicy::Random { .. } => {
+                    self.members
+                        .choose(self.rng.as_mut().expect("rng for Random policy"))
+                        .expect("non-empty class one")
+                        .0
+                }
+                ClassOnePolicy::MinCommunication => {
+                    let adjacency = &self.adjacency;
+                    let neighbours = |i: usize| -> usize {
+                        adjacency[op.index()]
+                            .iter()
+                            .filter(|nb| eval.allocation().node_of(**nb) == Some(NodeId(i)))
+                            .count()
+                    };
+                    let max_nb = self
+                        .members
+                        .iter()
+                        .map(|&(i, _)| neighbours(i))
+                        .max()
+                        .unwrap_or(0);
+                    // `members` is ascending by construction, so seeding
+                    // with the first tied entry and applying the strict
+                    // `+1e-15` replacement reproduces `best_by(tied)`.
+                    let mut best: Option<(usize, f64)> = None;
+                    for &(i, s) in &self.members {
+                        if neighbours(i) != max_nb {
+                            continue;
+                        }
+                        match best {
+                            None => best = Some((i, s.plane_distance)),
+                            Some((_, bs)) if s.plane_distance > bs + 1e-15 => {
+                                best = Some((i, s.plane_distance))
+                            }
+                            _ => {}
+                        }
+                    }
+                    best.expect("at least one tied member").0
+                }
+                _ => unreachable!("full-set collection is only for Random/MinCommunication"),
+            };
+            return (dest, StepClass::ClassOne);
+        }
+        let (dest, _) = best_all.expect("node 0 is always probed when Class I stays empty");
+        (dest, StepClass::ClassTwo)
     }
 }
 
@@ -337,7 +604,6 @@ impl RodPlanner {
         if m == 0 {
             return Err(PlacementError::EmptyModel);
         }
-        let n = cluster.num_nodes();
 
         // Start from the load the fixed operators impose.
         let mut eval = IncrementalPlanEval::from_allocation(model, cluster, existing);
@@ -352,25 +618,13 @@ impl RodPlanner {
                 .then(a.cmp(&b))
         });
 
+        // The historical extend behaviour: MaxPlaneDistance with the
+        // Class-I rule, regardless of the placement-time policy options.
+        let extend_options = RodOptions::default();
+        let mut selector = Phase2Selector::new(&extend_options, model, self.exhaustive_scan);
         let mut step_classes = Vec::with_capacity(pending.len());
-        let mut scores: Vec<CandidateScore> = Vec::with_capacity(n);
         for &op in &pending {
-            scores.clear();
-            let mut class_one: Vec<usize> = Vec::new();
-            for i in 0..n {
-                let score = eval.score_candidate(op, NodeId(i));
-                if score.class_one {
-                    class_one.push(i);
-                }
-                scores.push(score);
-            }
-            let distance = |i: usize| scores[i].plane_distance;
-            let (dest, class) = if !class_one.is_empty() {
-                (best_by(&class_one, distance), StepClass::ClassOne)
-            } else {
-                let all: Vec<usize> = (0..n).collect();
-                (best_by(&all, distance), StepClass::ClassTwo)
-            };
+            let (dest, class) = selector.select(&eval, op);
             eval.assign(op, NodeId(dest));
             step_classes.push(class);
         }
@@ -379,6 +633,7 @@ impl RodPlanner {
             allocation: eval.into_allocation(),
             order: pending,
             step_classes,
+            candidates_scored: selector.candidates_scored,
         })
     }
 }
@@ -632,6 +887,115 @@ mod tests {
             on_node1 >= 2,
             "only {on_node1} new ops moved off the hot node"
         );
+    }
+
+    /// Builds a moderately irregular multi-stream graph for the
+    /// pruned-vs-exhaustive comparisons: several input streams with
+    /// chains of differing depth and cost, so Phase 2 sees a mix of
+    /// Class I and Class II steps, loaded and unloaded nodes.
+    fn irregular_model(streams: usize, depth: usize) -> LoadModel {
+        let mut b = GraphBuilder::new();
+        for s in 0..streams {
+            let i = b.add_input();
+            let mut up = i;
+            for l in 0..(1 + (s + depth) % depth.max(1)) {
+                let cost = 1.0 + ((s * 7 + l * 3) % 5) as f64;
+                let sel = 0.5 + 0.1 * ((s + l) % 5) as f64;
+                up = b
+                    .add_operator(format!("s{s}l{l}"), OperatorKind::filter(cost, sel), &[up])
+                    .unwrap()
+                    .1;
+            }
+        }
+        LoadModel::derive(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn pruned_scan_matches_exhaustive_for_every_policy() {
+        let policies = [
+            ClassOnePolicy::MaxPlaneDistance,
+            ClassOnePolicy::FirstFit,
+            ClassOnePolicy::Random { seed: 17 },
+            ClassOnePolicy::MinCommunication,
+        ];
+        let models = [model(), irregular_model(6, 4), irregular_model(3, 2)];
+        let clusters = [
+            Cluster::homogeneous(2, 1.0),
+            Cluster::homogeneous(5, 1.0),
+            Cluster::heterogeneous(vec![3.0, 1.0, 1.0, 0.5]),
+        ];
+        for m in &models {
+            for cluster in &clusters {
+                for policy in policies {
+                    for use_class_one in [true, false] {
+                        for bound in [None, Some(vec![0.05; m.num_inputs()])] {
+                            let options = RodOptions {
+                                class_one_policy: policy,
+                                input_lower_bound: bound,
+                                use_class_one,
+                                ..RodOptions::default()
+                            };
+                            let pruned = RodPlanner::with_options(options.clone())
+                                .place(m, cluster)
+                                .unwrap();
+                            let full = RodPlanner::with_options(options.clone())
+                                .with_exhaustive_scan(true)
+                                .place(m, cluster)
+                                .unwrap();
+                            assert_eq!(
+                                pruned.allocation,
+                                full.allocation,
+                                "policy {policy:?} c1 {use_class_one} on {} nodes",
+                                cluster.num_nodes()
+                            );
+                            assert_eq!(pruned.step_classes, full.step_classes);
+                            assert_eq!(pruned.order, full.order);
+                            assert!(pruned.candidates_scored <= full.candidates_scored);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_extend_matches_exhaustive_extend() {
+        let m = irregular_model(5, 3);
+        let cluster = Cluster::homogeneous(4, 1.0);
+        let mut partial = Allocation::new(m.num_operators(), 4);
+        for j in (0..m.num_operators()).step_by(3) {
+            partial.assign(OperatorId(j), NodeId(j % 4));
+        }
+        let pruned = RodPlanner::new().extend(&m, &cluster, &partial).unwrap();
+        let full = RodPlanner::new()
+            .with_exhaustive_scan(true)
+            .extend(&m, &cluster, &partial)
+            .unwrap();
+        assert_eq!(pruned.allocation, full.allocation);
+        assert_eq!(pruned.step_classes, full.step_classes);
+    }
+
+    #[test]
+    fn pruning_and_memoisation_cut_probe_counts() {
+        // Wide graph over a homogeneous cluster: unloaded nodes collapse
+        // into one memo entry, loaded nodes prune by bound — the probe
+        // count must land well below the m·n of the exhaustive scan.
+        let m = irregular_model(8, 5);
+        let cluster = Cluster::homogeneous(16, 1.0);
+        let pruned = RodPlanner::new().place(&m, &cluster).unwrap();
+        let full = RodPlanner::new()
+            .with_exhaustive_scan(true)
+            .place(&m, &cluster)
+            .unwrap();
+        let full_probes = (m.num_operators() * cluster.num_nodes()) as u64;
+        assert_eq!(full.candidates_scored, full_probes);
+        assert!(
+            pruned.candidates_scored * 2 < full_probes,
+            "pruned {} vs full {}",
+            pruned.candidates_scored,
+            full_probes
+        );
+        assert_eq!(pruned.allocation, full.allocation);
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Property tests pinning the scaling machinery to its exact-equivalence
+//! contracts: the sparse evaluation path must be **bit-identical** to a
+//! dense reference, the pruned Phase-2 scan must choose **byte-identical
+//! placements** to the exhaustive scan, and a single-rack hierarchical
+//! plan must *be* the flat ROD plan. These are the invariants that let
+//! the large-instance fast paths ship without a tolerance anywhere.
+
+use proptest::prelude::*;
+
+use rod_core::cluster::{Cluster, Topology};
+use rod_core::eval::IncrementalPlanEval;
+use rod_core::graph::{GraphBuilder, QueryGraph};
+use rod_core::hierarchical::HierarchicalRod;
+use rod_core::ids::{NodeId, OperatorId, StreamId};
+use rod_core::load_model::LoadModel;
+use rod_core::operator::OperatorKind;
+use rod_core::rod::{ClassOnePolicy, RodOptions, RodPlanner};
+
+/// A compact description of a *sparse-regime* random graph: several
+/// inputs, operators that are mostly single-input but sometimes union
+/// two or three streams — exactly the shape that gives load rows more
+/// than one nonzero without densifying them.
+#[derive(Clone, Debug)]
+struct SparseSpec {
+    inputs: usize,
+    ops: Vec<(usize, usize, u8, u16, u16)>, // (pick a, pick b, arity, cost‰, sel‰)
+}
+
+fn sparse_spec() -> impl Strategy<Value = SparseSpec> {
+    (
+        2usize..6,
+        prop::collection::vec(
+            (
+                0usize..1000,
+                0usize..1000,
+                1u8..=3,
+                1u16..1000,
+                500u16..1000,
+            ),
+            1..28,
+        ),
+    )
+        .prop_map(|(inputs, ops)| SparseSpec { inputs, ops })
+}
+
+fn build(spec: &SparseSpec) -> QueryGraph {
+    let mut b = GraphBuilder::new();
+    let mut streams: Vec<StreamId> = (0..spec.inputs).map(|_| b.add_input()).collect();
+    for (j, &(pa, pb, arity, cost, sel)) in spec.ops.iter().enumerate() {
+        let cost = cost as f64 / 1000.0;
+        let sel = sel as f64 / 1000.0;
+        let mut inputs = vec![streams[pa % streams.len()]];
+        // Unions widen the row's input support; duplicates are skipped so
+        // ports stay distinct streams.
+        for extra in [pb, pa / 3 + pb / 7] {
+            if inputs.len() >= arity as usize {
+                break;
+            }
+            let s = streams[extra % streams.len()];
+            if !inputs.contains(&s) {
+                inputs.push(s);
+            }
+        }
+        let n = inputs.len();
+        let (_, out) = b
+            .add_operator(
+                format!("op{j}"),
+                OperatorKind::Linear {
+                    costs: vec![cost; n],
+                    selectivities: vec![sel; n],
+                },
+                &inputs,
+            )
+            .unwrap();
+        streams.push(out);
+    }
+    b.build().unwrap()
+}
+
+/// The dense reference for one node's plane distance: a full ascending-k
+/// loop over the weight row, squaring and accumulating every column —
+/// including the exact zeros the sparse path skips. Skipping an exact
+/// IEEE-754 zero in `acc + w*w` leaves `acc` bit-identical, which is the
+/// whole sparse contract; this function is the executable statement of
+/// the dense side.
+fn dense_plane_distance(row: &[f64]) -> f64 {
+    let mut sumsq = 0.0f64;
+    for &w in row {
+        sumsq += w * w;
+    }
+    if sumsq == 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / sumsq.sqrt()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sparse evaluator's maintained plane distances equal the dense
+    /// reference bit for bit at every step of a random assign/unassign
+    /// churn — on every node, not just the touched one.
+    #[test]
+    fn sparse_plane_distances_match_dense_reference_bitwise(
+        spec in sparse_spec(),
+        nodes in 1usize..5,
+        moves in prop::collection::vec((0usize..64, 0usize..8, 0u8..3), 1..40),
+    ) {
+        let graph = build(&spec);
+        let model = LoadModel::derive(&graph).unwrap();
+        let cluster = Cluster::homogeneous(nodes, 1.0);
+        let mut eval = IncrementalPlanEval::new(&model, &cluster);
+        let m = model.num_operators();
+        for (op_pick, node_pick, action) in moves {
+            let op = OperatorId(op_pick % m);
+            let node = NodeId(node_pick % nodes);
+            match (action, eval.allocation().node_of(op)) {
+                (0 | 1, None) => eval.assign(op, node),
+                (2, Some(host)) => eval.unassign(op, host),
+                _ => continue,
+            }
+            for i in 0..nodes {
+                let node = NodeId(i);
+                let dense = dense_plane_distance(eval.weight_row(node));
+                prop_assert_eq!(
+                    eval.plane_distance(node).to_bits(),
+                    dense.to_bits(),
+                    "node {}: sparse {} vs dense {}",
+                    i, eval.plane_distance(node), dense
+                );
+            }
+        }
+    }
+
+    /// Candidate quotes agree with the dense reference too: committing
+    /// the quoted assignment must land exactly on the dense recompute.
+    #[test]
+    fn candidate_scores_commit_to_their_quotes_bitwise(
+        spec in sparse_spec(),
+        nodes in 1usize..4,
+    ) {
+        let graph = build(&spec);
+        let model = LoadModel::derive(&graph).unwrap();
+        let cluster = Cluster::homogeneous(nodes, 1.0);
+        let mut eval = IncrementalPlanEval::new(&model, &cluster);
+        for j in 0..model.num_operators() {
+            let op = OperatorId(j);
+            let node = NodeId(j % nodes);
+            let quote = eval.score_candidate(op, node);
+            eval.assign(op, node);
+            prop_assert_eq!(
+                quote.plane_distance.to_bits(),
+                eval.plane_distance(node).to_bits(),
+                "op {}: quote diverged from committed state", j
+            );
+            prop_assert_eq!(
+                eval.plane_distance(node).to_bits(),
+                dense_plane_distance(eval.weight_row(node)).to_bits()
+            );
+        }
+    }
+
+    /// The pruned Phase-2 scan (the default) picks byte-identical
+    /// placements to the exhaustive O(m·n) scan, across policies,
+    /// cluster shapes, and the class-one ablation switch.
+    #[test]
+    fn pruned_scan_places_byte_identically_to_exhaustive(
+        spec in sparse_spec(),
+        caps_pick in 0usize..3,
+        policy_pick in 0usize..4,
+        class_one_pick in 0u8..2,
+    ) {
+        let graph = build(&spec);
+        let model = LoadModel::derive(&graph).unwrap();
+        let cluster = match caps_pick {
+            0 => Cluster::homogeneous(3, 1.0),
+            1 => Cluster::homogeneous(5, 2.0),
+            _ => Cluster::heterogeneous(vec![3.0, 1.0, 0.5, 2.0]),
+        };
+        let options = RodOptions {
+            class_one_policy: match policy_pick {
+                0 => ClassOnePolicy::MaxPlaneDistance,
+                1 => ClassOnePolicy::FirstFit,
+                2 => ClassOnePolicy::Random { seed: 1234 },
+                _ => ClassOnePolicy::MinCommunication,
+            },
+            use_class_one: class_one_pick == 1,
+            ..RodOptions::default()
+        };
+        let pruned = RodPlanner::with_options(options.clone())
+            .place(&model, &cluster)
+            .unwrap();
+        let full = RodPlanner::with_options(options)
+            .with_exhaustive_scan(true)
+            .place(&model, &cluster)
+            .unwrap();
+        prop_assert_eq!(&pruned.allocation, &full.allocation);
+        prop_assert_eq!(&pruned.step_classes, &full.step_classes);
+        prop_assert!(pruned.candidates_scored <= full.candidates_scored);
+    }
+
+    /// A one-rack topology makes the hierarchical planner *be* flat ROD:
+    /// level 1 degenerates and level 2 runs the identical machinery.
+    #[test]
+    fn single_rack_hierarchical_is_flat_rod(
+        spec in sparse_spec(),
+        nodes in 2usize..6,
+    ) {
+        let graph = build(&spec);
+        let model = LoadModel::derive(&graph).unwrap();
+        let cluster = Cluster::homogeneous(nodes, 1.0);
+        let hier = HierarchicalRod::with_topology(Topology::uniform(nodes, 1))
+            .place(&model, &cluster)
+            .unwrap();
+        let flat = RodPlanner::new().place(&model, &cluster).unwrap();
+        prop_assert_eq!(&hier.allocation, &flat.allocation);
+    }
+
+    /// Multi-rack hierarchical plans are complete, rack-respecting, and
+    /// deterministic on the same random instances.
+    #[test]
+    fn hierarchical_plans_are_complete_and_rack_respecting(
+        spec in sparse_spec(),
+        racks_pick in 2usize..4,
+    ) {
+        let graph = build(&spec);
+        let model = LoadModel::derive(&graph).unwrap();
+        let nodes = racks_pick * 2;
+        let cluster = Cluster::homogeneous(nodes, 1.0);
+        let topology = Topology::uniform(nodes, racks_pick);
+        let planner = HierarchicalRod::with_topology(topology.clone());
+        let a = planner.place(&model, &cluster).unwrap();
+        let b = planner.place(&model, &cluster).unwrap();
+        prop_assert_eq!(&a.allocation, &b.allocation);
+        prop_assert!(a.allocation.is_complete());
+        for j in 0..model.num_operators() {
+            let node = a.allocation.node_of(OperatorId(j)).unwrap().index();
+            prop_assert!(topology.rack(a.rack_of[j]).contains(&node));
+        }
+    }
+}

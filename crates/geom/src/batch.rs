@@ -101,11 +101,20 @@ impl PointBatch {
     /// accumulating columns in ascending `k` — the same per-point operand
     /// order as a scalar row-times-point dot product, so results are
     /// bit-identical to `coeffs.iter().zip(point).map(|(c, x)| c * x).sum()`.
+    ///
+    /// Zero coefficients are skipped entirely: a `0.0 · x` term is `±0.0`
+    /// for finite `x`, and adding `±0.0` to an accumulator that started at
+    /// `+0.0` never changes its bits, so the skip is exact. Sparse
+    /// coefficient rows (operators touching a few streams out of many)
+    /// thus cost O(nnz · P) instead of O(d · P).
     pub fn dot_into(&self, coeffs: &[f64], out: &mut [f64]) {
         assert_eq!(coeffs.len(), self.dim, "coefficient row has wrong arity");
         assert_eq!(out.len(), self.num_points, "output buffer has wrong length");
         out.fill(0.0);
         for (k, &c) in coeffs.iter().enumerate() {
+            if c == 0.0 {
+                continue;
+            }
             let col = self.column(k);
             for (acc, &x) in out.iter_mut().zip(col) {
                 *acc += c * x;
@@ -237,6 +246,16 @@ impl FeasibilityKernel {
                 return 0;
             }
             let row = region.coefficients.row(i);
+            // Zero columns of the constraint row contribute exactly `+0.0`
+            // to every accumulator below (finite coordinates, accumulators
+            // start at `+0.0`), so skipping them preserves every bit while
+            // cutting a sparse row's pass from O(d) columns to O(nnz).
+            scr.nz.clear();
+            scr.nz.extend(
+                row.iter()
+                    .enumerate()
+                    .filter_map(|(k, &c)| (c != 0.0).then_some((k, c))),
+            );
             // Same tolerance as the scalar `contains` walk.
             let cap = region.capacities[i] + 1e-12;
             let tiled = w_len - w_len % TILE;
@@ -244,7 +263,7 @@ impl FeasibilityKernel {
             live = 0;
             while t < tiled {
                 let mut acc = [0.0f64; TILE];
-                for (k, &c) in row.iter().enumerate() {
+                for &(k, c) in &scr.nz {
                     let col: &[f64] = if compacted {
                         &scr.work[k * w_stride..k * w_stride + w_len]
                     } else {
@@ -264,7 +283,7 @@ impl FeasibilityKernel {
             // Ragged tail, one point at a time (same k-ascending order).
             for p in tiled..w_len {
                 let mut acc = 0.0f64;
-                for (k, &c) in row.iter().enumerate() {
+                for &(k, c) in &scr.nz {
                     let col: &[f64] = if compacted {
                         &scr.work[k * w_stride..k * w_stride + w_len]
                     } else {
@@ -321,6 +340,9 @@ struct Scratch {
     work: Vec<f64>,
     /// Target buffer for the next compaction, swapped with `work`.
     next: Vec<f64>,
+    /// Nonzero `(column, coefficient)` pairs of the constraint row being
+    /// scored — sparse rows then stream O(nnz) columns, not O(d).
+    nz: Vec<(usize, f64)>,
 }
 
 #[cfg(test)]
@@ -427,5 +449,43 @@ mod tests {
     fn empty_batch_counts_zero() {
         let kernel = FeasibilityKernel::new(&[]);
         assert_eq!(kernel.batch().num_points(), 0);
+    }
+
+    #[test]
+    fn sparse_constraint_rows_count_bit_identically() {
+        // Rows with mostly-zero columns exercise the zero-column skip;
+        // the scalar walk (which never skips) is the reference.
+        let points = halton_points(6, 6_000, 13);
+        let kernel = FeasibilityKernel::new(&points);
+        let region = FeasibleRegion::new(
+            Matrix::from_rows(&[
+                &[2.0, 0.0, 0.0, 0.0, 0.0, 1.5],
+                &[0.0, 0.0, 3.0, 0.0, 0.0, 0.0],
+                &[0.0, 1.0, 0.0, 0.0, 2.5, 0.0],
+                &[0.0, 0.0, 0.0, 4.0, 0.0, 0.0],
+            ]),
+            Vector::from([0.3, 0.25, 0.3, 0.28]),
+        );
+        assert_eq!(
+            kernel.count_feasible(&region),
+            scalar_count(&points, &region)
+        );
+    }
+
+    #[test]
+    fn dot_into_skips_zero_coefficients_exactly() {
+        let points = halton_points(5, 800, 17);
+        let batch = PointBatch::from_points(&points);
+        let sparse = [0.0, 2.5, 0.0, 0.0, 1.1];
+        let mut out = vec![0.0; points.len()];
+        batch.dot_into(&sparse, &mut out);
+        for (p, point) in points.iter().enumerate() {
+            let scalar: f64 = sparse
+                .iter()
+                .zip(point.as_slice())
+                .map(|(c, x)| c * x)
+                .sum();
+            assert_eq!(out[p].to_bits(), scalar.to_bits(), "point {p}");
+        }
     }
 }

@@ -28,6 +28,7 @@ pub mod qmc;
 pub mod rng;
 pub mod simplex;
 pub mod sobol;
+pub mod sparse;
 pub mod stats;
 pub mod vector;
 pub mod volume;
@@ -40,6 +41,7 @@ pub use qmc::HaltonSeq;
 pub use rng::seeded_rng;
 pub use simplex::{simplex_volume, SimplexSampler};
 pub use sobol::SobolSeq;
+pub use sparse::{SparseLoadMatrix, SparseRow};
 pub use stats::{OnlineStats, Percentiles};
 pub use vector::Vector;
 pub use volume::{exact_volume_3d, FeasibleRegion, VolumeEstimate, VolumeEstimator};

@@ -91,9 +91,10 @@ fn usage() -> String {
      \n\
      generate --kind tree|traffic|financial|joins [--inputs N] [--ops-per-tree N] [--seed N]\n\
      plan     --graph FILE --nodes N [--capacity C]\n\
-     \u{20}        [--algorithm rod|resilient|llf|connected|correlation|random|optimal]\n\
+     \u{20}        [--algorithm rod|hier|resilient|llf|connected|correlation|random|optimal]\n\
      \u{20}        [--rates r1,r2,...] [--seed N] [--out FILE] [--timings] [--threads N]\n\
      \u{20}        (optimal only: [--samples N] [--max-plans N])\n\
+     \u{20}        (hier only: [--racks \"0,1;2,3\"] — node groups, ';'-separated)\n\
      evaluate --graph FILE --plan FILE --nodes N [--capacity C] [--samples N]\n\
      explain  --graph FILE --plan FILE --nodes N [--capacity C]\n\
      headroom --graph FILE --plan FILE --nodes N [--capacity C] --rates r1,r2,...\n\
@@ -197,6 +198,39 @@ fn parse_threads(flags: &Flags) -> Result<usize, String> {
     Ok(n)
 }
 
+/// Parses `--racks "0,1;2,3"` into rack member lists for the
+/// hierarchical planner. Each `;`-separated group is one rack's
+/// comma-separated node indices.
+///
+/// Rejects with a specific message: an empty rack (nothing between two
+/// `;`), a non-numeric index, and an index outside the `nodes`-node
+/// cluster. Coverage/duplicate violations across racks are reported by
+/// [`Topology::validate`](rod::core::cluster::Topology::validate) when
+/// the planner runs.
+fn parse_racks(spec: &str, nodes: usize) -> Result<Vec<Vec<usize>>, String> {
+    let mut racks = Vec::new();
+    for (r, group) in spec.split(';').enumerate() {
+        if group.trim().is_empty() {
+            return Err(format!("--racks: rack {r} is empty in '{spec}'"));
+        }
+        let mut members = Vec::new();
+        for field in group.split(',') {
+            let node: usize = field
+                .trim()
+                .parse()
+                .map_err(|_| format!("--racks: bad node index '{field}' in '{spec}'"))?;
+            if node >= nodes {
+                return Err(format!(
+                    "--racks: unknown node {node} in '{spec}' (cluster has {nodes} nodes)"
+                ));
+            }
+            members.push(node);
+        }
+        racks.push(members);
+    }
+    Ok(racks)
+}
+
 fn cmd_plan(flags: &Flags) -> Result<String, String> {
     let graph = load_graph(flags)?;
     let cluster = load_cluster(flags)?;
@@ -215,6 +249,10 @@ fn cmd_plan(flags: &Flags) -> Result<String, String> {
         // was already sized differently the scan width is honoured.
         rod_pool::configure_global(threads);
     }
+    let racks = match flags.get("racks") {
+        Some(spec) => parse_racks(spec, cluster.num_nodes())?,
+        None => Vec::new(),
+    };
     let spec = PlannerSpec::from_cli(
         flags.get_or("algorithm", "rod"),
         &rates,
@@ -222,6 +260,7 @@ fn cmd_plan(flags: &Flags) -> Result<String, String> {
         samples,
         max_plans,
         threads,
+        &racks,
     )?;
     let planner = build_planner(&spec);
     // --timings routes through plan_with_metrics and prints the phase
@@ -783,6 +822,73 @@ mod tests {
         let out = cmd_simulate(&f).unwrap();
         assert!(out.contains("traces"));
 
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rack_specs_parse_groups_in_order() {
+        assert_eq!(
+            parse_racks("0,1;2,3", 4).unwrap(),
+            vec![vec![0, 1], vec![2, 3]]
+        );
+        assert_eq!(
+            parse_racks(" 0 , 2 ; 1 ", 3).unwrap(),
+            vec![vec![0, 2], vec![1]]
+        );
+        assert_eq!(parse_racks("0", 1).unwrap(), vec![vec![0]]);
+    }
+
+    #[test]
+    fn rack_specs_reject_edge_cases_with_specific_errors() {
+        // An unknown node names both the node and the cluster size.
+        let err = parse_racks("0,1;2,7", 4).unwrap_err();
+        assert!(err.contains("unknown node 7"), "{err}");
+        assert!(err.contains("4 nodes"), "{err}");
+        // Empty racks name the rack position.
+        for (bad, rack) in [(";1", "rack 0"), ("0;;1", "rack 1"), ("0;1;", "rack 2")] {
+            let err = parse_racks(bad, 4).unwrap_err();
+            assert!(err.contains("empty"), "'{bad}': {err}");
+            assert!(err.contains(rack), "'{bad}': {err}");
+        }
+        // Non-numeric members are bad indices, not unknown nodes.
+        for bad in ["a;1", "0,x", "0;1.5"] {
+            let err = parse_racks(bad, 4).unwrap_err();
+            assert!(err.contains("bad node index"), "'{bad}': {err}");
+        }
+    }
+
+    #[test]
+    fn plan_hier_algorithm_plans_with_and_without_racks() {
+        let (dir, graph_path, _plan) = graph_and_plan("hier");
+        for extra in [&[][..], &["--racks", "0,2;1,3"][..]] {
+            let mut args = vec![
+                "--graph",
+                graph_path.as_str(),
+                "--nodes",
+                "4",
+                "--algorithm",
+                "hier",
+            ];
+            args.extend_from_slice(extra);
+            let f = Flags::parse(&strings(&args)).unwrap();
+            let json = cmd_plan(&f).unwrap();
+            let alloc: Allocation = serde_json::from_str(&json).unwrap();
+            assert!(alloc.is_complete(), "racks: {extra:?}");
+        }
+        // Racks that fail Topology validation surface the library error.
+        let f = Flags::parse(&strings(&[
+            "--graph",
+            graph_path.as_str(),
+            "--nodes",
+            "4",
+            "--algorithm",
+            "hier",
+            "--racks",
+            "0,1;2",
+        ]))
+        .unwrap();
+        let err = cmd_plan(&f).unwrap_err();
+        assert!(err.contains("not covered"), "{err}");
         fs::remove_dir_all(&dir).ok();
     }
 

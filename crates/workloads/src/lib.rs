@@ -15,13 +15,18 @@
 //!   compliance application … 2500 operators for 300 compliance rules";
 //! * [`joins`] — windowed-join graphs exercising the §6.2 linearisation;
 //! * [`linear_road`] — a Linear-Road-flavoured benchmark network (the
-//!   canonical stream benchmark of the Borealis era).
+//!   canonical stream benchmark of the Borealis era);
+//! * [`sparse_graphs`] — planner-stress graphs with many inputs and
+//!   bounded per-operator input support, the sparse-regime workload for
+//!   `n ≈ 1000`, `m ≈ 50 000` scaling runs.
 
 #![warn(missing_docs)]
 pub mod financial;
 pub mod joins;
 pub mod linear_road;
 pub mod random_graphs;
+pub mod sparse_graphs;
 pub mod traffic;
 
 pub use random_graphs::{RandomTreeConfig, RandomTreeGenerator};
+pub use sparse_graphs::{SparseGraphConfig, SparseGraphGenerator};
