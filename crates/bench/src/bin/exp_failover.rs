@@ -24,7 +24,7 @@ use serde::Serialize;
 use rod_bench::output::{fmt, print_table, write_json};
 use rod_core::allocation::Allocation;
 use rod_core::baselines::{build_planner, PlannerSpec};
-use rod_core::cluster::Cluster;
+use rod_core::cluster::{Cluster, Topology};
 use rod_core::ids::NodeId;
 use rod_core::load_model::LoadModel;
 use rod_core::resilience::{
@@ -44,6 +44,9 @@ struct Row {
     plan: String,
     healthy_ratio: f64,
     worst_survivor_ratio: f64,
+    /// Survivor ratio after the worst whole-rack outage (two uniform
+    /// racks), the correlated-failure counterpart of `worst_survivor_ratio`.
+    worst_rack_survivor_ratio: f64,
     worst_node: usize,
     recovery_latency_s: Option<f64>,
     tuples_shed_in_recovery: u64,
@@ -58,6 +61,7 @@ struct Scored {
     alloc: Allocation,
     healthy: usize,
     worst: usize,
+    worst_rack: usize,
     worst_node: usize,
 }
 
@@ -68,6 +72,7 @@ fn score(
     name: &'static str,
     alloc: Allocation,
     scenarios: &[FailureScenario],
+    rack_scenarios: &[FailureScenario],
 ) -> Scored {
     let healthy = scorer.healthy_alive(&alloc);
     let mut worst = usize::MAX;
@@ -79,11 +84,17 @@ fn score(
             worst_node = s.failed()[0].index();
         }
     }
+    let worst_rack = rack_scenarios
+        .iter()
+        .map(|s| scorer.scenario_alive(&alloc, s))
+        .min()
+        .unwrap_or(healthy);
     Scored {
         name,
         alloc,
         healthy,
         worst,
+        worst_rack,
         worst_node,
     }
 }
@@ -111,6 +122,13 @@ fn main() {
         );
         let mut scorer = ScenarioScorer::new(&model, &cluster, estimator.points());
         let scenarios = FailureScenario::all_single(nodes);
+        // Correlated failures: two uniform racks; losing a whole rack
+        // must still leave survivors, which validate() guarantees here.
+        let topology = Topology::uniform(nodes, 2);
+        let rack_scenarios = FailureScenario::racks(&topology);
+        for s in &rack_scenarios {
+            s.validate(&cluster).unwrap();
+        }
 
         let rod = RodPlanner::new()
             .place_with_metrics(&model, &cluster, exp.metrics())
@@ -130,14 +148,15 @@ fn main() {
         .unwrap();
 
         let scored = [
-            score(&mut scorer, "ROD", rod, &scenarios),
+            score(&mut scorer, "ROD", rod, &scenarios, &rack_scenarios),
             score(
                 &mut scorer,
                 "ResilientRod",
                 resilient.allocation,
                 &scenarios,
+                &rack_scenarios,
             ),
-            score(&mut scorer, "LLF", llf, &scenarios),
+            score(&mut scorer, "LLF", llf, &scenarios, &rack_scenarios),
         ];
 
         // Acceptance invariant: ResilientRod starts from the ROD plan and
@@ -185,6 +204,7 @@ fn main() {
                 s.name.to_string(),
                 fmt(s.healthy as f64 / num_points),
                 fmt(s.worst as f64 / num_points),
+                fmt(s.worst_rack as f64 / num_points),
                 s.worst_node.to_string(),
                 latency.map_or("-".into(), fmt),
                 report.tuples_shed_in_recovery.to_string(),
@@ -195,6 +215,7 @@ fn main() {
                 plan: s.name.to_string(),
                 healthy_ratio: s.healthy as f64 / num_points,
                 worst_survivor_ratio: s.worst as f64 / num_points,
+                worst_rack_survivor_ratio: s.worst_rack as f64 / num_points,
                 worst_node: s.worst_node,
                 recovery_latency_s: latency,
                 tuples_shed_in_recovery: report.tuples_shed_in_recovery,
@@ -211,6 +232,7 @@ fn main() {
             "plan",
             "healthy",
             "worst survivor",
+            "worst rack",
             "worst node",
             "recovery (s)",
             "shed in recovery",

@@ -1,0 +1,196 @@
+//! **Closed-loop online replanning \[reconstructed\]** — what the `rodd`
+//! control loop buys over a static placement when load actually drifts.
+//!
+//! Three arms replay the same bursty two-stream ON/OFF trace:
+//!
+//! * **static connected** — a calm-rate-aware baseline placement, frozen;
+//! * **static ROD** — the paper's resilient placement, frozen;
+//! * **rodd loop** — starts from the *connected* plan (the realistic
+//!   deployment mistake) and lets the control loop detect drift, replan
+//!   under guard, and migrate.
+//!
+//! Per arm we count the steps whose true rates overload the plan in
+//! force at that step, plus the loop's own decision counters. Expected
+//! shape: the connected plan drowns during bursts, static ROD mostly
+//! rides them out, and the closed loop rescues itself from the bad
+//! start — converging towards static-ROD robustness while making every
+//! intervention visible.
+
+use serde::Serialize;
+
+use rod_bench::output::{print_table, write_json};
+use rod_core::allocation::Allocation;
+use rod_core::baselines::{build_planner, PlannerSpec};
+use rod_core::cluster::Cluster;
+use rod_core::load_model::LoadModel;
+use rod_core::rod::RodPlanner;
+use rod_core::PlanEvaluator;
+use rod_ctrl::{ControlConfig, ControlLoop, Decision};
+use rod_traces::OnOffAggregate;
+use rod_workloads::RandomTreeGenerator;
+
+const NODES: usize = 3;
+const STEPS: usize = 400;
+
+#[derive(Serialize)]
+struct Row {
+    arm: String,
+    steps: usize,
+    infeasible_steps: usize,
+    worst_peak_utilisation: f64,
+    mean_peak_utilisation: f64,
+    replans_triggered: u64,
+    plans_committed: u64,
+    migrations_retried: u64,
+    sheds_advised: usize,
+    final_degradation_level: String,
+}
+
+fn peak(ev: &PlanEvaluator, alloc: &Allocation, rates: &[f64]) -> f64 {
+    ev.utilisations_at(alloc, rates)
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |a, &b| a.max(b))
+}
+
+/// Scale `s` such that `peak(alloc, s * dir) == target`.
+fn scale_to(ev: &PlanEvaluator, alloc: &Allocation, dir: &[f64], target: f64) -> f64 {
+    let at_one = peak(ev, alloc, dir);
+    assert!(at_one > 0.0, "direction produces no load");
+    // Utilisation is linear in the rate vector, so one probe suffices.
+    target / at_one
+}
+
+fn static_row(name: &str, ev: &PlanEvaluator, alloc: &Allocation, rates: &[Vec<f64>]) -> Row {
+    let peaks: Vec<f64> = rates.iter().map(|r| peak(ev, alloc, r)).collect();
+    Row {
+        arm: name.to_string(),
+        steps: peaks.len(),
+        infeasible_steps: peaks.iter().filter(|&&p| p > 1.0).count(),
+        worst_peak_utilisation: peaks.iter().fold(0.0f64, |a, &b| a.max(b)),
+        mean_peak_utilisation: peaks.iter().sum::<f64>() / peaks.len() as f64,
+        replans_triggered: 0,
+        plans_committed: 0,
+        migrations_retried: 0,
+        sheds_advised: 0,
+        final_degradation_level: "-".to_string(),
+    }
+}
+
+fn main() {
+    let _exp = rod_bench::output::Experiment::start();
+    let graph = RandomTreeGenerator::paper_default(2, 12).generate(42);
+    let model = LoadModel::derive(&graph).unwrap();
+    let cluster = Cluster::homogeneous(NODES, 1.0);
+    let ev = PlanEvaluator::new(&model, &cluster);
+
+    // Bursty inputs: two independent heavy-tailed ON/OFF aggregates.
+    // Few sources + heavy tail = genuinely bursty aggregate (peak
+    // several times the mean); many sources would smooth it back out.
+    let onoff = OnOffAggregate {
+        sources: 6,
+        alpha: 1.2,
+        min_period: 4.0,
+        on_rate: 1.0,
+        bins: STEPS,
+        dt: 1.0,
+    };
+    let traces = [onoff.generate(11), onoff.generate(13)];
+    let means: Vec<f64> = traces
+        .iter()
+        .map(|t| t.rates().iter().sum::<f64>() / t.rates().len() as f64)
+        .collect();
+
+    // Baseline: the connected-load planner tuned to the calm mean point.
+    let rod_alloc = RodPlanner::new()
+        .place(&model, &cluster)
+        .unwrap()
+        .allocation;
+    let connected_alloc = build_planner(&PlannerSpec::Connected {
+        rates: means.clone(),
+    })
+    .plan(&model, &cluster)
+    .unwrap();
+
+    // Scale the trace so the connected plan runs at 70% peak utilisation
+    // at the mean point — bursts (2-3x the mean) then push past 100%.
+    let s = scale_to(&ev, &connected_alloc, &means, 0.70);
+    let rates: Vec<Vec<f64>> = (0..STEPS)
+        .map(|t| traces.iter().map(|tr| tr.rates()[t] * s).collect())
+        .collect();
+
+    let mut rows = vec![
+        static_row("static-connected", &ev, &connected_alloc, &rates),
+        static_row("static-rod", &ev, &rod_alloc, &rates),
+    ];
+
+    // Closed loop, seeded with the connected plan.
+    let mut loop_ = ControlLoop::new(
+        LoadModel::derive(&graph).unwrap(),
+        cluster.clone(),
+        connected_alloc.clone(),
+        ControlConfig::default(),
+    )
+    .unwrap();
+    let mut peaks = Vec::with_capacity(STEPS);
+    for (t, r) in rates.iter().enumerate() {
+        // Report the utilisations the plan currently in force would see —
+        // the loop replans off its own EWMA estimate, not this snapshot.
+        let utils: Vec<f64> = ev.utilisations_at(loop_.current(), r).as_slice().to_vec();
+        loop_.observe_sample(t as f64 + 1.0, &utils, r);
+        peaks.push(peak(&ev, loop_.current(), r));
+    }
+    let summary = loop_.summary();
+    let sheds = loop_
+        .decisions()
+        .iter()
+        .filter(|d| matches!(d, Decision::ShedAdvised { .. }))
+        .count();
+    rows.push(Row {
+        arm: "rodd-loop".to_string(),
+        steps: peaks.len(),
+        infeasible_steps: peaks.iter().filter(|&&p| p > 1.0).count(),
+        worst_peak_utilisation: peaks.iter().fold(0.0f64, |a, &b| a.max(b)),
+        mean_peak_utilisation: peaks.iter().sum::<f64>() / peaks.len() as f64,
+        replans_triggered: summary.replans_triggered,
+        plans_committed: summary.plans_committed,
+        migrations_retried: summary.migrations_retried,
+        sheds_advised: sheds,
+        final_degradation_level: format!("{}", summary.degradation_level),
+    });
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.arm.clone(),
+                format!("{}/{}", r.infeasible_steps, r.steps),
+                format!("{:.3}", r.worst_peak_utilisation),
+                format!("{:.3}", r.mean_peak_utilisation),
+                r.replans_triggered.to_string(),
+                r.plans_committed.to_string(),
+                r.sheds_advised.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Online replanning on a bursty ON/OFF trace (24 ops, 2 streams, 3 nodes)",
+        &[
+            "arm",
+            "overloaded",
+            "worst peak",
+            "mean peak",
+            "replans",
+            "commits",
+            "sheds",
+        ],
+        &table,
+    );
+    println!(
+        "\nExpected shape: static-connected overloads during bursts; static \
+         ROD rides most of them out;\nthe rodd loop starts from the connected \
+         plan, rescues itself after the first drift, and ends\nnear static-ROD \
+         robustness with every replan, commit, and shed accounted for."
+    );
+    write_json("exp_online", &rows);
+}

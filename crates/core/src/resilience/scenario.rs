@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, Topology};
 use crate::error::PlacementError;
 use crate::ids::NodeId;
 
@@ -48,6 +48,19 @@ impl FailureScenario {
             }
         }
         out
+    }
+
+    /// One scenario per rack of `topology`: every node of the rack dies
+    /// at once — the correlated-failure mode (shared switch or power
+    /// feed) that rack-aware placement defends against. Empty racks are
+    /// skipped; rack order is preserved, members sorted ascending.
+    pub fn racks(topology: &Topology) -> Vec<FailureScenario> {
+        topology
+            .racks()
+            .iter()
+            .filter(|members| !members.is_empty())
+            .map(|members| FailureScenario::new(members.iter().copied().map(NodeId).collect()))
+            .collect()
     }
 
     /// The failed nodes, sorted ascending.
@@ -165,6 +178,29 @@ mod tests {
     fn new_sorts_and_dedups() {
         let s = FailureScenario::new(vec![NodeId(2), NodeId(0), NodeId(2)]);
         assert_eq!(s.failed(), &[NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn rack_scenarios_cover_each_rack_once() {
+        // 5 nodes over 2 racks: [0, 1, 2] and [3, 4].
+        let topo = Topology::uniform(5, 2);
+        let all = FailureScenario::racks(&topo);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].failed(), &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(all[1].failed(), &[NodeId(3), NodeId(4)]);
+        let cluster = Cluster::homogeneous(5, 1.0);
+        for s in &all {
+            s.validate(&cluster).unwrap();
+        }
+    }
+
+    #[test]
+    fn rack_scenarios_sort_members_and_skip_empty_racks() {
+        let topo = Topology::new(vec![vec![3, 1], vec![], vec![0, 2]]);
+        let all = FailureScenario::racks(&topo);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].failed(), &[NodeId(1), NodeId(3)]);
+        assert_eq!(all[1].failed(), &[NodeId(0), NodeId(2)]);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! `rodd` — the online replanning daemon.
+//!
+//! ```text
+//! rodd --graph graph.json --nodes 4 --trace-in telemetry.jsonl \
+//!      [--plan plan.json] [--capacity C] [--plan-out plan.json] \
+//!      [--log-out decisions.jsonl] [--budget SECONDS]
+//! ```
+//!
+//! Single-shot replay mode: consumes the telemetry stream to exhaustion,
+//! prints the run summary as JSON on stdout, and writes the final plan
+//! and the JSONL decision log where asked. Without `--plan` the initial
+//! placement is computed with the ROD planner. Without `--budget` the
+//! planner runs inline and the run is fully deterministic — the mode CI
+//! replays use. Exit status is 0 whenever the loop ran to completion
+//! (rejected telemetry lines are counted, not fatal); only setup errors
+//! (unreadable graph, malformed plan) fail the process.
+
+use std::fs;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use rod_core::allocation::Allocation;
+use rod_core::cluster::Cluster;
+use rod_core::load_model::LoadModel;
+use rod_core::QueryGraph;
+use rod_ctrl::{ControlConfig, ControlLoop};
+
+fn parse_args(args: &[String]) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{flag}'"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        pairs.push((name.to_string(), value.clone()));
+    }
+    Ok(pairs)
+}
+
+fn get<'a>(pairs: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    pairs
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn require<'a>(pairs: &'a [(String, String)], name: &str) -> Result<&'a str, String> {
+    get(pairs, name).ok_or_else(|| format!("missing --{name}\n{}", usage()))
+}
+
+fn usage() -> String {
+    "usage: rodd --graph FILE --nodes N --trace-in FILE\n\
+     \u{20}      [--plan FILE] [--capacity C] [--plan-out FILE]\n\
+     \u{20}      [--log-out FILE] [--budget SECONDS]"
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let pairs = parse_args(args)?;
+    let graph_path = require(&pairs, "graph")?;
+    let graph_json =
+        fs::read_to_string(graph_path).map_err(|e| format!("read {graph_path}: {e}"))?;
+    let graph: QueryGraph =
+        serde_json::from_str(&graph_json).map_err(|e| format!("parse {graph_path}: {e}"))?;
+    graph.validate().map_err(|e| format!("{graph_path}: {e}"))?;
+
+    let nodes: usize = require(&pairs, "nodes")?
+        .parse()
+        .map_err(|_| "--nodes: bad value".to_string())?;
+    let capacity: f64 = match get(&pairs, "capacity") {
+        None => 1.0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--capacity: bad value '{v}'"))?,
+    };
+    let cluster = Cluster::homogeneous(nodes, capacity);
+
+    let mut cfg = ControlConfig::default();
+    if let Some(v) = get(&pairs, "budget") {
+        let budget: f64 = v
+            .parse()
+            .map_err(|_| format!("--budget: bad value '{v}'"))?;
+        cfg.plan_budget = Some(budget);
+    }
+
+    let mut loop_ = match get(&pairs, "plan") {
+        None => rod_ctrl::bootstrap(&graph, cluster, cfg)?,
+        Some(plan_path) => {
+            let plan_json =
+                fs::read_to_string(plan_path).map_err(|e| format!("read {plan_path}: {e}"))?;
+            let initial: Allocation =
+                serde_json::from_str(&plan_json).map_err(|e| format!("parse {plan_path}: {e}"))?;
+            let model = LoadModel::derive(&graph).map_err(|e| e.to_string())?;
+            ControlLoop::new(model, cluster, initial, cfg)?
+        }
+    };
+
+    let trace_path = require(&pairs, "trace-in")?;
+    let file = fs::File::open(trace_path).map_err(|e| format!("open {trace_path}: {e}"))?;
+    let summary = loop_
+        .replay(BufReader::new(file))
+        .map_err(|e| format!("read {trace_path}: {e}"))?;
+
+    if let Some(out) = get(&pairs, "plan-out") {
+        let json =
+            serde_json::to_string(loop_.current()).map_err(|e| format!("serialise plan: {e}"))?;
+        fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
+    }
+    if let Some(out) = get(&pairs, "log-out") {
+        fs::write(out, loop_.decision_log_jsonl()).map_err(|e| format!("write {out}: {e}"))?;
+    }
+
+    let mut output =
+        serde_json::to_string(&summary).map_err(|e| format!("serialise summary: {e}"))?;
+    output.push('\n');
+    output.push_str(&loop_.metrics().snapshot().render());
+    Ok(output)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("rodd: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

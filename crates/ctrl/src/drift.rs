@@ -1,0 +1,202 @@
+//! Drift detection with hysteresis.
+//!
+//! The detector watches one scalar: the **uniform headroom** of the
+//! current plan at the smoothed rate estimate (the distance to the
+//! feasible-set boundary along the current traffic mix, from
+//! [`rod_core::headroom`]). Naive thresholding would replan on every
+//! sample that grazes the threshold; this detector is a Schmitt trigger
+//! with a cooldown:
+//!
+//! * **trigger** when headroom falls below `trigger_headroom` while
+//!   armed — one replan fires and the detector disarms;
+//! * **re-arm** only after `cooldown` further samples *and* headroom has
+//!   recovered above `rearm_headroom` (the wider band defeats chatter at
+//!   the boundary);
+//! * **emergency bypass**: headroom below 1.0 means the current plan is
+//!   already infeasible at the estimate — that always fires, cooldown or
+//!   not, because waiting costs shed tuples.
+
+use serde::{Deserialize, Serialize};
+
+/// Hysteresis and cooldown parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Fire when uniform headroom drops below this (≥ 1.0; 1.25 default
+    /// means "a 25% burst would saturate some node").
+    pub trigger_headroom: f64,
+    /// Re-arm only once headroom has recovered above this (> trigger).
+    pub rearm_headroom: f64,
+    /// Minimum accepted samples between triggers.
+    pub cooldown: u32,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            trigger_headroom: 1.25,
+            rearm_headroom: 1.6,
+            cooldown: 5,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Rejects inverted bands and non-finite thresholds.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.trigger_headroom.is_finite() || self.trigger_headroom < 1.0 {
+            return Err(format!(
+                "trigger_headroom must be finite and >= 1 (got {})",
+                self.trigger_headroom
+            ));
+        }
+        if !self.rearm_headroom.is_finite() || self.rearm_headroom < self.trigger_headroom {
+            return Err(format!(
+                "rearm_headroom ({}) must be finite and >= trigger_headroom ({})",
+                self.rearm_headroom, self.trigger_headroom
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The detector's verdict on one sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriftVerdict {
+    /// Headroom is comfortable; nothing to do.
+    Calm,
+    /// Drift detected — replan now.
+    Drift,
+    /// Headroom is below the trigger but the detector is cooling down
+    /// (and the plan is still feasible) — suppressed.
+    Suppressed,
+}
+
+/// Schmitt-trigger drift detector. Deterministic: state advances only on
+/// [`observe`](DriftDetector::observe), never on wall-clock time.
+#[derive(Clone, Debug)]
+pub struct DriftDetector {
+    cfg: DriftConfig,
+    armed: bool,
+    samples_since_trigger: u32,
+    recovered: bool,
+}
+
+impl DriftDetector {
+    /// A new, armed detector.
+    pub fn new(cfg: DriftConfig) -> DriftDetector {
+        DriftDetector {
+            cfg,
+            armed: true,
+            samples_since_trigger: 0,
+            recovered: true,
+        }
+    }
+
+    /// Whether the next low-headroom sample would fire.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Feeds one uniform-headroom observation; NaN is treated as zero
+    /// headroom (a plan whose margin cannot be computed is not trusted).
+    pub fn observe(&mut self, uniform_headroom: f64) -> DriftVerdict {
+        let h = if uniform_headroom.is_nan() {
+            0.0
+        } else {
+            uniform_headroom
+        };
+        if !self.armed {
+            self.samples_since_trigger = self.samples_since_trigger.saturating_add(1);
+            if h >= self.cfg.rearm_headroom {
+                self.recovered = true;
+            }
+            if self.recovered && self.samples_since_trigger >= self.cfg.cooldown {
+                self.armed = true;
+            }
+        }
+        if h < 1.0 {
+            // Already infeasible: bypass hysteresis entirely.
+            self.fire();
+            return DriftVerdict::Drift;
+        }
+        if h < self.cfg.trigger_headroom {
+            if self.armed {
+                self.fire();
+                return DriftVerdict::Drift;
+            }
+            return DriftVerdict::Suppressed;
+        }
+        DriftVerdict::Calm
+    }
+
+    fn fire(&mut self) {
+        self.armed = false;
+        self.samples_since_trigger = 0;
+        self.recovered = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> DriftDetector {
+        DriftDetector::new(DriftConfig {
+            trigger_headroom: 1.25,
+            rearm_headroom: 1.6,
+            cooldown: 3,
+        })
+    }
+
+    #[test]
+    fn fires_once_then_cools_down() {
+        let mut d = detector();
+        assert_eq!(d.observe(2.0), DriftVerdict::Calm);
+        assert_eq!(d.observe(1.2), DriftVerdict::Drift);
+        // Same low headroom, still feasible: suppressed during cooldown.
+        assert_eq!(d.observe(1.2), DriftVerdict::Suppressed);
+        assert_eq!(d.observe(1.2), DriftVerdict::Suppressed);
+    }
+
+    #[test]
+    fn rearms_only_after_cooldown_and_recovery() {
+        let mut d = detector();
+        assert_eq!(d.observe(1.1), DriftVerdict::Drift);
+        // Cooldown elapses but headroom never recovers above 1.6:
+        for _ in 0..5 {
+            assert_eq!(d.observe(1.3), DriftVerdict::Calm);
+        }
+        assert!(!d.is_armed(), "no recovery, stays disarmed");
+        assert_eq!(d.observe(1.2), DriftVerdict::Suppressed);
+        // Recovery + cooldown re-arms.
+        assert_eq!(d.observe(1.7), DriftVerdict::Calm);
+        assert!(d.is_armed());
+        assert_eq!(d.observe(1.2), DriftVerdict::Drift);
+    }
+
+    #[test]
+    fn infeasibility_bypasses_cooldown() {
+        let mut d = detector();
+        assert_eq!(d.observe(1.2), DriftVerdict::Drift);
+        // Next sample says the plan is outright infeasible: fire again
+        // immediately, cooldown notwithstanding.
+        assert_eq!(d.observe(0.8), DriftVerdict::Drift);
+        assert_eq!(d.observe(f64::NAN), DriftVerdict::Drift);
+    }
+
+    #[test]
+    fn config_validation_rejects_inverted_bands() {
+        let bad = DriftConfig {
+            trigger_headroom: 1.5,
+            rearm_headroom: 1.2,
+            cooldown: 1,
+        };
+        assert!(bad.validate().is_err());
+        assert!(DriftConfig::default().validate().is_ok());
+        let nan = DriftConfig {
+            trigger_headroom: f64::NAN,
+            ..DriftConfig::default()
+        };
+        assert!(nan.validate().is_err());
+    }
+}

@@ -1,0 +1,336 @@
+//! Chaos-hardened migration execution.
+//!
+//! A committed plan becomes a list of single-operator migration steps.
+//! Real migrations fail — the destination drops the handshake, the state
+//! transfer stalls — so each step runs under a bounded retry policy with
+//! deterministic exponential backoff, and a step that exhausts its
+//! retries is *skipped*, leaving that operator at its origin. The result
+//! of execution is therefore always a complete, well-formed allocation:
+//! either the target, or the target minus the skipped moves.
+//!
+//! Failure injection lives behind the [`MigrationExecutor`] trait; the
+//! production loop uses [`ReliableExecutor`] (or drives a real system),
+//! while the chaos suite installs a seeded [`ChaosExecutor`].
+
+use serde::{Deserialize, Serialize};
+
+use rod_core::allocation::Allocation;
+use rod_core::ids::{NodeId, OperatorId};
+use rod_geom::rng::{seeded_rng, Rng};
+
+/// One operator relocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationStep {
+    /// The operator to move.
+    pub op: OperatorId,
+    /// Where it runs now.
+    pub from: NodeId,
+    /// Where it should run.
+    pub to: NodeId,
+}
+
+/// The ordered move list turning `current` into `target` (operators in
+/// index order — deterministic). Operators unassigned in either plan are
+/// skipped: execution never manufactures assignments.
+pub fn steps(current: &Allocation, target: &Allocation) -> Vec<MigrationStep> {
+    current
+        .diff(target)
+        .into_iter()
+        .filter_map(|op| match (current.node_of(op), target.node_of(op)) {
+            (Some(from), Some(to)) if from != to => Some(MigrationStep { op, from, to }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Bounded-retry policy with exponential backoff.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per step (first try included). 0 is treated as 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in (virtual) seconds.
+    pub base_backoff: f64,
+    /// Backoff growth factor per further retry.
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: 0.5,
+            multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff after failed attempt number `attempt` (1-based):
+    /// `base · multiplier^(attempt-1)`, exponent clamped against
+    /// overflow. Deterministic — no jitter, so fixed-seed replays agree.
+    pub fn backoff(&self, attempt: u32) -> f64 {
+        let exp = attempt.saturating_sub(1).min(30);
+        self.base_backoff * self.multiplier.powi(exp as i32)
+    }
+}
+
+/// Executes one migration step against the (possibly faulty) world.
+pub trait MigrationExecutor {
+    /// Attempts the step once; an error message describes the failure.
+    fn execute(&mut self, step: &MigrationStep, attempt: u32) -> Result<(), String>;
+}
+
+/// An executor whose steps always succeed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReliableExecutor;
+
+impl MigrationExecutor for ReliableExecutor {
+    fn execute(&mut self, _step: &MigrationStep, _attempt: u32) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Seeded fault injection: each attempt fails independently with
+/// `failure_prob`. Same seed ⇒ same failure pattern, so chaos tests
+/// replay bit-identically.
+#[derive(Clone, Debug)]
+pub struct ChaosExecutor {
+    /// Per-attempt failure probability in [0, 1).
+    pub failure_prob: f64,
+    rng: Rng,
+}
+
+impl ChaosExecutor {
+    /// A chaos executor with its own RNG stream.
+    pub fn new(failure_prob: f64, seed: u64) -> ChaosExecutor {
+        ChaosExecutor {
+            failure_prob: failure_prob.clamp(0.0, 0.999_999),
+            rng: seeded_rng(seed ^ 0x006d_6967_7261_7465), // "migrate"
+        }
+    }
+}
+
+impl MigrationExecutor for ChaosExecutor {
+    fn execute(&mut self, step: &MigrationStep, _attempt: u32) -> Result<(), String> {
+        use rand::Rng as _;
+        if self.rng.gen::<f64>() < self.failure_prob {
+            Err(format!(
+                "injected fault moving op {} to node {}",
+                step.op.index(),
+                step.to.index()
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// What happened to one step.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum StepOutcome {
+    /// Applied after `attempts` tries.
+    Applied {
+        /// Attempts used (1 = first try).
+        attempts: u32,
+    },
+    /// Exhausted every retry; the operator stays at its origin.
+    Aborted {
+        /// Attempts used.
+        attempts: u32,
+        /// The final failure message.
+        last_error: String,
+    },
+}
+
+/// The full record of one plan application.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExecReport {
+    /// Per-step outcomes, in execution order.
+    pub outcomes: Vec<(MigrationStep, StepOutcome)>,
+    /// Total retries across all steps (attempts beyond the first).
+    pub retries: u64,
+    /// Steps that exhausted their retries.
+    pub aborted: u64,
+    /// Total virtual backoff time spent, in seconds.
+    pub backoff_spent: f64,
+}
+
+impl ExecReport {
+    /// True when every step applied.
+    pub fn fully_applied(&self) -> bool {
+        self.aborted == 0
+    }
+}
+
+/// Drives `current` toward `target` step by step. `current` is mutated
+/// in place and is a complete allocation on exit regardless of how many
+/// steps aborted.
+pub fn apply_plan(
+    current: &mut Allocation,
+    target: &Allocation,
+    executor: &mut dyn MigrationExecutor,
+    policy: &RetryPolicy,
+) -> ExecReport {
+    let mut report = ExecReport {
+        outcomes: Vec::new(),
+        retries: 0,
+        aborted: 0,
+        backoff_spent: 0.0,
+    };
+    let max_attempts = policy.max_attempts.max(1);
+    for step in steps(current, target) {
+        let mut outcome = None;
+        for attempt in 1..=max_attempts {
+            match executor.execute(&step, attempt) {
+                Ok(()) => {
+                    current.assign(step.op, step.to);
+                    outcome = Some(StepOutcome::Applied { attempts: attempt });
+                    break;
+                }
+                Err(message) => {
+                    if attempt < max_attempts {
+                        report.retries += 1;
+                        report.backoff_spent += policy.backoff(attempt);
+                    } else {
+                        report.aborted += 1;
+                        outcome = Some(StepOutcome::Aborted {
+                            attempts: attempt,
+                            last_error: message,
+                        });
+                    }
+                }
+            }
+        }
+        report
+            .outcomes
+            .push((step, outcome.expect("loop always sets an outcome")));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(assignments: &[usize], nodes: usize) -> Allocation {
+        let mut a = Allocation::new(assignments.len(), nodes);
+        for (op, &node) in assignments.iter().enumerate() {
+            a.assign(OperatorId(op), NodeId(node));
+        }
+        a
+    }
+
+    #[test]
+    fn steps_cover_exactly_the_diff() {
+        let current = alloc(&[0, 0, 1], 2);
+        let target = alloc(&[1, 0, 0], 2);
+        let s = steps(&current, &target);
+        assert_eq!(
+            s,
+            vec![
+                MigrationStep {
+                    op: OperatorId(0),
+                    from: NodeId(0),
+                    to: NodeId(1)
+                },
+                MigrationStep {
+                    op: OperatorId(2),
+                    from: NodeId(1),
+                    to: NodeId(0)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn reliable_execution_reaches_the_target() {
+        let mut current = alloc(&[0, 0, 0], 3);
+        let target = alloc(&[1, 2, 0], 3);
+        let report = apply_plan(
+            &mut current,
+            &target,
+            &mut ReliableExecutor,
+            &RetryPolicy::default(),
+        );
+        assert_eq!(current, target);
+        assert!(report.fully_applied());
+        assert_eq!(report.retries, 0);
+    }
+
+    /// Fails the first `failures` attempts, then succeeds forever.
+    struct FailFirst {
+        failures: u32,
+        seen: u32,
+    }
+    impl MigrationExecutor for FailFirst {
+        fn execute(&mut self, _step: &MigrationStep, _attempt: u32) -> Result<(), String> {
+            self.seen += 1;
+            if self.seen <= self.failures {
+                Err("transient".into())
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn retries_back_off_exponentially_then_succeed() {
+        let mut current = alloc(&[0], 2);
+        let target = alloc(&[1], 2);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: 0.5,
+            multiplier: 2.0,
+        };
+        let mut exec = FailFirst {
+            failures: 2,
+            seen: 0,
+        };
+        let report = apply_plan(&mut current, &target, &mut exec, &policy);
+        assert_eq!(current, target);
+        assert_eq!(report.retries, 2);
+        // 0.5 after attempt 1, 1.0 after attempt 2.
+        assert!((report.backoff_spent - 1.5).abs() < 1e-12);
+        assert_eq!(report.outcomes[0].1, StepOutcome::Applied { attempts: 3 });
+    }
+
+    #[test]
+    fn exhausted_steps_abort_but_leave_a_complete_allocation() {
+        let mut current = alloc(&[0, 0], 2);
+        let target = alloc(&[1, 1], 2);
+        // Every attempt fails: both steps abort, nothing moves.
+        let mut exec = FailFirst {
+            failures: u32::MAX,
+            seen: 0,
+        };
+        let report = apply_plan(&mut current, &target, &mut exec, &RetryPolicy::default());
+        assert_eq!(report.aborted, 2);
+        assert!(!report.fully_applied());
+        assert_eq!(current, alloc(&[0, 0], 2));
+        assert!(current.is_complete());
+    }
+
+    #[test]
+    fn chaos_executor_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut current = alloc(&[0, 0, 0, 0], 2);
+            let target = alloc(&[1, 1, 1, 1], 2);
+            let mut exec = ChaosExecutor::new(0.5, seed);
+            let report = apply_plan(&mut current, &target, &mut exec, &RetryPolicy::default());
+            (current, report.retries, report.aborted)
+        };
+        assert_eq!(run(7), run(7));
+        // Sanity: some seed behaves differently from seed 7 somewhere.
+        assert!((0..20).any(|s| run(s) != run(7)));
+    }
+
+    #[test]
+    fn backoff_never_overflows() {
+        let policy = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: 1.0,
+            multiplier: 2.0,
+        };
+        assert!(policy.backoff(u32::MAX).is_finite());
+    }
+}

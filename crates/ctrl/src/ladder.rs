@@ -1,0 +1,194 @@
+//! The degradation ladder.
+//!
+//! The control loop must keep producing *some* sensible behaviour as its
+//! own machinery fails. The ladder orders four regimes from most to
+//! least capable; repeated faults (planner timeouts, panics, infeasible
+//! candidates, migration aborts) walk the system down one rung at a
+//! time, and sustained successes walk it back up:
+//!
+//! 1. [`FullReplan`](DegradationLevel::FullReplan) — run the full ROD
+//!    planner from scratch on drift.
+//! 2. [`IncrementalOnly`](DegradationLevel::IncrementalOnly) — only
+//!    bounded local moves from the current plan (cheaper, smaller blast
+//!    radius when the planner is misbehaving).
+//! 3. [`HoldLastGood`](DegradationLevel::HoldLastGood) — stop planning;
+//!    keep serving the last plan that was verified feasible.
+//! 4. [`AdviseShed`](DegradationLevel::AdviseShed) — the last-good plan
+//!    is no longer feasible either; advise load shedding to a feasible
+//!    fraction until conditions improve.
+
+use serde::{Deserialize, Serialize};
+
+/// The four regimes, most capable first. The discriminant doubles as the
+/// `ctrl.degradation_level` gauge value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DegradationLevel {
+    /// Full re-plan from scratch allowed.
+    FullReplan,
+    /// Only incremental moves from the current plan.
+    IncrementalOnly,
+    /// No planning; serve the last-good plan.
+    HoldLastGood,
+    /// Last-good is overrun too; advise shedding.
+    AdviseShed,
+}
+
+impl DegradationLevel {
+    /// Gauge encoding: 0 = full replan … 3 = advise shed.
+    pub fn gauge(&self) -> f64 {
+        *self as u8 as f64
+    }
+
+    fn down(self) -> DegradationLevel {
+        match self {
+            DegradationLevel::FullReplan => DegradationLevel::IncrementalOnly,
+            DegradationLevel::IncrementalOnly => DegradationLevel::HoldLastGood,
+            _ => DegradationLevel::AdviseShed,
+        }
+    }
+
+    fn up(self) -> DegradationLevel {
+        match self {
+            DegradationLevel::AdviseShed => DegradationLevel::HoldLastGood,
+            DegradationLevel::HoldLastGood => DegradationLevel::IncrementalOnly,
+            _ => DegradationLevel::FullReplan,
+        }
+    }
+}
+
+impl std::fmt::Display for DegradationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DegradationLevel::FullReplan => "full-replan",
+            DegradationLevel::IncrementalOnly => "incremental-only",
+            DegradationLevel::HoldLastGood => "hold-last-good",
+            DegradationLevel::AdviseShed => "advise-shed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Escalation/relaxation thresholds.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LadderConfig {
+    /// Consecutive faults before stepping one rung down.
+    pub escalate_after: u32,
+    /// Consecutive successes before stepping one rung up.
+    pub relax_after: u32,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            escalate_after: 2,
+            relax_after: 3,
+        }
+    }
+}
+
+/// Tracks consecutive faults/successes and the current rung.
+#[derive(Clone, Debug)]
+pub struct DegradationLadder {
+    cfg: LadderConfig,
+    level: DegradationLevel,
+    consecutive_faults: u32,
+    consecutive_successes: u32,
+}
+
+impl DegradationLadder {
+    /// A fresh ladder at [`DegradationLevel::FullReplan`].
+    pub fn new(cfg: LadderConfig) -> DegradationLadder {
+        DegradationLadder {
+            cfg: LadderConfig {
+                escalate_after: cfg.escalate_after.max(1),
+                relax_after: cfg.relax_after.max(1),
+            },
+            level: DegradationLevel::FullReplan,
+            consecutive_faults: 0,
+            consecutive_successes: 0,
+        }
+    }
+
+    /// The current rung.
+    pub fn level(&self) -> DegradationLevel {
+        self.level
+    }
+
+    /// Records one fault; returns the new level if it changed.
+    pub fn record_fault(&mut self) -> Option<DegradationLevel> {
+        self.consecutive_successes = 0;
+        self.consecutive_faults = self.consecutive_faults.saturating_add(1);
+        if self.consecutive_faults >= self.cfg.escalate_after {
+            self.consecutive_faults = 0;
+            let next = self.level.down();
+            if next != self.level {
+                self.level = next;
+                return Some(next);
+            }
+        }
+        None
+    }
+
+    /// Records one success; returns the new level if it changed.
+    pub fn record_success(&mut self) -> Option<DegradationLevel> {
+        self.consecutive_faults = 0;
+        self.consecutive_successes = self.consecutive_successes.saturating_add(1);
+        if self.consecutive_successes >= self.cfg.relax_after {
+            self.consecutive_successes = 0;
+            let next = self.level.up();
+            if next != self.level {
+                self.level = next;
+                return Some(next);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> DegradationLadder {
+        DegradationLadder::new(LadderConfig {
+            escalate_after: 2,
+            relax_after: 2,
+        })
+    }
+
+    #[test]
+    fn escalates_one_rung_per_fault_burst() {
+        let mut l = ladder();
+        assert_eq!(l.record_fault(), None);
+        assert_eq!(l.record_fault(), Some(DegradationLevel::IncrementalOnly));
+        assert_eq!(l.record_fault(), None);
+        assert_eq!(l.record_fault(), Some(DegradationLevel::HoldLastGood));
+        assert_eq!(l.record_fault(), None);
+        assert_eq!(l.record_fault(), Some(DegradationLevel::AdviseShed));
+        // Bottom rung is absorbing under further faults.
+        assert_eq!(l.record_fault(), None);
+        assert_eq!(l.record_fault(), None);
+        assert_eq!(l.level(), DegradationLevel::AdviseShed);
+    }
+
+    #[test]
+    fn successes_relax_and_reset_fault_streaks() {
+        let mut l = ladder();
+        l.record_fault();
+        assert_eq!(l.record_success(), None);
+        // The success broke the fault streak:
+        assert_eq!(l.record_fault(), None);
+        l.record_fault();
+        assert_eq!(l.level(), DegradationLevel::IncrementalOnly);
+        assert_eq!(l.record_success(), None);
+        assert_eq!(l.record_success(), Some(DegradationLevel::FullReplan));
+        assert_eq!(l.level(), DegradationLevel::FullReplan);
+    }
+
+    #[test]
+    fn gauge_is_monotone_in_severity() {
+        assert_eq!(DegradationLevel::FullReplan.gauge(), 0.0);
+        assert_eq!(DegradationLevel::AdviseShed.gauge(), 3.0);
+        assert!(DegradationLevel::HoldLastGood > DegradationLevel::IncrementalOnly);
+    }
+}

@@ -21,7 +21,11 @@
 //!   trees and the motivating traffic-monitoring / financial workloads;
 //! * [`sim`] (from `rod-sim`) — a discrete-event distributed SPE
 //!   simulator standing in for the Borealis prototype, with the paper's
-//!   utilisation-based feasibility probing.
+//!   utilisation-based feasibility probing;
+//! * [`ctrl`] (from `rod-ctrl`) — the `rodd` online replanning control
+//!   loop: tolerant telemetry ingestion, drift detection with
+//!   hysteresis, guarded replanning under a deadline budget, and
+//!   chaos-hardened migration execution with a degradation ladder.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +55,7 @@
 
 #![warn(missing_docs)]
 pub use rod_core as core;
+pub use rod_ctrl as ctrl;
 pub use rod_geom as geom;
 pub use rod_sim as sim;
 pub use rod_traces as traces;
@@ -62,6 +67,7 @@ pub mod prelude {
     pub use rod_core::explain::explain_plan;
     pub use rod_core::headroom::{headroom, HeadroomReport};
     pub use rod_core::prelude::*;
+    pub use rod_ctrl::{ControlConfig, ControlLoop, Decision, ReplaySummary};
     pub use rod_geom::{Hyperplane, Matrix, Vector, VolumeEstimator};
     pub use rod_sim::{
         FailoverConfig, FeasibilityProbe, JsonlSink, MigrationConfig, NetworkConfig, NullSink,

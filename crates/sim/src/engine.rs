@@ -27,6 +27,7 @@ use rod_core::operator::OperatorKind;
 use rod_core::resilience::FailoverTable;
 use rod_geom::rng::{seeded_rng, Rng};
 use rod_geom::Percentiles;
+use serde::{Deserialize, Serialize};
 
 use crate::events::{EventKind, EventQueue, Tuple};
 use crate::report::{RecoveryRecord, SimReport, TimelineSample};
@@ -62,7 +63,7 @@ impl Default for NetworkConfig {
 /// migration is on the order of a few hundred milliseconds. Operators
 /// with large states will have longer migration times"). Enabling it
 /// turns the simulator into the reactive system ROD is compared against.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct MigrationConfig {
     /// Control period: utilisation is sampled and a migration considered
     /// every this many seconds.
@@ -93,6 +94,65 @@ impl Default for MigrationConfig {
             per_item_downtime: 1e-4,
             pinned: Vec::new(),
         }
+    }
+}
+
+/// Chaos injection for migration execution: each load-manager migration
+/// step fails with `failure_prob` when its transfer completes, is
+/// retried after a deterministic exponential backoff, and is rolled back
+/// to its origin node once `max_retries` extra attempts are exhausted.
+///
+/// Failure draws come from a dedicated RNG stream (`seed`), so enabling
+/// chaos never perturbs source arrivals or selectivity draws, and a
+/// fixed-seed chaos run replays bit-identically. Table-driven failover
+/// moves are exempt: their origin node is dead, so there is nothing to
+/// roll back onto.
+#[derive(Clone, Debug)]
+pub struct MigrationChaos {
+    /// Probability that a completing migration step fails, in `[0, 1)`.
+    pub failure_prob: f64,
+    /// Retries allowed per migration after the first failed attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry (seconds); doubles per attempt.
+    pub base_backoff: f64,
+    /// Seed of the dedicated failure-draw RNG stream.
+    pub seed: u64,
+}
+
+impl Default for MigrationChaos {
+    fn default() -> Self {
+        MigrationChaos {
+            failure_prob: 0.2,
+            max_retries: 3,
+            base_backoff: 0.2,
+            seed: 0,
+        }
+    }
+}
+
+impl MigrationChaos {
+    /// Validates the chaos parameters: `failure_prob` in `[0, 1)` (a
+    /// certain failure would retry forever under any budget) and a
+    /// finite, positive backoff.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.failure_prob.is_finite() || !(0.0..1.0).contains(&self.failure_prob) {
+            return Err(format!(
+                "migration chaos failure probability must be in [0, 1) (got {})",
+                self.failure_prob
+            ));
+        }
+        if !self.base_backoff.is_finite() || self.base_backoff <= 0.0 {
+            return Err(format!(
+                "migration chaos backoff must be finite and positive (got {})",
+                self.base_backoff
+            ));
+        }
+        Ok(())
+    }
+
+    /// Backoff before retry `attempt` (1-based): `base · 2^(attempt−1)`.
+    pub fn backoff(&self, attempt: u32) -> f64 {
+        self.base_backoff * 2f64.powi(attempt.saturating_sub(1).min(30) as i32)
     }
 }
 
@@ -192,6 +252,9 @@ pub struct SimulationConfig {
     /// Optional dynamic operator migration (None = static placement, the
     /// ROD regime).
     pub migration: Option<MigrationConfig>,
+    /// Optional chaos injection on migration execution (None = transfers
+    /// always succeed, the pre-chaos behaviour).
+    pub migration_chaos: Option<MigrationChaos>,
     /// Take a runtime snapshot ([`crate::report::TimelineSample`]) every
     /// this many seconds (None = no timeline).
     pub sample_interval: Option<f64>,
@@ -260,6 +323,9 @@ impl SimulationConfig {
                 ));
             }
         }
+        if let Some(chaos) = &self.migration_chaos {
+            chaos.validate()?;
+        }
         Ok(())
     }
 }
@@ -272,6 +338,7 @@ impl Default for SimulationConfig {
             seed: 0,
             network: NetworkConfig::default(),
             migration: None,
+            migration_chaos: None,
             sample_interval: None,
             scheduling: SchedulingPolicy::default(),
             outages: Vec::new(),
@@ -395,6 +462,21 @@ struct Runtime<'a, S: TraceSink> {
     migrations: u64,
     migration_downtime: f64,
     timeline: Vec<TimelineSample>,
+    /// Position of each stream in `graph.inputs()` (None for derived
+    /// streams) — maps StreamArrival events to rate-sample slots.
+    input_index: Vec<Option<usize>>,
+    /// Source arrivals per input stream since the last sample tick.
+    window_arrivals: Vec<u64>,
+    /// Migration chaos injection (None = transfers always succeed).
+    chaos: Option<MigrationChaos>,
+    /// Dedicated RNG stream for chaos failure draws.
+    chaos_rng: Rng,
+    /// Failed attempts so far per in-flight migration.
+    mig_attempts: Vec<u32>,
+    /// Chaos-failed migration attempts that were retried.
+    migration_retries: u64,
+    /// Migrations rolled back after exhausting the chaos retry budget.
+    migrations_aborted: u64,
     /// Trace receiver ([`NullSink`] when tracing is off).
     sink: &'a mut S,
 }
@@ -782,6 +864,33 @@ impl<S: TraceSink> Runtime<'_, S> {
         }
     }
 
+    /// Rolls back a chaos-failed migration: the operator stays on its
+    /// origin host, which re-absorbs the buffered input, and the
+    /// abandoned transfer is counted and traced.
+    fn abort_migration(&mut self, op: OperatorId, dest: NodeId, now: f64, attempts: u32) {
+        let (_, buffer) = self.migrating[op.index()]
+            .take()
+            .expect("migration abort without start");
+        let node = self.host[op.index()].index();
+        for item in buffer {
+            self.nodes[node].queue.push_back(item);
+        }
+        self.migrations_aborted += 1;
+        self.mig_attempts[op.index()] = 0;
+        if self.sink.enabled() {
+            self.sink.record(&TraceRecord::MigrationAborted {
+                time: now,
+                op: op.index(),
+                from: node,
+                to: dest.index(),
+                attempts,
+            });
+        }
+        if !self.nodes[node].busy && !self.nodes[node].queue.is_empty() && !self.down[node] {
+            self.dispatch(node, now);
+        }
+    }
+
     /// Handles a detected node failure: move every operator still hosted
     /// on the dead node to its table-designated backup (falling back to
     /// the lowest-indexed live node when the table has no entry or the
@@ -997,6 +1106,24 @@ impl<'a> Simulation<'a> {
             migrations: 0,
             migration_downtime: 0.0,
             timeline: Vec::new(),
+            input_index: {
+                let mut idx = vec![None; graph.num_streams()];
+                for (k, stream) in graph.inputs().iter().enumerate() {
+                    idx[stream.index()] = Some(k);
+                }
+                idx
+            },
+            window_arrivals: vec![0; graph.num_inputs()],
+            chaos: self.config.migration_chaos.clone(),
+            chaos_rng: seeded_rng(
+                self.config
+                    .migration_chaos
+                    .as_ref()
+                    .map_or(0, |c| c.seed ^ 0x0063_6861_6f73), // "chaos"-tagged stream
+            ),
+            mig_attempts: vec![0; m],
+            migration_retries: 0,
+            migrations_aborted: 0,
             sink,
         };
 
@@ -1047,6 +1174,9 @@ impl<'a> Simulation<'a> {
                     // Source fan-out: deliver locally (sources are
                     // external; the paper's communication model concerns
                     // inter-operator arcs).
+                    if let Some(k) = rt.input_index[stream.index()] {
+                        rt.window_arrivals[k] += 1;
+                    }
                     if rt.sink.enabled() {
                         rt.sink.record(&TraceRecord::SourceArrival {
                             time: event.time,
@@ -1111,13 +1241,24 @@ impl<'a> Simulation<'a> {
                             u
                         })
                         .collect();
+                    let rates: Vec<f64> = rt
+                        .window_arrivals
+                        .iter_mut()
+                        .map(|count| {
+                            let rate = *count as f64 / interval;
+                            *count = 0;
+                            rate
+                        })
+                        .collect();
                     if rt.sink.enabled() {
-                        let record = TraceRecord::UtilSample {
-                            time: event.time,
-                            utilisations: utilisations.clone(),
-                            queue_depths: rt.nodes.iter().map(|s| s.queue.len()).collect(),
-                            queued: rt.queued_total,
-                        };
+                        let record = TraceRecord::util_sample(
+                            event.time,
+                            utilisations.clone(),
+                            rt.nodes.iter().map(|s| s.queue.len()).collect(),
+                            rt.queued_total,
+                            rates,
+                        )
+                        .expect("engine sample values are finite and non-negative");
                         rt.sink.record(&record);
                     }
                     rt.timeline.push(TimelineSample {
@@ -1131,7 +1272,44 @@ impl<'a> Simulation<'a> {
                     }
                 }
                 EventKind::MigrationComplete { op, dest } => {
-                    rt.finish_migration(op, dest, event.time);
+                    // Chaos injection: a completing load-manager transfer
+                    // may fail, retry after exponential backoff, and
+                    // finally roll back. Failover moves are exempt (their
+                    // origin node is dead), and the failure draw comes
+                    // from a dedicated RNG stream so chaos-off runs are
+                    // byte-identical to the pre-chaos engine.
+                    let inject = rt.chaos.clone().filter(|_| {
+                        rt.migrating[op.index()].is_some() && rt.orphan_src[op.index()].is_none()
+                    });
+                    match inject {
+                        Some(chaos) if rt.chaos_rng.gen::<f64>() < chaos.failure_prob => {
+                            let attempt = rt.mig_attempts[op.index()] + 1;
+                            if attempt <= chaos.max_retries {
+                                rt.mig_attempts[op.index()] = attempt;
+                                rt.migration_retries += 1;
+                                let backoff = chaos.backoff(attempt);
+                                if rt.sink.enabled() {
+                                    rt.sink.record(&TraceRecord::MigrationRetry {
+                                        time: event.time,
+                                        op: op.index(),
+                                        dest: dest.index(),
+                                        attempt,
+                                        backoff,
+                                    });
+                                }
+                                rt.queue.push(
+                                    event.time + backoff,
+                                    EventKind::MigrationComplete { op, dest },
+                                );
+                            } else {
+                                rt.abort_migration(op, dest, event.time, attempt);
+                            }
+                        }
+                        _ => {
+                            rt.mig_attempts[op.index()] = 0;
+                            rt.finish_migration(op, dest, event.time);
+                        }
+                    }
                 }
                 EventKind::OutageStart { node } => {
                     // The in-flight service (if any) completes; no new
@@ -1236,6 +1414,8 @@ impl<'a> Simulation<'a> {
             saturated,
             migrations: rt.migrations,
             migration_downtime: rt.migration_downtime,
+            migration_retries: rt.migration_retries,
+            migrations_aborted: rt.migrations_aborted,
             timeline: rt.timeline,
             operator_busy: rt.op_total_busy,
             operator_served: rt.op_served,
@@ -2093,5 +2273,146 @@ mod tests {
         .run();
         assert_eq!(report.migrations, 0);
         assert_eq!(report.migration_downtime, 0.0);
+    }
+
+    /// Skewed-start scenario that forces dynamic migrations, with chaos
+    /// injection layered on.
+    fn chaos_run(chaos: Option<MigrationChaos>) -> SimReport {
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(2, 1.0);
+        let mut alloc = Allocation::new(2, 2);
+        alloc.assign(OperatorId(0), NodeId(0));
+        alloc.assign(OperatorId(1), NodeId(0));
+        Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(450.0)],
+            SimulationConfig {
+                horizon: 40.0,
+                warmup: 5.0,
+                seed: 11,
+                migration: Some(MigrationConfig {
+                    utilisation_trigger: 0.7,
+                    imbalance_trigger: 0.3,
+                    ..MigrationConfig::default()
+                }),
+                migration_chaos: chaos,
+                ..SimulationConfig::default()
+            },
+        )
+        .run()
+    }
+
+    #[test]
+    fn migration_chaos_retries_are_counted_and_tuples_conserved() {
+        let report = chaos_run(Some(MigrationChaos {
+            failure_prob: 0.6,
+            max_retries: 2,
+            base_backoff: 0.2,
+            seed: 5,
+        }));
+        assert!(
+            report.migration_retries > 0 || report.migrations_aborted > 0,
+            "p=0.6 chaos over {} migrations injected nothing",
+            report.migrations
+        );
+        // The run still makes progress and loses nothing to the chaos
+        // machinery itself.
+        assert!(report.tuples_out > 0);
+        assert!(
+            report.tuples_out + report.final_queue as u64 <= report.tuples_in,
+            "chaos broke tuple conservation"
+        );
+    }
+
+    #[test]
+    fn migration_chaos_abort_rolls_back_to_origin() {
+        // Certain-failure-adjacent chaos with a zero retry budget: every
+        // chaos-hit migration aborts and the operator must stay put.
+        let report = chaos_run(Some(MigrationChaos {
+            failure_prob: 0.95,
+            max_retries: 0,
+            base_backoff: 0.2,
+            seed: 9,
+        }));
+        assert!(report.migrations_aborted > 0, "nothing aborted at p=0.95");
+        assert_eq!(report.migration_retries, 0, "zero retry budget");
+        // Aborted moves leave hosts valid and the run alive.
+        for &host in &report.final_hosts {
+            assert!(host < 2);
+        }
+        assert!(!report.saturated);
+    }
+
+    #[test]
+    fn migration_chaos_is_deterministic_per_seed() {
+        let chaos = MigrationChaos {
+            failure_prob: 0.5,
+            max_retries: 2,
+            base_backoff: 0.3,
+            seed: 21,
+        };
+        let a = serde_json::to_string(&chaos_run(Some(chaos.clone()))).unwrap();
+        let b = serde_json::to_string(&chaos_run(Some(chaos))).unwrap();
+        assert_eq!(a, b, "fixed-seed chaos reruns diverged");
+    }
+
+    #[test]
+    fn chaos_config_validation_rejects_degenerate_values() {
+        let bad_prob = MigrationChaos {
+            failure_prob: 1.0,
+            ..MigrationChaos::default()
+        };
+        assert!(bad_prob.validate().is_err());
+        let bad_backoff = MigrationChaos {
+            base_backoff: 0.0,
+            ..MigrationChaos::default()
+        };
+        assert!(bad_backoff.validate().is_err());
+        assert!(MigrationChaos::default().validate().is_ok());
+    }
+
+    #[test]
+    fn util_samples_carry_observed_stream_rates() {
+        let graph = simple_chain();
+        let cluster = Cluster::homogeneous(1, 1.0);
+        let alloc = place(&graph, &cluster);
+        let mut sink = crate::trace::VecSink::new();
+        Simulation::new(
+            &graph,
+            &alloc,
+            &cluster,
+            vec![SourceSpec::ConstantRate(100.0)],
+            SimulationConfig {
+                horizon: 30.0,
+                warmup: 2.0,
+                seed: 4,
+                sample_interval: Some(2.0),
+                ..SimulationConfig::default()
+            },
+        )
+        .run_with_sink(&mut sink);
+        let samples: Vec<&TraceRecord> = sink
+            .records
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::UtilSample { .. }))
+            .collect();
+        assert!(samples.len() >= 10);
+        let mean_rate: f64 = samples
+            .iter()
+            .map(|r| match r {
+                TraceRecord::UtilSample { rates, .. } => {
+                    assert_eq!(rates.len(), 1, "one input stream, one rate");
+                    rates[0]
+                }
+                _ => unreachable!(),
+            })
+            .sum::<f64>()
+            / samples.len() as f64;
+        assert!(
+            (mean_rate - 100.0).abs() < 10.0,
+            "sampled mean rate {mean_rate} should track the 100/s source"
+        );
     }
 }

@@ -34,15 +34,17 @@
 pub mod engine;
 pub mod events;
 pub mod probe;
+pub mod replay;
 pub mod report;
 pub mod source;
 pub mod trace;
 
 pub use engine::{
-    FailoverConfig, MigrationConfig, NetworkConfig, Outage, SchedulingPolicy, Simulation,
-    SimulationConfig,
+    FailoverConfig, MigrationChaos, MigrationConfig, NetworkConfig, Outage, SchedulingPolicy,
+    Simulation, SimulationConfig,
 };
 pub use probe::{FeasibilityProbe, ProbeConfig, ProbeOutcome};
+pub use replay::{read_trace, ReplayError, TraceReader};
 pub use report::{RecoveryRecord, SimReport, TimelineSample};
 pub use source::SourceSpec;
-pub use trace::{JsonlSink, NullSink, TraceRecord, TraceSink, VecSink};
+pub use trace::{JsonlSink, NullSink, SampleError, TraceRecord, TraceSink, VecSink};

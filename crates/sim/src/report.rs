@@ -71,6 +71,12 @@ pub struct SimReport {
     /// Total downtime paid for those migrations (seconds of frozen
     /// operator time).
     pub migration_downtime: f64,
+    /// Chaos-failed migration attempts that were retried after backoff
+    /// (0 unless [`crate::MigrationChaos`] was enabled).
+    pub migration_retries: u64,
+    /// Migrations rolled back to their origin node after exhausting the
+    /// chaos retry budget.
+    pub migrations_aborted: u64,
     /// Periodic runtime snapshots (empty unless sampling was enabled).
     pub timeline: Vec<TimelineSample>,
     /// Total CPU-busy seconds attributed to each operator.
@@ -147,6 +153,8 @@ mod tests {
             saturated,
             migrations: 0,
             migration_downtime: 0.0,
+            migration_retries: 0,
+            migrations_aborted: 0,
             timeline: Vec::new(),
             operator_busy: Vec::new(),
             operator_served: Vec::new(),

@@ -70,7 +70,11 @@ pub enum TraceRecord {
         in_recovery: bool,
     },
     /// Periodic utilisation / queue-depth sample (emitted on the
-    /// [`crate::SimulationConfig::sample_interval`] tick).
+    /// [`crate::SimulationConfig::sample_interval`] tick). This is the
+    /// wire format the `rodd` control loop ingests, so construct it via
+    /// [`TraceRecord::util_sample`], which rejects hostile values
+    /// (non-finite or negative rates/utilisations) with a specific
+    /// [`SampleError`] instead of letting them onto the wire.
     UtilSample {
         /// Simulation time of the sample.
         time: f64,
@@ -81,6 +85,38 @@ pub enum TraceRecord {
         /// Total work items queued across the system (includes buffers
         /// of migrating operators).
         queued: usize,
+        /// Observed per-input-stream arrival rates (tuples/second) over
+        /// the elapsed sampling window — the rate point a replanner
+        /// compares against the feasible-set boundary.
+        rates: Vec<f64>,
+    },
+    /// A chaos-injected migration step failed and will be retried after
+    /// a deterministic backoff.
+    MigrationRetry {
+        /// Simulation time of the failed attempt.
+        time: f64,
+        /// The operator whose transfer failed.
+        op: usize,
+        /// The destination it was moving to.
+        dest: usize,
+        /// 1-based attempt number that just failed.
+        attempt: u32,
+        /// Seconds until the next attempt.
+        backoff: f64,
+    },
+    /// A migration exhausted its chaos retry budget and was rolled back:
+    /// the operator resumed on its origin node.
+    MigrationAborted {
+        /// Simulation time of the rollback.
+        time: f64,
+        /// The operator that failed to move.
+        op: usize,
+        /// The node it stayed on.
+        from: usize,
+        /// The destination it never reached.
+        to: usize,
+        /// Attempts spent before giving up.
+        attempts: u32,
     },
     /// An operator froze and began transferring to another node.
     MigrationStart {
@@ -158,6 +194,156 @@ pub enum TraceRecord {
         /// True when the run was cut short by the queue safety cap.
         saturated: bool,
     },
+}
+
+/// Why a [`TraceRecord::UtilSample`] was rejected at construction.
+///
+/// Each variant names the offending field and index so hostile values
+/// are diagnosable at the producing end — the consuming end (`rod-ctrl`)
+/// classifies the same faults independently, so bad telemetry is caught
+/// at both ends of the wire.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SampleError {
+    /// The sample timestamp is NaN or infinite.
+    NonFiniteTime {
+        /// The offending value.
+        value: f64,
+    },
+    /// The sample timestamp is negative.
+    NegativeTime {
+        /// The offending value.
+        value: f64,
+    },
+    /// A per-stream rate is NaN or infinite.
+    NonFiniteRate {
+        /// Input-stream index of the offending rate.
+        stream: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A per-stream rate is negative.
+    NegativeRate {
+        /// Input-stream index of the offending rate.
+        stream: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A per-node utilisation is NaN or infinite.
+    NonFiniteUtilisation {
+        /// Node index of the offending utilisation.
+        node: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A per-node utilisation is negative.
+    NegativeUtilisation {
+        /// Node index of the offending utilisation.
+        node: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// `utilisations` and `queue_depths` disagree on the node count.
+    NodeArityMismatch {
+        /// Length of `utilisations`.
+        utilisations: usize,
+        /// Length of `queue_depths`.
+        queue_depths: usize,
+    },
+}
+
+impl std::fmt::Display for SampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleError::NonFiniteTime { value } => {
+                write!(f, "sample time must be finite (got {value})")
+            }
+            SampleError::NegativeTime { value } => {
+                write!(f, "sample time must be non-negative (got {value})")
+            }
+            SampleError::NonFiniteRate { stream, value } => {
+                write!(f, "rate for stream {stream} must be finite (got {value})")
+            }
+            SampleError::NegativeRate { stream, value } => {
+                write!(
+                    f,
+                    "rate for stream {stream} must be non-negative (got {value})"
+                )
+            }
+            SampleError::NonFiniteUtilisation { node, value } => {
+                write!(
+                    f,
+                    "utilisation for node {node} must be finite (got {value})"
+                )
+            }
+            SampleError::NegativeUtilisation { node, value } => {
+                write!(
+                    f,
+                    "utilisation for node {node} must be non-negative (got {value})"
+                )
+            }
+            SampleError::NodeArityMismatch {
+                utilisations,
+                queue_depths,
+            } => write!(
+                f,
+                "utilisations ({utilisations}) and queue_depths ({queue_depths}) \
+                 disagree on the node count"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
+impl TraceRecord {
+    /// Validated [`TraceRecord::UtilSample`] construction: rejects
+    /// non-finite or negative times, rates, and utilisations, and node
+    /// arity mismatches, with the specific [`SampleError`]. The engine
+    /// routes every emitted sample through this, so hostile values never
+    /// reach the wire from this end.
+    pub fn util_sample(
+        time: f64,
+        utilisations: Vec<f64>,
+        queue_depths: Vec<usize>,
+        queued: usize,
+        rates: Vec<f64>,
+    ) -> Result<TraceRecord, SampleError> {
+        if !time.is_finite() {
+            return Err(SampleError::NonFiniteTime { value: time });
+        }
+        if time < 0.0 {
+            return Err(SampleError::NegativeTime { value: time });
+        }
+        if utilisations.len() != queue_depths.len() {
+            return Err(SampleError::NodeArityMismatch {
+                utilisations: utilisations.len(),
+                queue_depths: queue_depths.len(),
+            });
+        }
+        for (stream, &value) in rates.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(SampleError::NonFiniteRate { stream, value });
+            }
+            if value < 0.0 {
+                return Err(SampleError::NegativeRate { stream, value });
+            }
+        }
+        for (node, &value) in utilisations.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(SampleError::NonFiniteUtilisation { node, value });
+            }
+            if value < 0.0 {
+                return Err(SampleError::NegativeUtilisation { node, value });
+            }
+        }
+        Ok(TraceRecord::UtilSample {
+            time,
+            utilisations,
+            queue_depths,
+            queued,
+            rates,
+        })
+    }
 }
 
 /// Receiver of engine trace records.
@@ -305,6 +491,74 @@ mod tests {
     }
 
     #[test]
+    fn util_sample_accepts_clean_values() {
+        let record =
+            TraceRecord::util_sample(1.0, vec![0.2, 0.9], vec![3, 0], 3, vec![50.0, 0.0]).unwrap();
+        assert!(matches!(record, TraceRecord::UtilSample { queued: 3, .. }));
+    }
+
+    #[test]
+    fn util_sample_rejects_non_finite_time() {
+        let err = TraceRecord::util_sample(f64::NAN, vec![], vec![], 0, vec![]).unwrap_err();
+        assert!(matches!(err, SampleError::NonFiniteTime { .. }), "{err}");
+    }
+
+    #[test]
+    fn util_sample_rejects_negative_time() {
+        let err = TraceRecord::util_sample(-1.0, vec![], vec![], 0, vec![]).unwrap_err();
+        assert_eq!(err, SampleError::NegativeTime { value: -1.0 });
+    }
+
+    #[test]
+    fn util_sample_rejects_non_finite_rate_with_index() {
+        let err = TraceRecord::util_sample(1.0, vec![0.5], vec![0], 0, vec![10.0, f64::INFINITY])
+            .unwrap_err();
+        assert!(
+            matches!(err, SampleError::NonFiniteRate { stream: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn util_sample_rejects_negative_rate_with_index() {
+        let err = TraceRecord::util_sample(1.0, vec![0.5], vec![0], 0, vec![-3.0]).unwrap_err();
+        assert_eq!(
+            err,
+            SampleError::NegativeRate {
+                stream: 0,
+                value: -3.0
+            }
+        );
+    }
+
+    #[test]
+    fn util_sample_rejects_hostile_utilisations() {
+        let nan = TraceRecord::util_sample(1.0, vec![f64::NAN], vec![0], 0, vec![]).unwrap_err();
+        assert!(
+            matches!(nan, SampleError::NonFiniteUtilisation { node: 0, .. }),
+            "{nan}"
+        );
+        let neg =
+            TraceRecord::util_sample(1.0, vec![0.2, -0.1], vec![0, 0], 0, vec![]).unwrap_err();
+        assert!(
+            matches!(neg, SampleError::NegativeUtilisation { node: 1, .. }),
+            "{neg}"
+        );
+    }
+
+    #[test]
+    fn util_sample_rejects_node_arity_mismatch() {
+        let err = TraceRecord::util_sample(1.0, vec![0.2], vec![0, 1], 0, vec![]).unwrap_err();
+        assert_eq!(
+            err,
+            SampleError::NodeArityMismatch {
+                utilisations: 1,
+                queue_depths: 2
+            }
+        );
+    }
+
+    #[test]
     fn records_round_trip_through_json() {
         let records = vec![
             TraceRecord::RunStart {
@@ -319,6 +573,21 @@ mod tests {
                 utilisations: vec![0.25, 0.5],
                 queue_depths: vec![1, 0],
                 queued: 1,
+                rates: vec![40.0, 12.5],
+            },
+            TraceRecord::MigrationRetry {
+                time: 2.5,
+                op: 4,
+                dest: 1,
+                attempt: 2,
+                backoff: 0.5,
+            },
+            TraceRecord::MigrationAborted {
+                time: 4.0,
+                op: 4,
+                from: 0,
+                to: 1,
+                attempts: 3,
             },
             TraceRecord::MigrationStart {
                 time: 2.0,

@@ -37,5 +37,6 @@ pub mod stats;
 pub mod trace;
 
 pub use io::{parse_csv, read_csv_file, to_csv, write_csv_file, TraceIoError};
+pub use onoff::{OnOffAggregate, OnOffError};
 pub use paper::{paper_traces, PaperTrace};
-pub use trace::Trace;
+pub use trace::{Trace, TraceError};

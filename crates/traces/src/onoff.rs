@@ -9,7 +9,59 @@ use rand::Rng as _;
 
 use rod_geom::rng::{seeded_rng, Rng};
 
-use crate::trace::Trace;
+use crate::trace::{Trace, TraceError};
+
+/// Why an [`OnOffAggregate`] could not generate a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OnOffError {
+    /// The Pareto tail index is NaN, infinite, or ≤ 1 (the period
+    /// distribution would have an infinite mean).
+    BadAlpha {
+        /// The offending tail index.
+        alpha: f64,
+    },
+    /// The per-source ON rate is NaN, infinite, or negative.
+    BadOnRate {
+        /// The offending rate.
+        on_rate: f64,
+    },
+    /// The Pareto scale (minimum period) is NaN, infinite, or ≤ 0.
+    BadMinPeriod {
+        /// The offending scale.
+        min_period: f64,
+    },
+    /// The generated series itself failed trace validation (degenerate
+    /// `dt`, or a poisoned rate bin).
+    BadTrace(TraceError),
+}
+
+impl std::fmt::Display for OnOffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnOffError::BadAlpha { alpha } => {
+                write!(f, "alpha must exceed 1 for finite means (got {alpha})")
+            }
+            OnOffError::BadOnRate { on_rate } => {
+                write!(f, "on_rate must be finite and non-negative (got {on_rate})")
+            }
+            OnOffError::BadMinPeriod { min_period } => {
+                write!(
+                    f,
+                    "min_period must be finite and positive (got {min_period})"
+                )
+            }
+            OnOffError::BadTrace(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OnOffError {}
+
+impl From<TraceError> for OnOffError {
+    fn from(e: TraceError) -> Self {
+        OnOffError::BadTrace(e)
+    }
+}
 
 /// A population of identical Pareto ON/OFF sources.
 #[derive(Clone, Debug)]
@@ -39,6 +91,27 @@ impl OnOffAggregate {
     /// Generates the aggregated trace.
     pub fn generate(&self, seed: u64) -> Trace {
         assert!(self.alpha > 1.0, "alpha must exceed 1 for finite means");
+        self.try_generate(seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Generates the aggregated trace, surfacing hostile parameters
+    /// (bad tail index, negative `on_rate`, degenerate scale or `dt`) as
+    /// the specific [`OnOffError`] instead of a panic — the fallible
+    /// path for generator parameters under external control.
+    pub fn try_generate(&self, seed: u64) -> Result<Trace, OnOffError> {
+        if !self.alpha.is_finite() || self.alpha <= 1.0 {
+            return Err(OnOffError::BadAlpha { alpha: self.alpha });
+        }
+        if !self.on_rate.is_finite() || self.on_rate < 0.0 {
+            return Err(OnOffError::BadOnRate {
+                on_rate: self.on_rate,
+            });
+        }
+        if !self.min_period.is_finite() || self.min_period <= 0.0 {
+            return Err(OnOffError::BadMinPeriod {
+                min_period: self.min_period,
+            });
+        }
         let mut rates = vec![0.0f64; self.bins];
         let mut rng = seeded_rng(seed);
         for _ in 0..self.sources {
@@ -64,7 +137,7 @@ impl OnOffAggregate {
                 remaining = self.pareto(&mut rng);
             }
         }
-        Trace::new(rates, self.dt)
+        Ok(Trace::try_new(rates, self.dt)?)
     }
 }
 
@@ -120,5 +193,61 @@ mod tests {
         let mut c = config(1, 16);
         c.alpha = 0.9;
         let _ = c.generate(0);
+    }
+
+    #[test]
+    fn try_generate_accepts_clean_config() {
+        let t = config(10, 256).try_generate(5).unwrap();
+        assert_eq!(t, config(10, 256).generate(5));
+    }
+
+    #[test]
+    fn try_generate_rejects_bad_alpha() {
+        for alpha in [0.9, 1.0, f64::NAN, f64::INFINITY] {
+            let mut c = config(1, 16);
+            c.alpha = alpha;
+            let err = c.try_generate(0).unwrap_err();
+            assert!(
+                matches!(err, OnOffError::BadAlpha { .. }),
+                "alpha {alpha}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_generate_rejects_hostile_on_rate() {
+        for on_rate in [-1.0, f64::NAN, f64::NEG_INFINITY] {
+            let mut c = config(1, 16);
+            c.on_rate = on_rate;
+            let err = c.try_generate(0).unwrap_err();
+            assert!(
+                matches!(err, OnOffError::BadOnRate { .. }),
+                "on_rate {on_rate}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_generate_rejects_degenerate_scale() {
+        for min_period in [0.0, -2.0, f64::NAN] {
+            let mut c = config(1, 16);
+            c.min_period = min_period;
+            let err = c.try_generate(0).unwrap_err();
+            assert!(
+                matches!(err, OnOffError::BadMinPeriod { .. }),
+                "min_period {min_period}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_generate_surfaces_trace_errors() {
+        let mut c = config(1, 16);
+        c.dt = 0.0;
+        let err = c.try_generate(0).unwrap_err();
+        assert!(matches!(
+            err,
+            OnOffError::BadTrace(TraceError::NonPositiveStep { .. })
+        ));
     }
 }

@@ -6,6 +6,54 @@ use serde::{Deserialize, Serialize};
 use rod_geom::rng::Rng;
 use rod_geom::OnlineStats;
 
+/// Why a [`Trace`] could not be constructed from the given values.
+///
+/// Each variant pins the offending value (and bin index where there is
+/// one), so generators and file readers can reject hostile rate series
+/// with a diagnosis instead of a blanket panic.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceError {
+    /// The bin width is zero, negative, NaN, or infinite.
+    NonPositiveStep {
+        /// The offending step.
+        dt: f64,
+    },
+    /// A rate value is NaN or infinite.
+    NonFiniteRate {
+        /// Bin index of the offending rate.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A rate value is negative.
+    NegativeRate {
+        /// Bin index of the offending rate.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::NonPositiveStep { dt } => {
+                write!(f, "time step must be positive and finite (got {dt})")
+            }
+            TraceError::NonFiniteRate { index, value } => write!(
+                f,
+                "rates must be finite and non-negative: rate[{index}] = {value} is not finite"
+            ),
+            TraceError::NegativeRate { index, value } => write!(
+                f,
+                "rates must be finite and non-negative: rate[{index}] = {value} is negative"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// A non-negative rate series sampled on a uniform grid.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
@@ -16,14 +64,31 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Creates a trace, rejecting a non-positive/non-finite step and
+    /// non-finite or negative rates with the specific [`TraceError`] —
+    /// the fallible path for values that come from outside (files,
+    /// telemetry, generator parameters under user control).
+    pub fn try_new(rates: Vec<f64>, dt: f64) -> Result<Self, TraceError> {
+        if !(dt > 0.0 && dt.is_finite()) {
+            return Err(TraceError::NonPositiveStep { dt });
+        }
+        for (index, &value) in rates.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(TraceError::NonFiniteRate { index, value });
+            }
+            if value < 0.0 {
+                return Err(TraceError::NegativeRate { index, value });
+            }
+        }
+        Ok(Trace { rates, dt })
+    }
+
     /// Creates a trace; panics on negative rates or a non-positive step.
+    /// Internal generators use this — their values are correct by
+    /// construction — while anything ingesting external data should use
+    /// [`Trace::try_new`] and handle the error.
     pub fn new(rates: Vec<f64>, dt: f64) -> Self {
-        assert!(dt > 0.0, "time step must be positive");
-        assert!(
-            rates.iter().all(|r| r.is_finite() && *r >= 0.0),
-            "rates must be finite and non-negative"
-        );
-        Trace { rates, dt }
+        Trace::try_new(rates, dt).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// A constant-rate trace.
@@ -237,6 +302,51 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_rates_rejected() {
         let _ = Trace::new(vec![1.0, -2.0], 1.0);
+    }
+
+    #[test]
+    fn try_new_accepts_clean_series() {
+        let t = Trace::try_new(vec![0.0, 5.0], 0.25).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dt(), 0.25);
+    }
+
+    #[test]
+    fn try_new_rejects_negative_rate_with_index() {
+        let err = Trace::try_new(vec![1.0, -2.0], 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::NegativeRate {
+                index: 1,
+                value: -2.0
+            }
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_nan_rate_with_index() {
+        let err = Trace::try_new(vec![1.0, 2.0, f64::NAN], 1.0).unwrap_err();
+        assert!(
+            matches!(err, TraceError::NonFiniteRate { index: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_infinite_rate() {
+        let err = Trace::try_new(vec![f64::INFINITY], 1.0).unwrap_err();
+        assert!(
+            matches!(err, TraceError::NonFiniteRate { index: 0, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_steps() {
+        for dt in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = Trace::try_new(vec![1.0], dt).unwrap_err();
+            assert!(matches!(err, TraceError::NonPositiveStep { .. }), "dt={dt}");
+        }
     }
 
     #[test]

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Validate a rodd decision log (JSONL) against the checked-in schema.
+
+Usage: validate_decision_log.py SCHEMA LOG
+
+Hand-rolled structural validator (the CI image has no jsonschema
+package): for every log line it checks the externally-tagged shape
+(exactly one key), that the kind exists in the schema, that every
+required payload field is present with the right JSON type, that no
+unknown field sneaks in, and the numeric bounds/enums the schema states.
+Exit status 0 iff every line validates.
+"""
+import json
+import sys
+
+
+def type_ok(value, expected):
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "object":
+        return isinstance(value, dict)
+    return True
+
+
+def check_value(value, spec, path):
+    errors = []
+    expected = spec.get("type")
+    if expected and not type_ok(value, expected):
+        return [f"{path}: expected {expected}, got {type(value).__name__}"]
+    if "enum" in spec and value not in spec["enum"]:
+        errors.append(f"{path}: {value!r} not in {spec['enum']}")
+    if "minimum" in spec and isinstance(value, (int, float)) and value < spec["minimum"]:
+        errors.append(f"{path}: {value} < minimum {spec['minimum']}")
+    if "maximum" in spec and isinstance(value, (int, float)) and value > spec["maximum"]:
+        errors.append(f"{path}: {value} > maximum {spec['maximum']}")
+    if expected == "array" and "items" in spec:
+        for i, item in enumerate(value):
+            errors.extend(check_value(item, spec["items"], f"{path}[{i}]"))
+    return errors
+
+
+def check_line(obj, schema, lineno):
+    errors = []
+    if not isinstance(obj, dict) or len(obj) != 1:
+        return [f"line {lineno}: not an externally-tagged object with one key"]
+    kind, payload = next(iter(obj.items()))
+    kinds = schema["properties"]
+    if kind not in kinds:
+        return [f"line {lineno}: unknown decision kind {kind!r}"]
+    spec = kinds[kind]
+    if not isinstance(payload, dict):
+        return [f"line {lineno}: {kind} payload is not an object"]
+    for field in spec.get("required", []):
+        if field not in payload:
+            errors.append(f"line {lineno}: {kind} missing required field {field!r}")
+    allowed = spec.get("properties", {})
+    if spec.get("additionalProperties") is False:
+        for field in payload:
+            if field not in allowed:
+                errors.append(f"line {lineno}: {kind} has unknown field {field!r}")
+    for field, value in payload.items():
+        if field in allowed:
+            errors.extend(check_value(value, allowed[field], f"line {lineno}: {kind}.{field}"))
+    return errors
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    schema = json.load(open(sys.argv[1]))
+    errors = []
+    count = 0
+    with open(sys.argv[2]) as log:
+        for lineno, raw in enumerate(log, 1):
+            if not raw.strip():
+                continue
+            count += 1
+            try:
+                obj = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {lineno}: invalid JSON ({exc})")
+                continue
+            errors.extend(check_line(obj, schema, lineno))
+    for err in errors:
+        print(err, file=sys.stderr)
+    if errors:
+        return 1
+    print(f"{count} decision(s) validate against the schema")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
