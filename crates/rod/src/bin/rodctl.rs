@@ -103,6 +103,10 @@ fn usage() -> String {
      \u{20}        (--rates r1,r2,... | --traces a.csv,b.csv,...)\n\
      \u{20}        [--outage NODE:START:END]... [--failover DETECTION_DELAY]\n\
      \u{20}        [--scheduling fifo|rr|lqf] [--op-queue-bound N]\n\
+     \u{20}        [--batch N] [--batch-bucket S] — batched engine, ≤N tuples\n\
+     \u{20}        per batch coalesced within S-second buckets (production\n\
+     \u{20}        volumes; identical counts, latency quantiles to within the\n\
+     \u{20}        bucket width; --batch 1 is byte-identical to per-tuple)\n\
      \u{20}        [--trace-out FILE] [--metrics-interval T] [--threads N]\n\
      \u{20}        (--fault-tolerance is an alias for --failover)\n\
      trace    --kind pkt|tcp|http|poisson [--bins-log2 N] [--mean R] [--seed N] [--out FILE]\n\
@@ -522,6 +526,25 @@ fn cmd_simulate(flags: &Flags) -> Result<String, String> {
                 .map_err(|_| format!("--op-queue-bound: bad value '{v}'"))?,
         ),
     };
+    // --batch / --batch-bucket switch to the batched engine; either flag
+    // alone fills the other from BatchConfig's default.
+    let batch = match (flags.get("batch"), flags.get("batch-bucket")) {
+        (None, None) => None,
+        (max_batch, bucket) => {
+            let mut bc = BatchConfig::default();
+            if let Some(v) = max_batch {
+                bc.max_batch = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--batch: bad value '{v}'"))?;
+            }
+            if let Some(v) = bucket {
+                bc.bucket = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--batch-bucket: bad value '{v}'"))?;
+            }
+            Some(bc)
+        }
+    };
     let (sources, description) = match (flags.get("rates"), flags.get("traces")) {
         (Some(spec), None) => {
             let rates = parse_rates(spec, graph.num_inputs())?;
@@ -571,6 +594,7 @@ fn cmd_simulate(flags: &Flags) -> Result<String, String> {
         failover,
         op_queue_bound,
         sample_interval,
+        batch,
         ..SimulationConfig::default()
     };
     // Validate before constructing: Simulation::new enforces this with a
@@ -1092,6 +1116,70 @@ mod tests {
         .unwrap();
         let err = cmd_simulate(&f).unwrap_err();
         assert!(err.contains("NODE:START:END"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_batch_one_matches_per_tuple_output() {
+        let (dir, graph_path, plan_path) = graph_and_plan("batch");
+        let base = strings(&[
+            "--graph",
+            &graph_path,
+            "--plan",
+            &plan_path,
+            "--nodes",
+            "2",
+            "--rates",
+            "40,40",
+            "--horizon",
+            "5",
+        ]);
+        let per_tuple = cmd_simulate(&Flags::parse(&base).unwrap()).unwrap();
+        // The equivalence contract, end to end through the CLI: batch
+        // size 1 reproduces the per-tuple engine byte for byte.
+        let mut with_batch = base.clone();
+        with_batch.extend(strings(&["--batch", "1", "--batch-bucket", "0.5"]));
+        assert_eq!(
+            cmd_simulate(&Flags::parse(&with_batch).unwrap()).unwrap(),
+            per_tuple
+        );
+        // Larger batches with the default bucket still produce a full
+        // report (exact equivalence at batch > 1 is the sim crate's
+        // proptest suite's job, not the CLI's).
+        let mut batched = base.clone();
+        batched.extend(strings(&["--batch", "64"]));
+        let out = cmd_simulate(&Flags::parse(&batched).unwrap()).unwrap();
+        assert!(out.contains("node utilisations"), "{out}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_rejects_degenerate_batch_flags() {
+        let (dir, graph_path, plan_path) = graph_and_plan("badbatch");
+        let base = strings(&[
+            "--graph",
+            &graph_path,
+            "--plan",
+            &plan_path,
+            "--nodes",
+            "2",
+            "--rates",
+            "10,10",
+            "--horizon",
+            "5",
+        ]);
+        let mut zero_batch = base.clone();
+        zero_batch.extend(strings(&["--batch", "0"]));
+        let err = cmd_simulate(&Flags::parse(&zero_batch).unwrap()).unwrap_err();
+        assert!(err.contains("batch"), "{err}");
+        let mut zero_bucket = base.clone();
+        zero_bucket.extend(strings(&["--batch-bucket", "0"]));
+        let err = cmd_simulate(&Flags::parse(&zero_bucket).unwrap()).unwrap_err();
+        assert!(err.contains("bucket"), "{err}");
+        let mut junk = base.clone();
+        junk.extend(strings(&["--batch", "many"]));
+        let err = cmd_simulate(&Flags::parse(&junk).unwrap()).unwrap_err();
+        assert!(err.contains("--batch"), "{err}");
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -70,8 +70,8 @@ pub mod prelude {
     pub use rod_ctrl::{ControlConfig, ControlLoop, Decision, ReplaySummary};
     pub use rod_geom::{Hyperplane, Matrix, Vector, VolumeEstimator};
     pub use rod_sim::{
-        FailoverConfig, FeasibilityProbe, JsonlSink, MigrationConfig, NetworkConfig, NullSink,
-        Outage, ProbeConfig, RecoveryRecord, SchedulingPolicy, SimReport, Simulation,
+        BatchConfig, FailoverConfig, FeasibilityProbe, JsonlSink, MigrationConfig, NetworkConfig,
+        NullSink, Outage, ProbeConfig, RecoveryRecord, SchedulingPolicy, SimReport, Simulation,
         SimulationConfig, SourceSpec, TraceRecord, TraceSink, VecSink,
     };
     pub use rod_traces::{paper_traces, PaperTrace, Trace};

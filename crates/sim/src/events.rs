@@ -13,6 +13,19 @@ pub struct Tuple {
     pub birth: f64,
 }
 
+/// Handle of a pooled tuple batch in the batched engine's slab (see
+/// `crate::batched`). Events stay `Copy` by carrying the slot index;
+/// the tuples live in the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchId(pub u32);
+
+impl BatchId {
+    /// The underlying slab slot.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// Simulator events.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum EventKind {
@@ -36,6 +49,29 @@ pub enum EventKind {
         /// The tuple itself.
         tuple: Tuple,
         /// CPU charged to the receiving node (network hop overhead).
+        recv_overhead: f64,
+    },
+    /// A pooled batch of tuples becomes available on a stream — the
+    /// batched engine's analogue of [`EventKind::StreamArrival`], used
+    /// for source arrivals and sink emissions. Never scheduled by the
+    /// per-tuple reference engine.
+    BatchArrival {
+        /// The stream the batch appears on.
+        stream: StreamId,
+        /// Pool handle of the batch.
+        batch: BatchId,
+    },
+    /// A pooled batch delivered to one specific consumer port, possibly
+    /// after a network hop — the batched engine's analogue of
+    /// [`EventKind::ConsumerArrival`].
+    BatchConsumerArrival {
+        /// The consuming operator.
+        op: OperatorId,
+        /// Which of its input ports receives the batch.
+        port: usize,
+        /// Pool handle of the batch.
+        batch: BatchId,
+        /// CPU charged to the receiving node *per tuple* in the batch.
         recv_overhead: f64,
     },
     /// A node finishes its current service and should dispatch the next

@@ -31,6 +31,7 @@
 //!   simplex.
 
 #![warn(missing_docs)]
+pub mod batched;
 pub mod engine;
 pub mod events;
 pub mod probe;
@@ -40,8 +41,8 @@ pub mod source;
 pub mod trace;
 
 pub use engine::{
-    FailoverConfig, MigrationChaos, MigrationConfig, NetworkConfig, Outage, SchedulingPolicy,
-    Simulation, SimulationConfig,
+    BatchConfig, FailoverConfig, MigrationChaos, MigrationConfig, NetworkConfig, Outage,
+    SchedulingPolicy, Simulation, SimulationConfig,
 };
 pub use probe::{FeasibilityProbe, ProbeConfig, ProbeOutcome};
 pub use replay::{read_trace, ReplayError, TraceReader};
