@@ -333,12 +333,14 @@ impl Planner for OptimalPlanner {
         metrics: &crate::obs::MetricsRegistry,
     ) -> Result<Allocation, PlacementError> {
         let pool_before = rod_pool::global().stats();
+        let kernel_before = rod_geom::simd::path_counts();
         let start = std::time::Instant::now();
         let result = self.plan(model, cluster);
         let wall = start.elapsed().as_secs_f64();
         metrics.observe("Optimal.plan_seconds", wall);
         let pool_after = rod_pool::global().stats();
         crate::obs::record_pool_delta(metrics, &pool_before, &pool_after);
+        crate::obs::record_kernel_path(metrics, &kernel_before, &rod_geom::simd::path_counts());
         let busy_delta = pool_after.busy_seconds - pool_before.busy_seconds;
         let speedup = if wall > 0.0 && busy_delta > 0.0 {
             busy_delta / wall

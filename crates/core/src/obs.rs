@@ -325,6 +325,39 @@ pub fn record_pool_delta(
     metrics.set_gauge("pool.queue_peak", after.queue_peak as f64);
 }
 
+/// Attributes feasibility-kernel work to one phase by diffing two
+/// [`rod_geom::KernelPathCounts`] snapshots (from
+/// `rod_geom::simd::path_counts()`) taken around it. Four counters
+/// surface through [`MetricsSnapshot::render`]: `kernel.simd_blocks` /
+/// `kernel.scalar_blocks` (point blocks scored by each path) and
+/// `kernel.simd_dot_rows` / `kernel.scalar_dot_rows` (`dot_into` rows
+/// accumulated by each path). A planning run on an AVX2 host with
+/// SIMD enabled reports zero scalar blocks; under `ROD_NO_SIMD=1` (or
+/// on hosts without AVX2) the SIMD counters stay zero — which is what
+/// the forced-path tests assert.
+pub fn record_kernel_path(
+    metrics: &MetricsRegistry,
+    before: &rod_geom::KernelPathCounts,
+    after: &rod_geom::KernelPathCounts,
+) {
+    metrics.add(
+        "kernel.simd_blocks",
+        after.simd_blocks.saturating_sub(before.simd_blocks),
+    );
+    metrics.add(
+        "kernel.scalar_blocks",
+        after.scalar_blocks.saturating_sub(before.scalar_blocks),
+    );
+    metrics.add(
+        "kernel.simd_dot_rows",
+        after.simd_dot_rows.saturating_sub(before.simd_dot_rows),
+    );
+    metrics.add(
+        "kernel.scalar_dot_rows",
+        after.scalar_dot_rows.saturating_sub(before.scalar_dot_rows),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +384,31 @@ mod tests {
         let rendered = m.snapshot().render();
         assert!(rendered.contains("pool.tasks_executed"));
         assert!(rendered.contains("pool.worker_busy_seconds"));
+    }
+
+    #[test]
+    fn kernel_path_delta_surfaces_through_render() {
+        let m = MetricsRegistry::new();
+        let before = rod_geom::KernelPathCounts {
+            simd_blocks: 5,
+            scalar_blocks: 2,
+            simd_dot_rows: 100,
+            scalar_dot_rows: 40,
+        };
+        let after = rod_geom::KernelPathCounts {
+            simd_blocks: 12,
+            scalar_blocks: 2,
+            simd_dot_rows: 160,
+            scalar_dot_rows: 43,
+        };
+        record_kernel_path(&m, &before, &after);
+        assert_eq!(m.counter("kernel.simd_blocks"), 7);
+        assert_eq!(m.counter("kernel.scalar_blocks"), 0);
+        assert_eq!(m.counter("kernel.simd_dot_rows"), 60);
+        assert_eq!(m.counter("kernel.scalar_dot_rows"), 3);
+        let rendered = m.snapshot().render();
+        assert!(rendered.contains("kernel.simd_blocks"));
+        assert!(rendered.contains("kernel.scalar_dot_rows"));
     }
 
     #[test]

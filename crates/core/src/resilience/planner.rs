@@ -153,6 +153,11 @@ impl ResilientRodPlanner {
         let scenarios = FailureScenario::all_up_to_k(n, self.options.max_failures);
         // QMC point-set construction is the volume-estimation batch cost;
         // timed here because rod-geom cannot depend on the core registry.
+        // The kernel-path snapshot also starts here: the geometry work
+        // (the per-operator `dot_into` load table) happens during scorer
+        // construction, not in the hill-climb, which only pushes/pops
+        // the precomputed loads.
+        let kernel_before = rod_geom::simd::path_counts();
         let qmc_start = Instant::now();
         let estimator = VolumeEstimator::new(
             model.total_coeffs().as_slice(),
@@ -322,6 +327,7 @@ impl ResilientRodPlanner {
             metrics.set_gauge("resilient_rod.threads", threads as f64);
             let pool_after = rod_pool::global().stats();
             crate::obs::record_pool_delta(metrics, &pool_before, &pool_after);
+            crate::obs::record_kernel_path(metrics, &kernel_before, &rod_geom::simd::path_counts());
             // Worker busy-time over wall-time ≈ how many cores the scan
             // actually kept busy — 1.0 when serial or on one core.
             let busy_delta = pool_after.busy_seconds - pool_before.busy_seconds;

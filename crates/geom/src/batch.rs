@@ -35,9 +35,36 @@
 //! therefore every count, ratio and placement derived from one — is
 //! bit-identical to the scalar path. The equivalence tests in this module
 //! and the golden suite in `rod-bench` pin this down.
+//!
+//! **Explicit SIMD.** On x86-64 hosts with AVX2 the kernel's inner loops
+//! run through the hand-written 4×f64-lane implementations in
+//! [`crate::simd`] (runtime-detected; forceable back to scalar with
+//! `ROD_NO_SIMD` or the `force_scalar` constructors). The AVX2 block
+//! scorer is *tile-major*: ordinary regions are walked once in pairs of
+//! 16-point register tiles, folding every bound and constraint row into
+//! per-tile live-bit words and abandoning a pair the moment its words
+//! die — which subsumes the survivor compaction above at tile
+//! granularity without copying anything. Regions with a long tail of
+//! rows fall back to segmented passes that compact survivors with a
+//! vectorised compress between segments. Lanes are points and the SIMD
+//! loops multiply-then-add per lane (never FMA), so the same per-point
+//! operand-order argument applies verbatim and the two paths are
+//! bit-identical — see the `rod_geom::simd` module docs for the full
+//! contract and `tests/simd_equivalence.rs` for the proptests pinning
+//! it.
 
+use crate::simd::{self, KernelPath};
 use crate::vector::Vector;
 use crate::volume::FeasibleRegion;
+
+/// A point set stored column-major: one contiguous column per input
+/// dimension, so per-plan node-load dot products accumulate column-wise
+/// over cache-line-friendly slices.
+/// Granularity of the precomputed per-column coordinate ranges in
+/// [`PointBatch`] — the same 2048 points as the kernel's scoring block,
+/// so a block's bounds are usually one lookup (two when a thread
+/// partition splits mid-chunk).
+pub(crate) const CHUNK: usize = 2048;
 
 /// A point set stored column-major: one contiguous column per input
 /// dimension, so per-plan node-load dot products accumulate column-wise
@@ -52,6 +79,12 @@ pub struct PointBatch {
     /// Per-column minimum (`+inf` for an empty batch), used to skip
     /// lower-bound columns no point can violate.
     col_min: Vec<f64>,
+    /// Per-column, per-[`CHUNK`] `(min, max, nan_free)`, laid out
+    /// `[k · n_chunks + chunk]` — precomputed once here so the SIMD
+    /// block scorer's interval pruning never re-reads column data (a
+    /// streaming bounds pass would cost more than the early-exiting
+    /// kernel it is trying to save).
+    chunk_bounds: Vec<(f64, f64, bool)>,
 }
 
 impl PointBatch {
@@ -66,11 +99,32 @@ impl PointBatch {
                 cols[k * num_points + p] = x;
             }
         }
+        let n_chunks = num_points.div_ceil(CHUNK);
+        let mut chunk_bounds = Vec::with_capacity(dim * n_chunks);
+        for k in 0..dim {
+            for chunk in cols[k * num_points..(k + 1) * num_points].chunks(CHUNK) {
+                let mut mn = f64::INFINITY;
+                let mut mx = f64::NEG_INFINITY;
+                let mut nan_free = true;
+                for &x in chunk {
+                    if x < mn {
+                        mn = x;
+                    }
+                    if x > mx {
+                        mx = x;
+                    }
+                    nan_free &= !x.is_nan();
+                }
+                chunk_bounds.push((mn, mx, nan_free));
+            }
+        }
+        // Comparison-select folds ignore NaN exactly like the previous
+        // `f64::min` fold, so the lower-bound column skip is unchanged.
         let col_min = (0..dim)
             .map(|k| {
-                cols[k * num_points..(k + 1) * num_points]
+                chunk_bounds[k * n_chunks..(k + 1) * n_chunks]
                     .iter()
-                    .copied()
+                    .map(|&(mn, _, _)| mn)
                     .fold(f64::INFINITY, f64::min)
             })
             .collect();
@@ -79,7 +133,33 @@ impl PointBatch {
             dim,
             cols,
             col_min,
+            chunk_bounds,
         }
+    }
+
+    /// Conservative `(min, max, nan_free)` over `column(k)[start..end]`,
+    /// folded from the precomputed [`CHUNK`] bounds of every chunk
+    /// overlapping the range (a superset of it, so the bounds are valid
+    /// for any prune that only needs containment). The min/max are
+    /// comparison selections of actual coordinates — no arithmetic, no
+    /// rounding.
+    pub(crate) fn range_bounds(&self, k: usize, start: usize, end: usize) -> (f64, f64, bool) {
+        debug_assert!(start < end && end <= self.num_points);
+        let n_chunks = self.num_points.div_ceil(CHUNK);
+        let (c0, c1) = (start / CHUNK, (end - 1) / CHUNK);
+        let mut mn = f64::INFINITY;
+        let mut mx = f64::NEG_INFINITY;
+        let mut nan_free = true;
+        for &(a, b, ok) in &self.chunk_bounds[k * n_chunks + c0..=k * n_chunks + c1] {
+            if a < mn {
+                mn = a;
+            }
+            if b > mx {
+                mx = b;
+            }
+            nan_free &= ok;
+        }
+        (mn, mx, nan_free)
     }
 
     /// Number of points held.
@@ -108,9 +188,32 @@ impl PointBatch {
     /// coefficient rows (operators touching a few streams out of many)
     /// thus cost O(nnz · P) instead of O(d · P).
     pub fn dot_into(&self, coeffs: &[f64], out: &mut [f64]) {
+        self.dot_into_with_path(coeffs, out, simd::select_path(false));
+    }
+
+    /// [`dot_into`](Self::dot_into) pinned to the scalar loop regardless
+    /// of host support — the reference path for A/B tests and the perf
+    /// harness.
+    pub fn dot_into_scalar(&self, coeffs: &[f64], out: &mut [f64]) {
+        self.dot_into_with_path(coeffs, out, KernelPath::Scalar);
+    }
+
+    fn dot_into_with_path(&self, coeffs: &[f64], out: &mut [f64], path: KernelPath) {
         assert_eq!(coeffs.len(), self.dim, "coefficient row has wrong arity");
         assert_eq!(out.len(), self.num_points, "output buffer has wrong length");
+        simd::note_dot(path);
         out.fill(0.0);
+        #[cfg(target_arch = "x86_64")]
+        if path == KernelPath::Simd {
+            for (k, &c) in coeffs.iter().enumerate() {
+                if c == 0.0 {
+                    continue;
+                }
+                // SAFETY: `Simd` is only selected when AVX2 was detected.
+                unsafe { simd::avx2::axpy(c, self.column(k), out) };
+            }
+            return;
+        }
         for (k, &c) in coeffs.iter().enumerate() {
             if c == 0.0 {
                 continue;
@@ -128,19 +231,46 @@ impl PointBatch {
 #[derive(Clone, Debug)]
 pub struct FeasibilityKernel {
     batch: PointBatch,
+    /// Which inner-loop implementation this kernel scores with, decided
+    /// once at construction (see [`crate::simd::select_path`]). Both
+    /// paths are bit-identical; the field only affects speed — and the
+    /// [`crate::simd::path_counts`] attribution.
+    path: KernelPath,
 }
 
 impl FeasibilityKernel {
-    /// Kernel over a row-major point set (transposed once here).
+    /// Kernel over a row-major point set (transposed once here). Uses
+    /// the AVX2 path when the host supports it and `ROD_NO_SIMD` is not
+    /// set; [`path`](Self::path) reports the decision.
     pub fn new(points: &[Vector]) -> Self {
+        FeasibilityKernel::from_batch(PointBatch::from_points(points))
+    }
+
+    /// [`new`](Self::new) pinned to the scalar reference path — for CI
+    /// A/B runs and oracle comparisons, independent of the environment.
+    pub fn new_force_scalar(points: &[Vector]) -> Self {
+        FeasibilityKernel::from_batch_force_scalar(PointBatch::from_points(points))
+    }
+
+    /// Kernel over an existing batch (runtime path selection).
+    pub fn from_batch(batch: PointBatch) -> Self {
         FeasibilityKernel {
-            batch: PointBatch::from_points(points),
+            batch,
+            path: simd::select_path(false),
         }
     }
 
-    /// Kernel over an existing batch.
-    pub fn from_batch(batch: PointBatch) -> Self {
-        FeasibilityKernel { batch }
+    /// [`from_batch`](Self::from_batch) pinned to the scalar path.
+    pub fn from_batch_force_scalar(batch: PointBatch) -> Self {
+        FeasibilityKernel {
+            batch,
+            path: KernelPath::Scalar,
+        }
+    }
+
+    /// The inner-loop implementation this kernel selected.
+    pub fn path(&self) -> KernelPath {
+        self.path
     }
 
     /// The underlying column store.
@@ -163,6 +293,29 @@ impl FeasibilityKernel {
     /// pass re-reads the working set from L2 instead of DRAM; see the
     /// module docs for the blocking + survivor-compaction design.
     pub fn count_feasible_range(&self, region: &FeasibleRegion, start: usize, end: usize) -> usize {
+        self.count_range_with_path(region, start, end, self.path)
+    }
+
+    /// [`count_feasible_range`](Self::count_feasible_range) pinned to
+    /// the scalar reference loops regardless of this kernel's selected
+    /// path — the oracle leg of forced-path A/B comparisons without
+    /// re-transposing the point set.
+    pub fn count_feasible_range_scalar(
+        &self,
+        region: &FeasibleRegion,
+        start: usize,
+        end: usize,
+    ) -> usize {
+        self.count_range_with_path(region, start, end, KernelPath::Scalar)
+    }
+
+    fn count_range_with_path(
+        &self,
+        region: &FeasibleRegion,
+        start: usize,
+        end: usize,
+        path: KernelPath,
+    ) -> usize {
         assert!(start <= end && end <= self.batch.num_points);
         assert_eq!(
             region.dim(),
@@ -178,7 +331,7 @@ impl FeasibilityKernel {
         let mut s = start;
         while s < end {
             let e = (s + BLOCK).min(end);
-            total += self.count_block(region, s, e, &mut scratch);
+            total += self.count_block(region, s, e, &mut scratch, path);
             s = e;
         }
         total
@@ -196,6 +349,26 @@ impl FeasibilityKernel {
     /// skips the remaining constraints entirely (feasibility is a
     /// conjunction, so the count is independent of evaluation order).
     fn count_block(
+        &self,
+        region: &FeasibleRegion,
+        start: usize,
+        end: usize,
+        scr: &mut Scratch,
+        path: KernelPath,
+    ) -> usize {
+        simd::note_block(path);
+        #[cfg(target_arch = "x86_64")]
+        if path == KernelPath::Simd {
+            // SAFETY: `Simd` is only ever selected after runtime AVX2
+            // detection (see `simd::select_path`).
+            return unsafe { self.count_block_avx2(region, start, end, scr) };
+        }
+        self.count_block_scalar(region, start, end, scr)
+    }
+
+    /// The reference blocked-scalar block scorer — kept verbatim as the
+    /// oracle the SIMD path must match bit for bit.
+    fn count_block_scalar(
         &self,
         region: &FeasibleRegion,
         start: usize,
@@ -328,14 +501,473 @@ impl FeasibilityKernel {
         }
         live
     }
+
+    /// [`count_block_scalar`](Self::count_block_scalar) restructured
+    /// around the explicit AVX2 bodies in [`crate::simd::avx2`], in
+    /// two regimes:
+    ///
+    /// * **Fused pass** (up to 16 constraint rows — every planner
+    ///   shape in `docs/benchmarks.md`): the block is walked once in
+    ///   *pairs* of 16-point tiles. Each pair folds every lower bound
+    ///   and every row into two live-bit words held in registers and
+    ///   is abandoned the moment both words die, so dead points are
+    ///   skipped at tile granularity without copying a coordinate —
+    ///   the job the scalar path needs survivor compaction for. The
+    ///   pair keeps eight independent f64 dependency chains in flight,
+    ///   which is what lets the multiply-add stream run at FP
+    ///   throughput instead of waiting out 4-cycle add latency (a
+    ///   single tile's four chains measurably cannot).
+    /// * **Segmented passes** (longer regions): rows run in segments
+    ///   of 8 with the live words persisted in `scr.bits`. Between
+    ///   segments, once occupancy drops below a quarter, survivors are
+    ///   compacted with the table-driven vpermps compress
+    ///   ([`crate::simd::avx2::compress_tile`] — 16 points per step
+    ///   where the scalar write cursor moves one) into only the
+    ///   columns the remaining rows still read, restoring the scalar
+    ///   path's geometric working-set shrink where a long tail of rows
+    ///   would otherwise re-walk mostly-dead tiles forever.
+    ///
+    /// Per-point arithmetic is untouched: each point's load still
+    /// accumulates its row's nonzero columns `k` ascending from `+0.0`,
+    /// multiply-then-add (never FMA), and every comparison is the same
+    /// ordered `<=` — so every per-point decision, and therefore the
+    /// count, is bit-identical to the scalar walk (feasibility is a
+    /// conjunction: evaluation order and dead-point skipping cannot
+    /// change any decision).
+    ///
+    /// One more conjunction-order freedom is exploited per block, using
+    /// the block's column ranges (exact min/max over the actual
+    /// coordinates — see `block_bounds`): **interval pruning**. A row
+    /// whose maximum possible load over the block already clears its
+    /// cap kills nothing and is dropped; a row whose minimum possible
+    /// load violates it kills every point, so the block returns 0
+    /// without touching a tile. The bounds are padded for the
+    /// summation's rounding and disabled on non-finite columns, so a
+    /// prune fires only when every per-point decision it skips is
+    /// forced.
+    ///
+    /// # Safety
+    /// AVX2 must be available on the running CPU (guaranteed by the
+    /// dispatch in [`count_block`](Self::count_block)).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn count_block_avx2(
+        &self,
+        region: &FeasibleRegion,
+        start: usize,
+        end: usize,
+        scr: &mut Scratch,
+    ) -> usize {
+        use crate::simd::avx2::{self, TILE};
+
+        let n = region.constraints();
+        let lb = region.lower_bound.as_slice();
+        let width = end - start;
+
+        // Conservative per-block column ranges, folded from the bounds
+        // precomputed at batch construction — O(1) per lookup, no
+        // column data touched. The bool is false when a NaN hides in
+        // the range, which disables any prune that needs the bounds to
+        // cover every load.
+        let block_bounds = |k: usize| self.batch.range_bounds(k, start, end);
+
+        // Active lower bounds: base pointers for every bound the block
+        // can actually fail. The batch-wide `col_min` skip is the same
+        // as the scalar path's; the block-range refinements are exact
+        // (min/max select actual coordinates — no arithmetic): a bound
+        // at or below the block minimum passes everywhere, one above
+        // the block maximum fails everywhere (NaN coordinates fail
+        // `b ≤ x` too, so the kill needs no NaN guard — the skip does).
+        let mut lbs: Vec<(f64, *const f64)> = Vec::new();
+        for (k, &b) in lb.iter().enumerate() {
+            if b <= self.batch.col_min[k] {
+                continue;
+            }
+            let (mn, mx, nan_free) = block_bounds(k);
+            if b <= mn && nan_free {
+                continue;
+            }
+            if b > mx {
+                return 0;
+            }
+            lbs.push((b, self.batch.column(k)[start..end].as_ptr()));
+        }
+
+        // Constraint rows: nonzero `(column, coefficient)` pairs with k
+        // ascending — the bit-identity order, same set the scalar path
+        // builds in `scr.nz` — plus each row's interval bounds. `pad`
+        // covers the bound summation's own rounding (≤ 16·ε relative
+        // to the term magnitudes, padded a thousandfold), so a prune
+        // fires only on rows the block genuinely cannot decide
+        // otherwise.
+        let mut nz: Vec<(usize, f64)> = Vec::new();
+        // One constraint row's nonzero span in `nz` plus its padded
+        // block-level load interval (see the pruning notes above).
+        struct Row {
+            cap: f64,
+            begin: usize,
+            end: usize,
+            prune_hi: f64,
+            prune_lo: f64,
+        }
+        let mut pending: Vec<Row> = Vec::with_capacity(n);
+        for i in 0..n {
+            let begin = nz.len();
+            nz.extend(
+                region
+                    .coefficients
+                    .row(i)
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(k, &c)| (c != 0.0).then_some((k, c))),
+            );
+            // Same tolerance as the scalar `contains` walk.
+            let cap = region.capacities[i] + 1e-12;
+            let (mut hi, mut lo, mut mag, mut nan_free) = (0.0f64, 0.0f64, 0.0f64, true);
+            for &(k, c) in &nz[begin..] {
+                let (mn, mx, ok) = block_bounds(k);
+                let (a, b) = (c * mn, c * mx);
+                hi += a.max(b);
+                lo += a.min(b);
+                mag += a.abs().max(b.abs());
+                nan_free &= ok;
+            }
+            let pad = mag * 1e-9;
+            // NaN loads fail every cap, so a kill needs no guard; a
+            // skip must not outlive a NaN (or an indeterminate bound)
+            // the row would catch, so those rows are never droppable.
+            let hi_safe = if nan_free { hi + pad } else { f64::INFINITY };
+            let lo_safe = lo - pad;
+            pending.push(Row {
+                cap,
+                begin,
+                end: nz.len(),
+                prune_hi: if hi_safe.is_nan() {
+                    f64::INFINITY
+                } else {
+                    hi_safe
+                },
+                prune_lo: if lo_safe.is_nan() {
+                    f64::NEG_INFINITY
+                } else {
+                    lo_safe
+                },
+            });
+        }
+        // A row no point can satisfy decides the whole block.
+        if pending.iter().any(|r| r.prune_lo > r.cap) {
+            return 0;
+        }
+        // Drop rows no point can violate.
+        pending.retain(|r| r.prune_hi > r.cap);
+        let rows = pending;
+
+        // The block's ragged tail (at most 15 points, final block only)
+        // is decided entirely scalar up front — the same k-ascending
+        // accumulation, ordered comparisons and first-violation early
+        // exit as `FeasibleRegion::contains` — and never enters the
+        // tile machinery below.
+        let raw_full = width / TILE;
+        let mut live_tail = 0usize;
+        'points: for p in raw_full * TILE..width {
+            for &(b, base) in &lbs {
+                let pass = b <= *base.add(p);
+                if !pass {
+                    continue 'points;
+                }
+            }
+            for r in &rows {
+                let mut acc = 0.0f64;
+                for &(k, c) in &nz[r.begin..r.end] {
+                    acc += c * self.batch.column(k)[start..end][p];
+                }
+                let pass = acc <= r.cap;
+                if !pass {
+                    continue 'points;
+                }
+            }
+            live_tail += 1;
+        }
+
+        // The working set: `w_len` points, either the raw column range
+        // (until the first compaction) or the survivors' coordinates in
+        // `scr.work` (`slots[k]`-th column, stride `w_stride`), with
+        // one live-bit word per 16-point tile in `scr.bits`. Full-tile
+        // words hold bits in `mask16`'s shuffled order (only ANDed,
+        // popcounted and zero-tested; unshuffled just-in-time when a
+        // compaction needs positions); a partial trailing tile's word
+        // (post-compaction only) is point-order and touched only by the
+        // scalar tail loops.
+        let mut w_len = raw_full * TILE;
+        if w_len == 0 {
+            return live_tail;
+        }
+
+        // Fast path for ordinary regions (every row fits one fused
+        // pass): each pair of 16-point tiles runs all lower bounds and
+        // all constraint rows back to back with its live words in
+        // registers, abandoned the moment both words die. Dead points
+        // are skipped at tile granularity without copying a coordinate
+        // — what survivor compaction exists for — and two tiles per
+        // iteration double the independent f64 dependency chains so
+        // the multiply-add stream saturates the FP ports instead of
+        // waiting out add latency.
+        const FUSED_MAX: usize = 16;
+        if rows.len() <= FUSED_MAX {
+            let mut ptrs: Vec<(*const f64, f64)> = Vec::with_capacity(nz.len());
+            let mut spans: Vec<(f64, usize, usize)> = Vec::with_capacity(rows.len());
+            for r in &rows {
+                let begin = ptrs.len();
+                ptrs.extend(
+                    nz[r.begin..r.end]
+                        .iter()
+                        .map(|&(k, c)| (self.batch.column(k)[start..end].as_ptr(), c)),
+                );
+                spans.push((r.cap, begin, ptrs.len()));
+            }
+            let mut live = 0usize;
+            let mut g = 0usize;
+            while g + 2 <= raw_full {
+                let off_a = g * TILE;
+                let off_b = off_a + TILE;
+                let mut wa = u16::MAX;
+                let mut wb = u16::MAX;
+                for &(b, base) in &lbs {
+                    wa &= avx2::lower_bound_bits(b, base.add(off_a));
+                    wb &= avx2::lower_bound_bits(b, base.add(off_b));
+                    if wa | wb == 0 {
+                        break;
+                    }
+                }
+                if wa | wb != 0 {
+                    for &(cap, rb, re) in &spans {
+                        let mut aa = avx2::tile_zero();
+                        let mut ab = avx2::tile_zero();
+                        for &(base, c) in &ptrs[rb..re] {
+                            aa = avx2::tile_axpy(aa, c, base.add(off_a));
+                            ab = avx2::tile_axpy(ab, c, base.add(off_b));
+                        }
+                        wa &= avx2::tile_cmp_le(aa, cap);
+                        wb &= avx2::tile_cmp_le(ab, cap);
+                        if wa | wb == 0 {
+                            break;
+                        }
+                    }
+                }
+                live += (wa.count_ones() + wb.count_ones()) as usize;
+                g += 2;
+            }
+            if g < raw_full {
+                let off = g * TILE;
+                let mut w = u16::MAX;
+                for &(b, base) in &lbs {
+                    w &= avx2::lower_bound_bits(b, base.add(off));
+                    if w == 0 {
+                        break;
+                    }
+                }
+                if w != 0 {
+                    for &(cap, rb, re) in &spans {
+                        let mut acc = avx2::tile_zero();
+                        for &(base, c) in &ptrs[rb..re] {
+                            acc = avx2::tile_axpy(acc, c, base.add(off));
+                        }
+                        w &= avx2::tile_cmp_le(acc, cap);
+                        if w == 0 {
+                            break;
+                        }
+                    }
+                }
+                live += w.count_ones() as usize;
+            }
+            return live + live_tail;
+        }
+
+        let reset_bits = |bits: &mut Vec<u16>, len: usize| {
+            bits.clear();
+            bits.resize(len.div_ceil(TILE), u16::MAX);
+            if len % TILE != 0 {
+                if let Some(last) = bits.last_mut() {
+                    *last = (1u16 << (len % TILE)) - 1;
+                }
+            }
+        };
+        reset_bits(&mut scr.bits, w_len);
+        let mut live = w_len;
+        let mut compacted = false;
+        let mut w_stride = w_len;
+        let mut slots: Vec<usize> = Vec::new();
+
+        // Lower bounds over the raw columns, tile-major with in-tile
+        // early exit.
+        if !lbs.is_empty() {
+            live = 0;
+            for (g, word) in scr.bits.iter_mut().enumerate() {
+                let mut w = *word;
+                for &(b, base) in &lbs {
+                    w &= avx2::lower_bound_bits(b, base.add(g * TILE));
+                    if w == 0 {
+                        break;
+                    }
+                }
+                *word = w;
+                live += w.count_ones() as usize;
+            }
+        }
+
+        // Long regions (more rows than one fused pass should chain):
+        // segments of up to `SEGMENT` rows, each one tile-major
+        // streaming pass over the working set with the live words
+        // persisted in `scr.bits` between segments.
+        const SEGMENT: usize = 8;
+        let mut ptrs: Vec<(*const f64, f64)> = Vec::new();
+        let mut spans: Vec<(f64, usize, usize)> = Vec::with_capacity(SEGMENT);
+        let mut i = 0;
+        while i < rows.len() {
+            if live == 0 {
+                return live_tail;
+            }
+            // Between segments, compact at quarter occupancy — the
+            // point where copying the columns the remaining rows still
+            // read (`slots` maps column index to its slot in
+            // `scr.work`) beats re-walking mostly-dead tiles that the
+            // 16-point live-word granularity cannot skip. The vpermps
+            // compress copies surviving bits verbatim; 4 slack slots
+            // per column absorb its unconditional 4-lane stores.
+            if live * 4 < w_len {
+                let mut used = vec![false; self.batch.dim];
+                for r in &rows[i..] {
+                    for &(k, _) in &nz[r.begin..r.end] {
+                        used[k] = true;
+                    }
+                }
+                let stride = live + 4;
+                let mut new_slots = vec![usize::MAX; self.batch.dim];
+                let n_used = used.iter().filter(|&&u| u).count();
+                // No `clear()`: the compress overwrites `[0, live)` of
+                // every slot and nothing ever reads the slack, so stale
+                // contents are harmless and skipping the implied memset
+                // matters at per-block compaction rates.
+                scr.next.resize(n_used * stride, 0.0);
+                let full = w_len / TILE;
+                let mut slot = 0usize;
+                for (k, _) in used.iter().enumerate().filter(|(_, &u)| u) {
+                    let src = if compacted {
+                        scr.work.as_ptr().add(slots[k] * w_stride)
+                    } else {
+                        self.batch.column(k)[start..end].as_ptr()
+                    };
+                    let dst = scr.next.as_mut_ptr().add(slot * stride);
+                    let mut w = 0usize;
+                    for (g, &word) in scr.bits[..full].iter().enumerate() {
+                        if word == 0 {
+                            continue;
+                        }
+                        w += avx2::compress_tile(
+                            src.add(g * TILE),
+                            avx2::unshuffle16(word),
+                            dst.add(w),
+                        );
+                    }
+                    for p in full * TILE..w_len {
+                        if scr.bits[p / TILE] & (1u16 << (p % TILE)) != 0 {
+                            *dst.add(w) = *src.add(p);
+                            w += 1;
+                        }
+                    }
+                    debug_assert_eq!(w, live);
+                    new_slots[k] = slot;
+                    slot += 1;
+                }
+                std::mem::swap(&mut scr.work, &mut scr.next);
+                compacted = true;
+                w_len = live;
+                w_stride = stride;
+                slots = new_slots;
+                reset_bits(&mut scr.bits, w_len);
+            }
+
+            // This segment's rows, with column base pointers resolved
+            // once under the current working-set mapping (k ascending
+            // within each row — the bit-identity order).
+            let seg_end = (i + SEGMENT).min(rows.len());
+            spans.clear();
+            ptrs.clear();
+            for r in &rows[i..seg_end] {
+                let begin = ptrs.len();
+                ptrs.extend(nz[r.begin..r.end].iter().map(|&(k, c)| {
+                    let base = if compacted {
+                        scr.work.as_ptr().add(slots[k] * w_stride)
+                    } else {
+                        self.batch.column(k)[start..end].as_ptr()
+                    };
+                    (base, c)
+                }));
+                spans.push((r.cap, begin, ptrs.len()));
+            }
+
+            let full = w_len / TILE;
+            live = 0;
+            for (g, word) in scr.bits[..full].iter_mut().enumerate() {
+                let mut w = *word;
+                if w == 0 {
+                    continue;
+                }
+                let off = g * TILE;
+                for &(cap, rb, re) in &spans {
+                    let mut acc = avx2::tile_zero();
+                    for &(base, c) in &ptrs[rb..re] {
+                        acc = avx2::tile_axpy(acc, c, base.add(off));
+                    }
+                    w &= avx2::tile_cmp_le(acc, cap);
+                    if w == 0 {
+                        break;
+                    }
+                }
+                *word = w;
+                live += w.count_ones() as usize;
+            }
+            // Post-compaction partial tile, one point at a time (same
+            // k-ascending order), bits in point order.
+            for p in full * TILE..w_len {
+                let word = &mut scr.bits[p / TILE];
+                let bit = 1u16 << (p % TILE);
+                if *word & bit == 0 {
+                    continue;
+                }
+                let mut dead = false;
+                for &(cap, rb, re) in &spans {
+                    let mut acc = 0.0f64;
+                    for &(base, c) in &ptrs[rb..re] {
+                        acc += c * *base.add(p);
+                    }
+                    let pass = acc <= cap;
+                    dead = !pass;
+                    if dead {
+                        break;
+                    }
+                }
+                if dead {
+                    *word &= !bit;
+                } else {
+                    live += 1;
+                }
+            }
+            i = seg_end;
+        }
+        live + live_tail
+    }
 }
 
 /// Reusable per-call buffers so blocked scoring allocates once per range,
 /// not once per block.
 #[derive(Default)]
 struct Scratch {
-    /// Alive flag per point of the current working set.
+    /// Alive flag per point of the current working set (scalar path).
     mask: Vec<bool>,
+    /// Alive bits of the working set, one `u16` per 16-point tile
+    /// (AVX2 path) — see `count_block_avx2` for the bit-order contract.
+    bits: Vec<u16>,
     /// Compacted survivor columns (column-major, stride = live count).
     work: Vec<f64>,
     /// Target buffer for the next compaction, swapped with `work`.
@@ -470,6 +1102,31 @@ mod tests {
             kernel.count_feasible(&region),
             scalar_count(&points, &region)
         );
+    }
+
+    #[test]
+    fn long_row_lists_count_bit_identically() {
+        // More rows than one fused pass chains (24 > FUSED_MAX), so the
+        // segmented passes run, with survivor compaction firing as
+        // occupancy decays across segments; the scalar walk is the
+        // reference. 7000 points also leaves an odd tile count and a
+        // ragged block tail.
+        let points = halton_points(5, 7_000, 19);
+        let kernel = FeasibilityKernel::new(&points);
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..24 {
+            let mut r = vec![0.0; 5];
+            r[i % 5] = 1.1 + 0.07 * (i % 4) as f64;
+            r[(i + 2) % 5] = 0.6;
+            rows.push(r);
+        }
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let region = FeasibleRegion::new(Matrix::from_rows(&row_refs), Vector::from(vec![0.5; 24]));
+        let expected = scalar_count(&points, &region);
+        assert_eq!(kernel.count_feasible(&region), expected);
+        // The forced-scalar kernel agrees too (three-way equality).
+        let forced = FeasibilityKernel::new_force_scalar(&points);
+        assert_eq!(forced.count_feasible(&region), expected);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod matrix;
 pub mod polygon;
 pub mod qmc;
 pub mod rng;
+pub mod simd;
 pub mod simplex;
 pub mod sobol;
 pub mod sparse;
@@ -39,6 +40,7 @@ pub use matrix::Matrix;
 pub use polygon::Polygon;
 pub use qmc::HaltonSeq;
 pub use rng::seeded_rng;
+pub use simd::{KernelPath, KernelPathCounts};
 pub use simplex::{simplex_volume, SimplexSampler};
 pub use sobol::SobolSeq;
 pub use sparse::{SparseLoadMatrix, SparseRow};

@@ -1,0 +1,506 @@
+//! Explicit-SIMD (AVX2, 4×f64 lane) inner loops for the batched
+//! feasibility kernel, behind a runtime-dispatched bit-identity contract.
+//!
+//! The blocked kernel in [`crate::batch`] already arranges every hot loop
+//! as a straight multiply-add over contiguous `f64` slices, which LLVM
+//! auto-vectorises — but only at the portable x86-64 baseline (SSE2,
+//! 2×f64 lanes). This module provides hand-written AVX2 versions of the
+//! three inner loops — the `avx2::axpy` accumulation behind
+//! [`PointBatch::dot_into`](crate::batch::PointBatch::dot_into), the
+//! lower-bound mask pass, and the per-constraint multiply-add +
+//! survivor-compaction loop of `FeasibilityKernel::count_block` — at
+//! 4×f64 lanes, with the survivor bookkeeping reduced to one live-bit
+//! word per 16-point tile (AND, popcount, and a zero test) and the
+//! compaction's write cursor to a table-driven vpermps compress
+//! (`avx2::compress_tile`); see `count_block_avx2` in
+//! [`crate::batch`] for how the two compose.
+//!
+//! ## Dispatch contract
+//!
+//! Which path runs is decided by [`select_path`] (pure logic in
+//! [`resolve_path`], unit-testable without touching the environment):
+//!
+//! 1. a `force_scalar` constructor argument always wins (CI A/B runs,
+//!    the perf harness's reference leg),
+//! 2. otherwise the `ROD_NO_SIMD` environment variable (any value other
+//!    than empty or `0`) forces the scalar path,
+//! 3. otherwise AVX2 is detected at runtime via
+//!    `is_x86_feature_detected!("avx2")`; hosts without it (or non-x86_64
+//!    builds, where the detection is compiled out entirely) fall back to
+//!    the scalar path.
+//!
+//! Every block and every dot row notes which path scored it in a set of
+//! process-global [`path_counts`] counters, so tests — and
+//! `rod_core::obs` via its `record_kernel_path` helper — can observe
+//! that a forced path was actually taken rather than trusting the flag.
+//!
+//! ## Bit-identity, by construction
+//!
+//! Lanes are *points*: one SIMD register holds the partial loads of four
+//! different sample points, and each point's accumulation still walks the
+//! nonzero constraint columns `k` in ascending order starting from
+//! `+0.0`. Per-point operand order is therefore exactly the scalar
+//! walk's, and IEEE-754 arithmetic is deterministic for a fixed operand
+//! order — so counts, load vectors, and every placement derived from
+//! them are bit-identical across paths (pinned by the proptests in
+//! `tests/simd_equivalence.rs` and the golden suite in `rod-bench`).
+//!
+//! Two details make this *by construction* rather than by luck:
+//!
+//! * **No fused multiply-add.** The kernels use `_mm256_mul_pd` followed
+//!   by `_mm256_add_pd`, never `_mm256_fmadd_pd`: an FMA skips the
+//!   intermediate rounding of the product, which is usually *more*
+//!   accurate but differs from the scalar `acc + c * x` (rustc does not
+//!   contract float expressions), and would break the contract.
+//! * **Masks carry no arithmetic.** On the hot path a tile's 16
+//!   comparison bits are only ever ANDed together, tested for zero and
+//!   popcounted — order-oblivious — so the kernel is free to produce
+//!   them in the fixed shuffled order that the cheapest bit-extraction
+//!   sequence emits (see `mask16` below). The one positional consumer,
+//!   the survivor compress, converts to point order just in time with
+//!   `avx2::unshuffle16` and then copies coordinates verbatim.
+//!   Skipping a dead tile's remaining constraints is legal because
+//!   feasibility is a conjunction.
+//!
+//! This is the repository's first architecture-specific code; the
+//! pattern it establishes — runtime detection, a scalar oracle kept
+//! verbatim, forced-path constructors, and a forced-scalar CI matrix
+//! leg — is the template for every future kernel.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which implementation a [`FeasibilityKernel`](crate::FeasibilityKernel)
+/// (or one `dot_into` call) uses for its inner loops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelPath {
+    /// The reference blocked-scalar loops (auto-vectorised by LLVM at
+    /// the portable baseline). Always available; always the oracle.
+    Scalar,
+    /// The explicit AVX2 4×f64-lane loops in this module.
+    Simd,
+}
+
+/// True when the build target and the running CPU support the AVX2 path.
+pub fn simd_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// True when `ROD_NO_SIMD` is set to anything other than empty or `0` —
+/// the environment override that forces the scalar path process-wide
+/// (read at kernel construction / per `dot_into` call, so tests and CI
+/// matrix legs can flip it without rebuilding).
+pub fn simd_disabled_by_env() -> bool {
+    std::env::var("ROD_NO_SIMD").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The dispatch decision, as a pure function of its inputs — the logic
+/// behind [`select_path`], separated so the precedence (forced > env >
+/// detection) is unit-testable without mutating the process environment.
+pub fn resolve_path(force_scalar: bool, env_disabled: bool, supported: bool) -> KernelPath {
+    if force_scalar || env_disabled || !supported {
+        KernelPath::Scalar
+    } else {
+        KernelPath::Simd
+    }
+}
+
+/// Selects the path for a new kernel (or one `dot_into` call): scalar
+/// when forced, when `ROD_NO_SIMD` is set, or when the host lacks AVX2.
+pub fn select_path(force_scalar: bool) -> KernelPath {
+    resolve_path(force_scalar, simd_disabled_by_env(), simd_supported())
+}
+
+static SIMD_BLOCKS: AtomicU64 = AtomicU64::new(0);
+static SCALAR_BLOCKS: AtomicU64 = AtomicU64::new(0);
+static SIMD_DOT_ROWS: AtomicU64 = AtomicU64::new(0);
+static SCALAR_DOT_ROWS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-global kernel-path counters: how many blocks
+/// (`FeasibilityKernel::count_block` calls) and dot rows
+/// ([`dot_into`](crate::batch::PointBatch::dot_into) calls) each path
+/// has scored since process start. Monotone; take two snapshots and
+/// subtract to attribute work to a region of code (see
+/// `rod_core::obs::record_kernel_path`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelPathCounts {
+    /// Blocks scored by the AVX2 path.
+    pub simd_blocks: u64,
+    /// Blocks scored by the scalar path.
+    pub scalar_blocks: u64,
+    /// `dot_into` rows accumulated by the AVX2 path.
+    pub simd_dot_rows: u64,
+    /// `dot_into` rows accumulated by the scalar path.
+    pub scalar_dot_rows: u64,
+}
+
+/// Reads the current [`KernelPathCounts`].
+pub fn path_counts() -> KernelPathCounts {
+    KernelPathCounts {
+        simd_blocks: SIMD_BLOCKS.load(Ordering::Relaxed),
+        scalar_blocks: SCALAR_BLOCKS.load(Ordering::Relaxed),
+        simd_dot_rows: SIMD_DOT_ROWS.load(Ordering::Relaxed),
+        scalar_dot_rows: SCALAR_DOT_ROWS.load(Ordering::Relaxed),
+    }
+}
+
+/// Notes one scored block on `path`'s counter.
+pub(crate) fn note_block(path: KernelPath) {
+    match path {
+        KernelPath::Simd => SIMD_BLOCKS.fetch_add(1, Ordering::Relaxed),
+        KernelPath::Scalar => SCALAR_BLOCKS.fetch_add(1, Ordering::Relaxed),
+    };
+}
+
+/// Notes one accumulated `dot_into` row on `path`'s counter.
+pub(crate) fn note_dot(path: KernelPath) {
+    match path {
+        KernelPath::Simd => SIMD_DOT_ROWS.fetch_add(1, Ordering::Relaxed),
+        KernelPath::Scalar => SCALAR_DOT_ROWS.fetch_add(1, Ordering::Relaxed),
+    };
+}
+
+/// The AVX2 loop bodies. Everything here is `unsafe` twice over: callers
+/// must have verified AVX2 support (the dispatch above guarantees it —
+/// [`KernelPath::Simd`] is only ever selected after detection), and the
+/// pointer arithmetic relies on the slice-length invariants asserted by
+/// the safe wrappers in [`crate::batch`].
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// Points per tile of the tile-major block scorer: four 4-lane
+    /// registers' worth of accumulators, enough work per mask fold to
+    /// amortise the bit extraction while leaving ymm registers to spare.
+    pub const TILE: usize = 16;
+
+    /// A tile of 16 per-point load accumulators in four ymm registers.
+    #[derive(Clone, Copy)]
+    pub struct Tile(__m256d, __m256d, __m256d, __m256d);
+
+    /// Extracts the 16 sign bits of four 4×f64 comparison masks as one
+    /// `u16`, in the module's fixed **shuffled bit order**.
+    ///
+    /// The cheap sequence — two `vshufps` picking the low 32-bit half of
+    /// every f64 mask lane, then two `vmovmskps` — is roughly half the
+    /// µops of four `vmovmskpd` plus a shift/OR chain, but `vshufps`
+    /// works within 128-bit halves, so the bits come out in the order
+    ///
+    /// ```text
+    /// [p0 p1 p4 p5 p2 p3 p6 p7 | p8 p9 p12 p13 p10 p11 p14 p15]
+    /// ```
+    ///
+    /// (`m0` holds points 0–3, `m1` 4–7, `m2` 8–11, `m3` 12–15). Every
+    /// mask this module produces uses the same order, and callers only
+    /// AND masks together, test for zero and popcount — all
+    /// order-oblivious — so the shuffle is never observed. The unit
+    /// tests invert it with `scramble16`.
+    ///
+    /// # Safety
+    /// AVX2 must be available.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mask16(m0: __m256d, m1: __m256d, m2: __m256d, m3: __m256d) -> u16 {
+        let lo = _mm256_shuffle_ps::<0x88>(_mm256_castpd_ps(m0), _mm256_castpd_ps(m1));
+        let hi = _mm256_shuffle_ps::<0x88>(_mm256_castpd_ps(m2), _mm256_castpd_ps(m3));
+        (_mm256_movemask_ps(lo) as u16) | ((_mm256_movemask_ps(hi) as u16) << 8)
+    }
+
+    /// Converts a mask between [`mask16`]'s shuffled bit order and
+    /// point order. The shuffle swaps bit pairs `(2,3)` ↔ `(4,5)`
+    /// within each byte, which is its own inverse — so this one
+    /// function maps either direction. The kernel calls it just in
+    /// time when survivor compaction needs bit *positions* (compare
+    /// masks are otherwise only ANDed, popcounted and zero-tested,
+    /// all order-oblivious).
+    #[inline]
+    pub(crate) fn unshuffle16(w: u16) -> u16 {
+        (w & 0xC3C3) | ((w & 0x0C0C) << 2) | ((w & 0x3030) >> 2)
+    }
+
+    /// `vpermps` index table for the 4-lane f64 compress: entry `m`
+    /// maps the doubles whose mask bits are set in `m` to the front, in
+    /// lane order. Doubles are permuted as pairs of 32-bit lanes (`2j`,
+    /// `2j+1`), so the move is a pure bit copy.
+    static COMPRESS_LUT: [[i32; 8]; 16] = [
+        [0, 0, 0, 0, 0, 0, 0, 0],
+        [0, 1, 0, 0, 0, 0, 0, 0],
+        [2, 3, 0, 0, 0, 0, 0, 0],
+        [0, 1, 2, 3, 0, 0, 0, 0],
+        [4, 5, 0, 0, 0, 0, 0, 0],
+        [0, 1, 4, 5, 0, 0, 0, 0],
+        [2, 3, 4, 5, 0, 0, 0, 0],
+        [0, 1, 2, 3, 4, 5, 0, 0],
+        [6, 7, 0, 0, 0, 0, 0, 0],
+        [0, 1, 6, 7, 0, 0, 0, 0],
+        [2, 3, 6, 7, 0, 0, 0, 0],
+        [0, 1, 2, 3, 6, 7, 0, 0],
+        [4, 5, 6, 7, 0, 0, 0, 0],
+        [0, 1, 4, 5, 6, 7, 0, 0],
+        [2, 3, 4, 5, 6, 7, 0, 0],
+        [0, 1, 2, 3, 4, 5, 6, 7],
+    ];
+
+    /// Compresses the 16 `src` coordinates whose alive bit is set to
+    /// the front of `dst` (in index order), returning how many were
+    /// written — one tile of the survivor compaction. `bits` is in
+    /// **point order** (callers unshuffle a working mask with
+    /// [`unshuffle16`] first). Each 4-point nibble is compressed with
+    /// one table-driven `vpermps` and an unconditional 4-lane store, so
+    /// `dst` **must have at least 3 slots of slack** past the survivors
+    /// (the caller's compacted stride provides 4). The permutation
+    /// copies bits verbatim — no arithmetic — so compacted coordinates
+    /// are exactly the originals.
+    ///
+    /// # Safety
+    /// AVX2 must be available, `src` must point at 16 readable `f64`s,
+    /// and `dst` at `bits.count_ones() + 3` writable ones.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn compress_tile(src: *const f64, bits: u16, dst: *mut f64) -> usize {
+        let mut w = 0usize;
+        for nibble in 0..4 {
+            let nib = ((bits >> (4 * nibble)) & 0xF) as usize;
+            let v = _mm256_loadu_pd(src.add(4 * nibble));
+            let idx = _mm256_loadu_si256(COMPRESS_LUT[nib].as_ptr() as *const __m256i);
+            let packed = _mm256_permutevar8x32_ps(_mm256_castpd_ps(v), idx);
+            _mm256_storeu_pd(dst.add(w), _mm256_castps_pd(packed));
+            w += nib.count_ones() as usize;
+        }
+        w
+    }
+
+    /// A zeroed accumulator tile (`+0.0` lanes — the scalar
+    /// accumulators' starting value, load-bearing for bit-identity).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn tile_zero() -> Tile {
+        let z = _mm256_setzero_pd();
+        Tile(z, z, z, z)
+    }
+
+    /// `acc[p] += c · xs[p]` for the 16 points at `xs` — multiply then
+    /// add (never `fmadd`; see the module docs), per lane, so each
+    /// point's accumulation rounds exactly like the scalar `acc + c * x`.
+    ///
+    /// # Safety
+    /// AVX2 must be available and `xs` must point at 16 readable `f64`s.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn tile_axpy(acc: Tile, c: f64, xs: *const f64) -> Tile {
+        let cv = _mm256_set1_pd(c);
+        Tile(
+            _mm256_add_pd(acc.0, _mm256_mul_pd(cv, _mm256_loadu_pd(xs))),
+            _mm256_add_pd(acc.1, _mm256_mul_pd(cv, _mm256_loadu_pd(xs.add(4)))),
+            _mm256_add_pd(acc.2, _mm256_mul_pd(cv, _mm256_loadu_pd(xs.add(8)))),
+            _mm256_add_pd(acc.3, _mm256_mul_pd(cv, _mm256_loadu_pd(xs.add(12)))),
+        )
+    }
+
+    /// `load ≤ cap` per point of the tile, as 16 comparison bits in
+    /// [`mask16`]'s shuffled order (one set bit = one point passed).
+    /// The comparison is ordered-quiet (`NaN ≤ cap` is false), matching
+    /// the scalar `load <= cap`. The caller ANDs the bits into its
+    /// per-tile live word and popcounts — the whole survivor merge is
+    /// two scalar ops, where a byte-level flag array would cost a
+    /// load/expand/blend/store chain per tile.
+    ///
+    /// # Safety
+    /// AVX2 must be available.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn tile_cmp_le(acc: Tile, cap: f64) -> u16 {
+        let capv = _mm256_set1_pd(cap);
+        mask16(
+            _mm256_cmp_pd::<_CMP_LE_OQ>(acc.0, capv),
+            _mm256_cmp_pd::<_CMP_LE_OQ>(acc.1, capv),
+            _mm256_cmp_pd::<_CMP_LE_OQ>(acc.2, capv),
+            _mm256_cmp_pd::<_CMP_LE_OQ>(acc.3, capv),
+        )
+    }
+
+    /// `acc[p] += c · xs[p]` over whole slices — the 4-lane body behind
+    /// [`PointBatch::dot_into`](crate::batch::PointBatch::dot_into).
+    /// Multiply then add per lane; the ragged tail runs scalar with the
+    /// same expression, so every element rounds identically to the
+    /// scalar loop.
+    ///
+    /// # Safety
+    /// AVX2 must be available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy(c: f64, xs: &[f64], acc: &mut [f64]) {
+        debug_assert_eq!(xs.len(), acc.len());
+        let cv = _mm256_set1_pd(c);
+        let n4 = xs.len() - xs.len() % 4;
+        let mut t = 0;
+        while t < n4 {
+            let a = _mm256_loadu_pd(acc.as_ptr().add(t));
+            let x = _mm256_loadu_pd(xs.as_ptr().add(t));
+            _mm256_storeu_pd(
+                acc.as_mut_ptr().add(t),
+                _mm256_add_pd(a, _mm256_mul_pd(cv, x)),
+            );
+            t += 4;
+        }
+        for p in n4..xs.len() {
+            acc[p] += c * xs[p];
+        }
+    }
+
+    /// `b ≤ col[p]` for the 16 points at `p`, as 16 comparison bits in
+    /// [`mask16`]'s shuffled order — one tile of the kernel's
+    /// lower-bound pass. Ordered-quiet, like the scalar `b <= x`.
+    ///
+    /// # Safety
+    /// AVX2 must be available and `p` must point at 16 readable `f64`s.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn lower_bound_bits(b: f64, p: *const f64) -> u16 {
+        let bv = _mm256_set1_pd(b);
+        mask16(
+            _mm256_cmp_pd::<_CMP_LE_OQ>(bv, _mm256_loadu_pd(p)),
+            _mm256_cmp_pd::<_CMP_LE_OQ>(bv, _mm256_loadu_pd(p.add(4))),
+            _mm256_cmp_pd::<_CMP_LE_OQ>(bv, _mm256_loadu_pd(p.add(8))),
+            _mm256_cmp_pd::<_CMP_LE_OQ>(bv, _mm256_loadu_pd(p.add(12))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_path_precedence() {
+        use KernelPath::*;
+        // force_scalar always wins.
+        assert_eq!(resolve_path(true, false, true), Scalar);
+        assert_eq!(resolve_path(true, true, true), Scalar);
+        // Env disable wins over detection.
+        assert_eq!(resolve_path(false, true, true), Scalar);
+        // Unsupported host falls back.
+        assert_eq!(resolve_path(false, false, false), Scalar);
+        // Only the unforced, enabled, supported case goes SIMD.
+        assert_eq!(resolve_path(false, false, true), Simd);
+    }
+
+    #[test]
+    fn counters_are_monotone() {
+        let before = path_counts();
+        note_block(KernelPath::Scalar);
+        note_block(KernelPath::Simd);
+        note_dot(KernelPath::Scalar);
+        note_dot(KernelPath::Simd);
+        let after = path_counts();
+        assert!(after.scalar_blocks > before.scalar_blocks);
+        assert!(after.simd_blocks > before.simd_blocks);
+        assert!(after.scalar_dot_rows > before.scalar_dot_rows);
+        assert!(after.simd_dot_rows > before.simd_dot_rows);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    mod avx2_units {
+        use super::super::avx2;
+        use super::super::simd_supported;
+
+        #[test]
+        fn axpy_matches_scalar_bitwise() {
+            if !simd_supported() {
+                return;
+            }
+            let xs: Vec<f64> = (0..103).map(|i| (i as f64).sin() * 3.7).collect();
+            let mut acc: Vec<f64> = (0..103).map(|i| (i as f64).cos() * 0.9).collect();
+            let mut reference = acc.clone();
+            let c = 1.37e-3;
+            unsafe { avx2::axpy(c, &xs, &mut acc) };
+            for (a, &x) in reference.iter_mut().zip(&xs) {
+                *a += c * x;
+            }
+            for (p, (a, r)) in acc.iter().zip(&reference).enumerate() {
+                assert_eq!(a.to_bits(), r.to_bits(), "element {p}");
+            }
+        }
+
+        /// Expected mask built in point order, then mapped through the
+        /// documented shuffle (`unshuffle16` is an involution, so it
+        /// shuffles too).
+        fn point_order_mask(pass: impl Fn(usize) -> bool) -> u16 {
+            let mut bits = 0u16;
+            for p in 0..16 {
+                bits |= (pass(p) as u16) << p;
+            }
+            avx2::unshuffle16(bits)
+        }
+
+        #[test]
+        fn unshuffle16_is_an_involution() {
+            // Brute-force the documented mapping: the shuffle swaps bit
+            // pairs (2,3)↔(4,5) within each byte.
+            const POS: [u32; 8] = [0, 1, 4, 5, 2, 3, 6, 7];
+            for bits in [0u16, 0xFFFF, 0x0001, 0x8000, 0x5A5A, 0xC813, 0x7FFE] {
+                let mut expect = 0u16;
+                for p in 0..16u32 {
+                    if bits >> p & 1 == 1 {
+                        expect |= 1 << (POS[p as usize % 8] + 8 * (p / 8));
+                    }
+                }
+                assert_eq!(avx2::unshuffle16(bits), expect);
+                assert_eq!(avx2::unshuffle16(avx2::unshuffle16(bits)), bits);
+            }
+        }
+
+        #[test]
+        fn compress_tile_keeps_exact_bits_in_order() {
+            if !simd_supported() {
+                return;
+            }
+            let src: Vec<f64> = (0..16).map(|i| (i as f64) * 0.1 - 1.3).collect();
+            // Every nibble pattern appears across these masks.
+            for bits in [0u16, 0xFFFF, 0x0001, 0x8000, 0x5A5A, 0xC813, 0x7FFE] {
+                let expect: Vec<u64> = src
+                    .iter()
+                    .enumerate()
+                    .filter(|(p, _)| bits >> p & 1 == 1)
+                    .map(|(_, x)| x.to_bits())
+                    .collect();
+                let mut dst = vec![0.0; expect.len() + 4];
+                let w = unsafe { avx2::compress_tile(src.as_ptr(), bits, dst.as_mut_ptr()) };
+                assert_eq!(w, expect.len(), "bits {bits:#06x}");
+                for (p, e) in expect.iter().enumerate() {
+                    assert_eq!(dst[p].to_bits(), *e, "bits {bits:#06x} survivor {p}");
+                }
+            }
+        }
+
+        #[test]
+        fn lower_bound_bits_match_scalar() {
+            if !simd_supported() {
+                return;
+            }
+            let col: Vec<f64> = (0..16).map(|i| (i as f64) / 10.0).collect();
+            let bits = unsafe { avx2::lower_bound_bits(1.15, col.as_ptr()) };
+            assert_eq!(bits, point_order_mask(|p| 1.15 <= col[p]));
+        }
+
+        #[test]
+        fn tile_cmp_le_matches_scalar() {
+            if !simd_supported() {
+                return;
+            }
+            let loads: Vec<f64> = (0..16).map(|i| (i as f64) * 0.07).collect();
+            let acc = unsafe {
+                let mut t = avx2::tile_zero();
+                t = avx2::tile_axpy(t, 1.0, loads.as_ptr());
+                t
+            };
+            let bits = unsafe { avx2::tile_cmp_le(acc, 0.5) };
+            assert_eq!(bits, point_order_mask(|p| loads[p] <= 0.5));
+        }
+    }
+}

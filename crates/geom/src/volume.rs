@@ -327,6 +327,27 @@ impl VolumeEstimator {
         self.estimate_from_hits(hits)
     }
 
+    /// The inner-loop implementation the kernel selected at
+    /// construction ([`crate::simd::select_path`]): `Simd` on AVX2
+    /// hosts unless `ROD_NO_SIMD` suppressed it, `Scalar` otherwise.
+    pub fn kernel_path(&self) -> crate::simd::KernelPath {
+        self.kernel.path()
+    }
+
+    /// Single-threaded estimate through the blocked kernel pinned to
+    /// its **scalar** loops, whatever the host supports — the
+    /// blocked-scalar reference leg of SIMD A/B comparisons (the
+    /// `kernel_estimate_seconds` column of `BENCH_planner.json`).
+    /// Bit-identical to [`estimate`](Self::estimate) by the kernel's
+    /// path contract.
+    pub fn estimate_kernel_scalar(&self, region: &FeasibleRegion) -> VolumeEstimate {
+        assert_eq!(region.dim(), self.points.first().map_or(0, Vector::dim));
+        let hits = self
+            .kernel
+            .count_feasible_range_scalar(region, 0, self.points.len());
+        self.estimate_from_hits(hits)
+    }
+
     /// The retired point-at-a-time scan, kept as the reference
     /// implementation: the batched kernel must agree with it bit for bit
     /// (asserted by the equivalence tests here and the golden suite in

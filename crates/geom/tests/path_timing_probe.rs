@@ -1,0 +1,82 @@
+//! Manual timing probe (ignored in CI): scalar vs SIMD kernel across
+//! region shapes, for quick A/B iteration on the kernel without a full
+//! `perf_planner` run. Run with:
+//! `cargo test -p rod-geom --release --test path_timing_probe -- --ignored --nocapture`
+
+use std::time::Instant;
+
+use rod_geom::{FeasibilityKernel, FeasibleRegion, HaltonSeq, Matrix, SimplexSampler, Vector};
+
+fn halton_points(dim: usize, n: usize, seed: u64) -> Vec<Vector> {
+    let sampler = SimplexSampler::new(&vec![1.0; dim], 1.0);
+    let mut seq = HaltonSeq::shifted(dim, seed);
+    (0..n)
+        .map(|_| sampler.map_cube_point(&seq.next_point()))
+        .collect()
+}
+
+fn time_paths(name: &str, points: &[Vector], region: &FeasibleRegion, reps: usize) {
+    let auto = FeasibilityKernel::new(points);
+    let forced = FeasibilityKernel::new_force_scalar(points);
+    let mut scalar_best = f64::INFINITY;
+    let mut simd_best = f64::INFINITY;
+    let mut count = 0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let c1 = forced.count_feasible(region);
+        scalar_best = scalar_best.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let c2 = auto.count_feasible(region);
+        simd_best = simd_best.min(t.elapsed().as_secs_f64());
+        assert_eq!(c1, c2);
+        count = c1;
+    }
+    println!(
+        "{name}: live {count}/{} scalar {:.3}ms simd {:.3}ms speedup {:.2}x",
+        points.len(),
+        scalar_best * 1e3,
+        simd_best * 1e3,
+        scalar_best / simd_best
+    );
+}
+
+#[test]
+#[ignore]
+fn probe() {
+    // Wide survival: few constraints, most points live.
+    let points = halton_points(2, 100_000, 7);
+    let region = FeasibleRegion::new(
+        Matrix::from_rows(&[&[1.2, 0.4], &[0.4, 1.3], &[0.8, 0.8], &[0.3, 1.1]]),
+        Vector::from([0.6, 0.6, 0.6, 0.6]),
+    );
+    time_paths("wide_d2_n4", &points, &region, 9);
+
+    // Heavy kill: d6, 16 rows, sparse rows, ~1-2% survival.
+    let points = halton_points(6, 100_000, 7);
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for i in 0..16 {
+        let mut r = vec![0.0; 6];
+        r[i % 6] = 1.4 + 0.1 * (i as f64 % 3.0);
+        r[(i + 2) % 6] = 0.9;
+        rows.push(r);
+    }
+    let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let region = FeasibleRegion::new(Matrix::from_rows(&row_refs), Vector::from(vec![0.22; 16]));
+    time_paths("kill_d6_n16", &points, &region, 9);
+
+    // Dense mid-survival: d8, denser rows.
+    let points = halton_points(8, 100_000, 7);
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for i in 0..8 {
+        let mut r = vec![0.0; 8];
+        for (j, slot) in r.iter_mut().enumerate() {
+            if (i + j) % 2 == 0 {
+                *slot = 0.6 + 0.05 * j as f64;
+            }
+        }
+        rows.push(r);
+    }
+    let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let region = FeasibleRegion::new(Matrix::from_rows(&row_refs), Vector::from(vec![0.5; 8]));
+    time_paths("dense_d8_n8", &points, &region, 9);
+}

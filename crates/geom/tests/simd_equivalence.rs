@@ -1,0 +1,259 @@
+//! Bit-identity contract between the AVX2 and scalar kernel paths.
+//!
+//! The SIMD port in `rod_geom::simd` promises *bit-identical* results,
+//! not merely close ones: lanes are points, accumulation order per
+//! point is unchanged (k-ascending from `+0.0`, multiply then add,
+//! never FMA), and masks carry no arithmetic. These tests pin that
+//! contract with property-based sweeps over random batches — including
+//! signed zeros and denormal coordinates, where naive vectorisation
+//! shortcuts (FMA contraction, re-associated reductions, flush-to-zero)
+//! would first diverge — plus forced-path tests showing that
+//! `ROD_NO_SIMD` and the `*_force_scalar` constructors observably route
+//! work through the scalar reference loops (via the process-global
+//! path counters that `rod_core::obs::record_kernel_path` snapshots).
+//!
+//! The whole file is path-agnostic: on hosts without AVX2, or under the
+//! CI leg that exports `ROD_NO_SIMD=1`, both legs of every comparison
+//! run the scalar loops and the assertions still hold.
+
+use proptest::prelude::*;
+
+use rod_geom::simd::{path_counts, resolve_path, select_path};
+use rod_geom::{
+    FeasibilityKernel, FeasibleRegion, KernelPath, Matrix, PointBatch, Vector, VolumeEstimator,
+};
+
+/// A finite coordinate, biased toward the values where floating-point
+/// shortcuts first diverge: signed zeros and (positive and negative)
+/// denormals alongside ordinary magnitudes. Never NaN.
+fn coordinate() -> impl Strategy<Value = f64> {
+    (0u32..10, -100.0..100.0f64, 1u64..4096).prop_map(|(sel, normal, bits)| match sel {
+        0 => 0.0,
+        1 => -0.0,
+        2 => f64::from_bits(bits),
+        3 => -f64::from_bits(bits),
+        _ => normal,
+    })
+}
+
+/// Splits a flat coordinate stream into `d`-dimensional points,
+/// dropping the ragged remainder. (The vendored proptest has no
+/// flat-map, so dimension and coordinates are drawn independently.)
+fn chunk_points(d: usize, flat: &[f64]) -> Vec<Vector> {
+    flat.chunks_exact(d)
+        .map(|c| Vector::new(c.to_vec()))
+        .collect()
+}
+
+/// Sparse-ish constraint rows from a flat `(keep, magnitude)` stream:
+/// each coefficient is zero half the time, exercising the kernel's nnz
+/// row pruning.
+fn chunk_rows(d: usize, n_rows: usize, flat: &[(u32, f64)]) -> Vec<Vec<f64>> {
+    flat.chunks_exact(d)
+        .take(n_rows)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|&(keep, mag)| if keep == 0 { 0.0 } else { mag })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `dot_into` (runtime-dispatched) and `dot_into_scalar` produce
+    /// `to_bits()`-equal loads for every point — the strongest possible
+    /// equivalence, covering tile interiors and the ragged tail.
+    #[test]
+    fn dot_into_loads_are_bit_identical(
+        d in 1usize..6,
+        flat in prop::collection::vec(coordinate(), 1..1500),
+        coeff_pool in prop::collection::vec(coordinate(), 5),
+    ) {
+        let points = chunk_points(d, &flat);
+        prop_assume!(!points.is_empty());
+        let coeffs = &coeff_pool[..d];
+        let batch = PointBatch::from_points(&points);
+        let mut simd_out = vec![0.0f64; batch.num_points()];
+        let mut scalar_out = vec![0.0f64; batch.num_points()];
+        batch.dot_into(coeffs, &mut simd_out);
+        batch.dot_into_scalar(coeffs, &mut scalar_out);
+        for (i, (a, b)) in simd_out.iter().zip(&scalar_out).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "load diverged at point {}", i);
+        }
+    }
+
+    /// Feasible counts agree byte-for-byte across the auto-dispatched
+    /// kernel, a forced-scalar kernel, the pinned scalar range walk,
+    /// and the semantic oracle (`FeasibleRegion::contains` per point).
+    #[test]
+    fn feasible_counts_are_identical_across_paths(
+        d in 1usize..6,
+        flat in prop::collection::vec(coordinate(), 1..1500),
+        n_rows in 1usize..=8,
+        row_pool in prop::collection::vec((0u32..2, 0.01..3.0f64), 40),
+        caps in prop::collection::vec(0.1..4.0f64, 8),
+        lb_pool in prop::collection::vec((0u32..3, 0.0..0.3f64), 5),
+    ) {
+        let points = chunk_points(d, &flat);
+        prop_assume!(!points.is_empty());
+        let rows = chunk_rows(d, n_rows, &row_pool);
+        let lb: Vec<f64> = lb_pool[..d]
+            .iter()
+            .map(|&(keep, v)| if keep == 0 { v } else { 0.0 })
+            .collect();
+        let n_rows = rows.len();
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let region = FeasibleRegion::with_lower_bound(
+            Matrix::from_rows(&row_refs),
+            Vector::new(caps[..n_rows].to_vec()),
+            Vector::new(lb),
+        );
+        let auto = FeasibilityKernel::new(&points);
+        let forced = FeasibilityKernel::new_force_scalar(&points);
+        let oracle = points.iter().filter(|p| region.contains(p)).count();
+        let c_auto = auto.count_feasible(&region);
+        prop_assert_eq!(c_auto, oracle);
+        prop_assert_eq!(c_auto, forced.count_feasible(&region));
+        prop_assert_eq!(c_auto, auto.count_feasible_range_scalar(&region, 0, points.len()));
+    }
+}
+
+/// Volume estimates — the quantity the planner actually consumes — are
+/// `to_bits()`-equal between the dispatched and the pinned-scalar
+/// estimator legs, across several seeds and shapes.
+#[test]
+fn volume_estimates_are_bit_identical() {
+    for (d, n_rows, seed) in [(2usize, 4usize, 7u64), (4, 8, 11), (6, 16, 42)] {
+        let estimator = VolumeEstimator::new(&vec![1.0; d], 1.0, 4096, seed);
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..n_rows {
+            let mut r = vec![0.0; d];
+            r[i % d] = 1.1 + 0.07 * i as f64;
+            r[(i + 1) % d] = 0.6;
+            rows.push(r);
+        }
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let region =
+            FeasibleRegion::new(Matrix::from_rows(&row_refs), Vector::new(vec![0.4; n_rows]));
+        let fast = estimator.estimate(&region);
+        let pinned = estimator.estimate_kernel_scalar(&region);
+        assert_eq!(
+            fast.ratio_to_ideal.to_bits(),
+            pinned.ratio_to_ideal.to_bits()
+        );
+        assert_eq!(fast.absolute.to_bits(), pinned.absolute.to_bits());
+        assert_eq!(fast.samples, pinned.samples);
+    }
+}
+
+fn probe_points(d: usize, n: usize) -> Vec<Vector> {
+    (0..n)
+        .map(|i| {
+            Vector::new(
+                (0..d)
+                    .map(|k| ((i * (k + 3) + 1) % 97) as f64 / 97.0)
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn probe_region(d: usize) -> FeasibleRegion {
+    let rows: Vec<Vec<f64>> = (0..d)
+        .map(|i| {
+            let mut r = vec![0.3; d];
+            r[i] = 1.2;
+            r
+        })
+        .collect();
+    let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    FeasibleRegion::new(Matrix::from_rows(&row_refs), Vector::new(vec![0.8; d]))
+}
+
+/// A forced-scalar kernel reports `Scalar` and measurably bumps the
+/// scalar block/dot counters when it runs. (Counters are process-global
+/// and monotone, so with tests running in parallel we assert growth on
+/// the expected counter, never stasis on the other.)
+#[test]
+fn force_scalar_is_observably_scalar() {
+    let points = probe_points(3, 5000);
+    let region = probe_region(3);
+    let kernel = FeasibilityKernel::new_force_scalar(&points);
+    assert_eq!(kernel.path(), KernelPath::Scalar);
+    let before = path_counts();
+    let count = kernel.count_feasible(&region);
+    let mut out = vec![0.0; points.len()];
+    kernel
+        .batch()
+        .dot_into_scalar(&[0.5, 0.25, 0.125], &mut out);
+    let after = path_counts();
+    assert!(count > 0);
+    // 5000 points / 2048-point blocks = at least 3 scalar blocks.
+    assert!(after.scalar_blocks >= before.scalar_blocks + 3);
+    assert!(after.scalar_dot_rows > before.scalar_dot_rows);
+}
+
+/// The auto-dispatched kernel bumps the counter of whichever path it
+/// selected — `Simd` on AVX2 hosts, `Scalar` under `ROD_NO_SIMD=1` or
+/// on hosts without AVX2. Passes identically in both CI matrix legs.
+#[test]
+fn auto_kernel_counts_on_its_selected_path() {
+    let points = probe_points(3, 5000);
+    let region = probe_region(3);
+    let kernel = FeasibilityKernel::new(&points);
+    let before = path_counts();
+    let count = kernel.count_feasible(&region);
+    let mut out = vec![0.0; points.len()];
+    kernel.batch().dot_into(&[0.5, 0.25, 0.125], &mut out);
+    let after = path_counts();
+    assert!(count > 0);
+    match kernel.path() {
+        KernelPath::Simd => {
+            assert!(after.simd_blocks >= before.simd_blocks + 3);
+            assert!(after.simd_dot_rows > before.simd_dot_rows);
+        }
+        KernelPath::Scalar => {
+            assert!(after.scalar_blocks >= before.scalar_blocks + 3);
+            assert!(after.scalar_dot_rows > before.scalar_dot_rows);
+        }
+    }
+}
+
+/// Setting `ROD_NO_SIMD=1` pins every *newly constructed* kernel to the
+/// scalar path, regardless of host support. The variable is restored
+/// before asserting; every other test in this binary is path-agnostic,
+/// so the brief scalar window cannot fail them.
+#[test]
+fn rod_no_simd_env_pins_new_kernels_to_scalar() {
+    let points = probe_points(2, 100);
+    let region = probe_region(2);
+    let prev = std::env::var_os("ROD_NO_SIMD");
+    std::env::set_var("ROD_NO_SIMD", "1");
+    let selected = select_path(false);
+    let kernel = FeasibilityKernel::new(&points);
+    let path = kernel.path();
+    let before = path_counts();
+    let count = kernel.count_feasible(&region);
+    let after = path_counts();
+    match prev {
+        Some(v) => std::env::set_var("ROD_NO_SIMD", v),
+        None => std::env::remove_var("ROD_NO_SIMD"),
+    }
+    assert_eq!(selected, KernelPath::Scalar);
+    assert_eq!(path, KernelPath::Scalar);
+    assert!(count > 0);
+    assert!(after.scalar_blocks > before.scalar_blocks);
+}
+
+/// The dispatch precedence (forced > env > host support) as a pure
+/// function — true on every host, with no environment mutation.
+#[test]
+fn dispatch_precedence() {
+    assert_eq!(resolve_path(true, false, true), KernelPath::Scalar);
+    assert_eq!(resolve_path(false, true, true), KernelPath::Scalar);
+    assert_eq!(resolve_path(false, false, false), KernelPath::Scalar);
+    assert_eq!(resolve_path(false, false, true), KernelPath::Simd);
+}
