@@ -3,7 +3,8 @@
 //! ```text
 //! rodd --graph graph.json --nodes 4 --trace-in telemetry.jsonl \
 //!      [--plan plan.json] [--capacity C] [--plan-out plan.json] \
-//!      [--log-out decisions.jsonl] [--budget SECONDS]
+//!      [--log-out decisions.jsonl] [--budget SECONDS] \
+//!      [--ingest-batch N]
 //! ```
 //!
 //! Single-shot replay mode: consumes the telemetry stream to exhaustion,
@@ -54,7 +55,7 @@ fn require<'a>(pairs: &'a [(String, String)], name: &str) -> Result<&'a str, Str
 fn usage() -> String {
     "usage: rodd --graph FILE --nodes N --trace-in FILE\n\
      \u{20}      [--plan FILE] [--capacity C] [--plan-out FILE]\n\
-     \u{20}      [--log-out FILE] [--budget SECONDS]"
+     \u{20}      [--log-out FILE] [--budget SECONDS] [--ingest-batch N]"
         .to_string()
 }
 
@@ -98,10 +99,25 @@ fn run(args: &[String]) -> Result<String, String> {
         }
     };
 
+    // Telemetry flows through the batched fast path (equivalent to the
+    // line path by contract; `--ingest-batch 1` commits per line for
+    // equivalence smokes).
+    let ingest_batch: usize = match get(&pairs, "ingest-batch") {
+        None => 256,
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                return Err(format!(
+                    "--ingest-batch: bad value '{v}' (want an integer >= 1)"
+                ))
+            }
+        },
+    };
+
     let trace_path = require(&pairs, "trace-in")?;
     let file = fs::File::open(trace_path).map_err(|e| format!("open {trace_path}: {e}"))?;
     let summary = loop_
-        .replay(BufReader::new(file))
+        .replay_batched(BufReader::new(file), ingest_batch)
         .map_err(|e| format!("read {trace_path}: {e}"))?;
 
     if let Some(out) = get(&pairs, "plan-out") {

@@ -21,7 +21,7 @@
 //! time and is off in replay mode). Fixed inputs ⇒ bit-identical
 //! decision logs, which CI asserts.
 
-use std::io::BufRead;
+use std::io::{BufRead, Read};
 
 use serde::{Deserialize, Serialize};
 
@@ -31,13 +31,14 @@ use rod_core::headroom::headroom;
 use rod_core::load_model::LoadModel;
 use rod_core::obs::MetricsRegistry;
 use rod_core::PlanEvaluator;
+use rod_sim::replay::scan::{probe_util_sample, LineScanner, UtilScratch};
 use rod_sim::MigrationConfig;
 
 use crate::drift::{DriftConfig, DriftDetector, DriftVerdict};
 use crate::executor::{apply_plan, MigrationExecutor, ReliableExecutor, RetryPolicy, StepOutcome};
 use crate::guard::{GuardedPlanner, PlanMode, PlanRequest, PlanStrategy, RodStrategy};
 use crate::ladder::{DegradationLadder, DegradationLevel, LadderConfig};
-use crate::telemetry::{Ingested, RejectReason, TelemetryConfig, TelemetryIngest};
+use crate::telemetry::{Ingested, RejectReason, SampleBatch, TelemetryConfig, TelemetryIngest};
 
 /// One externally-visible choice the loop made, in order. The JSONL
 /// serialisation of this sequence is the daemon's decision log.
@@ -257,6 +258,7 @@ impl ControlLoop {
             window: cfg.telemetry_window,
             ewma_alpha: cfg.ewma_alpha,
         };
+        telemetry.validate()?;
         let strategy = Box::new(RodStrategy::new(model.clone(), cluster.clone()));
         let planner = match cfg.plan_budget {
             None => GuardedPlanner::inline(strategy),
@@ -362,6 +364,142 @@ impl ControlLoop {
         Ok(self.summary())
     }
 
+    /// Consumes a whole telemetry stream through the batched fast path
+    /// and returns the run summary.
+    ///
+    /// Equivalent to [`replay`](ControlLoop::replay) — bit-identical
+    /// estimator state, decision log, and [`ReplaySummary`] for any byte
+    /// stream (proptest-pinned in `tests/batch_equiv.rs`) — but decodes
+    /// strict-form `UtilSample` lines with the zero-copy scanner
+    /// ([`rod_sim::replay::scan`]) and commits them `max_batch` at a time
+    /// through [`TelemetryIngest::ingest_batch`], amortising parsing,
+    /// allocation, and dispatch. Lines outside the strict grammar
+    /// (including every malformed or non-`UtilSample` record) flush the
+    /// pending batch — preserving stream order — and fall back to
+    /// [`observe_line`](ControlLoop::observe_line). The split is
+    /// observable via the `ctrl.ingest_batches`,
+    /// `ctrl.ingest_fast_path_lines`, and `ctrl.ingest_fallback_lines`
+    /// counters.
+    pub fn replay_batched<R: Read>(
+        &mut self,
+        mut reader: R,
+        max_batch: usize,
+    ) -> Result<ReplaySummary, std::io::Error> {
+        let max_batch = max_batch.max(1);
+        let mut scanner = LineScanner::new();
+        let mut scratch = UtilScratch::default();
+        let mut batch = SampleBatch::new();
+        let mut buf = vec![0u8; 64 * 1024];
+        loop {
+            let n = match reader.read(&mut buf) {
+                Ok(n) => n,
+                // `BufRead::read_until` retries interrupted reads; match it.
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.flush_batch(&mut batch);
+                    return Err(e);
+                }
+            };
+            if n == 0 {
+                break;
+            }
+            let chunk = &buf[..n];
+            let res = scanner.feed(chunk, |line| {
+                Self::batched_line(self, line, &mut scratch, &mut batch, max_batch)
+            });
+            if let Err(e) = res {
+                self.flush_batch(&mut batch);
+                return Err(e);
+            }
+        }
+        let res = scanner
+            .finish(|line| Self::batched_line(self, line, &mut scratch, &mut batch, max_batch));
+        if let Err(e) = res {
+            self.flush_batch(&mut batch);
+            return Err(e);
+        }
+        self.flush_batch(&mut batch);
+        Ok(self.summary())
+    }
+
+    /// One scanned line on the batched path: blank lines skip (uncounted,
+    /// exactly like [`replay`](ControlLoop::replay)), strict-form
+    /// `UtilSample`s append to the pending batch, anything else flushes
+    /// the batch and falls back to the line-at-a-time oracle.
+    fn batched_line(
+        &mut self,
+        line: &[u8],
+        scratch: &mut UtilScratch,
+        batch: &mut SampleBatch,
+        max_batch: usize,
+    ) -> Result<(), std::io::Error> {
+        // ASCII-blank lines (the common case) skip without decoding; the
+        // rare Unicode-whitespace blank falls through to the fallback's
+        // `trim()` below, matching the line path's skip exactly.
+        if line.iter().all(|b| b.is_ascii_whitespace()) {
+            return Ok(());
+        }
+        if probe_util_sample(line, scratch) {
+            batch.push(scratch.time, &scratch.utilisations, &scratch.rates);
+            if batch.len() >= max_batch {
+                self.flush_batch(batch);
+            }
+            return Ok(());
+        }
+        let text = match std::str::from_utf8(line) {
+            Ok(text) => text,
+            Err(_) => {
+                // `BufRead::lines` fails the whole replay here; commit the
+                // lines that preceded the bad one first so state matches.
+                self.flush_batch(batch);
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "stream did not contain valid UTF-8",
+                ));
+            }
+        };
+        if text.trim().is_empty() {
+            return Ok(());
+        }
+        self.flush_batch(batch);
+        self.metrics.incr("ctrl.ingest_fallback_lines");
+        self.observe_line(text);
+        Ok(())
+    }
+
+    /// Commits the pending fast-path batch: every record flows through
+    /// the same per-sample routine as the line path, in stream order,
+    /// with the estimator state after each record visible to the
+    /// decision logic.
+    fn flush_batch(&mut self, batch: &mut SampleBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        self.metrics.incr("ctrl.ingest_batches");
+        self.metrics
+            .add("ctrl.ingest_fast_path_lines", batch.len() as u64);
+        // The ingest accumulator is moved out so the callback can borrow
+        // the rest of `self`; `on_sample_est` takes the estimate by value
+        // precisely so nothing re-reads `self.ingest` underneath us.
+        let mut ingest = std::mem::replace(
+            &mut self.ingest,
+            TelemetryIngest::new(TelemetryConfig::default()),
+        );
+        ingest.ingest_batch(batch, |ing, outcome| {
+            self.lines_seen += 1;
+            match outcome {
+                Ingested::Sample { time } => {
+                    let estimate = ing.estimate();
+                    self.on_sample_est(time, estimate);
+                }
+                Ingested::Other => {}
+                Ingested::Rejected(reason) => self.on_reject(reason),
+            }
+        });
+        self.ingest = ingest;
+        batch.clear();
+    }
+
     /// The current run summary.
     pub fn summary(&self) -> ReplaySummary {
         ReplaySummary {
@@ -404,7 +542,12 @@ impl ControlLoop {
     }
 
     fn on_sample(&mut self, time: f64) {
-        let Some(estimate) = self.ingest.estimate() else {
+        let estimate = self.ingest.estimate();
+        self.on_sample_est(time, estimate);
+    }
+
+    fn on_sample_est(&mut self, time: f64, estimate: Option<Vec<f64>>) {
+        let Some(estimate) = estimate else {
             return;
         };
         // An all-zero estimate carries no drift information (and the

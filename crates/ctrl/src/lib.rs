@@ -56,4 +56,4 @@ pub use executor::{
 };
 pub use guard::{GuardedPlanner, PlanFault, PlanMode, PlanRequest, PlanStrategy, RodStrategy};
 pub use ladder::{DegradationLadder, DegradationLevel, LadderConfig};
-pub use telemetry::{Ingested, RejectReason, TelemetryConfig, TelemetryIngest};
+pub use telemetry::{Ingested, RejectReason, SampleBatch, TelemetryConfig, TelemetryIngest};

@@ -94,6 +94,28 @@ impl Default for TelemetryConfig {
     }
 }
 
+impl TelemetryConfig {
+    /// Rejects degenerate shapes with a specific error: a zero window
+    /// would construct an estimator with no history, zero inputs an
+    /// estimator that can never produce a planning estimate, and a
+    /// smoothing factor outside `[0, 1]` (or NaN) an EWMA that
+    /// extrapolates instead of averaging. [`crate::ControlLoop`] calls
+    /// this at construction; [`TelemetryIngest::new`] stays permissive
+    /// for historical callers (it clamps the ring capacity itself).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("telemetry window must be at least 1 sample".into());
+        }
+        if self.num_inputs == 0 {
+            return Err("telemetry must model at least one input stream".into());
+        }
+        if !(0.0..=1.0).contains(&self.ewma_alpha) {
+            return Err(format!("ewma_alpha {} is outside [0, 1]", self.ewma_alpha));
+        }
+        Ok(())
+    }
+}
+
 /// A fixed-capacity ring of recent values.
 #[derive(Clone, Debug)]
 struct Ring {
@@ -125,6 +147,71 @@ impl Ring {
             return None;
         }
         Some(self.buf.iter().sum::<f64>() / self.buf.len() as f64)
+    }
+}
+
+/// A decoded chunk of `UtilSample` records, stored structure-of-arrays
+/// so a batch of same-shaped samples lives in three flat `f64` runs
+/// plus an offset table — no per-record allocation, and the buffers are
+/// reused across batches via [`clear`](SampleBatch::clear).
+///
+/// Filled by the batched ingestion path from
+/// [`rod_sim::replay::scan::UtilScratch`] records the zero-copy probe
+/// decoded; drained in one call by [`TelemetryIngest::ingest_batch`].
+#[derive(Clone, Debug, Default)]
+pub struct SampleBatch {
+    times: Vec<f64>,
+    utilisations: Vec<f64>,
+    rates: Vec<f64>,
+    /// Per-record `(utilisations, rates)` end offsets into the flat
+    /// value runs; record `i` spans `ends[i-1]..ends[i]`.
+    util_ends: Vec<usize>,
+    rate_ends: Vec<usize>,
+}
+
+impl SampleBatch {
+    /// An empty batch.
+    pub fn new() -> SampleBatch {
+        SampleBatch::default()
+    }
+
+    /// Appends one decoded sample.
+    pub fn push(&mut self, time: f64, utilisations: &[f64], rates: &[f64]) {
+        self.times.push(time);
+        self.utilisations.extend_from_slice(utilisations);
+        self.rates.extend_from_slice(rates);
+        self.util_ends.push(self.utilisations.len());
+        self.rate_ends.push(self.rates.len());
+    }
+
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when no records are pending.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Record `i` as `(time, utilisations, rates)`.
+    pub fn get(&self, i: usize) -> (f64, &[f64], &[f64]) {
+        let u0 = if i == 0 { 0 } else { self.util_ends[i - 1] };
+        let r0 = if i == 0 { 0 } else { self.rate_ends[i - 1] };
+        (
+            self.times[i],
+            &self.utilisations[u0..self.util_ends[i]],
+            &self.rates[r0..self.rate_ends[i]],
+        )
+    }
+
+    /// Empties the batch, keeping every buffer's capacity.
+    pub fn clear(&mut self) {
+        self.times.clear();
+        self.utilisations.clear();
+        self.rates.clear();
+        self.util_ends.clear();
+        self.rate_ends.clear();
     }
 }
 
@@ -228,9 +315,35 @@ impl TelemetryIngest {
                 Some(prev) => alpha * r + (1.0 - alpha) * prev,
             });
         }
-        self.last_utilisations = utilisations.to_vec();
+        self.last_utilisations.clear();
+        self.last_utilisations.extend_from_slice(utilisations);
         self.accepted += 1;
         Ingested::Sample { time }
+    }
+
+    /// Ingests a decoded chunk of samples in one call, invoking
+    /// `on_outcome` once per record, in order, with the accumulator's
+    /// state *after* that record — so callers can read
+    /// [`estimate`](TelemetryIngest::estimate) per accepted sample
+    /// exactly as the line-at-a-time path does.
+    ///
+    /// **Equivalence contract:** each record flows through the very same
+    /// [`ingest_sample`](TelemetryIngest::ingest_sample) routine the
+    /// line path uses, so the estimator state, `Ingested` outcomes, and
+    /// rejection counters after a batch are bit-identical to ingesting
+    /// the records one call at a time — the batching amortises per-line
+    /// parsing, allocation, and call dispatch, never the per-sample
+    /// arithmetic. Proptests in `tests/batch_equiv.rs` pin this.
+    pub fn ingest_batch(
+        &mut self,
+        batch: &SampleBatch,
+        mut on_outcome: impl FnMut(&TelemetryIngest, Ingested),
+    ) {
+        for i in 0..batch.len() {
+            let (time, utilisations, rates) = batch.get(i);
+            let outcome = self.ingest_sample(time, utilisations, rates);
+            on_outcome(&*self, outcome);
+        }
     }
 
     fn reject(&mut self, reason: RejectReason) -> Ingested {
@@ -388,6 +501,105 @@ mod tests {
         let mean = t.windows[0].mean().unwrap();
         assert!((mean - 97.5).abs() < 1e-9, "window mean {mean}");
         assert_eq!(t.windows[0].buf.len(), 4);
+    }
+
+    #[test]
+    fn validate_rejects_each_degenerate_shape() {
+        let ok = TelemetryConfig {
+            num_inputs: 2,
+            num_nodes: 2,
+            window: 4,
+            ewma_alpha: 0.5,
+        };
+        assert_eq!(ok.validate(), Ok(()));
+        let zero_window = TelemetryConfig {
+            window: 0,
+            ..ok.clone()
+        };
+        assert!(zero_window.validate().unwrap_err().contains("window"));
+        let zero_inputs = TelemetryConfig {
+            num_inputs: 0,
+            ..ok.clone()
+        };
+        assert!(zero_inputs.validate().unwrap_err().contains("input"));
+        for alpha in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let bad = TelemetryConfig {
+                ewma_alpha: alpha,
+                ..ok.clone()
+            };
+            assert!(
+                bad.validate().unwrap_err().contains("ewma_alpha"),
+                "alpha {alpha} must be rejected"
+            );
+        }
+        // Boundary values are allowed.
+        for alpha in [0.0, 1.0] {
+            let edge = TelemetryConfig {
+                ewma_alpha: alpha,
+                ..ok.clone()
+            };
+            assert_eq!(edge.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn sample_batch_round_trips_records() {
+        let mut b = SampleBatch::new();
+        assert!(b.is_empty());
+        b.push(1.0, &[0.5, 0.6], &[10.0]);
+        b.push(2.0, &[], &[20.0, 30.0]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(0), (1.0, &[0.5, 0.6][..], &[10.0][..]));
+        assert_eq!(b.get(1), (2.0, &[][..], &[20.0, 30.0][..]));
+        b.clear();
+        assert!(b.is_empty());
+        b.push(3.0, &[0.1], &[1.0]);
+        assert_eq!(b.get(0), (3.0, &[0.1][..], &[1.0][..]));
+    }
+
+    #[test]
+    fn ingest_batch_is_bit_identical_to_sequential_ingest() {
+        // A mix of accepts and every rejection class.
+        let records: Vec<(f64, Vec<f64>, Vec<f64>)> = vec![
+            (1.0, vec![0.5, 0.6], vec![10.0, 1.0]),
+            (0.5, vec![], vec![1.0, 1.0]),         // stale
+            (2.0, vec![], vec![1.0]),              // arity
+            (2.0, vec![0.1; 3], vec![1.0, 1.0]),   // unknown node
+            (2.0, vec![], vec![f64::NAN, 1.0]),    // non-finite
+            (2.0, vec![], vec![-1.0, 1.0]),        // negative
+            (2.0, vec![f64::NAN], vec![1.0, 1.0]), // bad utilisation
+            (f64::NAN, vec![], vec![1.0, 1.0]),    // bad timestamp
+            (3.0, vec![0.7], vec![20.0, 2.0]),
+        ];
+        let mut line = ingest(2);
+        let mut expected = Vec::new();
+        for (t, u, r) in &records {
+            expected.push(line.ingest_sample(*t, u, r));
+        }
+        let mut batch = SampleBatch::new();
+        for (t, u, r) in &records {
+            batch.push(*t, u, r);
+        }
+        let mut batched = ingest(2);
+        let mut outcomes = Vec::new();
+        let mut mid_estimates = Vec::new();
+        batched.ingest_batch(&batch, |ing, out| {
+            mid_estimates.push(ing.estimate());
+            outcomes.push(out);
+        });
+        assert_eq!(outcomes, expected);
+        assert_eq!(batched.accepted(), line.accepted());
+        assert_eq!(batched.rejections(), line.rejections());
+        assert_eq!(batched.last_time(), line.last_time());
+        assert_eq!(batched.last_utilisations(), line.last_utilisations());
+        let (a, b) = (batched.estimate().unwrap(), line.estimate().unwrap());
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // The callback observed post-record state (first accept shows an
+        // estimate immediately).
+        assert!(mid_estimates[0].is_some());
     }
 
     #[test]

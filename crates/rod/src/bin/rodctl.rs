@@ -111,7 +111,8 @@ fn usage() -> String {
      \u{20}        (--fault-tolerance is an alias for --failover)\n\
      trace    --kind pkt|tcp|http|poisson [--bins-log2 N] [--mean R] [--seed N] [--out FILE]\n\
      daemon   --graph FILE --nodes N --trace-in FILE [--capacity C]\n\
-     \u{20}        [--plan FILE] [--plan-out FILE] [--log-out FILE] [--budget SECONDS]"
+     \u{20}        [--plan FILE] [--plan-out FILE] [--log-out FILE] [--budget SECONDS]\n\
+     \u{20}        [--ingest-batch N]"
         .to_string()
 }
 
@@ -683,10 +684,15 @@ fn cmd_daemon(flags: &Flags) -> Result<String, String> {
         rod::ctrl::bootstrap(&graph, cluster, cfg)?
     };
 
+    let ingest_batch: usize = flags.parse_num("ingest-batch", 256)?;
+    if ingest_batch == 0 {
+        return Err("--ingest-batch: bad value '0' (want an integer >= 1)".to_string());
+    }
+
     let trace_path = flags.require("trace-in")?;
     let file = fs::File::open(trace_path).map_err(|e| format!("open {trace_path}: {e}"))?;
     let summary = loop_
-        .replay(std::io::BufReader::new(file))
+        .replay_batched(std::io::BufReader::new(file), ingest_batch)
         .map_err(|e| format!("read {trace_path}: {e}"))?;
 
     if let Some(out) = flags.get("plan-out") {

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_ctrl.json file (schema v1, docs/benchmarks.md).
+
+Usage: validate_bench_ctrl.py FILE [FILE...]
+
+Hand-rolled structural validator (the CI image has no jsonschema
+package): pins the exact top-level and per-cell key sets so schema
+drift fails loudly, checks provenance fields, and asserts the
+acceptance bar — the committed baseline's 1M-samples/s cell must show
+the batched ingest path at least 5x over line-at-a-time (quick CI
+re-runs are gated separately, with slack, by perf_ctrl --check).
+Exit status 0 iff every file validates.
+"""
+import json
+import sys
+
+TOP_KEYS = {
+    "schema_version",
+    "created_unix",
+    "rustc",
+    "commit",
+    "cores",
+    "quick",
+    "repeats",
+    "seed",
+    "grid",
+}
+
+CELL_KEYS = {
+    "name",
+    "lines",
+    "stream_bytes",
+    "line_seconds",
+    "batched_seconds",
+    "line_samples_per_sec",
+    "batched_samples_per_sec",
+    "ingest_speedup",
+    "max_batch",
+}
+
+# The acceptance cell and its hard floor on the committed baseline.
+ACCEPTANCE_CELL = "ingest_1m"
+ACCEPTANCE_FLOOR = 5.0
+
+
+def validate(path):
+    errors = []
+    doc = json.load(open(path))
+    if set(doc) != TOP_KEYS:
+        errors.append(f"{path}: top-level keys {set(doc) ^ TOP_KEYS} mismatch")
+        return errors
+    if doc["schema_version"] != 1:
+        errors.append(f"{path}: schema_version {doc['schema_version']} != 1")
+    if doc["cores"] < 1:
+        errors.append(f"{path}: cores {doc['cores']} < 1")
+    if doc["repeats"] < 1:
+        errors.append(f"{path}: repeats {doc['repeats']} < 1")
+    if not doc["grid"]:
+        errors.append(f"{path}: empty grid")
+        return errors
+    by_name = {}
+    for cell in doc["grid"]:
+        if set(cell) != CELL_KEYS:
+            errors.append(
+                f"{path}: cell keys {set(cell) ^ CELL_KEYS} mismatch "
+                f"in {cell.get('name', '?')}"
+            )
+            continue
+        name = cell["name"]
+        by_name[name] = cell
+        if cell["lines"] <= 0:
+            errors.append(f"{path}: {name}: lines {cell['lines']} <= 0")
+        if cell["stream_bytes"] <= 0:
+            errors.append(f"{path}: {name}: stream_bytes <= 0")
+        if cell["line_seconds"] <= 0 or cell["batched_seconds"] <= 0:
+            errors.append(f"{path}: {name}: non-positive wall time")
+        if cell["max_batch"] < 1:
+            errors.append(f"{path}: {name}: max_batch {cell['max_batch']} < 1")
+        if cell["ingest_speedup"] <= 1:
+            errors.append(
+                f"{path}: {name}: ingest_speedup "
+                f"{cell['ingest_speedup']:.2f} <= 1 (fast path not faster)"
+            )
+    if ACCEPTANCE_CELL not in by_name:
+        errors.append(f"{path}: acceptance cell {ACCEPTANCE_CELL!r} missing")
+    elif not doc["quick"]:
+        # Full recordings (the committed baseline) carry the acceptance
+        # result; quick CI re-runs are ratio-gated by perf_ctrl --check.
+        speedup = by_name[ACCEPTANCE_CELL]["ingest_speedup"]
+        if speedup < ACCEPTANCE_FLOOR:
+            errors.append(
+                f"{path}: {ACCEPTANCE_CELL}: ingest_speedup {speedup:.2f} "
+                f"under the {ACCEPTANCE_FLOOR:.0f}x acceptance floor"
+            )
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = []
+    for path in sys.argv[1:]:
+        file_errors = validate(path)
+        errors.extend(file_errors)
+        if not file_errors:
+            doc = json.load(open(path))
+            print(f"{path}: {len(doc['grid'])} cells OK")
+    for err in errors:
+        print(err, file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
